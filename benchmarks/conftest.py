@@ -1,0 +1,85 @@
+"""Benchmark fixtures: the paper's full-scale experiments, shared.
+
+Each fixture runs one of §VI's experiments at the paper's scale (5000
+recorded exits per workload, replayed from the recording-start
+snapshot).  Benchmarks print their reproduced table/figure — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them — and assert the
+paper's shape.
+
+Environment knobs:
+
+* ``IRIS_BENCH_EXITS``      — trace length (default 5000, the paper's);
+* ``IRIS_FULL_BOOT_SCALE``  — Fig. 4 boot-size scale (default 0.12,
+  ~60K exits; 1.0 reproduces the paper's ~520K-exit boot);
+* ``IRIS_FUZZ_MUTATIONS``   — mutations per Table I cell (default 400;
+  the paper uses 10000).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.manager import IrisManager, RecordingSession, ReplaySession
+
+BENCH_EXITS = int(os.environ.get("IRIS_BENCH_EXITS", "5000"))
+FULL_BOOT_SCALE = float(os.environ.get("IRIS_FULL_BOOT_SCALE", "0.12"))
+FUZZ_MUTATIONS = int(os.environ.get("IRIS_FUZZ_MUTATIONS", "400"))
+
+
+@dataclass
+class Experiment:
+    """One record+replay experiment."""
+
+    manager: IrisManager
+    session: RecordingSession
+    replay: ReplaySession
+
+
+def _run(workload: str, precondition: str) -> Experiment:
+    manager = IrisManager()
+    session = manager.record_workload(
+        workload, n_exits=BENCH_EXITS, precondition=precondition
+    )
+    replay = manager.replay_trace(
+        session.trace, from_snapshot=session.snapshot
+    )
+    return Experiment(manager=manager, session=session, replay=replay)
+
+
+@pytest.fixture(scope="session")
+def boot_experiment() -> Experiment:
+    return _run("os-boot", "bios")
+
+
+@pytest.fixture(scope="session")
+def cpu_experiment() -> Experiment:
+    return _run("cpu-bound", "boot")
+
+
+@pytest.fixture(scope="session")
+def idle_experiment() -> Experiment:
+    return _run("idle", "boot")
+
+
+@pytest.fixture(scope="session")
+def mem_experiment() -> Experiment:
+    return _run("mem-bound", "boot")
+
+
+@pytest.fixture(scope="session")
+def io_experiment() -> Experiment:
+    return _run("io-bound", "boot")
+
+
+@pytest.fixture(scope="session")
+def three_experiments(boot_experiment, cpu_experiment,
+                      idle_experiment):
+    """The OS BOOT / CPU-bound / IDLE trio Figs. 6-10 report on."""
+    return {
+        "OS BOOT": boot_experiment,
+        "CPU-bound": cpu_experiment,
+        "IDLE": idle_experiment,
+    }

@@ -1,0 +1,65 @@
+"""Fig. 5: VM exit reasons distribution across the target workloads.
+
+Paper shape: OS BOOT is dominated by I/O instructions and CR accesses;
+the four steady-state workloads (CPU-, MEM-, I/O-bound, IDLE) are ~80%
+RDTSC; IDLE additionally shows HLT exits from the idle loop.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_histogram
+from repro.analysis.distributions import reason_percentages
+
+
+def test_fig5_workload_distributions(
+    boot_experiment, cpu_experiment, mem_experiment, io_experiment,
+    idle_experiment, benchmark,
+):
+    experiments = {
+        "OS BOOT": boot_experiment,
+        "CPU-bound": cpu_experiment,
+        "MEM-bound": mem_experiment,
+        "I/O-bound": io_experiment,
+        "IDLE": idle_experiment,
+    }
+    percentages = {
+        name: reason_percentages(exp.session.trace)
+        for name, exp in experiments.items()
+    }
+    benchmark.pedantic(
+        lambda: reason_percentages(cpu_experiment.session.trace),
+        rounds=3, iterations=1,
+    )
+
+    print()
+    for name, dist in percentages.items():
+        counts = experiments[name].session.trace.reason_histogram()
+        print(render_histogram(
+            counts, title=f"Fig. 5 — {name}", width=30
+        ))
+        print()
+
+    # OS BOOT: I/O instructions + CR accesses are the signature mix.
+    boot = percentages["OS BOOT"]
+    assert boot["I/O INST."] > 40
+    assert boot.get("CR ACC.", 0) > 0.3
+    assert boot["I/O INST."] + boot.get("RDTSC", 0) > 80
+
+    # Steady-state workloads: ~80% RDTSC (paper: "almost 80%").
+    for name in ("CPU-bound", "MEM-bound", "I/O-bound", "IDLE"):
+        assert percentages[name]["RDTSC"] > 60, name
+
+    # IDLE is "characterized by some HLT VM exits".
+    assert percentages["IDLE"].get("HLT", 0) > 1
+    for name in ("CPU-bound", "MEM-bound", "I/O-bound"):
+        assert percentages[name].get("HLT", 0) < 1
+
+    # MEM-bound's EPT-violation share exceeds CPU-bound's.
+    assert percentages["MEM-bound"].get("EPT VIOL.", 0) > \
+        percentages["CPU-bound"].get("EPT VIOL.", 0)
+
+    # I/O-bound has the largest I/O-instruction share of the four.
+    assert percentages["I/O-bound"].get("I/O INST.", 0) > max(
+        percentages[n].get("I/O INST.", 0)
+        for n in ("CPU-bound", "MEM-bound", "IDLE")
+    )

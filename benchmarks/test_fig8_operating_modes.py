@@ -1,0 +1,89 @@
+"""Fig. 8: operating modes and vCPU states across VM exits (OS BOOT).
+
+The paper tracks VMWRITEs to GUEST_CR0 during boot, maps them to the
+Mode1-Mode7 ladder, and reports a 100% fitting between recorded and
+replayed guest-state VMWRITEs.  It then shows that replaying CPU-bound/
+IDLE from an unbooted state crashes ("bad RIP for mode 0") while
+replaying them after the OS BOOT seeds succeeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table, vmwrite_fitting
+from repro.analysis.accuracy import cr0_mode_trajectory
+from repro.x86.cpumodes import OperatingMode
+
+
+def test_fig8_cr0_mode_ladder(boot_experiment, benchmark):
+    trace = boot_experiment.session.trace
+    recorded = cr0_mode_trajectory(trace)
+    replayed = cr0_mode_trajectory(boot_experiment.replay.results)
+    benchmark.pedantic(
+        lambda: cr0_mode_trajectory(trace), rounds=3, iterations=1
+    )
+
+    print()
+    print(render_table(
+        ["step", "recorded", "replayed"],
+        [
+            (i, rec.name, rep.name)
+            for i, (rec, rep) in enumerate(zip(recorded, replayed))
+        ],
+        title="Fig. 8 — CR0-derived operating modes across OS BOOT",
+    ))
+
+    # 100% VMWRITE fitting on the guest-state area (paper §VI-B).
+    fitting = vmwrite_fitting(trace, boot_experiment.replay.results)
+    print(f"guest-state VMWRITE fitting: {fitting.fitting_pct:.1f}% "
+          f"(paper: 100%)")
+    assert fitting.fitting_pct == pytest.approx(100.0)
+
+    # The mode trajectory is reproduced exactly.
+    assert recorded == replayed
+
+    # The ladder visits the paper's modes: the protected-mode switch,
+    # paging, alignment checking, cache and TS excursions.
+    visited = set(recorded)
+    assert {
+        OperatingMode.MODE2, OperatingMode.MODE3, OperatingMode.MODE4,
+        OperatingMode.MODE5, OperatingMode.MODE6, OperatingMode.MODE7,
+    } <= visited
+
+
+def test_fig8_replay_state_experiment(boot_experiment,
+                                      cpu_experiment,
+                                      idle_experiment, benchmark):
+    """The §VI-B closing experiment, verbatim."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, experiment in (
+        ("CPU-bound", cpu_experiment), ("IDLE", idle_experiment),
+    ):
+        manager = experiment.manager
+        # (i) from a VM state without booting the OS: crash.
+        cold = manager.replay_trace(experiment.session.trace)
+        assert cold.crashed
+        assert "bad RIP" in cold.results[-1].crash_reason
+        assert "mode 0" in cold.results[-1].crash_reason
+
+        # (ii) from the state reached by replaying OS BOOT seeds.
+        warm_boot = manager.replay_trace(boot_experiment.session.trace)
+        assert not warm_boot.crashed
+        warm = manager.replay_trace(
+            experiment.session.trace, fresh_dummy=False
+        )
+        assert not warm.crashed
+        rows.append((
+            name,
+            f"crash: {cold.results[-1].crash_reason}",
+            f"completed {warm.completed}/{len(warm.results)}",
+        ))
+
+    print()
+    print(render_table(
+        ["workload", "replay from unbooted state",
+         "replay after OS BOOT seeds"],
+        rows, title="Paper §VI-B replay-state experiment",
+    ))

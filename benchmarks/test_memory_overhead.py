@@ -1,0 +1,54 @@
+"""§VI-D: memory overhead of recording and replaying.
+
+Paper: at most 32 VMREAD/VMWRITE operations per exit were observed,
+giving a worst-case VM seed of 470 bytes; recording pre-allocates the
+worst case per exit, replay allocates exactly what each seed needs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core.seed import (
+    MAX_VMCS_OPS_PER_EXIT,
+    WORST_CASE_SEED_BYTES,
+)
+
+
+def test_memory_overhead(three_experiments, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for name, experiment in three_experiments.items():
+        trace = experiment.session.trace
+        stats = experiment.session.recorder_stats
+        sizes = [seed.size_bytes() for seed in trace.seeds()]
+        vmcs_ops = [
+            seed.vmcs_op_count() + len(record.metrics.vmwrites)
+            for seed, record in zip(trace.seeds(), trace.records)
+        ]
+        exact_bytes = sum(sizes)
+        rows.append((
+            name,
+            max(vmcs_ops),
+            f"{max(sizes)} B",
+            f"{stats.preallocated_bytes:,} B",
+            f"{exact_bytes:,} B",
+        ))
+
+        # Paper's bounds hold per seed.
+        assert max(vmcs_ops) <= MAX_VMCS_OPS_PER_EXIT
+        assert max(sizes) <= WORST_CASE_SEED_BYTES
+        # Recording pre-allocates 470 B per exit...
+        assert stats.preallocated_bytes == \
+            WORST_CASE_SEED_BYTES * len(trace)
+        # ...which is never less than what replay allocates exactly.
+        assert exact_bytes <= stats.preallocated_bytes
+
+    print()
+    print(render_table(
+        ["workload", "max VMCS ops", "max seed",
+         "record prealloc", "replay exact"],
+        rows,
+        title=f"§VI-D — memory overhead (paper: <=32 ops, "
+              f"{WORST_CASE_SEED_BYTES}-byte worst-case seed)",
+    ))

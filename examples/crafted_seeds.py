@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Crafted seeds and the "bad RIP for mode 0" experiment.
+
+The replay component "also allows submitting crafted VM seeds, i.e.,
+seeds built manually" (paper §IV-B).  This example:
+
+1. hand-crafts a CPUID seed and submits it on a fresh dummy VM;
+2. hand-crafts a CR0 seed that switches the (cached) guest mode to
+   protected, exactly like the paper's §III example;
+3. reproduces the paper's replay-state experiment: a protected-mode
+   RDTSC seed crashes a fresh dummy VM ("bad RIP for mode 0") but
+   succeeds after the mode-switching seed has been replayed.
+
+Run:  python examples/crafted_seeds.py
+"""
+
+from repro import IrisManager, VMSeed, SeedEntry, ExitReason
+from repro.core.seed import SeedFlag
+from repro.vmx import VmcsField
+from repro.vmx.exit_qualification import (
+    CrAccessQualification,
+    CrAccessType,
+)
+from repro.x86.registers import GPR
+
+
+def vmcs_read(field: VmcsField, value: int) -> SeedEntry:
+    return SeedEntry.for_vmcs(SeedFlag.VMCS_READ, field, value)
+
+
+def cpuid_seed(leaf: int) -> VMSeed:
+    """CPUID at a real-mode RIP."""
+    return VMSeed(
+        exit_reason=int(ExitReason.CPUID),
+        entries=[
+            SeedEntry.for_gpr(GPR.RAX, leaf),
+            vmcs_read(VmcsField.VM_EXIT_REASON,
+                      int(ExitReason.CPUID)),
+            vmcs_read(VmcsField.GUEST_RIP, 0x7C10),
+            vmcs_read(VmcsField.VM_EXIT_INSTRUCTION_LEN, 2),
+        ],
+    )
+
+
+def protected_mode_switch_seed() -> VMSeed:
+    """MOV CR0 <- RBX with PE set: the paper's §III scenario."""
+    qualification = CrAccessQualification(
+        cr=0, access_type=CrAccessType.MOV_TO_CR, gpr=3,  # RBX
+    ).pack()
+    return VMSeed(
+        exit_reason=int(ExitReason.CR_ACCESS),
+        entries=[
+            SeedEntry.for_gpr(GPR.RBX, 0x11),  # PE | ET
+            vmcs_read(VmcsField.VM_EXIT_REASON,
+                      int(ExitReason.CR_ACCESS)),
+            vmcs_read(VmcsField.EXIT_QUALIFICATION, qualification),
+            vmcs_read(VmcsField.GUEST_CR0, 0x10),
+            vmcs_read(VmcsField.GUEST_CS_SELECTOR, 0x8),
+            vmcs_read(VmcsField.GUEST_GDTR_BASE, 0x6000),
+            vmcs_read(VmcsField.GUEST_GDTR_LIMIT, 0xFFFF),
+            vmcs_read(VmcsField.GUEST_RIP, 0x7C20),
+            vmcs_read(VmcsField.VM_EXIT_INSTRUCTION_LEN, 3),
+        ],
+    )
+
+
+def protected_rdtsc_seed() -> VMSeed:
+    """RDTSC at a protected-mode (high) RIP."""
+    return VMSeed(
+        exit_reason=int(ExitReason.RDTSC),
+        entries=[
+            SeedEntry.for_gpr(GPR.RAX, 0),
+            vmcs_read(VmcsField.VM_EXIT_REASON,
+                      int(ExitReason.RDTSC)),
+            vmcs_read(VmcsField.GUEST_CR4, 0),
+            vmcs_read(VmcsField.TSC_OFFSET, 0),
+            vmcs_read(VmcsField.GUEST_RIP, 0x1000000),
+            vmcs_read(VmcsField.VM_EXIT_INSTRUCTION_LEN, 2),
+            vmcs_read(VmcsField.GUEST_CS_BASE, 0),
+        ],
+    )
+
+
+def main() -> None:
+    manager = IrisManager()
+    manager.create_dummy_vm()
+
+    print("1) crafted CPUID seed on a fresh dummy VM:")
+    result = manager.submit_seed(cpuid_seed(leaf=0))
+    vcpu = manager.replayer.vcpu
+    vendor = (
+        vcpu.regs.read_gpr(GPR.RBX).to_bytes(4, "little")
+        + vcpu.regs.read_gpr(GPR.RDX).to_bytes(4, "little")
+        + vcpu.regs.read_gpr(GPR.RCX).to_bytes(4, "little")
+    )
+    print(f"   outcome={result.outcome.value}, handled as "
+          f"{result.handled_reason.name}, vendor={vendor.decode()}")
+
+    print("\n2) protected-mode RDTSC seed on the SAME fresh state:")
+    result = manager.submit_seed(protected_rdtsc_seed())
+    print(f"   outcome={result.outcome.value}: {result.crash_reason}")
+    print("   (the paper's 'bad RIP for mode 0' — the hypervisor has "
+          "no protected-mode state yet)")
+
+    print("\n3) replay the crafted mode-switch seed first, then retry:")
+    manager.create_dummy_vm()  # reset after the crash
+    result = manager.submit_seed(protected_mode_switch_seed())
+    vcpu = manager.replayer.vcpu
+    print(f"   mode switch: outcome={result.outcome.value}, cached "
+          f"guest mode is now {vcpu.hvm.guest_mode.name}")
+    result = manager.submit_seed(protected_rdtsc_seed())
+    tsc = (
+        (vcpu.regs.read_gpr(GPR.RDX) << 32)
+        | vcpu.regs.read_gpr(GPR.RAX)
+    )
+    print(f"   protected RDTSC: outcome={result.outcome.value}, "
+          f"guest TSC read {tsc:,} cycles")
+
+
+if __name__ == "__main__":
+    main()

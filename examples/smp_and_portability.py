@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Paper §IX extensions: multi-vCPU recording and the SVM port.
+
+1. run a 2-vCPU guest (CPU-bound on vCPU 0, MEM-bound on vCPU 1) and
+   record each vCPU's exit flow independently — one VMCS per vCPU,
+   one IRIS recorder per VMCS;
+2. replay each flow on the matching vCPU of a 2-vCPU dummy VM;
+3. translate one of the traces onto AMD SVM's VMCB, showing how much
+   of the seed model is architecture-neutral.
+
+Run:  python examples/smp_and_portability.py
+"""
+
+import random
+
+from repro import Hypervisor, DomainType, Recorder, Replayer
+from repro.analysis import render_table
+from repro.core.replay import ReplayOutcome
+from repro.guest.smp import SmpMachine
+from repro.guest.workloads import build_workload
+from repro.svm import translate_trace
+
+
+def main() -> None:
+    hv = Hypervisor()
+    domain = hv.create_domain(DomainType.HVM, name="smp-guest",
+                              vcpu_count=2)
+    domain.populate_identity_map(64)
+
+    print("recording 2 vCPU flows (CPU-bound / MEM-bound)...")
+    recorders = [
+        Recorder(hv, vcpu, workload=f"vcpu{vcpu.vcpu_id}")
+        for vcpu in domain.vcpus
+    ]
+    for recorder in recorders:
+        recorder.start()
+    smp = SmpMachine(hv, domain, rng=random.Random(1))
+    stats = smp.run(
+        [build_workload("cpu-bound", seed=0).ops(),
+         build_workload("mem-bound", seed=1).ops()],
+        max_exits_per_vcpu=400,
+    )
+    for recorder in recorders:
+        recorder.stop()
+        recorder.detach()
+    traces = [recorder.trace for recorder in recorders]
+
+    rows = []
+    for index, trace in enumerate(traces):
+        top = sorted(trace.reason_histogram().items(),
+                     key=lambda kv: -kv[1])[:3]
+        rows.append((
+            f"vCPU {index}", stats.exits_per_vcpu[index],
+            ", ".join(f"{k} {v}" for k, v in top),
+        ))
+    print(render_table(["flow", "exits", "top reasons"], rows,
+                       title="Per-vCPU recorded flows"))
+
+    print("\nreplaying each flow on the matching dummy vCPU...")
+    dummy = hv.create_domain(DomainType.HVM, name="dummy",
+                             is_dummy=True, vcpu_count=2)
+    for index, trace in enumerate(traces):
+        replayer = Replayer(hv, dummy.vcpus[index])
+        results = replayer.replay_trace(trace)
+        replayer.detach()
+        ok = sum(1 for r in results
+                 if r.outcome is ReplayOutcome.OK)
+        print(f"  vCPU {index}: {ok}/{len(results)} seeds replayed")
+
+    print("\ntranslating vCPU 0's trace onto AMD SVM's VMCB "
+          "(paper §IX portability)...")
+    report = translate_trace(traces[0])
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("seeds with an SVM exit code",
+             f"{len(report.seeds)}/{len(traces[0])}"),
+            ("seed entries with VMCB slots",
+             f"{report.entry_coverage_pct:.1f}%"),
+            ("VT-x-only entries dropped", report.dropped_entries),
+        ],
+        title="SVM translation report",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""IRIS: a record and replay framework for hardware-assisted
+virtualization fuzzing — a full-system Python reproduction.
+
+Reproduces Cesarano et al., "IRIS: a Record and Replay Framework to
+Enable Hardware-assisted Virtualization Fuzzing" (DSN 2023) on top of a
+simulated Intel VT-x / Xen substrate (see DESIGN.md for the
+substitution map).
+
+Quickstart::
+
+    from repro import IrisManager
+
+    manager = IrisManager()
+    session = manager.record_workload("cpu-bound", n_exits=1000,
+                                      precondition="boot")
+    replay = manager.replay_trace(session.trace,
+                                  from_snapshot=session.snapshot)
+    print(replay.completed, "seeds replayed in",
+          replay.wall_seconds, "simulated seconds")
+"""
+
+from repro.core import (
+    IrisManager,
+    IrisMode,
+    Recorder,
+    Replayer,
+    Trace,
+    VMSeed,
+    SeedEntry,
+    take_snapshot,
+    restore_snapshot,
+)
+from repro.errors import (
+    GuestCrash,
+    HypervisorCrash,
+    IrisError,
+    ReproError,
+    SeedFormatError,
+    VmxError,
+)
+from repro.fuzz import IrisFuzzer, FuzzTestCase, MutationArea
+from repro.guest import GuestMachine, build_workload
+from repro.hypervisor import Hypervisor, Domain, DomainType
+from repro.vmx import ExitReason, VmcsField
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IrisManager",
+    "IrisMode",
+    "Recorder",
+    "Replayer",
+    "Trace",
+    "VMSeed",
+    "SeedEntry",
+    "take_snapshot",
+    "restore_snapshot",
+    "GuestCrash",
+    "HypervisorCrash",
+    "IrisError",
+    "ReproError",
+    "SeedFormatError",
+    "VmxError",
+    "IrisFuzzer",
+    "FuzzTestCase",
+    "MutationArea",
+    "GuestMachine",
+    "build_workload",
+    "Hypervisor",
+    "Domain",
+    "DomainType",
+    "ExitReason",
+    "VmcsField",
+    "__version__",
+]

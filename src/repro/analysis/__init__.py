@@ -1,0 +1,60 @@
+"""Analysis: the metrics behind every figure and table of the paper.
+
+* :mod:`repro.analysis.distributions` — exit-reason mixes (Figs. 4, 5);
+* :mod:`repro.analysis.accuracy` — coverage fitting, per-seed coverage
+  differences, VMWRITE fitting and the CR0 mode ladder (Figs. 6, 7, 8);
+* :mod:`repro.analysis.efficiency` — record-vs-replay timing, replay
+  throughput, ideal-throughput gap, recording overhead (Figs. 9, 10);
+* :mod:`repro.analysis.report` — plain-text renderers used by the
+  benchmark harness to print paper-shaped tables.
+"""
+
+from repro.analysis.distributions import (
+    reason_distribution,
+    reason_percentages,
+    timeline_distribution,
+)
+from repro.analysis.accuracy import (
+    CoverageFitting,
+    coverage_fitting,
+    per_seed_coverage_diffs,
+    SeedCoverageDiff,
+    cluster_diffs_by_reason,
+    vmwrite_fitting,
+    cr0_mode_trajectory,
+)
+from repro.analysis.efficiency import (
+    TimingComparison,
+    compare_timing,
+    recording_overhead,
+    OverheadReport,
+    ideal_throughput_gap,
+    repeated_timing_significance,
+)
+from repro.analysis.report import (
+    render_table,
+    render_histogram,
+    render_series,
+)
+
+__all__ = [
+    "reason_distribution",
+    "reason_percentages",
+    "timeline_distribution",
+    "CoverageFitting",
+    "coverage_fitting",
+    "per_seed_coverage_diffs",
+    "SeedCoverageDiff",
+    "cluster_diffs_by_reason",
+    "vmwrite_fitting",
+    "cr0_mode_trajectory",
+    "TimingComparison",
+    "compare_timing",
+    "recording_overhead",
+    "OverheadReport",
+    "ideal_throughput_gap",
+    "repeated_timing_significance",
+    "render_table",
+    "render_histogram",
+    "render_series",
+]

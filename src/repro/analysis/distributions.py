@@ -1,0 +1,54 @@
+"""Exit-reason distributions (paper Figs. 4 and 5)."""
+
+from __future__ import annotations
+
+from repro.core.seed import Trace
+from repro.vmx.exit_reasons import reason_name
+
+
+def reason_distribution(trace: Trace) -> dict[str, int]:
+    """Exit counts by (abbreviated) reason name — one Fig. 5 bar."""
+    return trace.reason_histogram()
+
+
+def reason_percentages(trace: Trace) -> dict[str, float]:
+    """Exit percentages by reason name."""
+    histogram = trace.reason_histogram()
+    total = sum(histogram.values()) or 1
+    return {
+        name: 100.0 * count / total
+        for name, count in sorted(
+            histogram.items(), key=lambda kv: -kv[1]
+        )
+    }
+
+
+def timeline_distribution(
+    trace: Trace, buckets: int = 20
+) -> list[dict[str, int]]:
+    """Per-time-bucket reason counts — Fig. 4's stacked timeline.
+
+    Time is the simulated TSC implied by the trace (guest + handler
+    cycles per exit); exits are assigned to ``buckets`` equal slices of
+    the total duration, so bursts (the BIOS prefix, console storms)
+    show up exactly as Fig. 4 draws them.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    if not trace.records:
+        return [dict() for _ in range(buckets)]
+
+    timestamps = []
+    now = 0
+    for record in trace.records:
+        now += record.metrics.guest_cycles
+        now += record.metrics.handler_cycles
+        timestamps.append(now)
+
+    total = timestamps[-1] or 1
+    out: list[dict[str, int]] = [dict() for _ in range(buckets)]
+    for record, stamp in zip(trace.records, timestamps):
+        index = min(int(buckets * stamp / total), buckets - 1)
+        name = reason_name(record.seed.exit_reason)
+        out[index][name] = out[index].get(name, 0) + 1
+    return out

@@ -1,0 +1,142 @@
+"""Efficiency analysis: replay speed and recording overhead
+(paper §VI-C/§VI-D, Figs. 9 and 10)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+try:  # scipy is available in the evaluation environment; fall back
+    from scipy import stats as _scipy_stats  # type: ignore
+except Exception:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+
+@dataclass
+class TimingComparison:
+    """One Fig. 9 panel: real guest execution vs IRIS replay."""
+
+    workload: str
+    real_seconds: float
+    replay_seconds: float
+    exits: int
+
+    @property
+    def percentage_decrease(self) -> float:
+        """The paper's headline metric (42.5% / 85.4% / 99.6%)."""
+        if self.real_seconds <= 0:
+            return 0.0
+        return 100.0 * (1 - self.replay_seconds / self.real_seconds)
+
+    @property
+    def speedup(self) -> float:
+        """The 6.8x / 294x factors."""
+        if self.replay_seconds <= 0:
+            return float("inf")
+        return self.real_seconds / self.replay_seconds
+
+    @property
+    def replay_throughput(self) -> float:
+        """Exits replayed per second."""
+        if self.replay_seconds <= 0:
+            return float("inf")
+        return self.exits / self.replay_seconds
+
+
+def compare_timing(
+    workload: str,
+    real_seconds: float,
+    replay_seconds: float,
+    exits: int,
+) -> TimingComparison:
+    return TimingComparison(
+        workload=workload, real_seconds=real_seconds,
+        replay_seconds=replay_seconds, exits=exits,
+    )
+
+
+@dataclass
+class OverheadReport:
+    """Fig. 10: per-exit handler time with vs without recording."""
+
+    workload: str
+    median_cycles_off: float
+    median_cycles_on: float
+    samples: int
+
+    @property
+    def percentage_increase(self) -> float:
+        """The paper's 1.02%-1.25% band."""
+        if self.median_cycles_off <= 0:
+            return 0.0
+        return 100.0 * (
+            self.median_cycles_on / self.median_cycles_off - 1
+        )
+
+
+def recording_overhead(
+    workload: str,
+    cycles_without: list[int],
+    cycles_with: list[int],
+) -> OverheadReport:
+    """Summarize per-exit handler-cycle samples (median of runs)."""
+    if not cycles_without or not cycles_with:
+        raise ValueError("need samples from both configurations")
+    return OverheadReport(
+        workload=workload,
+        median_cycles_off=statistics.median(cycles_without),
+        median_cycles_on=statistics.median(cycles_with),
+        samples=min(len(cycles_without), len(cycles_with)),
+    )
+
+
+@dataclass
+class IdealGap:
+    """§VI-C: measured replay throughput vs the empty-exit upper bound."""
+
+    ideal_exits_per_second: float
+    measured_exits_per_second: float
+
+    @property
+    def percentage_difference(self) -> float:
+        """The 63% / 52% / 55% gaps the paper reports."""
+        if self.ideal_exits_per_second <= 0:
+            return 0.0
+        return 100.0 * (
+            1 - self.measured_exits_per_second
+            / self.ideal_exits_per_second
+        )
+
+
+def ideal_throughput_gap(
+    ideal_exits_per_second: float,
+    measured_exits_per_second: float,
+) -> IdealGap:
+    return IdealGap(
+        ideal_exits_per_second=ideal_exits_per_second,
+        measured_exits_per_second=measured_exits_per_second,
+    )
+
+
+def repeated_timing_significance(
+    real_samples: list[float], replay_samples: list[float]
+) -> float:
+    """p-value that replay times differ from real-execution times.
+
+    The paper runs each comparison 15 times and reports p < 0.05; with
+    scipy available a Mann-Whitney U test is used, otherwise a crude
+    overlap heuristic stands in (0.0 when the sample ranges are
+    disjoint, 1.0 otherwise).
+    """
+    if len(real_samples) < 2 or len(replay_samples) < 2:
+        raise ValueError("need at least two samples per condition")
+    if _scipy_stats is not None:
+        result = _scipy_stats.mannwhitneyu(
+            real_samples, replay_samples, alternative="two-sided"
+        )
+        return float(result.pvalue)
+    disjoint = (
+        max(replay_samples) < min(real_samples)
+        or max(real_samples) < min(replay_samples)
+    )
+    return 0.0 if disjoint else 1.0

@@ -1,0 +1,73 @@
+"""Plain-text renderers for paper-shaped tables and series.
+
+The benchmark harness prints its reproduction of each figure/table with
+these, so ``pytest benchmarks/ --benchmark-only -s`` shows the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    counts: dict[str, int],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII bars, longest first (a Fig. 5-style panel)."""
+    if not counts:
+        return title or "(empty)"
+    total = sum(counts.values()) or 1
+    peak = max(counts.values())
+    lines = [title] if title else []
+    for name, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(
+            f"  {name:<16s} {bar} {count} ({100 * count / total:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    points: int = 10,
+) -> str:
+    """Down-sampled numeric series, one row per name (Fig. 6 curves)."""
+    lines = [title] if title else []
+    for name, values in series.items():
+        if not values:
+            lines.append(f"  {name:<12s} (empty)")
+            continue
+        step = max(len(values) // points, 1)
+        sampled = list(values[::step])[:points]
+        if values[-1] != sampled[-1]:
+            sampled.append(values[-1])
+        rendered = " ".join(f"{v:8.6g}" for v in sampled)
+        lines.append(f"  {name:<12s} {rendered}")
+    return "\n".join(lines)

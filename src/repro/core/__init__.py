@@ -1,0 +1,51 @@
+"""IRIS core: record, replay, manage (the paper's primary contribution).
+
+Public API:
+
+* :class:`~repro.core.seed.VMSeed` / :class:`~repro.core.seed.Trace` —
+  the VM-seed model and its 10-byte-entry binary format (paper §V-A);
+* :class:`~repro.core.record.Recorder` — hooks into the hypervisor's
+  instrumented vmread/vmwrite wrappers and collects seeds + metrics;
+* :class:`~repro.core.replay.Replayer` / ``DummyVm`` — preemption-timer
+  driven seed submission with VMREAD overriding (paper §IV-B/§V-B);
+* :class:`~repro.core.manager.IrisManager` — the operation-mode manager
+  exposed through the ``xc_vmcs_fuzzing`` hypercall (paper §IV-C/§V-C);
+* :mod:`repro.core.snapshot` — test-VM snapshot save/revert.
+"""
+
+from repro.core.seed import (
+    SeedEntry,
+    SeedFlag,
+    VMSeed,
+    ExitMetrics,
+    VMExitRecord,
+    Trace,
+    SEED_ENTRY_SIZE,
+    MAX_VMCS_OPS_PER_EXIT,
+    WORST_CASE_SEED_BYTES,
+)
+from repro.core.record import Recorder
+from repro.core.replay import Replayer, ReplayOutcome, SeedReplayResult
+from repro.core.snapshot import VmSnapshot, take_snapshot, restore_snapshot
+from repro.core.manager import IrisManager, IrisMode
+
+__all__ = [
+    "SeedEntry",
+    "SeedFlag",
+    "VMSeed",
+    "ExitMetrics",
+    "VMExitRecord",
+    "Trace",
+    "SEED_ENTRY_SIZE",
+    "MAX_VMCS_OPS_PER_EXIT",
+    "WORST_CASE_SEED_BYTES",
+    "Recorder",
+    "Replayer",
+    "ReplayOutcome",
+    "SeedReplayResult",
+    "VmSnapshot",
+    "take_snapshot",
+    "restore_snapshot",
+    "IrisManager",
+    "IrisMode",
+]

@@ -1,0 +1,303 @@
+"""VM seeds, metrics, and traces — with the paper's binary layout.
+
+Paper §V-A: "The struct is defined to store: i) a flag (1 byte) that
+indicates the kind of data; ii) the encoding (1 byte) of GPR (15 values)
+or VMCS fields (147 values); iii) the value (8 bytes)".  That 10-byte
+entry is :class:`SeedEntry`; 15 GPR entries plus the observed worst case
+of 32 VMCS operations gives the 470-byte worst-case seed the paper's
+§VI-D reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import SeedFormatError
+from repro.vmx.exit_reasons import ExitReason, reason_name
+from repro.vmx.vmcs_fields import (
+    VmcsField,
+    field_by_index,
+    field_index,
+)
+from repro.x86.registers import GPR
+
+#: struct layout: flag (1B), encoding (1B), value (8B little-endian).
+_ENTRY_STRUCT = struct.Struct("<BBQ")
+SEED_ENTRY_SIZE = _ENTRY_STRUCT.size  # 10 bytes
+
+#: Worst-case VMCS read/write operations per exit observed by the paper.
+MAX_VMCS_OPS_PER_EXIT = 32
+
+#: 15 GPRs + 32 VMCS ops, 10 bytes each -> the paper's 470 bytes.
+WORST_CASE_SEED_BYTES = (len(GPR) + MAX_VMCS_OPS_PER_EXIT) * SEED_ENTRY_SIZE
+
+
+class SeedFlag(enum.IntEnum):
+    """Entry kind (the 1-byte flag)."""
+
+    GPR = 0
+    VMCS_READ = 1
+    VMCS_WRITE = 2  # stored as a metric, same wire format
+
+
+@dataclass(frozen=True)
+class SeedEntry:
+    """One 10-byte seed entry."""
+
+    flag: SeedFlag
+    encoding: int  # GPR number or compact VMCS field index
+    value: int
+
+    def pack(self) -> bytes:
+        return _ENTRY_STRUCT.pack(
+            int(self.flag), self.encoding, self.value & (1 << 64) - 1
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SeedEntry":
+        try:
+            flag, encoding, value = _ENTRY_STRUCT.unpack(raw)
+            return cls(SeedFlag(flag), encoding, value)
+        except (struct.error, ValueError) as exc:
+            raise SeedFormatError(f"bad seed entry: {exc}") from exc
+
+    # -- convenience constructors/accessors ----------------------------
+
+    @classmethod
+    def for_gpr(cls, reg: GPR, value: int) -> "SeedEntry":
+        return cls(SeedFlag.GPR, int(reg), value)
+
+    @classmethod
+    def for_vmcs(
+        cls, flag: SeedFlag, fld: VmcsField, value: int
+    ) -> "SeedEntry":
+        return cls(flag, field_index(fld), value)
+
+    @property
+    def gpr(self) -> GPR:
+        if self.flag is not SeedFlag.GPR:
+            raise ValueError("not a GPR entry")
+        return GPR(self.encoding)
+
+    @property
+    def vmcs_field(self) -> VmcsField:
+        if self.flag is SeedFlag.GPR:
+            raise ValueError("not a VMCS entry")
+        return field_by_index(self.encoding)
+
+
+@dataclass
+class VMSeed:
+    """The replayable input for one VM exit (paper §IV definition).
+
+    ``exit_reason`` qualifies the exit; ``entries`` hold the GPR values
+    and the ordered VMCS ``{field, value}`` pairs read during handling.
+    """
+
+    exit_reason: int
+    entries: list[SeedEntry] = field(default_factory=list)
+
+    @property
+    def reason(self) -> ExitReason:
+        return ExitReason(self.exit_reason & 0xFFFF)
+
+    def gprs(self) -> dict[GPR, int]:
+        return {
+            e.gpr: e.value for e in self.entries
+            if e.flag is SeedFlag.GPR
+        }
+
+    def vmcs_reads(self) -> list[tuple[VmcsField, int]]:
+        """Ordered (field, value) pairs read during the exit."""
+        return [
+            (e.vmcs_field, e.value) for e in self.entries
+            if e.flag is SeedFlag.VMCS_READ
+        ]
+
+    def vmcs_op_count(self) -> int:
+        return sum(
+            1 for e in self.entries if e.flag is not SeedFlag.GPR
+        )
+
+    def size_bytes(self) -> int:
+        return len(self.entries) * SEED_ENTRY_SIZE
+
+    def replace_entry(self, index: int, entry: SeedEntry) -> "VMSeed":
+        """A copy with one entry substituted (the mutation primitive)."""
+        if not 0 <= index < len(self.entries):
+            raise IndexError(f"entry index {index} out of range")
+        entries = list(self.entries)
+        entries[index] = entry
+        return VMSeed(exit_reason=self.exit_reason, entries=entries)
+
+    def pack(self) -> bytes:
+        header = struct.pack("<HH", self.exit_reason & 0xFFFF,
+                             len(self.entries))
+        return header + b"".join(e.pack() for e in self.entries)
+
+    @classmethod
+    def unpack_from(cls, buf: io.BytesIO) -> "VMSeed":
+        header = buf.read(4)
+        if len(header) != 4:
+            raise SeedFormatError("truncated seed header")
+        exit_reason, count = struct.unpack("<HH", header)
+        entries = []
+        for _ in range(count):
+            raw = buf.read(SEED_ENTRY_SIZE)
+            if len(raw) != SEED_ENTRY_SIZE:
+                raise SeedFormatError("truncated seed entry")
+            entries.append(SeedEntry.unpack(raw))
+        return cls(exit_reason=exit_reason, entries=entries)
+
+    def describe(self) -> str:
+        return (
+            f"VMSeed({reason_name(self.exit_reason)}, "
+            f"{len(self.entries)} entries, {self.size_bytes()} B)"
+        )
+
+
+@dataclass
+class ExitMetrics:
+    """Per-exit metrics IRIS records alongside the seed (paper §IV-A).
+
+    * ``vmwrites`` — ordered VMCS {field, value} pairs written (the
+      fine-grained VM-state-change accuracy metric);
+    * ``coverage_lines`` — hypervisor lines covered during this exit;
+    * ``handler_cycles`` — TSC cycles spent handling the exit;
+    * ``guest_cycles`` — cycles the guest ran before this exit (what
+      replay elides).
+    """
+
+    vmwrites: list[tuple[VmcsField, int]] = field(default_factory=list)
+    coverage_lines: frozenset[tuple[str, int]] = frozenset()
+    handler_cycles: int = 0
+    guest_cycles: int = 0
+
+    def coverage_loc(self) -> int:
+        return len(self.coverage_lines)
+
+    def cr0_writes(self) -> list[int]:
+        """Values written to GUEST_CR0 (Fig. 8's trajectory)."""
+        return [
+            v for f, v in self.vmwrites if f is VmcsField.GUEST_CR0
+        ]
+
+
+@dataclass
+class VMExitRecord:
+    """One element of a recorded VM behavior: seed + metrics."""
+
+    seed: VMSeed
+    metrics: ExitMetrics
+
+
+@dataclass
+class Trace:
+    """A recorded VM behavior: the paper's ``VM_exit_trace``."""
+
+    workload: str
+    records: list[VMExitRecord] = field(default_factory=list)
+
+    MAGIC = b"IRISTRC1"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def seeds(self) -> list[VMSeed]:
+        return [r.seed for r in self.records]
+
+    def reasons(self) -> list[ExitReason]:
+        return [r.seed.reason for r in self.records]
+
+    def reason_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for record in self.records:
+            name = reason_name(record.seed.exit_reason)
+            histogram[name] = histogram.get(name, 0) + 1
+        return histogram
+
+    def total_guest_cycles(self) -> int:
+        return sum(r.metrics.guest_cycles for r in self.records)
+
+    def cumulative_coverage(self) -> list[int]:
+        """Unique-LOC trajectory across the trace (Fig. 6's y-axis)."""
+        seen: set[tuple[str, int]] = set()
+        trajectory = []
+        for record in self.records:
+            seen |= record.metrics.coverage_lines
+            trajectory.append(len(seen))
+        return trajectory
+
+    # ---- serialization ----------------------------------------------
+
+    def save(self, path) -> None:
+        """Binary trace format: seeds + metrics, self-describing."""
+        with open(path, "wb") as fh:
+            fh.write(self.MAGIC)
+            workload = self.workload.encode()
+            fh.write(struct.pack("<H", len(workload)))
+            fh.write(workload)
+            fh.write(struct.pack("<I", len(self.records)))
+            for record in self.records:
+                seed_blob = record.seed.pack()
+                metrics_blob = self._pack_metrics(record.metrics)
+                fh.write(struct.pack("<II", len(seed_blob),
+                                     len(metrics_blob)))
+                fh.write(seed_blob)
+                fh.write(metrics_blob)
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        buf = io.BytesIO(blob)
+        if buf.read(8) != cls.MAGIC:
+            raise SeedFormatError("not an IRIS trace file")
+        (name_len,) = struct.unpack("<H", buf.read(2))
+        workload = buf.read(name_len).decode()
+        (count,) = struct.unpack("<I", buf.read(4))
+        records = []
+        for _ in range(count):
+            header = buf.read(8)
+            if len(header) != 8:
+                raise SeedFormatError("truncated trace record")
+            seed_len, metrics_len = struct.unpack("<II", header)
+            seed = VMSeed.unpack_from(io.BytesIO(buf.read(seed_len)))
+            metrics = cls._unpack_metrics(buf.read(metrics_len))
+            records.append(VMExitRecord(seed=seed, metrics=metrics))
+        return cls(workload=workload, records=records)
+
+    @staticmethod
+    def _pack_metrics(metrics: ExitMetrics) -> bytes:
+        payload = {
+            "vmwrites": [
+                [int(f), v] for f, v in metrics.vmwrites
+            ],
+            "coverage": sorted(
+                [f, l] for f, l in metrics.coverage_lines
+            ),
+            "handler_cycles": metrics.handler_cycles,
+            "guest_cycles": metrics.guest_cycles,
+        }
+        return json.dumps(payload, separators=(",", ":")).encode()
+
+    @staticmethod
+    def _unpack_metrics(blob: bytes) -> ExitMetrics:
+        try:
+            payload = json.loads(blob.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SeedFormatError(f"bad metrics blob: {exc}") from exc
+        return ExitMetrics(
+            vmwrites=[
+                (VmcsField(f), v) for f, v in payload["vmwrites"]
+            ],
+            coverage_lines=frozenset(
+                (f, l) for f, l in payload["coverage"]
+            ),
+            handler_cycles=payload["handler_cycles"],
+            guest_cycles=payload["guest_cycles"],
+        )

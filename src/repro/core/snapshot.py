@@ -1,0 +1,121 @@
+"""Test-VM snapshots (paper §IV-B / §VI-B).
+
+The manager saves a snapshot at the start of recording and can revert
+to it so record and replay start from identical hypervisor-visible
+state.  A snapshot captures the *hypervisor side* of a VM — VMCS
+contents, the vCPU's architectural registers and MSRs, the hypervisor's
+cached abstractions, virtual-device state — and only optionally guest
+memory: IRIS deliberately does not carry guest memory into replay
+(§IV-A), which is what the memory-seed ablation flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.domain import Domain
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.vcpu import HvmVcpuState, Vcpu
+from repro.vmx.vmcs import VmcsLaunchState
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.cpumodes import OperatingMode
+
+
+@dataclass
+class VmSnapshot:
+    """Everything needed to restore a vCPU/domain to a prior state."""
+
+    vmcs_fields: dict[VmcsField, int]
+    launch_state: VmcsLaunchState
+    gprs: dict
+    rip: int
+    rsp: int
+    rflags: int
+    cr0: int
+    cr2: int
+    cr3: int
+    cr4: int
+    msr_values: dict[int, int]
+    hvm: dict
+    vlapic: dict
+    vpt: dict
+    irq: dict
+    memory_pages: dict[int, bytes] | None = None
+    ept_gfns: tuple[int, ...] = ()
+    clock_tsc: int = 0
+
+
+def take_snapshot(
+    hv: Hypervisor, domain: Domain, include_memory: bool = False
+) -> VmSnapshot:
+    """Capture the hypervisor-visible state of ``domain``'s vCPU 0."""
+    vcpu = domain.vcpus[0]
+    return VmSnapshot(
+        vmcs_fields=vcpu.vmcs.contents(),
+        launch_state=vcpu.vmcs.launch_state,
+        gprs=dict(vcpu.regs.gprs),
+        rip=vcpu.regs.rip,
+        rsp=vcpu.regs.rsp,
+        rflags=vcpu.regs.rflags,
+        cr0=vcpu.regs.cr0,
+        cr2=vcpu.regs.cr2,
+        cr3=vcpu.regs.cr3,
+        cr4=vcpu.regs.cr4,
+        msr_values=dict(vcpu.msrs.values),
+        hvm={
+            "guest_mode": int(vcpu.hvm.guest_mode),
+            "hw_cr0": vcpu.hvm.hw_cr0,
+            "hw_cr4": vcpu.hvm.hw_cr4,
+            "guest_cr3": vcpu.hvm.guest_cr3,
+            "exit_count": vcpu.hvm.exit_count,
+        },
+        vlapic=hv.vlapic(vcpu).snapshot(),
+        vpt=hv.platform_timer(domain).snapshot(),
+        irq=hv.irq_controller(domain).snapshot(),
+        memory_pages=(
+            domain.memory.snapshot() if include_memory else None
+        ),
+        ept_gfns=tuple(sorted(domain.ept.mapped_gfns())),
+        clock_tsc=hv.clock.now,
+    )
+
+
+def restore_snapshot(
+    hv: Hypervisor, domain: Domain, snapshot: VmSnapshot
+) -> Vcpu:
+    """Restore a snapshot onto ``domain`` (the revert operation).
+
+    The target may be a different domain than the snapshot source —
+    that is exactly how the dummy VM starts "from a particular VM
+    state" (paper §IV-C): same VMCS/vCPU/device state, its own (empty,
+    unless the snapshot carried memory) guest memory.
+    """
+    vcpu = domain.vcpus[0]
+    vcpu.vmcs.load_contents(snapshot.vmcs_fields)
+    vcpu.vmcs.launch_state = snapshot.launch_state
+    vcpu.regs.load_gprs(snapshot.gprs)
+    vcpu.regs.rip = snapshot.rip
+    vcpu.regs.rsp = snapshot.rsp
+    vcpu.regs.rflags = snapshot.rflags
+    vcpu.regs.cr0 = snapshot.cr0
+    vcpu.regs.cr2 = snapshot.cr2
+    vcpu.regs.cr3 = snapshot.cr3
+    vcpu.regs.cr4 = snapshot.cr4
+    vcpu.msrs.values = dict(snapshot.msr_values)
+    vcpu.hvm = HvmVcpuState(
+        guest_mode=OperatingMode(snapshot.hvm["guest_mode"]),
+        hw_cr0=snapshot.hvm["hw_cr0"],
+        hw_cr4=snapshot.hvm["hw_cr4"],
+        guest_cr3=snapshot.hvm["guest_cr3"],
+        exit_count=snapshot.hvm["exit_count"],
+    )
+    hv.vlapic(vcpu).restore(snapshot.vlapic)
+    hv.platform_timer(domain).restore(snapshot.vpt)
+    hv.irq_controller(domain).restore(snapshot.irq)
+    if snapshot.memory_pages is not None:
+        domain.memory.restore(snapshot.memory_pages)
+    for gfn in snapshot.ept_gfns:
+        if domain.ept.lookup(gfn) is None:
+            domain.ept.map_page(gfn, mfn=0x100000 + gfn)
+    domain.revive()
+    return vcpu

@@ -1,0 +1,81 @@
+"""Exception hierarchy shared across the IRIS reproduction.
+
+The hierarchy mirrors the failure domains of the real system:
+
+* :class:`VmxError` — failures of the simulated VT-x hardware layer
+  (invalid VMCS accesses, failed VMX instructions, entry-check failures).
+* :class:`HypervisorCrash` — the hypervisor panicked (the paper's
+  "hypervisor crash" failure mode; on real hardware this takes down the
+  host and every VM).
+* :class:`GuestCrash` — the guest VM was killed by the hypervisor (the
+  paper's "VM crash" failure mode, e.g. a triple fault).
+* :class:`IrisError` — misuse of the IRIS framework itself (bad seed
+  files, submitting seeds while not in replay mode, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class VmxError(ReproError):
+    """A simulated VT-x operation failed."""
+
+
+class VmxFailInvalid(VmxError):
+    """VMfailInvalid: VMX instruction executed with no current VMCS."""
+
+
+class VmxFailValid(VmxError):
+    """VMfailValid: VMX instruction failed with an error number.
+
+    The error number is stored in the VM-instruction error field of the
+    current VMCS, exactly as on real hardware (SDM Vol. 3, §30.4).
+    """
+
+    def __init__(self, error_number: int, message: str) -> None:
+        super().__init__(f"VMfailValid({error_number}): {message}")
+        self.error_number = error_number
+
+
+class VmEntryFailure(VmxError):
+    """VM entry failed its guest-state checks (SDM Vol. 3, §26.3)."""
+
+    def __init__(self, violations: list[str]) -> None:
+        super().__init__(
+            "VM entry failed guest-state checks: " + "; ".join(violations)
+        )
+        self.violations = list(violations)
+
+
+class HypervisorCrash(ReproError):
+    """The simulated hypervisor panicked.
+
+    On real hardware this is fatal for the host; in the simulation it
+    aborts the current run and carries the panic reason plus the tail of
+    the hypervisor log for crash triage (paper §VII-3).
+    """
+
+    def __init__(self, reason: str, log_tail: list[str] | None = None) -> None:
+        super().__init__(f"hypervisor panic: {reason}")
+        self.reason = reason
+        self.log_tail = list(log_tail or [])
+
+
+class GuestCrash(ReproError):
+    """The guest VM crashed (e.g. triple fault) and was destroyed."""
+
+    def __init__(self, reason: str, domain_id: int | None = None) -> None:
+        super().__init__(f"guest VM crashed: {reason}")
+        self.reason = reason
+        self.domain_id = domain_id
+
+
+class IrisError(ReproError):
+    """The IRIS framework was used incorrectly."""
+
+
+class SeedFormatError(IrisError):
+    """A serialized VM seed or trace could not be decoded."""

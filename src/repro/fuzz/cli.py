@@ -1,0 +1,138 @@
+"""``iris-fuzz``: run the PoC fuzzing campaign (paper §VII).
+
+Example::
+
+    iris-fuzz -w cpu-bound -n 800 --mutations 500 \
+        --reasons RDTSC,CPUID,VMCALL
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis import render_table
+from repro.core.manager import IrisManager
+from repro.fuzz.fuzzer import IrisFuzzer
+from repro.fuzz.mutations import MUTATION_RULES, MutationArea
+from repro.fuzz.testcase import plan_test_cases
+from repro.guest.workloads import WorkloadName
+from repro.vmx.exit_reasons import ExitReason
+
+#: Default exit-reason grid: the rows of Table I.
+DEFAULT_REASONS = (
+    "EXTERNAL_INTERRUPT", "INTERRUPT_WINDOW", "CPUID", "HLT", "RDTSC",
+    "VMCALL", "CR_ACCESS", "IO_INSTRUCTION", "EPT_VIOLATION",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="iris-fuzz",
+        description="IRIS-based fuzzer prototype (paper Table I)",
+    )
+    parser.add_argument(
+        "-w", "--workload", default="cpu-bound",
+        choices=[w.value for w in WorkloadName],
+    )
+    parser.add_argument("-n", "--exits", type=int, default=1000,
+                        help="trace length to record first")
+    parser.add_argument("--mutations", type=int, default=1000,
+                        help="mutations per test case (paper: 10000)")
+    parser.add_argument(
+        "--reasons", default=",".join(DEFAULT_REASONS),
+        help="comma-separated ExitReason names to target",
+    )
+    parser.add_argument(
+        "--area", choices=["vmcs", "gpr", "both"], default="both",
+        help="seed area to mutate",
+    )
+    parser.add_argument(
+        "--rule", choices=sorted(MUTATION_RULES), default="bit-flip",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rng = random.Random(args.seed)
+
+    reasons = []
+    for name in args.reasons.split(","):
+        name = name.strip().upper()
+        try:
+            reasons.append(ExitReason[name])
+        except KeyError:
+            print(f"unknown exit reason: {name}", file=sys.stderr)
+            return 2
+
+    areas = {
+        "vmcs": (MutationArea.VMCS,),
+        "gpr": (MutationArea.GPR,),
+        "both": (MutationArea.VMCS, MutationArea.GPR),
+    }[args.area]
+
+    manager = IrisManager()
+    precondition = (
+        "bios" if args.workload in ("os-boot", "full-boot") else "boot"
+    )
+    print(f"recording {args.exits} exits of {args.workload}...")
+    session = manager.record_workload(
+        args.workload, n_exits=args.exits, precondition=precondition,
+    )
+    cases = plan_test_cases(
+        session.trace, reasons, areas=areas,
+        n_mutations=args.mutations, rng=rng,
+    )
+    if not cases:
+        print("no seeds with the requested exit reasons in the trace")
+        return 1
+    for case in cases:
+        if case.mutation_rule != args.rule:
+            object.__setattr__(case, "mutation_rule", args.rule)
+
+    fuzzer = IrisFuzzer(manager, rng=rng)
+    rows = []
+    total_crashes = 0
+    all_failures = []
+    for case in cases:
+        result = fuzzer.run_test_case(
+            case, from_snapshot=session.snapshot
+        )
+        total_crashes += result.vm_crashes + result.hypervisor_crashes
+        all_failures.extend(result.failures)
+        rows.append((
+            result.exit_reason.name,
+            result.area.value.upper(),
+            f"+{result.coverage_increase_pct:.0f}%",
+            f"{100 * result.vm_crash_rate:.1f}%",
+            f"{100 * result.hypervisor_crash_rate:.1f}%",
+            len(result.corpus),
+        ))
+    print(render_table(
+        ["exit reason", "area", "new cov", "VM crash", "HV crash",
+         "corpus"],
+        rows,
+        title=f"Fuzzing campaign: {args.workload} "
+              f"({args.mutations} mutations/case, rule={args.rule})",
+    ))
+    print(f"total failures observed: {total_crashes}")
+    if all_failures:
+        from repro.fuzz.triage import triage
+
+        report = triage(all_failures)
+        print()
+        print(render_table(
+            ["kind", "cause", "count", "seed reasons", "example"],
+            report.rows(),
+            title=f"Crash triage: {report.unique_crashes} distinct "
+                  f"crashes from {report.total_failures} retained "
+                  "failures",
+        ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Mutant corpus: interesting seeds kept for later campaigns.
+
+The PoC fuzzer saves a mutated seed when it discovered *new* coverage
+(relative to everything the campaign has seen) or caused a failure —
+the seeds "saved for further investigation with the aim of crash
+analysis" (§VII-3).  Deduplication is by coverage fingerprint so the
+corpus stays small under the 10K-mutation barrage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.seed import VMSeed
+from repro.fuzz.failures import FailureKind
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One retained mutant."""
+
+    seed: VMSeed
+    reason_kept: str  # "new-coverage" | "vm-crash" | "hypervisor-crash"
+    new_loc: int = 0
+    coverage_fingerprint: str = ""
+
+
+def coverage_fingerprint(lines: frozenset[tuple[str, int]]) -> str:
+    """Stable fingerprint of a coverage set."""
+    digest = hashlib.sha256()
+    for file, line in sorted(lines):
+        digest.update(f"{file}:{line};".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class Corpus:
+    """The campaign's retained-mutant set."""
+
+    entries: list[CorpusEntry] = field(default_factory=list)
+    _fingerprints: set[str] = field(default_factory=set)
+
+    def consider(
+        self,
+        seed: VMSeed,
+        lines: frozenset[tuple[str, int]],
+        new_loc: int,
+        failure: FailureKind = FailureKind.NONE,
+    ) -> bool:
+        """Add the mutant if it is interesting; returns True if kept."""
+        if failure is not FailureKind.NONE:
+            self.entries.append(CorpusEntry(
+                seed=seed, reason_kept=failure.value,
+                coverage_fingerprint=coverage_fingerprint(lines),
+            ))
+            return True
+        if new_loc <= 0:
+            return False
+        fingerprint = coverage_fingerprint(lines)
+        if fingerprint in self._fingerprints:
+            return False
+        self._fingerprints.add(fingerprint)
+        self.entries.append(CorpusEntry(
+            seed=seed, reason_kept="new-coverage", new_loc=new_loc,
+            coverage_fingerprint=fingerprint,
+        ))
+        return True
+
+    def crashes(self) -> list[CorpusEntry]:
+        return [
+            e for e in self.entries
+            if e.reason_kept in ("vm-crash", "hypervisor-crash")
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)

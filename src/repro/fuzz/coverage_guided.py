@@ -1,0 +1,154 @@
+"""Coverage-guided fuzzing (paper §IX: "we plan to ... develop a
+fuzzer aimed at discovering vulnerabilities", beyond the PoC's naive
+single bit-flip).
+
+An evolutionary loop in the AFL mould, built entirely on IRIS
+primitives:
+
+* the queue holds seeds that discovered new hypervisor coverage;
+* each round picks a queue entry (newest-first power schedule), applies
+  a small stack of mutations (bit-flip / byte-flip / arithmetic), and
+  submits the mutant through the replay mechanism;
+* mutants that cover new (noise-filtered) lines join the queue;
+  crashing mutants are retained for triage and the VM state is
+  restored from the target-state snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.manager import IrisManager
+from repro.core.replay import ReplayOutcome
+from repro.core.seed import VMSeed
+from repro.core.snapshot import VmSnapshot, restore_snapshot, take_snapshot
+from repro.fuzz.failures import FailureKind, FailureRecord, classify_result
+from repro.fuzz.fuzzer import IrisFuzzer
+from repro.fuzz.mutations import (
+    MutationArea,
+    arithmetic_mutation,
+    bit_flip,
+    byte_flip,
+)
+from repro.fuzz.testcase import FuzzTestCase
+
+_MUTATORS = (bit_flip, byte_flip, arithmetic_mutation)
+
+
+@dataclass
+class QueueEntry:
+    """One interesting seed in the fuzzing queue."""
+
+    seed: VMSeed
+    new_loc: int
+    depth: int  # mutation generations from the original seed
+
+
+@dataclass
+class GuidedCampaignReport:
+    """Outcome of a coverage-guided campaign."""
+
+    executions: int = 0
+    total_new_loc: int = 0
+    coverage_curve: list[int] = field(default_factory=list)
+    queue_size: int = 1
+    max_depth: int = 0
+    vm_crashes: int = 0
+    hypervisor_crashes: int = 0
+    failures: list[FailureRecord] = field(default_factory=list)
+
+
+class CoverageGuidedFuzzer:
+    """Evolutionary mutation scheduling over the IRIS replay."""
+
+    def __init__(
+        self,
+        manager: IrisManager,
+        rng: random.Random | None = None,
+        max_mutation_stack: int = 3,
+        max_failures_kept: int = 64,
+    ) -> None:
+        self.manager = manager
+        self.rng = rng or random.Random(0xC0F)
+        self.max_mutation_stack = max_mutation_stack
+        self.max_failures_kept = max_failures_kept
+
+    def _mutate(self, seed: VMSeed, area: MutationArea) -> VMSeed:
+        """Apply a random stack of 1..N mutations."""
+        mutant = seed
+        for _ in range(self.rng.randint(1, self.max_mutation_stack)):
+            mutator = self.rng.choice(_MUTATORS)
+            mutant = mutator(mutant, area, self.rng)
+        return mutant
+
+    def _pick(self, queue: list[QueueEntry]) -> QueueEntry:
+        """Newest-first power schedule: recent finds get more energy."""
+        weights = [
+            1.0 + index for index in range(len(queue))
+        ]  # later entries weigh more
+        return self.rng.choices(queue, weights=weights, k=1)[0]
+
+    def run_campaign(
+        self,
+        case: FuzzTestCase,
+        iterations: int,
+        from_snapshot: VmSnapshot | None = None,
+    ) -> GuidedCampaignReport:
+        """Run ``iterations`` guided executions from a test case."""
+        manager = self.manager
+        hv = manager.hv
+        # Reach the target VM state exactly like the PoC fuzzer.
+        IrisFuzzer(manager, rng=self.rng)._reach_target_state(
+            case, from_snapshot
+        )
+        assert manager.replayer is not None and manager.dummy_vm
+        replayer = manager.replayer
+        dummy = manager.dummy_vm
+
+        baseline = replayer.submit(case.target_seed)
+        if baseline.outcome is not ReplayOutcome.OK:
+            raise RuntimeError(
+                f"baseline seed crashed: {baseline.crash_reason}"
+            )
+        state_r = take_snapshot(hv, dummy)
+        known = IrisFuzzer._denoise(baseline.coverage_lines)
+
+        queue = [QueueEntry(seed=case.target_seed, new_loc=0, depth=0)]
+        report = GuidedCampaignReport()
+
+        for _ in range(iterations):
+            entry = self._pick(queue)
+            mutant = self._mutate(entry.seed, case.area)
+            outcome = replayer.submit(mutant)
+            report.executions += 1
+
+            failure = classify_result(
+                outcome, mutant, report.executions, hv.log
+            )
+            if failure is not None:
+                if failure.kind is FailureKind.VM_CRASH:
+                    report.vm_crashes += 1
+                else:
+                    report.hypervisor_crashes += 1
+                if len(report.failures) < self.max_failures_kept:
+                    report.failures.append(failure)
+                restore_snapshot(hv, dummy, state_r)
+                report.coverage_curve.append(report.total_new_loc)
+                continue
+
+            lines = IrisFuzzer._denoise(outcome.coverage_lines)
+            fresh = lines - known
+            if fresh:
+                known |= fresh
+                report.total_new_loc += len(fresh)
+                queue.append(QueueEntry(
+                    seed=mutant, new_loc=len(fresh),
+                    depth=entry.depth + 1,
+                ))
+                report.max_depth = max(report.max_depth,
+                                       entry.depth + 1)
+            report.coverage_curve.append(report.total_new_loc)
+
+        report.queue_size = len(queue)
+        return report

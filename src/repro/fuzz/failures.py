@@ -1,0 +1,103 @@
+"""Failure detection and classification (paper §VII-3).
+
+"By using scripts that analyze hypervisor behavior and logs, the PoC
+fuzzer can detect failures occurring during the execution of test
+cases, that we classify as hypervisor or VM crashes."  This module is
+those scripts: it maps replay outcomes plus hypervisor-log evidence to
+a :class:`FailureKind` and keeps the artifacts needed for later crash
+triage (the submitted seed, the log tail, the crash cause).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.replay import ReplayOutcome, SeedReplayResult
+from repro.core.seed import VMSeed
+from repro.hypervisor.xenlog import XenLog
+
+
+class FailureKind(enum.Enum):
+    """Failure taxonomy of the PoC fuzzer."""
+
+    NONE = "none"
+    VM_CRASH = "vm-crash"
+    HYPERVISOR_CRASH = "hypervisor-crash"
+
+
+#: Log needles used to refine crash causes (double faults, invalid
+#: operations, page faults, ... — the causes §VII-3 enumerates).
+_CAUSE_PATTERNS: tuple[tuple[str, str], ...] = (
+    ("bad RIP", "invalid guest RIP for cached mode"),
+    ("VM entry fail", "VM-entry consistency check failure"),
+    ("triple fault", "guest triple fault"),
+    ("unexpected VM exit reason", "unroutable exit reason"),
+    ("unexpected exit reason", "unroutable exit reason"),
+    ("bad instruction length", "corrupt instruction-length field"),
+    ("reserved exit-reason bits", "corrupt exit-reason field"),
+    ("VM-entry failure reported", "corrupt exit-reason field"),
+    ("non-canonical guest RIP", "corrupt guest RIP"),
+    ("PANIC", "hypervisor panic (BUG_ON/assert)"),
+    ("EPT violation at impossible GPA", "guest-physical address "
+     "beyond the p2m"),
+)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One observed failure, saved for crash analysis (paper §VII-3)."""
+
+    kind: FailureKind
+    cause: str
+    crash_reason: str
+    mutation_index: int
+    seed: VMSeed
+    log_tail: tuple[str, ...] = field(default=())
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind.value}] mutation #{self.mutation_index}: "
+            f"{self.cause} ({self.crash_reason})"
+        )
+
+
+def diagnose_cause(crash_reason: str, log: XenLog) -> str:
+    """Refine a crash reason, preferring the reason text itself.
+
+    The log is shared across a whole campaign, so grepping it is only
+    a *fallback* for reasons that carry no recognizable cause — else
+    an early panic would contaminate every later classification.
+    """
+    for needle, cause in _CAUSE_PATTERNS:
+        if needle in crash_reason:
+            return cause
+    for needle, cause in _CAUSE_PATTERNS:
+        if log.grep(needle):
+            return cause
+    return "unclassified failure"
+
+
+def classify_result(
+    result: SeedReplayResult,
+    seed: VMSeed,
+    mutation_index: int,
+    log: XenLog,
+) -> FailureRecord | None:
+    """Map a replay result to a failure record (None when healthy)."""
+    if result.outcome is ReplayOutcome.OK:
+        return None
+    kind = (
+        FailureKind.VM_CRASH
+        if result.outcome is ReplayOutcome.VM_CRASH
+        else FailureKind.HYPERVISOR_CRASH
+    )
+    reason = result.crash_reason or "unknown"
+    return FailureRecord(
+        kind=kind,
+        cause=diagnose_cause(reason, log),
+        crash_reason=reason,
+        mutation_index=mutation_index,
+        seed=seed,
+        log_tail=tuple(log.tail(6)),
+    )

@@ -1,0 +1,190 @@
+"""The IRIS-based fuzzer prototype (paper §VII, Fig. 11).
+
+For each test case: replay the recorded VM behavior up to the target
+seed (reaching the linked valid VM state), snapshot that state, then
+submit N mutated versions of the target seed, restoring the state after
+every crash.  Reports newly discovered coverage relative to the
+baseline (the unmutated target seed's coverage) and the crash tallies
+Table I summarizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.manager import IrisManager
+from repro.core.replay import ReplayOutcome
+from repro.core.snapshot import VmSnapshot, restore_snapshot, take_snapshot
+from repro.hypervisor.coverage import NOISE_FILES
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.failures import (
+    FailureKind,
+    FailureRecord,
+    classify_result,
+)
+from repro.fuzz.mutations import MUTATION_RULES, MutationArea
+from repro.fuzz.testcase import FuzzTestCase
+from repro.vmx.exit_reasons import ExitReason
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one test case (one Table I cell)."""
+
+    workload: str
+    exit_reason: ExitReason
+    area: MutationArea
+    mutations_run: int = 0
+    baseline_loc: int = 0
+    new_loc: int = 0
+    vm_crashes: int = 0
+    hypervisor_crashes: int = 0
+    failures: list[FailureRecord] = field(default_factory=list)
+    corpus: Corpus = field(default_factory=Corpus)
+
+    @property
+    def coverage_increase_pct(self) -> float:
+        """Table I's cell value: % coverage discovered over baseline."""
+        if self.baseline_loc == 0:
+            return 0.0
+        return 100.0 * self.new_loc / self.baseline_loc
+
+    @property
+    def vm_crash_rate(self) -> float:
+        return self.vm_crashes / max(self.mutations_run, 1)
+
+    @property
+    def hypervisor_crash_rate(self) -> float:
+        return self.hypervisor_crashes / max(self.mutations_run, 1)
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}/{self.exit_reason.name}/{self.area.value}"
+            f": +{self.coverage_increase_pct:.0f}% coverage, "
+            f"{self.vm_crashes} VM / {self.hypervisor_crashes} HV "
+            f"crashes over {self.mutations_run} mutations"
+        )
+
+
+#: Cap on retained failure records per test case (triage artifacts).
+MAX_FAILURES_KEPT = 64
+
+
+class IrisFuzzer:
+    """Drives fuzzing campaigns through an :class:`IrisManager`."""
+
+    def __init__(
+        self,
+        manager: IrisManager,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.manager = manager
+        self.rng = rng or random.Random(0xF022)
+
+    # ---- single test case ---------------------------------------------
+
+    def _reach_target_state(
+        self,
+        case: FuzzTestCase,
+        from_snapshot: VmSnapshot | None,
+    ) -> None:
+        """Replay W until VMseed_R is reached (Fig. 11's first phase)."""
+        self.manager.create_dummy_vm(from_snapshot=from_snapshot)
+        assert self.manager.replayer is not None
+        prefix = case.trace.records[:case.seed_index]
+        for record in prefix:
+            result = self.manager.replayer.submit(record.seed)
+            if result.outcome is not ReplayOutcome.OK:
+                raise RuntimeError(
+                    "prefix replay crashed before reaching the target "
+                    f"state: {result.crash_reason}"
+                )
+
+    def run_test_case(
+        self,
+        case: FuzzTestCase,
+        from_snapshot: VmSnapshot | None = None,
+    ) -> FuzzResult:
+        """Execute one test case end-to-end."""
+        manager = self.manager
+        hv = manager.hv
+        self._reach_target_state(case, from_snapshot)
+        assert manager.replayer is not None and manager.dummy_vm
+        replayer = manager.replayer
+        dummy = manager.dummy_vm
+
+        # Baseline: the unmutated target seed's coverage.  The
+        # asynchronous components' lines are filtered out of the whole
+        # campaign's accounting — their firing depends on TSC phase,
+        # not on the mutations (the same noise the paper's §VI-B
+        # filters and MundoFuzz removes by differential learning).
+        baseline = replayer.submit(case.target_seed)
+        if baseline.outcome is not ReplayOutcome.OK:
+            raise RuntimeError(
+                f"baseline seed crashed: {baseline.crash_reason}"
+            )
+        baseline_lines = self._denoise(baseline.coverage_lines)
+        state_r = take_snapshot(hv, dummy)
+
+        mutate = MUTATION_RULES[case.mutation_rule]
+        result = FuzzResult(
+            workload=case.trace.workload,
+            exit_reason=case.exit_reason,
+            area=case.area,
+            baseline_loc=len(baseline_lines),
+        )
+        discovered: set[tuple[str, int]] = set()
+
+        for index in range(case.n_mutations):
+            mutated = mutate(case.target_seed, case.area, self.rng)
+            outcome = replayer.submit(mutated)
+            result.mutations_run += 1
+
+            lines = self._denoise(outcome.coverage_lines)
+            fresh = lines - baseline_lines - discovered
+            discovered |= fresh
+
+            failure = classify_result(outcome, mutated, index, hv.log)
+            if failure is not None:
+                if failure.kind is FailureKind.VM_CRASH:
+                    result.vm_crashes += 1
+                else:
+                    result.hypervisor_crashes += 1
+                if len(result.failures) < MAX_FAILURES_KEPT:
+                    result.failures.append(failure)
+                result.corpus.consider(
+                    mutated, frozenset(lines), len(fresh), failure.kind
+                )
+                # Reset to the target VM state (the host "reboots" /
+                # the dummy VM is reverted, paper Fig. 11).
+                restore_snapshot(hv, dummy, state_r)
+            elif fresh:
+                result.corpus.consider(
+                    mutated, frozenset(lines), len(fresh)
+                )
+
+        result.new_loc = len(discovered)
+        return result
+
+    @staticmethod
+    def _denoise(
+        lines: frozenset[tuple[str, int]]
+    ) -> set[tuple[str, int]]:
+        """Drop asynchronous-component lines from a coverage set."""
+        return {
+            (f, l) for f, l in lines if f not in NOISE_FILES
+        }
+
+    # ---- campaigns -------------------------------------------------------
+
+    def run_campaign(
+        self,
+        cases: list[FuzzTestCase],
+        from_snapshot: VmSnapshot | None = None,
+    ) -> list[FuzzResult]:
+        """Run a list of test cases (a Table I row/column sweep)."""
+        return [
+            self.run_test_case(case, from_snapshot=from_snapshot)
+            for case in cases
+        ]

@@ -1,0 +1,139 @@
+"""Crash-seed minimization: shrink a crashing mutant to its essence.
+
+A fuzzing campaign hands triage a *mutated* seed plus the original it
+was derived from; usually only one or two of the mutated entries
+actually matter.  :func:`minimize_crash` reverts mutated entries back
+to their original values while the crash (same signature) persists —
+a delta-debugging pass over the seed's entry list — leaving the
+minimal corrupting delta for the bug report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import IrisManager
+from repro.core.replay import ReplayOutcome
+from repro.core.seed import SeedEntry, VMSeed
+from repro.core.snapshot import VmSnapshot, restore_snapshot
+from repro.fuzz.failures import classify_result
+from repro.fuzz.triage import crash_signature
+
+
+@dataclass(frozen=True)
+class EntryDelta:
+    """One entry that differs between original and mutant."""
+
+    index: int
+    original: SeedEntry
+    mutated: SeedEntry
+
+    def describe(self) -> str:
+        entry = self.mutated
+        if entry.flag.name == "GPR":
+            name = entry.gpr.name
+        else:
+            name = entry.vmcs_field.name
+        return (
+            f"entry #{self.index} {name}: "
+            f"{self.original.value:#x} -> {entry.value:#x}"
+        )
+
+
+@dataclass
+class MinimizationResult:
+    """What minimization found."""
+
+    minimal_seed: VMSeed
+    essential_deltas: list[EntryDelta] = field(default_factory=list)
+    initial_delta_count: int = 0
+    executions: int = 0
+    crash_reason: str = ""
+
+    @property
+    def reduced(self) -> bool:
+        return len(self.essential_deltas) < self.initial_delta_count
+
+
+def seed_deltas(original: VMSeed, mutant: VMSeed) -> list[EntryDelta]:
+    """Entry-level differences between an original seed and a mutant."""
+    if len(original.entries) != len(mutant.entries):
+        raise ValueError(
+            "minimization requires structurally identical seeds "
+            "(the mutation rules only change values)"
+        )
+    return [
+        EntryDelta(index=i, original=o, mutated=m)
+        for i, (o, m) in enumerate(
+            zip(original.entries, mutant.entries)
+        )
+        if o != m
+    ]
+
+
+def _apply(original: VMSeed, deltas: list[EntryDelta]) -> VMSeed:
+    seed = VMSeed(
+        exit_reason=original.exit_reason,
+        entries=list(original.entries),
+    )
+    for delta in deltas:
+        seed.entries[delta.index] = delta.mutated
+    return seed
+
+
+def minimize_crash(
+    manager: IrisManager,
+    original: VMSeed,
+    mutant: VMSeed,
+    state: VmSnapshot,
+    max_executions: int = 64,
+) -> MinimizationResult:
+    """Shrink ``mutant``'s delta against ``original`` while the crash
+    signature is preserved.
+
+    ``state`` is the VM state the seed crashes from (the fuzzer's
+    target-state snapshot); it is restored around every probe.
+    """
+    assert manager.dummy_vm is not None and manager.replayer
+    dummy = manager.dummy_vm
+    hv = manager.hv
+
+    def probe(seed: VMSeed):
+        restore_snapshot(hv, dummy, state)
+        result = manager.replayer.submit(seed)
+        if result.outcome is ReplayOutcome.OK:
+            return None
+        record = classify_result(result, seed, 0, hv.log)
+        return record
+
+    deltas = seed_deltas(original, mutant)
+    baseline = probe(mutant)
+    executions = 1
+    if baseline is None:
+        raise ValueError("the mutant does not crash from this state")
+    target_signature = crash_signature(baseline)
+
+    kept = list(deltas)
+    changed = True
+    while changed and executions < max_executions:
+        changed = False
+        for delta in list(kept):
+            if executions >= max_executions:
+                break
+            candidate = [d for d in kept if d is not delta]
+            record = probe(_apply(original, candidate))
+            executions += 1
+            if record is not None and \
+                    crash_signature(record) == target_signature:
+                kept = candidate
+                changed = True
+
+    # Leave the dummy VM healthy for whoever runs next.
+    restore_snapshot(hv, dummy, state)
+    return MinimizationResult(
+        minimal_seed=_apply(original, kept),
+        essential_deltas=kept,
+        initial_delta_count=len(deltas),
+        executions=executions,
+        crash_reason=baseline.crash_reason,
+    )

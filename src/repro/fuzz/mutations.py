@@ -1,0 +1,98 @@
+"""Mutation rules over VM seeds.
+
+The paper's PoC uses a single rule — "a single bit-flip in [the] VM seed
+area: the fuzzer randomly selects a VMCS field or a general-purpose
+register and then bit-flips the value" (§VII-2).  Byte-flip and
+arithmetic rules are provided as the natural extensions the paper's
+future-work section gestures at; Table I is generated with bit-flips
+only.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.core.seed import SeedEntry, SeedFlag, VMSeed
+from repro.vmx.vmcs_fields import field_width
+
+
+class MutationArea(enum.Enum):
+    """Which seed area to corrupt (the paper's VMCS/GPR split)."""
+
+    VMCS = "vmcs"
+    GPR = "gpr"
+
+
+def _area_indices(seed: VMSeed, area: MutationArea) -> list[int]:
+    wanted = SeedFlag.GPR if area is MutationArea.GPR else \
+        SeedFlag.VMCS_READ
+    return [
+        i for i, e in enumerate(seed.entries) if e.flag is wanted
+    ]
+
+
+def _value_width(entry: SeedEntry) -> int:
+    if entry.flag is SeedFlag.GPR:
+        return 64
+    return field_width(int(entry.vmcs_field)).bits
+
+
+def bit_flip(
+    seed: VMSeed, area: MutationArea, rng: random.Random
+) -> VMSeed:
+    """The paper's rule: flip one random bit of one random entry."""
+    indices = _area_indices(seed, area)
+    if not indices:
+        return seed
+    index = rng.choice(indices)
+    entry = seed.entries[index]
+    bit = rng.randrange(_value_width(entry))
+    mutated = SeedEntry(
+        flag=entry.flag, encoding=entry.encoding,
+        value=entry.value ^ (1 << bit),
+    )
+    return seed.replace_entry(index, mutated)
+
+
+def byte_flip(
+    seed: VMSeed, area: MutationArea, rng: random.Random
+) -> VMSeed:
+    """Extension rule: invert one random byte of one random entry."""
+    indices = _area_indices(seed, area)
+    if not indices:
+        return seed
+    index = rng.choice(indices)
+    entry = seed.entries[index]
+    byte = rng.randrange(max(_value_width(entry) // 8, 1))
+    mutated = SeedEntry(
+        flag=entry.flag, encoding=entry.encoding,
+        value=entry.value ^ (0xFF << (8 * byte)),
+    )
+    return seed.replace_entry(index, mutated)
+
+
+def arithmetic_mutation(
+    seed: VMSeed, area: MutationArea, rng: random.Random
+) -> VMSeed:
+    """Extension rule: add a small signed delta to one entry."""
+    indices = _area_indices(seed, area)
+    if not indices:
+        return seed
+    index = rng.choice(indices)
+    entry = seed.entries[index]
+    delta = rng.choice((-8, -4, -2, -1, 1, 2, 4, 8, 16, 32))
+    mask = (1 << _value_width(entry)) - 1
+    mutated = SeedEntry(
+        flag=entry.flag, encoding=entry.encoding,
+        value=(entry.value + delta) & mask,
+    )
+    return seed.replace_entry(index, mutated)
+
+
+#: Rule registry, keyed by the CLI vocabulary.
+MUTATION_RULES = {
+    "bit-flip": bit_flip,
+    "byte-flip": byte_flip,
+    "arithmetic": arithmetic_mutation,
+}

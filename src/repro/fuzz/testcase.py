@@ -1,0 +1,82 @@
+"""Fuzz test-case structure (paper §VII-1 and Fig. 11).
+
+A test case is characterized by: the replayed VM behavior W of a target
+workload, a target seed ``VMseed_R`` chosen within that behavior, and
+the seed area A ∈ {VMCS, GPR} to mutate.  Running it replays W up to
+``VMseed_R`` (reaching the linked VM state) and then submits N mutated
+versions of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.seed import Trace
+from repro.fuzz.mutations import MutationArea
+from repro.vmx.exit_reasons import ExitReason
+
+
+@dataclass(frozen=True)
+class FuzzTestCase:
+    """One planned fuzzing test case."""
+
+    trace: Trace
+    seed_index: int
+    area: MutationArea
+    n_mutations: int = 10_000
+    mutation_rule: str = "bit-flip"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seed_index < len(self.trace):
+            raise ValueError(
+                f"seed index {self.seed_index} outside trace of "
+                f"{len(self.trace)} records"
+            )
+        if self.n_mutations < 1:
+            raise ValueError("need at least one mutation")
+
+    @property
+    def target_seed(self):
+        return self.trace.records[self.seed_index].seed
+
+    @property
+    def exit_reason(self) -> ExitReason:
+        return self.target_seed.reason
+
+    def describe(self) -> str:
+        return (
+            f"W={self.trace.workload!r} seed#{self.seed_index} "
+            f"({self.exit_reason.name}) area={self.area.value} "
+            f"N={self.n_mutations}"
+        )
+
+
+def plan_test_cases(
+    trace: Trace,
+    reasons: list[ExitReason],
+    areas: tuple[MutationArea, ...] = (
+        MutationArea.VMCS, MutationArea.GPR,
+    ),
+    n_mutations: int = 10_000,
+    rng: random.Random | None = None,
+) -> list[FuzzTestCase]:
+    """Plan the Table-I grid: for each requested exit reason present in
+    the trace, pick a random target seed of that reason and build one
+    test case per mutation area."""
+    rng = rng or random.Random(0)
+    cases: list[FuzzTestCase] = []
+    for reason in reasons:
+        candidates = [
+            i for i, record in enumerate(trace.records)
+            if record.seed.reason is reason
+        ]
+        if not candidates:
+            continue  # Table I leaves these cells empty ("-")
+        index = rng.choice(candidates)
+        for area in areas:
+            cases.append(FuzzTestCase(
+                trace=trace, seed_index=index, area=area,
+                n_mutations=n_mutations,
+            ))
+    return cases

@@ -1,0 +1,109 @@
+"""Crash triage: deduplicate and summarize failure records.
+
+The PoC saves every crashing test case "for further investigation with
+the aim of crash analysis" (paper §VII-3).  This module is that
+investigation step: failures are bucketed by a stable *crash
+signature* — kind, diagnosed cause, and the normalized panic/crash
+site — so a 10000-mutation barrage collapses into a handful of
+distinct findings.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.fuzz.failures import FailureKind, FailureRecord
+
+#: Patterns that normalize volatile parts of crash reasons (addresses,
+#: lengths, field values) so equivalent crashes share a signature.
+_NORMALIZERS: tuple[tuple[re.Pattern, str], ...] = (
+    (re.compile(r"0x[0-9a-fA-F]+"), "<addr>"),
+    (re.compile(r"\b\d{2,}\b"), "<n>"),
+    (re.compile(r"mode \d"), "mode <m>"),
+)
+
+
+def crash_signature(record: FailureRecord) -> str:
+    """A stable identity for 'the same bug'."""
+    reason = record.crash_reason
+    for pattern, replacement in _NORMALIZERS:
+        reason = pattern.sub(replacement, reason)
+    return f"{record.kind.value}|{record.cause}|{reason}"
+
+
+@dataclass
+class CrashBucket:
+    """All observed instances of one distinct crash."""
+
+    signature: str
+    kind: FailureKind
+    cause: str
+    example: FailureRecord
+    count: int = 0
+    #: Exit reasons of the seeds that triggered it.
+    seed_reasons: set[str] = field(default_factory=set)
+
+    def add(self, record: FailureRecord) -> None:
+        self.count += 1
+        self.seed_reasons.add(record.seed.reason.name)
+
+
+@dataclass
+class TriageReport:
+    """Deduplicated crash summary."""
+
+    buckets: list[CrashBucket] = field(default_factory=list)
+    total_failures: int = 0
+
+    @property
+    def unique_crashes(self) -> int:
+        return len(self.buckets)
+
+    def hypervisor_buckets(self) -> list[CrashBucket]:
+        return [
+            b for b in self.buckets
+            if b.kind is FailureKind.HYPERVISOR_CRASH
+        ]
+
+    def vm_buckets(self) -> list[CrashBucket]:
+        return [
+            b for b in self.buckets if b.kind is FailureKind.VM_CRASH
+        ]
+
+    def rows(self) -> list[tuple]:
+        """Table rows, most frequent first (for render_table)."""
+        return [
+            (
+                bucket.kind.value,
+                bucket.cause,
+                bucket.count,
+                ",".join(sorted(bucket.seed_reasons)),
+                bucket.example.crash_reason[:60],
+            )
+            for bucket in sorted(
+                self.buckets, key=lambda b: -b.count
+            )
+        ]
+
+
+def triage(records: list[FailureRecord]) -> TriageReport:
+    """Bucket failure records by crash signature."""
+    by_signature: dict[str, CrashBucket] = {}
+    order: list[str] = []
+    for record in records:
+        signature = crash_signature(record)
+        bucket = by_signature.get(signature)
+        if bucket is None:
+            bucket = CrashBucket(
+                signature=signature, kind=record.kind,
+                cause=record.cause, example=record,
+            )
+            by_signature[signature] = bucket
+            order.append(signature)
+        bucket.add(record)
+    return TriageReport(
+        buckets=[by_signature[s] for s in order],
+        total_failures=len(records),
+    )

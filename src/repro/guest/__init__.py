@@ -1,0 +1,27 @@
+"""Simulated guest: a miniature OS and the paper's five workloads.
+
+IRIS never inspects guest code — it observes only the VM-exit stream.
+This package produces that stream: a :class:`~repro.guest.machine.
+GuestMachine` executes streams of :class:`~repro.guest.ops.GuestOp`
+(sensitive instructions plus the non-sensitive cycles between them),
+delivering architecturally-shaped VM exits to the hypervisor, with the
+exit-reason mix and timing of the paper's workloads (Figs. 4, 5, 9).
+"""
+
+from repro.guest.ops import GuestOp, OpKind
+from repro.guest.machine import GuestMachine, HOST_TIMER_PERIOD
+from repro.guest.workloads import (
+    WORKLOADS,
+    WorkloadName,
+    build_workload,
+)
+
+__all__ = [
+    "GuestOp",
+    "OpKind",
+    "GuestMachine",
+    "HOST_TIMER_PERIOD",
+    "WORKLOADS",
+    "WorkloadName",
+    "build_workload",
+]

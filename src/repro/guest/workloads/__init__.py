@@ -1,0 +1,59 @@
+"""Workload registry: the five target workloads of paper §VI-A."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.guest.workloads.base import Workload
+from repro.guest.workloads.cpu_bound import CpuBoundWorkload
+from repro.guest.workloads.idle import IdleWorkload
+from repro.guest.workloads.io_bound import IoBoundWorkload
+from repro.guest.workloads.mem_bound import MemBoundWorkload
+from repro.guest.workloads.os_boot import (
+    FullBootWorkload,
+    OsBootWorkload,
+)
+
+
+class WorkloadName(enum.Enum):
+    """Stable workload identifiers (CLI / trace-file vocabulary)."""
+
+    OS_BOOT = "os-boot"
+    CPU_BOUND = "cpu-bound"
+    MEM_BOUND = "mem-bound"
+    IO_BOUND = "io-bound"
+    IDLE = "idle"
+    FULL_BOOT = "full-boot"
+
+
+WORKLOADS: dict[WorkloadName, type[Workload]] = {
+    WorkloadName.OS_BOOT: OsBootWorkload,
+    WorkloadName.CPU_BOUND: CpuBoundWorkload,
+    WorkloadName.MEM_BOUND: MemBoundWorkload,
+    WorkloadName.IO_BOUND: IoBoundWorkload,
+    WorkloadName.IDLE: IdleWorkload,
+    WorkloadName.FULL_BOOT: FullBootWorkload,
+}
+
+
+def build_workload(
+    name: WorkloadName | str, seed: int = 0, **kwargs
+) -> Workload:
+    """Instantiate a workload by name with a deterministic seed."""
+    if isinstance(name, str):
+        name = WorkloadName(name)
+    return WORKLOADS[name](seed=seed, **kwargs)
+
+
+__all__ = [
+    "Workload",
+    "WorkloadName",
+    "WORKLOADS",
+    "build_workload",
+    "OsBootWorkload",
+    "FullBootWorkload",
+    "CpuBoundWorkload",
+    "MemBoundWorkload",
+    "IoBoundWorkload",
+    "IdleWorkload",
+]

@@ -1,0 +1,49 @@
+"""Workload protocol shared by the five target workloads (paper §VI-A)."""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.guest.machine import GuestMachine
+from repro.guest.ops import GuestOp
+
+
+@dataclass
+class Workload:
+    """A reproducible guest workload.
+
+    Subclasses implement :meth:`ops`; :meth:`configure` lets a workload
+    adjust machine parameters (the IDLE workload models the kernel's
+    tickless idle by programming a long wake period).
+    """
+
+    name: str
+    description: str
+    seed: int = 0
+
+    def rng(self) -> random.Random:
+        """A fresh deterministic RNG for this workload instance.
+
+        Keyed by a *stable* hash of the name (``hash()`` is randomized
+        per process and would break cross-run trace determinism).
+        """
+        return random.Random(
+            (zlib.crc32(self.name.encode()) ^ self.seed) & 0xFFFFFFFF
+        )
+
+    def ops(self) -> Iterator[GuestOp]:
+        raise NotImplementedError
+
+    def configure(self, machine: GuestMachine) -> None:
+        """Hook for machine-level setup; default does nothing."""
+        return None
+
+    def run(
+        self, machine: GuestMachine, max_exits: int
+    ) -> int:
+        """Configure and run this workload for ``max_exits`` exits."""
+        self.configure(machine)
+        return machine.run(self.ops(), max_exits=max_exits)

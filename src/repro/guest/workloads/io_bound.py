@@ -1,0 +1,62 @@
+"""I/O-bound workload: generic input/output stress (paper §VI-A).
+
+Disk traffic through the IDE register file (command setup, status
+polling, string-mode data transfers) interleaved with the ubiquitous
+RDTSC timekeeping; the string transfers exercise the instruction
+emulator, and therefore guest memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.guest.ops import GuestOp, OpKind
+from repro.guest.workloads.base import Workload
+
+
+@dataclass
+class IoBoundWorkload(Workload):
+    """Disk/console I/O loop."""
+
+    name: str = "I/O-bound"
+    description: str = "generic input/output stress (IDE + console)"
+    compute_cycles: int = 500_000
+
+    def ops(self) -> Iterator[GuestOp]:
+        rng = self.rng()
+        iteration = 0
+        while True:
+            iteration += 1
+            jitter = rng.randrange(-100_000, 100_000)
+            # Block-layer + VFS timekeeping around each request keeps
+            # RDTSC the ~80% majority even under I/O stress (Fig. 5).
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=self.compute_cycles + jitter)
+            for _ in range(7):
+                yield GuestOp(OpKind.RDTSC,
+                              cycles=12_000 + rng.randrange(15_000))
+
+            if iteration % 3 == 0:
+                # One block request: LBA setup, command, poll, data.
+                sector = rng.getrandbits(24)
+                yield GuestOp(OpKind.IO_OUT, cycles=18_000, port=0x1F2,
+                              value=8)  # sector count
+                yield GuestOp(OpKind.IO_OUT, cycles=12_000, port=0x1F3,
+                              value=sector & 0xFF)
+                yield GuestOp(OpKind.IO_OUT, cycles=12_000, port=0x1F4,
+                              value=(sector >> 8) & 0xFF)
+                yield GuestOp(OpKind.IO_OUT, cycles=12_000, port=0x1F7,
+                              value=0x20)  # READ SECTORS
+                yield GuestOp(OpKind.IO_IN, cycles=40_000, port=0x1F7)
+                yield GuestOp(OpKind.IO_STRING, cycles=60_000,
+                              port=0x1F0, size=2, opcode=0xA4)
+
+            if iteration % 12 == 0:
+                yield GuestOp(OpKind.MMIO_WRITE, cycles=25_000,
+                              gpa=0xFEE000B0, opcode=0x89)  # APIC EOI
+            if iteration % 20 == 0:
+                yield GuestOp(OpKind.VMCALL, cycles=30_000,
+                              hypercall=32)  # event_channel_op
+            if iteration % 32 == 0:
+                yield GuestOp(OpKind.CLTS, cycles=25_000)

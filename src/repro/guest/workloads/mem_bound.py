@@ -1,0 +1,61 @@
+"""MEM-bound workload: stack/heap/mmap/shared-memory stress (§VI-A).
+
+Memory pressure shows up to the hypervisor as populate-on-demand EPT
+violations when the guest first touches new frames, INVLPG flushes from
+mmap/munmap churn, and the same RDTSC-dominated timekeeping rhythm as
+every non-boot workload (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.guest.ops import GuestOp, OpKind
+from repro.guest.workloads.base import Workload
+
+
+@dataclass
+class MemBoundWorkload(Workload):
+    """Memory-intensive loop over a growing working set."""
+
+    name: str = "MEM-bound"
+    description: str = (
+        "memory stress: stack, heap, memory mapping, shared memory"
+    )
+    compute_cycles: int = 1_600_000
+    #: First frame of the demand-populated working set (256 MiB up).
+    heap_base_gfn: int = 0x10000
+
+    def ops(self) -> Iterator[GuestOp]:
+        rng = self.rng()
+        iteration = 0
+        next_fresh_gfn = self.heap_base_gfn
+        while True:
+            iteration += 1
+            jitter = rng.randrange(-150_000, 150_000)
+            yield GuestOp(OpKind.RDTSC,
+                          cycles=self.compute_cycles + jitter)
+            yield GuestOp(OpKind.RDTSC, cycles=8_000)
+
+            if iteration % 4 == 0:
+                # First touch of a new heap/mmap frame: EPT violation,
+                # populate-on-demand path in the hypervisor.
+                yield GuestOp(
+                    OpKind.MMIO_WRITE, cycles=20_000,
+                    gpa=next_fresh_gfn << 12, opcode=0x89,
+                )
+                next_fresh_gfn += 1
+            if iteration % 10 == 0:
+                # munmap -> TLB shootdown.
+                yield GuestOp(OpKind.INVLPG, cycles=15_000,
+                              gpa=(self.heap_base_gfn +
+                                   rng.randrange(512)) << 12)
+            if iteration % 16 == 0:
+                yield GuestOp(OpKind.MMIO_WRITE, cycles=25_000,
+                              gpa=0xFEE000B0, opcode=0x89)  # APIC EOI
+            if iteration % 32 == 0:
+                yield GuestOp(OpKind.CLTS, cycles=25_000)
+            if iteration % 48 == 0:
+                yield GuestOp(OpKind.VMCALL, cycles=30_000,
+                              hypercall=24)  # vcpu_op

@@ -1,0 +1,70 @@
+"""The simulated Xen-like hypervisor substrate.
+
+Everything IRIS needs from "the hypervisor under test": domains and
+vCPUs, a VM-exit dispatcher with per-reason handlers shaped like Xen's,
+gcov-style coverage instrumentation, instrumented vmread()/vmwrite()
+wrappers with hook seams, virtual devices (vlapic/vpt/irq — the
+asynchronous coverage-noise sources), a guest-memory-dependent
+instruction emulator, hypercalls, and a console log with panic
+semantics.
+"""
+
+from repro.hypervisor.clock import Clock
+from repro.hypervisor.coverage import (
+    CoverageMap,
+    SourceBlock,
+    BlockAllocator,
+    fitting_percentage,
+    INSTRUMENTED_FILES,
+    IRIS_FILE,
+    NOISE_FILES,
+)
+from repro.hypervisor.dispatch import (
+    ExitEvent,
+    HandlerTable,
+    NullHooks,
+    VmxHooks,
+)
+from repro.hypervisor.domain import Domain, DomainType
+from repro.hypervisor.hypervisor import Hypervisor, ExitStats
+from repro.hypervisor.memory import (
+    GuestMemory,
+    HvmCopyResult,
+    SharedMemoryArea,
+)
+from repro.hypervisor.vcpu import HvmVcpuState, Vcpu
+from repro.hypervisor.xenlog import LogLevel, XenLog
+from repro.hypervisor.hypercalls import (
+    HypercallRouter,
+    XcVmcsFuzzingOp,
+    XC_VMCS_FUZZING_NR,
+)
+
+__all__ = [
+    "Clock",
+    "CoverageMap",
+    "SourceBlock",
+    "BlockAllocator",
+    "fitting_percentage",
+    "INSTRUMENTED_FILES",
+    "IRIS_FILE",
+    "NOISE_FILES",
+    "ExitEvent",
+    "HandlerTable",
+    "NullHooks",
+    "VmxHooks",
+    "Domain",
+    "DomainType",
+    "Hypervisor",
+    "ExitStats",
+    "GuestMemory",
+    "HvmCopyResult",
+    "SharedMemoryArea",
+    "HvmVcpuState",
+    "Vcpu",
+    "LogLevel",
+    "XenLog",
+    "HypercallRouter",
+    "XcVmcsFuzzingOp",
+    "XC_VMCS_FUZZING_NR",
+]

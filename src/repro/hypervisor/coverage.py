@@ -1,0 +1,187 @@
+"""gcov-style coverage instrumentation for the simulated hypervisor.
+
+The paper selectively instruments the Xen components crucial for VM-exit
+handling (§V-A) and collects *line* coverage.  The simulation mirrors
+that: every handler code path is annotated with :class:`SourceBlock`
+constants that name a (simulated) Xen source file and line range; a
+:class:`CoverageMap` accumulates the lines of each executed block.
+
+Coverage attributable to the IRIS record/replay components themselves is
+tagged with the :data:`IRIS_FILE` pseudo-file and filtered out, matching
+the paper's "code coverage is cleaned up by removing hits due to the
+execution of our record and replay components".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from collections import defaultdict
+from typing import Iterable
+
+#: The instrumented subset of the (simulated) Xen tree — the components
+#: the paper names: vCPU abstraction, HVM domain functions, VMX handlers.
+INSTRUMENTED_FILES: tuple[str, ...] = (
+    "arch/x86/hvm/vmx/vmx.c",
+    "arch/x86/hvm/vmx/vmcs.c",
+    "arch/x86/hvm/vmx/intr.c",
+    "arch/x86/hvm/hvm.c",
+    "arch/x86/hvm/emulate.c",
+    "arch/x86/hvm/vlapic.c",
+    "arch/x86/hvm/irq.c",
+    "arch/x86/hvm/vpt.c",
+    "arch/x86/hvm/io.c",
+    "arch/x86/hvm/vmsr.c",
+    "arch/x86/mm/p2m-ept.c",
+)
+
+#: Pseudo-file for IRIS's own record/replay code; excluded from metrics.
+IRIS_FILE = "iris/iris.c"
+
+#: Files whose replay-vs-record differences the paper classifies as
+#: asynchronous-event *noise* (1-30 LOC; §VI-B / Fig. 7).
+NOISE_FILES: frozenset[str] = frozenset({
+    "arch/x86/hvm/vlapic.c",
+    "arch/x86/hvm/irq.c",
+    "arch/x86/hvm/vpt.c",
+})
+
+
+@dataclass(frozen=True)
+class SourceBlock:
+    """A contiguous instrumented basic block: file plus line range."""
+
+    file: str
+    start: int
+    end: int  # inclusive
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"block end {self.end} before start {self.start}"
+            )
+
+    @property
+    def loc(self) -> int:
+        return self.end - self.start + 1
+
+    def lines(self) -> Iterable[tuple[str, int]]:
+        for line in range(self.start, self.end + 1):
+            yield (self.file, line)
+
+
+class BlockAllocator:
+    """Deterministically assigns non-overlapping line ranges in a file.
+
+    Handler modules use one allocator per simulated source file at import
+    time, so every :class:`SourceBlock` is a stable module-level
+    constant: the same block always covers the same lines, run to run.
+    """
+
+    def __init__(self, file: str, first_line: int = 100) -> None:
+        self.file = file
+        self._next_line = first_line
+
+    def block(self, loc: int, gap: int = 2) -> SourceBlock:
+        """Allocate the next ``loc``-line block in this file."""
+        if loc < 1:
+            raise ValueError("a block needs at least one line")
+        start = self._next_line
+        end = start + loc - 1
+        self._next_line = end + 1 + gap
+        return SourceBlock(self.file, start, end)
+
+
+class CoverageMap:
+    """A set of covered (file, line) pairs with gcov-style operations."""
+
+    __slots__ = ("_lines",)
+
+    def __init__(self, lines: Iterable[tuple[str, int]] = ()) -> None:
+        self._lines: set[tuple[str, int]] = set(lines)
+
+    def hit(self, block: SourceBlock) -> None:
+        self._lines.update(block.lines())
+
+    def hit_all(self, blocks: Iterable[SourceBlock]) -> None:
+        for block in blocks:
+            self.hit(block)
+
+    @property
+    def loc(self) -> int:
+        """Unique covered lines, excluding IRIS's own code."""
+        return sum(1 for f, _ in self._lines if f != IRIS_FILE)
+
+    def merge(self, other: "CoverageMap") -> None:
+        self._lines |= other._lines
+
+    def difference(self, other: "CoverageMap") -> "CoverageMap":
+        """Lines covered here but not in ``other`` (IRIS code excluded)."""
+        return CoverageMap(
+            (f, l) for (f, l) in self._lines - other._lines
+            if f != IRIS_FILE
+        )
+
+    def symmetric_difference(self, other: "CoverageMap") -> "CoverageMap":
+        return CoverageMap(
+            (f, l) for (f, l) in self._lines ^ other._lines
+            if f != IRIS_FILE
+        )
+
+    def intersection_loc(self, other: "CoverageMap") -> int:
+        return sum(
+            1 for (f, l) in self._lines & other._lines if f != IRIS_FILE
+        )
+
+    def by_file(self) -> dict[str, int]:
+        """Covered-LOC histogram per file (IRIS code excluded)."""
+        histogram: dict[str, int] = defaultdict(int)
+        for f, _ in self._lines:
+            if f != IRIS_FILE:
+                histogram[f] += 1
+        return dict(histogram)
+
+    def noise_loc(self) -> int:
+        """LOC attributable to the asynchronous-noise files."""
+        return sum(1 for f, _ in self._lines if f in NOISE_FILES)
+
+    def without_files(self, files: frozenset[str]) -> "CoverageMap":
+        return CoverageMap(
+            (f, l) for (f, l) in self._lines if f not in files
+        )
+
+    def lines(self) -> frozenset[tuple[str, int]]:
+        return frozenset(self._lines)
+
+    def copy(self) -> "CoverageMap":
+        return CoverageMap(self._lines)
+
+    def clear(self) -> None:
+        self._lines.clear()
+
+    def __contains__(self, line: tuple[str, int]) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return self._lines == other._lines
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CoverageMap({self.loc} LOC over {len(self.by_file())} files)"
+
+
+def fitting_percentage(
+    recorded: CoverageMap, replayed: CoverageMap
+) -> float:
+    """The paper's coverage-fitting metric: |replayed ∩ recorded| / |recorded|.
+
+    Expressed in percent.  100.0 means replay rediscovered every line the
+    recording covered.
+    """
+    recorded_loc = recorded.loc
+    if recorded_loc == 0:
+        return 100.0
+    return 100.0 * replayed.intersection_loc(recorded) / recorded_loc

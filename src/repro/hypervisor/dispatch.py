@@ -1,0 +1,128 @@
+"""VM-exit dispatch: the heart of the simulated hypervisor.
+
+``vmx_vmexit_handler`` in Xen is where the paper's whole mechanism
+lives: the hardware context switch lands here, the handler VMREADs the
+exit reason and qualification, per-reason handling runs, asynchronous
+components may interleave, pending interrupts are injected, and the VM
+entry (with its §26.3 checks) resumes the guest.
+
+IRIS instruments exactly four seams, modelled as :class:`VmxHooks`:
+
+* ``on_exit_start`` — the compile-time callback at handler entry (seed
+  *injection* point during replay; GPR capture during record);
+* ``on_vmread`` — wraps Xen's ``vmread()`` (records {field, value}
+  pairs; during replay, overrides return values — the only way to
+  "write" read-only fields);
+* ``on_vmwrite`` — wraps ``vmwrite()`` (records VM-state changes, the
+  paper's fine-grained accuracy metric);
+* ``on_exit_end`` — seed/metric finalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+
+
+@dataclass(frozen=True)
+class ExitEvent:
+    """What the simulated hardware latches when delivering a VM exit."""
+
+    reason: ExitReason
+    qualification: int = 0
+    guest_linear_address: int = 0
+    guest_physical_address: int = 0
+    instruction_len: int = 2
+    intr_info: int = 0
+    instruction_info: int = 0
+    #: TSC cycles the guest spent executing since the previous entry —
+    #: the time replay elides (Fig. 9's efficiency gap).
+    guest_cycles: int = 0
+
+    def write_to(self, vcpu: Vcpu) -> None:
+        """Populate the read-only exit-information VMCS fields.
+
+        This models the *hardware* side of the exit, hence the direct
+        ``write_exit_info`` rather than VMWRITE.
+        """
+        vmcs = vcpu.vmcs
+        vmcs.write_exit_info(VmcsField.VM_EXIT_REASON, int(self.reason))
+        vmcs.write_exit_info(
+            VmcsField.EXIT_QUALIFICATION, self.qualification
+        )
+        vmcs.write_exit_info(
+            VmcsField.GUEST_LINEAR_ADDRESS, self.guest_linear_address
+        )
+        vmcs.write_exit_info(
+            VmcsField.GUEST_PHYSICAL_ADDRESS, self.guest_physical_address
+        )
+        vmcs.write_exit_info(
+            VmcsField.VM_EXIT_INSTRUCTION_LEN, self.instruction_len
+        )
+        vmcs.write_exit_info(VmcsField.VM_EXIT_INTR_INFO, self.intr_info)
+        vmcs.write_exit_info(
+            VmcsField.VMX_INSTRUCTION_INFO, self.instruction_info
+        )
+
+
+class VmxHooks(Protocol):
+    """Instrumentation seams available to IRIS components.
+
+    Implementations may leave any method as a no-op; the dispatcher
+    calls every registered hook in registration order.
+    """
+
+    def on_exit_start(self, vcpu: Vcpu) -> None:
+        """Called before the exit reason is read."""
+
+    def on_vmread(self, vcpu: Vcpu, fld: VmcsField, value: int) -> int:
+        """Observe/override a vmread(); return the (possibly new) value."""
+
+    def on_vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
+        """Observe a vmwrite()."""
+
+    def on_exit_end(self, vcpu: Vcpu, reason: ExitReason) -> None:
+        """Called after handling, before the VM entry."""
+
+
+class NullHooks:
+    """Base class with no-op hooks; subclass and override what you need."""
+
+    def on_exit_start(self, vcpu: Vcpu) -> None:
+        return None
+
+    def on_vmread(self, vcpu: Vcpu, fld: VmcsField, value: int) -> int:
+        return value
+
+    def on_vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
+        return None
+
+    def on_exit_end(self, vcpu: Vcpu, reason: ExitReason) -> None:
+        return None
+
+
+#: Handler signature: (hypervisor, vcpu) -> None.  Handlers obtain all
+#: exit data through the instrumented vmread path.
+Handler = Callable[["object", Vcpu], None]
+
+
+@dataclass
+class HandlerTable:
+    """Exit-reason -> handler routing table."""
+
+    handlers: dict[ExitReason, Handler] = field(default_factory=dict)
+
+    def register(self, reason: ExitReason, handler: Handler) -> None:
+        if reason in self.handlers:
+            raise ValueError(f"duplicate handler for {reason.name}")
+        self.handlers[reason] = handler
+
+    def lookup(self, reason: ExitReason) -> Handler | None:
+        return self.handlers.get(reason)
+
+    def registered_reasons(self) -> frozenset[ExitReason]:
+        return frozenset(self.handlers)

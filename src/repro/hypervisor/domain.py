@@ -1,0 +1,92 @@
+"""Domains: the hypervisor's unit of VM management.
+
+The experimental setup of the paper runs the IRIS manager in Dom0, the
+recorded *test VM* in one HVM DomU, and the replay *dummy VM* in a second
+HVM DomU (§VI).  :class:`Domain` models what those need: guest memory,
+EPT, vCPUs, per-domain virtual devices, and Xen's ``domain_crash``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import GuestCrash
+from repro.hypervisor.memory import GuestMemory
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.ept import EptAccess, EptTables
+
+
+class DomainType(enum.Enum):
+    """Domain kinds in the modelled deployment."""
+
+    DOM0 = "dom0"  # privileged control domain (runs the IRIS CLI)
+    HVM = "hvm"  # hardware-assisted guest (test VM / dummy VM)
+
+
+@dataclass
+class Domain:
+    """One VM under the hypervisor's management."""
+
+    domid: int
+    dtype: DomainType
+    memory_bytes: int = 1 << 30  # 1 GB, the paper's DomU sizing
+    name: str = ""
+    memory: GuestMemory = field(init=False)
+    ept: EptTables = field(init=False)
+    vcpus: list[Vcpu] = field(default_factory=list)
+    crashed: bool = False
+    crash_reason: str | None = None
+    #: Marks the replay dummy VM; some handler paths (e.g. the IRIS
+    #: injection points) check this.
+    is_dummy: bool = False
+    #: Background RAM contents (see GuestMemory.background_pattern).
+    #: The dummy VM is a live DomU with its own memory image, so its
+    #: pages read back as *something* — just not what was recorded.
+    background_pattern: bytes | None = None
+
+    def __post_init__(self) -> None:
+        self.memory = GuestMemory(
+            self.memory_bytes,
+            background_pattern=self.background_pattern,
+        )
+        self.ept = EptTables(eptp=0x7000 + self.domid)
+        if not self.name:
+            self.name = f"dom{self.domid}"
+
+    def add_vcpu(self, vcpu: Vcpu) -> Vcpu:
+        vcpu.domain = self
+        self.vcpus.append(vcpu)
+        return vcpu
+
+    def populate_identity_map(self, pages: int) -> None:
+        """Identity-map the first ``pages`` guest frames through EPT."""
+        for gfn in range(pages):
+            self.ept.map_page(gfn, mfn=0x100000 + gfn,
+                              access=EptAccess.rwx())
+
+    def domain_crash(self, reason: str) -> None:
+        """Xen's ``domain_crash()``: mark dead and raise.
+
+        The paper's fuzzer classifies this outcome as a *VM crash*
+        (distinct from a hypervisor crash, which kills the host).
+        """
+        self.crashed = True
+        self.crash_reason = reason
+        for vcpu in self.vcpus:
+            vcpu.dead = True
+        raise GuestCrash(reason, domain_id=self.domid)
+
+    def revive(self) -> None:
+        """Reset crash state (the manager's "reset the test" path)."""
+        self.crashed = False
+        self.crash_reason = None
+        for vcpu in self.vcpus:
+            vcpu.dead = False
+
+    def describe(self) -> str:
+        status = "CRASHED" if self.crashed else "running"
+        return (
+            f"{self.name} ({self.dtype.value}, {len(self.vcpus)} vCPU, "
+            f"{self.memory_bytes >> 20} MiB, {status})"
+        )

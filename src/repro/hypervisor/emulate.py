@@ -1,0 +1,152 @@
+"""HVM instruction emulator ("emulate.c").
+
+The emulator is the hypervisor component whose control flow depends on
+*guest memory* — it fetches instruction bytes at the guest RIP and walks
+descriptor tables through the GDTR/LDTR bases.  IRIS deliberately does
+not record guest memory (paper §IV-A), so during replay the dummy VM's
+(empty) memory sends these paths down the fetch-failure fallback: this
+is the designed source of the paper's >30-LOC coverage differences
+(§VI-B attributes them to "emulate.c", "intr.c" and "vmx.c", triggered
+by seeds whose VMCS fields — GDTR, LDTR — reference exited-guest
+memory).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hypervisor.coverage import BlockAllocator, SourceBlock
+from repro.hypervisor.memory import HvmCopyResult
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.descriptors import SegmentDescriptor
+
+_alloc = BlockAllocator("arch/x86/hvm/emulate.c")
+
+BLK_FETCH = _alloc.block(8)  # hvmemul_insn_fetch
+BLK_FETCH_FAIL = _alloc.block(6)  # linear->phys or copy failure path
+BLK_DECODE = _alloc.block(22)  # x86_decode: prefixes, opcode, modrm
+BLK_DECODE_UNKNOWN = _alloc.block(5)  # unrecognized opcode -> #UD
+BLK_OPERAND_MEM = _alloc.block(9)  # memory-operand resolution
+BLK_WRITEBACK = _alloc.block(6)  # register/memory writeback
+BLK_SEGMENT_CHECK = _alloc.block(10)  # segmentation/limit checks
+BLK_DESCRIPTOR_LOAD = _alloc.block(12)  # GDT/LDT walk in guest memory
+BLK_DESCRIPTOR_FAIL = _alloc.block(5)  # walk failed (unpopulated page)
+BLK_MMIO_DISPATCH = _alloc.block(7)  # route to device model
+
+#: Per-opcode execute paths; CPU-bound's varied instruction mix makes
+#: several of these record-only under replay (the 92.1% fitting of
+#: Fig. 6 comes from losing a handful of these blocks).
+OPCODE_BLOCKS: dict[int, tuple[str, SourceBlock]] = {
+    0x8A: ("mov r8, m8", _alloc.block(8)),
+    0x8B: ("mov r, m", _alloc.block(8)),
+    0x88: ("mov m8, r8", _alloc.block(7)),
+    0x89: ("mov m, r", _alloc.block(7)),
+    0xA4: ("movs", _alloc.block(9)),
+    0xAA: ("stos", _alloc.block(6)),
+    0xAC: ("lods", _alloc.block(6)),
+    0x01: ("add m, r", _alloc.block(5)),
+    0x29: ("sub m, r", _alloc.block(5)),
+    0x39: ("cmp m, r", _alloc.block(5)),
+    0x31: ("xor m, r", _alloc.block(5)),
+    0x0F: ("two-byte system", _alloc.block(11)),
+    0xC6: ("mov m8, imm8", _alloc.block(6)),
+    0xC7: ("mov m, imm", _alloc.block(6)),
+}
+
+
+class EmulationOutcome(enum.Enum):
+    """Result of an emulation attempt (Xen's X86EMUL_* codes)."""
+
+    OKAY = "okay"
+    UNHANDLEABLE = "unhandleable"  # fetch/walk failed; caller falls back
+    EXCEPTION = "exception"  # inject #UD / #GP into the guest
+    RETRY = "retry"  # needs device-model completion
+
+
+@dataclass(frozen=True)
+class EmulationResult:
+    outcome: EmulationOutcome
+    opcode: int | None = None
+    exception_vector: int | None = None
+    mmio_gpa: int | None = None
+    is_write: bool = False
+    value: int = 0
+
+
+def emulate_current_instruction(hv, vcpu: Vcpu) -> EmulationResult:
+    """Fetch, decode and execute the instruction at the guest RIP.
+
+    ``hv`` is the owning :class:`~repro.hypervisor.hypervisor.Hypervisor`
+    (duck-typed to avoid an import cycle): the emulator uses its
+    instrumented coverage (:meth:`cov`), clock and vmread path.
+    """
+    hv.cov(BLK_FETCH)
+    hv.clock.charge("guest_mem_access")
+    rip = hv.vmread(vcpu, VmcsField.GUEST_RIP)
+    cs_base = hv.vmread(vcpu, VmcsField.GUEST_CS_BASE)
+    fetch_gpa = (cs_base + rip) & ((1 << 64) - 1)
+
+    assert vcpu.domain is not None
+    status, raw = vcpu.domain.memory.hvm_copy_from_guest(fetch_gpa, 4)
+    if status is not HvmCopyResult.OKAY or not raw.rstrip(b"\x00"):
+        # Either the page was never populated (the dummy VM during
+        # replay) or the address is out of range (fuzzer-mutated RIP).
+        hv.cov(BLK_FETCH_FAIL)
+        return EmulationResult(EmulationOutcome.UNHANDLEABLE)
+
+    hv.cov(BLK_DECODE)
+    opcode = raw[0]
+    entry = OPCODE_BLOCKS.get(opcode)
+    if entry is None:
+        hv.cov(BLK_DECODE_UNKNOWN)
+        return EmulationResult(
+            EmulationOutcome.EXCEPTION, opcode=opcode, exception_vector=6
+        )  # #UD
+
+    _, block = entry
+    hv.cov(BLK_OPERAND_MEM)
+    hv.cov(block)
+
+    # Memory operand: bytes 1-3 of the modelled encoding carry a GPA
+    # page selector the guest placed there (a compressed modrm).
+    operand_gpa = int.from_bytes(raw[1:4], "little") << 8
+    result = EmulationResult(
+        EmulationOutcome.OKAY,
+        opcode=opcode,
+        mmio_gpa=operand_gpa or None,
+        is_write=opcode in (0x88, 0x89, 0xAA, 0xC6, 0xC7),
+    )
+    hv.cov(BLK_WRITEBACK)
+    return result
+
+
+def load_descriptor(
+    hv, vcpu: Vcpu, selector: int
+) -> tuple[SegmentDescriptor | None, bool]:
+    """Walk the guest GDT for ``selector``.
+
+    Returns ``(descriptor, walked)`` where ``walked`` reports whether
+    guest memory actually backed the table (False on the dummy VM —
+    the replay-divergence path).
+    """
+    hv.cov(BLK_SEGMENT_CHECK)
+    gdtr_base = hv.vmread(vcpu, VmcsField.GUEST_GDTR_BASE)
+    gdtr_limit = hv.vmread(vcpu, VmcsField.GUEST_GDTR_LIMIT)
+    index_offset = (selector >> 3) * 8
+    if index_offset + 7 > gdtr_limit:
+        hv.cov(BLK_DESCRIPTOR_FAIL)
+        return None, False
+
+    hv.clock.charge("guest_mem_access")
+    assert vcpu.domain is not None
+    status, raw = vcpu.domain.memory.hvm_copy_from_guest(
+        gdtr_base + index_offset, 8
+    )
+    if status is not HvmCopyResult.OKAY or raw == b"\x00" * 8:
+        hv.cov(BLK_DESCRIPTOR_FAIL)
+        return None, False
+
+    hv.cov(BLK_DESCRIPTOR_LOAD)
+    return SegmentDescriptor.unpack(raw), True

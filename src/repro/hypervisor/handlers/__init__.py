@@ -1,0 +1,11 @@
+"""Per-exit-reason VM-exit handlers.
+
+Each module mirrors the shape of the corresponding Xen code: which VMCS
+fields it VMREADs, which it VMWRITEs, which hypervisor-internal state it
+updates, and where it dereferences guest memory.  The paper's record/
+replay accuracy rests on exactly these structural properties.
+"""
+
+from repro.hypervisor.handlers.table import build_handler_table
+
+__all__ = ["build_handler_table"]

@@ -1,0 +1,93 @@
+"""Shared handler utilities and the vmx.c dispatch-side blocks."""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs_fields import VmcsField
+
+_alloc = BlockAllocator("arch/x86/hvm/vmx/vmx.c")
+
+#: vmx_vmexit_handler prologue: GPR save, exit-reason read, routing.
+BLK_EXIT_PROLOGUE = _alloc.block(14)
+#: Common epilogue: interrupt injection decision + VMRESUME path.
+BLK_EXIT_EPILOGUE = _alloc.block(10)
+#: update_guest_eip(): skip the exiting instruction.
+BLK_ADVANCE_RIP = _alloc.block(5)
+#: Event injection via VM_ENTRY_INTR_INFO.
+BLK_INJECT_EVENT = _alloc.block(5)
+#: Unexpected exit reason -> domain_crash (Xen's default arm).
+BLK_UNEXPECTED_EXIT = _alloc.block(6)
+#: BUG_ON(exit reason reports a VM-entry failure).
+BLK_ENTRY_FAILURE_BUG = _alloc.block(4)
+#: The guest-RIP vs cached-mode sanity check ("bad RIP for mode N").
+BLK_RIP_MODE_CHECK = _alloc.block(7)
+#: Interrupt-window opening (set the pin/proc control bit).
+BLK_OPEN_INTR_WINDOW = _alloc.block(6)
+#: vmx_intr_assist(): pending-interrupt injection at exit end.
+BLK_INTR_ASSIST = _alloc.block(4)
+
+#: Event-injection type codes for VM_ENTRY_INTR_INFO bits 10:8.
+EVENT_TYPE_EXTERNAL = 0
+EVENT_TYPE_NMI = 2
+EVENT_TYPE_HW_EXCEPTION = 3
+EVENT_TYPE_SW_INTERRUPT = 4
+
+#: Vector numbers for the exceptions the handlers inject.
+VECTOR_UD = 6
+VECTOR_DF = 8
+VECTOR_GP = 13
+VECTOR_PF = 14
+
+
+def advance_rip(hv, vcpu: Vcpu) -> None:
+    """Xen's ``update_guest_eip()``: skip the instruction that exited.
+
+    Reads the hardware-provided instruction length and moves RIP past
+    it; also clears interruptibility blocking, as the real helper does.
+    """
+    hv.cov(BLK_ADVANCE_RIP)
+    rip = hv.vmread(vcpu, VmcsField.GUEST_RIP)
+    length = hv.vmread(vcpu, VmcsField.VM_EXIT_INSTRUCTION_LEN)
+    # x86 instructions are 1-15 bytes; the hardware cannot report
+    # anything else.  Xen asserts on this (a fuzzer-reachable BUG).
+    hv.bug_on(
+        length == 0 or length > 15,
+        f"update_guest_eip: bad instruction length {length}",
+    )
+    hv.vmwrite(vcpu, VmcsField.GUEST_RIP, (rip + max(length, 1)))
+    interruptibility = hv.vmread(
+        vcpu, VmcsField.GUEST_INTERRUPTIBILITY_INFO
+    )
+    if interruptibility & 0x3:
+        hv.vmwrite(
+            vcpu, VmcsField.GUEST_INTERRUPTIBILITY_INFO,
+            interruptibility & ~0x3,
+        )
+
+
+def inject_event(
+    hv, vcpu: Vcpu, vector: int, event_type: int = EVENT_TYPE_HW_EXCEPTION,
+    error_code: int | None = None,
+) -> None:
+    """Queue an event for delivery at the next VM entry."""
+    hv.cov(BLK_INJECT_EVENT)
+    info = (vector & 0xFF) | ((event_type & 0x7) << 8) | (1 << 31)
+    if error_code is not None:
+        info |= 1 << 11
+        hv.vmwrite(
+            vcpu, VmcsField.VM_ENTRY_EXCEPTION_ERROR_CODE, error_code
+        )
+    hv.vmwrite(vcpu, VmcsField.VM_ENTRY_INTR_INFO, info)
+    vcpu.hvm.pending_event = (vector, event_type)
+    vcpu.hvm.injected_events += 1
+
+
+def inject_gp(hv, vcpu: Vcpu) -> None:
+    """Inject #GP(0), the handlers' most common rejection."""
+    inject_event(hv, vcpu, VECTOR_GP, error_code=0)
+
+
+def inject_ud(hv, vcpu: Vcpu) -> None:
+    """Inject #UD."""
+    inject_event(hv, vcpu, VECTOR_UD)

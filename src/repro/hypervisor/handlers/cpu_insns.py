@@ -1,0 +1,256 @@
+"""Handlers for sensitive CPU instructions: CPUID, RDTSC(P), HLT,
+PAUSE, VMCALL, XSETBV, WBINVD, INVLPG, INVD, MONITOR/MWAIT.
+
+RDTSC dominates every non-boot workload in the paper (~80% of exits in
+CPU-/MEM-/I/O-bound and IDLE, Fig. 5) because the guest kernel's
+timekeeping and scheduler lean on it; HLT characterizes IDLE.
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator
+from repro.hypervisor.handlers.common import (
+    advance_rip,
+    inject_gp,
+    inject_ud,
+)
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.registers import GPR, Cr4
+
+_alloc = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=3000)
+_hvm = BlockAllocator("arch/x86/hvm/hvm.c", first_line=2000)
+
+BLK_RDTSC = _alloc.block(6)  # vmx_do_rdtsc: offset math + GPR update
+BLK_RDTSC_TSD = _alloc.block(4)  # CR4.TSD && CPL>0 -> #GP
+BLK_RDTSCP = _alloc.block(5)
+BLK_HLT = _alloc.block(6)  # hvm_hlt: interruptibility + block vCPU
+BLK_HLT_DEAD = _alloc.block(4)  # halt with IF=0 and nothing pending
+BLK_PAUSE = _alloc.block(4)
+BLK_WBINVD = _alloc.block(4)
+BLK_INVD = _alloc.block(3)
+BLK_INVLPG = _alloc.block(5)
+BLK_XSETBV = _alloc.block(6)
+BLK_XSETBV_BAD = _alloc.block(4)
+BLK_MONITOR = _alloc.block(3)
+BLK_MWAIT = _alloc.block(3)
+
+BLK_CPUID_COMMON = _hvm.block(8)  # hvm_cpuid dispatch
+#: Per-leaf blocks: the boot-time enumeration walks many of these.
+CPUID_LEAF_BLOCKS = {
+    0x0: _hvm.block(5),
+    0x1: _hvm.block(9),
+    0x2: _hvm.block(4),
+    0x4: _hvm.block(6),
+    0x6: _hvm.block(4),
+    0x7: _hvm.block(7),
+    0xA: _hvm.block(4),
+    0xB: _hvm.block(6),
+    0xD: _hvm.block(7),
+    0x80000000: _hvm.block(4),
+    0x80000001: _hvm.block(6),
+    0x80000002: _hvm.block(4),
+    0x80000003: _hvm.block(3),
+    0x80000004: _hvm.block(3),
+    0x80000006: _hvm.block(4),
+    0x80000008: _hvm.block(5),
+}
+BLK_CPUID_UNKNOWN = _hvm.block(4)
+#: Xen's hypervisor CPUID leaves (0x40000000-0x40000004): signature,
+#: version, hypercall page, vCPU time info, HVM-specific flags.
+BLK_CPUID_XEN_SIGNATURE = _hvm.block(5)
+BLK_CPUID_XEN_VERSION = _hvm.block(4)
+BLK_CPUID_XEN_HYPERCALL = _hvm.block(6)
+BLK_CPUID_XEN_TIME = _hvm.block(5)
+BLK_CPUID_XEN_HVM = _hvm.block(4)
+
+#: "XenVMMXenVMM" packed into EBX/ECX/EDX for leaf 0x40000000.
+_XEN_SIGNATURE = (0x566E6558, 0x65584D4D, 0x4D4D566E)
+
+BLK_VMCALL_COMMON = _hvm.block(7)  # hvm_hypercall dispatch
+HYPERCALL_BLOCKS = {
+    # numbers follow Xen's hypercall table
+    12: ("console_io", _hvm.block(5)),
+    18: ("vm_assist", _hvm.block(4)),
+    24: ("vcpu_op", _hvm.block(6)),
+    29: ("sched_op", _hvm.block(6)),
+    32: ("event_channel_op", _hvm.block(7)),
+    33: ("physdev_op", _hvm.block(5)),
+    34: ("hvm_op", _hvm.block(6)),
+    39: ("xc_vmcs_fuzzing", _hvm.block(8)),  # the IRIS control hypercall
+}
+BLK_VMCALL_BAD = _hvm.block(4)  # unknown hypercall -> -ENOSYS
+
+#: CPUID leaf results (EAX, EBX, ECX, EDX) for the modelled CPU: an
+#: Intel Xeon i7-4790-like part, matching the paper's testbed.
+_CPUID_RESULTS: dict[int, tuple[int, int, int, int]] = {
+    0x0: (0xD, 0x756E6547, 0x6C65746E, 0x49656E69),  # GenuineIntel
+    0x1: (0x000306C3, 0x00100800, 0x7FFAFBBF, 0xBFEBFBFF),
+    0x2: (0x76036301, 0x00F0B5FF, 0x00000000, 0x00C10000),
+    0x4: (0x1C004121, 0x01C0003F, 0x0000003F, 0x00000000),
+    0x6: (0x00000077, 0x00000002, 0x00000009, 0x00000000),
+    0x7: (0x00000000, 0x000027AB, 0x00000000, 0x00000000),
+    0xA: (0x07300403, 0x00000000, 0x00000000, 0x00000603),
+    0xB: (0x00000001, 0x00000002, 0x00000100, 0x00000000),
+    0xD: (0x00000007, 0x00000340, 0x00000340, 0x00000000),
+    0x80000000: (0x80000008, 0, 0, 0),
+    0x80000001: (0, 0, 0x00000021, 0x2C100800),
+    0x80000002: (0x65746E49, 0x2952286C, 0x726F4320, 0x4D542865),
+    0x80000003: (0x37692029, 0x3937342D, 0x43203030, 0x40205550),
+    0x80000004: (0x362E3320, 0x7A484730, 0, 0),
+    0x80000006: (0, 0, 0x01006040, 0),
+    0x80000008: (0x00003027, 0, 0, 0),
+}
+
+
+def _xen_cpuid_leaf(hv, leaf: int) -> tuple[int, int, int, int] | None:
+    """The Xen hypervisor CPUID range (viridian disabled)."""
+    if leaf == 0x40000000:
+        hv.cov(BLK_CPUID_XEN_SIGNATURE)
+        return (0x40000004, *_XEN_SIGNATURE)
+    if leaf == 0x40000001:
+        hv.cov(BLK_CPUID_XEN_VERSION)
+        return ((4 << 16) | 16, 0, 0, 0)  # Xen 4.16
+    if leaf == 0x40000002:
+        hv.cov(BLK_CPUID_XEN_HYPERCALL)
+        return (1, 0x40000000, 0, 0)  # pages, MSR base
+    if leaf == 0x40000003:
+        hv.cov(BLK_CPUID_XEN_TIME)
+        return (1, 0, 10_000_000, 0)  # vtsc khz-ish info
+    if leaf == 0x40000004:
+        hv.cov(BLK_CPUID_XEN_HVM)
+        return (1 << 3, 0, 0, 0)  # HVM callback vector support
+    return None
+
+
+def handle_cpuid(hv, vcpu: Vcpu) -> None:
+    """Reason 10: CPUID — leaf-dependent control flow over RAX."""
+    hv.cov(BLK_CPUID_COMMON)
+    leaf = vcpu.regs.read_gpr(GPR.RAX) & 0xFFFFFFFF
+    xen_result = _xen_cpuid_leaf(hv, leaf)
+    block = CPUID_LEAF_BLOCKS.get(leaf)
+    if xen_result is not None:
+        result = xen_result
+    elif block is None:
+        hv.cov(BLK_CPUID_UNKNOWN)
+        result = (0, 0, 0, 0)
+    else:
+        hv.cov(block)
+        result = _CPUID_RESULTS[leaf]
+    eax, ebx, ecx, edx = result
+    vcpu.regs.write_gpr(GPR.RAX, eax)
+    vcpu.regs.write_gpr(GPR.RBX, ebx)
+    vcpu.regs.write_gpr(GPR.RCX, ecx)
+    vcpu.regs.write_gpr(GPR.RDX, edx)
+    advance_rip(hv, vcpu)
+
+
+def handle_rdtsc(hv, vcpu: Vcpu) -> None:
+    """Reason 16: RDTSC — guest TSC = host TSC + VMCS offset."""
+    cr4 = hv.vmread(vcpu, VmcsField.GUEST_CR4)
+    if cr4 & Cr4.TSD:
+        ss_ar = hv.vmread(vcpu, VmcsField.GUEST_SS_AR_BYTES)
+        cpl = (ss_ar >> 5) & 0x3
+        if cpl:
+            hv.cov(BLK_RDTSC_TSD)
+            inject_gp(hv, vcpu)
+            return
+    hv.cov(BLK_RDTSC)
+    offset = hv.vmread(vcpu, VmcsField.TSC_OFFSET)
+    guest_tsc = (hv.clock.now + offset) & ((1 << 64) - 1)
+    vcpu.regs.write_gpr(GPR.RAX, guest_tsc & 0xFFFFFFFF)
+    vcpu.regs.write_gpr(GPR.RDX, guest_tsc >> 32)
+    advance_rip(hv, vcpu)
+
+
+def handle_rdtscp(hv, vcpu: Vcpu) -> None:
+    """Reason 51: RDTSCP — RDTSC plus TSC_AUX in RCX."""
+    hv.cov(BLK_RDTSCP)
+    offset = hv.vmread(vcpu, VmcsField.TSC_OFFSET)
+    guest_tsc = (hv.clock.now + offset) & ((1 << 64) - 1)
+    vcpu.regs.write_gpr(GPR.RAX, guest_tsc & 0xFFFFFFFF)
+    vcpu.regs.write_gpr(GPR.RDX, guest_tsc >> 32)
+    vcpu.regs.write_gpr(GPR.RCX, vcpu.vcpu_id)
+    advance_rip(hv, vcpu)
+
+
+def handle_hlt(hv, vcpu: Vcpu) -> None:
+    """Reason 12: HLT — enter the halted activity state."""
+    hv.cov(BLK_HLT)
+    rflags = hv.vmread(vcpu, VmcsField.GUEST_RFLAGS)
+    interrupts_enabled = bool(rflags & (1 << 9))
+    vlapic = hv.vlapic(vcpu)
+    if not interrupts_enabled and not vlapic.irr:
+        # Halt with interrupts disabled and nothing pending: the guest
+        # can never wake up.  Xen logs and leaves it blocked forever.
+        hv.cov(BLK_HLT_DEAD)
+        hv.log.warn(f"{vcpu.describe()}: HLT with IF=0 and empty IRR")
+    advance_rip(hv, vcpu)
+    hv.vmwrite(vcpu, VmcsField.GUEST_ACTIVITY_STATE, 1)  # HLT state
+
+
+def handle_pause(hv, vcpu: Vcpu) -> None:
+    """Reason 40: PAUSE (spinlock hint; Xen yields the pCPU)."""
+    hv.cov(BLK_PAUSE)
+    advance_rip(hv, vcpu)
+
+
+def handle_vmcall(hv, vcpu: Vcpu) -> None:
+    """Reason 18: VMCALL — the hypercall gate."""
+    hv.cov(BLK_VMCALL_COMMON)
+    number = vcpu.regs.read_gpr(GPR.RAX) & 0xFFFFFFFF
+    entry = HYPERCALL_BLOCKS.get(number)
+    if entry is None:
+        hv.cov(BLK_VMCALL_BAD)
+        vcpu.regs.write_gpr(GPR.RAX, (1 << 64) - 38)  # -ENOSYS
+        advance_rip(hv, vcpu)
+        return
+    name, block = entry
+    hv.cov(block)
+    hv.run_hypercall(vcpu, number, name)
+    advance_rip(hv, vcpu)
+
+
+def handle_xsetbv(hv, vcpu: Vcpu) -> None:
+    """Reason 55: XSETBV — validate the XCR0 image in RDX:RAX."""
+    hv.cov(BLK_XSETBV)
+    xcr0 = (
+        vcpu.regs.read_gpr(GPR.RDX) << 32
+    ) | (vcpu.regs.read_gpr(GPR.RAX) & 0xFFFFFFFF)
+    if not (xcr0 & 1) or (xcr0 & ~0x7):
+        # x87 must stay enabled and no unsupported features.
+        hv.cov(BLK_XSETBV_BAD)
+        inject_gp(hv, vcpu)
+        return
+    advance_rip(hv, vcpu)
+
+
+def handle_wbinvd(hv, vcpu: Vcpu) -> None:
+    """Reason 54: WBINVD (cache writeback; a no-op under EPT+WB)."""
+    hv.cov(BLK_WBINVD)
+    advance_rip(hv, vcpu)
+
+
+def handle_invd(hv, vcpu: Vcpu) -> None:
+    """Reason 13: INVD — treated as WBINVD, as Xen does for safety."""
+    hv.cov(BLK_INVD)
+    advance_rip(hv, vcpu)
+
+
+def handle_invlpg(hv, vcpu: Vcpu) -> None:
+    """Reason 14: INVLPG — shoot down one linear mapping."""
+    hv.cov(BLK_INVLPG)
+    hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)  # the address
+    advance_rip(hv, vcpu)
+
+
+def handle_monitor(hv, vcpu: Vcpu) -> None:
+    """Reason 39: MONITOR — #UD (Xen hides MONITOR/MWAIT from HVM)."""
+    hv.cov(BLK_MONITOR)
+    inject_ud(hv, vcpu)
+
+
+def handle_mwait(hv, vcpu: Vcpu) -> None:
+    """Reason 36: MWAIT — #UD, as with MONITOR."""
+    hv.cov(BLK_MWAIT)
+    inject_ud(hv, vcpu)

@@ -1,0 +1,170 @@
+"""Event-driven exits: exceptions/NMI, external interrupts, interrupt
+window, triple fault, preemption timer, DR access ("intr.c" + vmx.c).
+
+The preemption-timer handler is deliberately near-empty: it exists so
+the IRIS dummy VM can bounce in and out of the hypervisor at the ideal
+throughput the paper measures (50K exits/s, §VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator
+from repro.hypervisor.handlers.common import (
+    advance_rip,
+    inject_event,
+    EVENT_TYPE_EXTERNAL,
+)
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs_fields import VmcsField
+
+_alloc = BlockAllocator("arch/x86/hvm/vmx/intr.c")
+_vmx = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=5000)
+
+BLK_EXTINT_COMMON = _alloc.block(8)  # vmx_do_extint
+BLK_EXTINT_TIMER = _alloc.block(6)  # host timer tick -> guest clock
+BLK_EXTINT_DEVICE = _alloc.block(5)  # passthrough device interrupt
+BLK_EXTINT_SPURIOUS = _alloc.block(4)
+BLK_INTR_WINDOW = _alloc.block(7)  # interrupt-window open -> inject
+BLK_INTR_WINDOW_EMPTY = _alloc.block(4)
+BLK_NMI_WINDOW = _alloc.block(4)
+
+BLK_EXCEPTION_COMMON = _vmx.block(9)  # vmx_vmexit_handler exception arm
+BLK_PAGE_FAULT = _vmx.block(10)
+BLK_GP_FAULT = _vmx.block(6)
+BLK_DEBUG_EXCEPTION = _vmx.block(5)
+BLK_BREAKPOINT = _vmx.block(4)
+BLK_MACHINE_CHECK = _vmx.block(5)
+BLK_OTHER_EXCEPTION = _vmx.block(5)
+BLK_NMI = _vmx.block(6)
+BLK_TRIPLE_FAULT = _vmx.block(5)
+BLK_PREEMPTION = _vmx.block(4)  # the near-empty replay-loop handler
+BLK_DR_ACCESS = _vmx.block(6)
+
+#: Interrupt-window exiting bit in the primary processor-based controls.
+CPU_BASED_INTR_WINDOW_EXITING = 1 << 2
+
+#: Host timer vector (what the paper's testbed would see from the PIT/
+#: LAPIC tick while the guest runs).
+HOST_TIMER_VECTOR = 0xEF
+
+
+def handle_external_interrupt(hv, vcpu: Vcpu) -> None:
+    """Reason 1: a host interrupt arrived while the guest ran.
+
+    The hypervisor acknowledges it and, when it belongs to a device the
+    guest owns (here: the emulated platform timer), routes it into the
+    guest's interrupt controllers.
+    """
+    hv.cov(BLK_EXTINT_COMMON)
+    intr_info = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_INFO)
+    vector = intr_info & 0xFF
+    if not (intr_info & (1 << 31)):
+        hv.cov(BLK_EXTINT_SPURIOUS)
+        return
+    assert vcpu.domain is not None
+    if vector == HOST_TIMER_VECTOR:
+        hv.cov(BLK_EXTINT_TIMER)
+        irq = hv.irq_controller(vcpu.domain)
+        hv.cov_all(irq.assert_line(0))
+        vlapic = hv.vlapic(vcpu)
+        if 0x30 not in vlapic.irr:
+            vlapic.irr.append(0x30)  # guest timer vector via IOAPIC
+    else:
+        hv.cov(BLK_EXTINT_DEVICE)
+    # No RIP advance: the interrupt is asynchronous to the guest.
+
+
+def handle_interrupt_window(hv, vcpu: Vcpu) -> None:
+    """Reason 7: the guest became interruptible; inject what's pending.
+
+    Interruptibility is re-validated from the guest state (Xen's
+    ``hvm_interrupt_blocked``) before injecting — the VM-entry checks
+    reject an external-interrupt injection with RFLAGS.IF clear.
+    """
+    vlapic = hv.vlapic(vcpu)
+    controls = hv.vmread(vcpu, VmcsField.CPU_BASED_VM_EXEC_CONTROL)
+    rflags = hv.vmread(vcpu, VmcsField.GUEST_RFLAGS)
+    interruptible = bool(rflags & (1 << 9))
+    vector = None
+    if interruptible:
+        vector, blocks = vlapic.ack_highest()
+        hv.cov_all(blocks)
+    if vector is None:
+        hv.cov(BLK_INTR_WINDOW_EMPTY)
+    else:
+        hv.cov(BLK_INTR_WINDOW)
+        inject_event(hv, vcpu, vector, EVENT_TYPE_EXTERNAL)
+    hv.vmwrite(
+        vcpu, VmcsField.CPU_BASED_VM_EXEC_CONTROL,
+        controls & ~CPU_BASED_INTR_WINDOW_EXITING,
+    )
+
+
+def handle_nmi_window(hv, vcpu: Vcpu) -> None:
+    """Reason 8: NMI window."""
+    hv.cov(BLK_NMI_WINDOW)
+
+
+def handle_exception_nmi(hv, vcpu: Vcpu) -> None:
+    """Reason 0: an exception or NMI the hypervisor intercepts."""
+    hv.cov(BLK_EXCEPTION_COMMON)
+    intr_info = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_INFO)
+    vector = intr_info & 0xFF
+    is_nmi = ((intr_info >> 8) & 0x7) == 2
+
+    if is_nmi:
+        hv.cov(BLK_NMI)
+        return
+    if vector == 14:  # #PF
+        hv.cov(BLK_PAGE_FAULT)
+        fault_address = hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+        error_code = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_ERROR_CODE)
+        vcpu.regs.cr2 = fault_address
+        inject_event(hv, vcpu, 14, error_code=error_code)
+        return
+    if vector == 13:  # #GP
+        hv.cov(BLK_GP_FAULT)
+        error_code = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_ERROR_CODE)
+        inject_event(hv, vcpu, 13, error_code=error_code)
+        return
+    if vector == 1:
+        hv.cov(BLK_DEBUG_EXCEPTION)
+        inject_event(hv, vcpu, 1)
+        return
+    if vector == 3:
+        hv.cov(BLK_BREAKPOINT)
+        inject_event(hv, vcpu, 3)
+        return
+    if vector == 18:
+        hv.cov(BLK_MACHINE_CHECK)
+        hv.bug_on(True, "machine check in guest context")
+        return
+    hv.cov(BLK_OTHER_EXCEPTION)
+    inject_event(hv, vcpu, vector)
+
+
+def handle_triple_fault(hv, vcpu: Vcpu) -> None:
+    """Reason 2: triple fault — the canonical VM-crash exit."""
+    hv.cov(BLK_TRIPLE_FAULT)
+    assert vcpu.domain is not None
+    hv.log.error(f"d{vcpu.domain.domid}: triple fault, destroying domain")
+    vcpu.domain.domain_crash("triple fault")
+
+
+def handle_preemption_timer(hv, vcpu: Vcpu) -> None:
+    """Reason 52: VMX-preemption timer expiry.
+
+    Near-empty on purpose: rearm and resume.  This is the exit the IRIS
+    dummy VM spins on; everything interesting during replay happens in
+    the hooks, not here.
+    """
+    hv.cov(BLK_PREEMPTION)
+    hv.clock.charge("preemption_handler")
+
+
+def handle_dr_access(hv, vcpu: Vcpu) -> None:
+    """Reason 29: MOV DR — lazy debug-register context switch."""
+    hv.cov(BLK_DR_ACCESS)
+    hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    hv.vmwrite(vcpu, VmcsField.GUEST_DR7, vcpu.regs.dr7)
+    advance_rip(hv, vcpu)

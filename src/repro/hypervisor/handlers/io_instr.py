@@ -1,0 +1,168 @@
+"""I/O instruction handler (reason 30) and the emulated port space.
+
+The dominant exit reason of OS BOOT (paper Fig. 5): the guest probes and
+programs devices through IN/OUT, each one trapping to the hypervisor.
+Port routing covers the devices the mini-OS and BIOS touch: PIC, PIT,
+RTC/CMOS, keyboard controller, serial console, PCI config space, IDE,
+the firmware-config channel used by the BIOS phase, and the POST port.
+
+String I/O (INS/OUTS) goes through the instruction emulator and hence
+through guest memory — another designed replay-divergence source.
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator, SourceBlock
+from repro.hypervisor.emulate import (
+    EmulationOutcome,
+    emulate_current_instruction,
+)
+from repro.hypervisor.handlers.common import advance_rip, inject_gp
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.exit_qualification import IoQualification
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.registers import GPR
+
+_alloc = BlockAllocator("arch/x86/hvm/io.c")
+
+BLK_HANDLE_PIO = _alloc.block(10)  # handle_pio entry + qualification
+BLK_PIO_IN = _alloc.block(6)
+BLK_PIO_OUT = _alloc.block(6)
+BLK_STRING_IO = _alloc.block(8)  # INS/OUTS -> full emulation
+BLK_STRING_FALLBACK = _alloc.block(5)  # emulation unhandleable
+BLK_BAD_SIZE = _alloc.block(4)  # invalid access size -> BUG_ON
+BLK_UNCLAIMED = _alloc.block(5)  # no device at port: read ~0, drop write
+
+# Per-device emulation paths.
+BLK_KBD = _alloc.block(9)  # i8042 keyboard controller (0x60/0x64)
+BLK_KBD_CMD = _alloc.block(6)
+BLK_RTC_INDEX = _alloc.block(5)  # CMOS index (0x70)
+BLK_RTC_DATA = _alloc.block(8)  # CMOS data (0x71)
+BLK_SERIAL_DATA = _alloc.block(7)  # UART THR/RBR (0x3F8)
+BLK_SERIAL_CTRL = _alloc.block(9)  # UART IER/LCR/MCR (0x3F9-0x3FF)
+BLK_PCI_ADDR = _alloc.block(6)  # 0xCF8
+BLK_PCI_DATA = _alloc.block(10)  # 0xCFC config read/write
+BLK_IDE_DATA = _alloc.block(8)  # 0x1F0
+BLK_IDE_CTRL = _alloc.block(7)  # 0x1F1-0x1F7
+BLK_FWCFG_SEL = _alloc.block(5)  # 0x510 (BIOS phase)
+BLK_FWCFG_DATA = _alloc.block(6)  # 0x511
+BLK_POST = _alloc.block(3)  # 0x80 POST/delay
+BLK_ACPI_PM = _alloc.block(6)  # 0xB2 / PM1a block
+BLK_VGA = _alloc.block(8)  # 0x3C0-0x3DF VGA regs
+
+#: (start, end inclusive) -> handler-block routing.
+_PORT_RANGES: tuple[tuple[int, int, SourceBlock], ...] = (
+    (0x20, 0x21, BLK_KBD_CMD),  # master PIC, refined below
+    (0x40, 0x43, BLK_KBD_CMD),  # PIT, refined below
+    (0x60, 0x60, BLK_KBD),
+    (0x64, 0x64, BLK_KBD_CMD),
+    (0x70, 0x70, BLK_RTC_INDEX),
+    (0x71, 0x71, BLK_RTC_DATA),
+    (0x80, 0x80, BLK_POST),
+    (0xA0, 0xA1, BLK_KBD_CMD),  # slave PIC, refined below
+    (0xB2, 0xB3, BLK_ACPI_PM),
+    (0x1F0, 0x1F0, BLK_IDE_DATA),
+    (0x1F1, 0x1F7, BLK_IDE_CTRL),
+    (0x3C0, 0x3DF, BLK_VGA),
+    (0x3F8, 0x3F8, BLK_SERIAL_DATA),
+    (0x3F9, 0x3FF, BLK_SERIAL_CTRL),
+    (0x510, 0x510, BLK_FWCFG_SEL),
+    (0x511, 0x511, BLK_FWCFG_DATA),
+    (0xCF8, 0xCFB, BLK_PCI_ADDR),
+    (0xCFC, 0xCFF, BLK_PCI_DATA),
+)
+
+_PIC_PORTS = frozenset({0x20, 0x21, 0xA0, 0xA1})
+_PIT_PORTS = frozenset({0x40, 0x41, 0x42, 0x43})
+
+
+def _route_port(hv, vcpu: Vcpu, qual: IoQualification, value: int) -> int:
+    """Emulate one port access; returns the IN value (0 for OUT)."""
+    assert vcpu.domain is not None
+    domain = vcpu.domain
+    port = qual.port
+
+    if port in _PIC_PORTS:
+        irq = hv.irq_controller(domain)
+        if qual.direction_in:
+            read_value, blocks = irq.pic_read(port)
+            hv.cov_all(blocks)
+            return read_value
+        hv.cov_all(irq.pic_write(port, value))
+        return 0
+
+    if port in _PIT_PORTS:
+        vpt = hv.platform_timer(domain)
+        if qual.direction_in:
+            read_value, blocks = vpt.read_channel(port - 0x40)
+            hv.cov_all(blocks)
+            return read_value
+        if port == 0x43:
+            hv.cov_all(vpt.write_control(value))
+        else:
+            hv.cov_all(vpt.write_counter_byte(port - 0x40, value))
+        return 0
+
+    for start, end, block in _PORT_RANGES:
+        if start <= port <= end:
+            hv.cov(block)
+            if qual.direction_in:
+                # Device-specific idle values.
+                if block is BLK_RTC_DATA:
+                    return 0x26  # a plausible CMOS reading
+                if block is BLK_SERIAL_CTRL:
+                    return 0x60  # THR empty
+                if block is BLK_PCI_DATA:
+                    return 0x8086_1237 & 0xFFFFFFFF  # host bridge ID
+                if block is BLK_IDE_CTRL:
+                    return 0x50  # DRDY|DSC
+                return 0
+            return 0
+
+    hv.cov(BLK_UNCLAIMED)
+    return (1 << (8 * qual.size)) - 1 if qual.direction_in else 0
+
+
+def handle_io_instruction(hv, vcpu: Vcpu) -> None:
+    """Reason 30: IN/OUT/INS/OUTS."""
+    hv.cov(BLK_HANDLE_PIO)
+    qual = IoQualification.unpack(
+        hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    )
+
+    if qual.size not in (1, 2, 4):
+        # The hardware can only report sizes 1/2/4; anything else means
+        # the exit information is corrupt -> Xen ASSERT.
+        hv.cov(BLK_BAD_SIZE)
+        hv.bug_on(True, f"handle_pio: bad access size {qual.size}")
+
+    if qual.string_op:
+        hv.cov(BLK_STRING_IO)
+        result = emulate_current_instruction(hv, vcpu)
+        if result.outcome is EmulationOutcome.UNHANDLEABLE:
+            # Dummy-VM path: no code bytes to emulate from; skip the
+            # instruction using the hardware-reported length.
+            hv.cov(BLK_STRING_FALLBACK)
+            advance_rip(hv, vcpu)
+            return
+        if result.outcome is EmulationOutcome.EXCEPTION:
+            inject_gp(hv, vcpu)
+            return
+        _route_port(hv, vcpu, qual, vcpu.regs.read_gpr(GPR.RAX))
+        advance_rip(hv, vcpu)
+        return
+
+    if qual.direction_in:
+        hv.cov(BLK_PIO_IN)
+        read_value = _route_port(hv, vcpu, qual, 0)
+        rax = vcpu.regs.read_gpr(GPR.RAX)
+        mask = (1 << (8 * qual.size)) - 1
+        vcpu.regs.write_gpr(
+            GPR.RAX, (rax & ~mask) | (read_value & mask)
+        )
+    else:
+        hv.cov(BLK_PIO_OUT)
+        value = vcpu.regs.read_gpr(GPR.RAX) & ((1 << (8 * qual.size)) - 1)
+        _route_port(hv, vcpu, qual, value)
+
+    advance_rip(hv, vcpu)

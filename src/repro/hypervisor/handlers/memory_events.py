@@ -1,0 +1,149 @@
+"""Memory-related exits: EPT violation/misconfig, descriptor-table
+accesses (GDTR/IDTR and LDTR/TR).
+
+EPT violations cover both MMIO emulation (APIC page and other device
+pages, routed through the instruction emulator — guest-memory dependent)
+and genuine p2m faults (populate-on-demand in this model).  Descriptor
+table accesses walk guest memory directly.  Both families are listed by
+the paper among the exit reasons its fuzzer targets (Table I).
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator
+from repro.hypervisor.emulate import (
+    BLK_MMIO_DISPATCH,
+    EmulationOutcome,
+    emulate_current_instruction,
+    load_descriptor,
+)
+from repro.hypervisor.handlers.common import (
+    advance_rip,
+    inject_gp,
+    inject_ud,
+)
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.ept import EptAccess
+from repro.vmx.exit_qualification import EptViolationQualification
+from repro.vmx.vmcs_fields import VmcsField
+
+_alloc = BlockAllocator("arch/x86/mm/p2m-ept.c")
+_vmx = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=4000)
+
+BLK_EPT_COMMON = _alloc.block(9)  # ept_handle_violation
+BLK_EPT_MMIO = _alloc.block(7)  # MMIO region -> emulate
+BLK_EPT_POD = _alloc.block(8)  # populate-on-demand: map the page
+BLK_EPT_PERM = _alloc.block(6)  # permission fault (e.g. log-dirty)
+BLK_EPT_MISCONFIG = _alloc.block(5)
+BLK_EPT_BAD_GPA = _alloc.block(4)  # GPA beyond the p2m -> crash path
+
+BLK_DT_ACCESS = _vmx.block(7)  # vmx_dt_access (GDTR/IDTR/LDTR/TR)
+BLK_DT_LOAD = _vmx.block(6)
+BLK_DT_STORE = _vmx.block(4)
+
+#: Device MMIO windows routed through the generic path (not the APIC).
+_MMIO_WINDOWS: tuple[tuple[int, int], ...] = (
+    (0xFEC00000, 0xFEC01000),  # IOAPIC
+    (0xFED00000, 0xFED00400),  # HPET
+    (0xE0000000, 0xF0000000),  # PCI BAR space
+)
+
+
+def _is_device_mmio(gpa: int) -> bool:
+    return any(start <= gpa < end for start, end in _MMIO_WINDOWS)
+
+
+def handle_ept_violation(hv, vcpu: Vcpu) -> None:
+    """Reason 48: EPT violation."""
+    hv.cov(BLK_EPT_COMMON)
+    qual = EptViolationQualification.unpack(
+        hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    )
+    gpa = hv.vmread(vcpu, VmcsField.GUEST_PHYSICAL_ADDRESS)
+    hv.vmread(vcpu, VmcsField.GUEST_LINEAR_ADDRESS)
+    assert vcpu.domain is not None
+    domain = vcpu.domain
+
+    vlapic = hv.vlapic(vcpu)
+    if vlapic.contains(gpa):
+        # APIC MMIO: emulate the access against the vlapic register
+        # file.  Which register/width requires decoding the instruction
+        # (guest memory!); without code bytes the fallback uses only
+        # the fault data (the same divergence the paper observes).
+        hv.cov(BLK_EPT_MMIO)
+        result = emulate_current_instruction(hv, vcpu)
+        if result.outcome is EmulationOutcome.OKAY:
+            blocks, _ = vlapic.mmio_access(gpa, qual.write, result.value)
+            hv.cov_all(blocks)
+        elif result.outcome is EmulationOutcome.EXCEPTION:
+            inject_ud(hv, vcpu)
+            return
+        advance_rip(hv, vcpu)
+        return
+
+    if _is_device_mmio(gpa):
+        hv.cov(BLK_EPT_MMIO)
+        result = emulate_current_instruction(hv, vcpu)
+        if result.outcome is EmulationOutcome.OKAY:
+            hv.cov(BLK_MMIO_DISPATCH)
+        elif result.outcome is EmulationOutcome.EXCEPTION:
+            inject_ud(hv, vcpu)
+            return
+        advance_rip(hv, vcpu)
+        return
+
+    if gpa >= domain.memory.size_bytes:
+        # Beyond the p2m entirely: a guest bug (or a mutated GPA field).
+        hv.cov(BLK_EPT_BAD_GPA)
+        hv.log.error(
+            f"d{domain.domid}: EPT violation at impossible GPA {gpa:#x}"
+        )
+        domain.domain_crash(f"EPT violation beyond p2m: {gpa:#x}")
+        return
+
+    entry = domain.ept.lookup(gpa >> 12)
+    if entry is None:
+        # Populate-on-demand: allocate and map the frame.
+        hv.cov(BLK_EPT_POD)
+        domain.memory.populate(gpa >> 12)
+        domain.ept.map_page(gpa >> 12, mfn=0x100000 + (gpa >> 12),
+                            access=EptAccess.rwx())
+    else:
+        # The frame is mapped but the access violated its permissions.
+        hv.cov(BLK_EPT_PERM)
+        domain.ept.protect_page(gpa >> 12, EptAccess.rwx())
+    # The faulting access is re-executed after the entry is fixed:
+    # no RIP advance, exactly like the real handler.
+
+
+def handle_ept_misconfig(hv, vcpu: Vcpu) -> None:
+    """Reason 49: EPT misconfiguration (always MMIO fast-path in Xen)."""
+    hv.cov(BLK_EPT_MISCONFIG)
+    result = emulate_current_instruction(hv, vcpu)
+    if result.outcome is EmulationOutcome.EXCEPTION:
+        inject_ud(hv, vcpu)
+        return
+    advance_rip(hv, vcpu)
+
+
+def handle_dt_access(hv, vcpu: Vcpu) -> None:
+    """Reasons 46/47: LGDT/SGDT/LLDT/LTR and friends.
+
+    These only exit when descriptor-table exiting is enabled; the
+    handler validates the new table/selector through guest memory.
+    """
+    hv.cov(BLK_DT_ACCESS)
+    info = hv.vmread(vcpu, VmcsField.VMX_INSTRUCTION_INFO)
+    is_store = bool(info & (1 << 29))
+    if is_store:
+        hv.cov(BLK_DT_STORE)
+        advance_rip(hv, vcpu)
+        return
+    hv.cov(BLK_DT_LOAD)
+    selector = hv.vmread(vcpu, VmcsField.GUEST_LDTR_SELECTOR)
+    if selector:
+        descriptor, walked = load_descriptor(hv, vcpu, selector)
+        if walked and descriptor is not None and not descriptor.present:
+            inject_gp(hv, vcpu)
+            return
+    advance_rip(hv, vcpu)

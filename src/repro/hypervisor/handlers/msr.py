@@ -1,0 +1,111 @@
+"""RDMSR/WRMSR handlers (reasons 31/32).
+
+Xen's ``hvm_msr_read_intercept``/``hvm_msr_write_intercept``: look up
+the MSR index from RCX, route to per-MSR-class emulation, inject #GP on
+architectural violations (unknown MSR, reserved bits, read-only MSR).
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator
+from repro.hypervisor.handlers.common import advance_rip, inject_gp
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.msr import Msr, MsrAccessError
+from repro.x86.registers import GPR
+
+_alloc = BlockAllocator("arch/x86/hvm/vmsr.c")
+
+BLK_RDMSR_COMMON = _alloc.block(7)
+BLK_WRMSR_COMMON = _alloc.block(8)
+BLK_MSR_GP = _alloc.block(5)  # #GP injection path
+
+#: Per-MSR-class emulation blocks.
+_CLASS_BLOCKS = {
+    "apic_base": _alloc.block(6),
+    "efer": _alloc.block(8),
+    "pat": _alloc.block(5),
+    "sysenter": _alloc.block(4),
+    "misc": _alloc.block(4),
+    "mtrr": _alloc.block(5),
+    "tsc": _alloc.block(5),
+    "spec_ctrl": _alloc.block(4),
+    "star": _alloc.block(5),
+    "fs_gs_base": _alloc.block(4),
+    "debugctl": _alloc.block(4),
+    "other": _alloc.block(4),
+}
+
+_MSR_CLASSES: dict[int, str] = {
+    int(Msr.IA32_APIC_BASE): "apic_base",
+    int(Msr.IA32_EFER): "efer",
+    int(Msr.IA32_PAT): "pat",
+    int(Msr.IA32_SYSENTER_CS): "sysenter",
+    int(Msr.IA32_SYSENTER_ESP): "sysenter",
+    int(Msr.IA32_SYSENTER_EIP): "sysenter",
+    int(Msr.IA32_MISC_ENABLE): "misc",
+    int(Msr.IA32_MTRRCAP): "mtrr",
+    int(Msr.IA32_MTRR_DEF_TYPE): "mtrr",
+    int(Msr.IA32_TSC): "tsc",
+    int(Msr.IA32_TSC_DEADLINE): "tsc",
+    int(Msr.IA32_TSC_AUX): "tsc",
+    int(Msr.IA32_SPEC_CTRL): "spec_ctrl",
+    int(Msr.IA32_STAR): "star",
+    int(Msr.IA32_LSTAR): "star",
+    int(Msr.IA32_CSTAR): "star",
+    int(Msr.IA32_FMASK): "star",
+    int(Msr.IA32_FS_BASE): "fs_gs_base",
+    int(Msr.IA32_GS_BASE): "fs_gs_base",
+    int(Msr.IA32_KERNEL_GS_BASE): "fs_gs_base",
+    int(Msr.IA32_DEBUGCTL): "debugctl",
+}
+
+
+def _class_block(msr: int):
+    return _CLASS_BLOCKS[_MSR_CLASSES.get(msr, "other")]
+
+
+def handle_rdmsr(hv, vcpu: Vcpu) -> None:
+    """Reason 31: RDMSR — index in RCX, result in RDX:RAX."""
+    hv.cov(BLK_RDMSR_COMMON)
+    msr = vcpu.regs.read_gpr(GPR.RCX) & 0xFFFFFFFF
+    try:
+        value = vcpu.msrs.read(msr)
+    except MsrAccessError:
+        hv.cov(BLK_MSR_GP)
+        inject_gp(hv, vcpu)
+        return
+    hv.cov(_class_block(msr))
+    if msr == int(Msr.IA32_TSC):
+        value = hv.clock.now
+    vcpu.regs.write_gpr(GPR.RAX, value & 0xFFFFFFFF)
+    vcpu.regs.write_gpr(GPR.RDX, value >> 32)
+    advance_rip(hv, vcpu)
+
+
+def handle_wrmsr(hv, vcpu: Vcpu) -> None:
+    """Reason 32: WRMSR — index in RCX, value in RDX:RAX."""
+    hv.cov(BLK_WRMSR_COMMON)
+    msr = vcpu.regs.read_gpr(GPR.RCX) & 0xFFFFFFFF
+    value = (
+        vcpu.regs.read_gpr(GPR.RDX) << 32
+    ) | (vcpu.regs.read_gpr(GPR.RAX) & 0xFFFFFFFF)
+    try:
+        vcpu.msrs.write(msr, value)
+    except MsrAccessError:
+        hv.cov(BLK_MSR_GP)
+        inject_gp(hv, vcpu)
+        return
+    hv.cov(_class_block(msr))
+    if msr == int(Msr.IA32_EFER):
+        # Keep the VMCS guest-EFER field coherent; LMA follows LME&PG.
+        cr0 = hv.vmread(vcpu, VmcsField.GUEST_CR0)
+        if (value & (1 << 8)) and (cr0 & (1 << 31)):
+            value |= 1 << 10
+        hv.vmwrite(vcpu, VmcsField.GUEST_IA32_EFER, value)
+    if msr == int(Msr.IA32_APIC_BASE):
+        # Relocating or disabling the APIC changes MMIO routing.
+        vlapic = hv.vlapic(vcpu)
+        vlapic.base = value & 0xFFFFFF000
+        vlapic.enabled = bool(value & (1 << 11))
+    advance_rip(hv, vcpu)

@@ -1,0 +1,134 @@
+"""System-event handlers: task switch, APICv accesses, TPR threshold,
+RDPMC, and guest VMX instructions.
+
+The task-switch handler is a second guest-memory-dependent path (the
+TSS must be read out of guest memory, like the descriptor walks), and
+the guest-VMX arm models Xen-without-nested-virt: a guest executing
+VMXON and friends gets #UD.
+"""
+
+from __future__ import annotations
+
+from repro.hypervisor.coverage import BlockAllocator
+from repro.hypervisor.handlers.common import (
+    advance_rip,
+    inject_gp,
+    inject_ud,
+)
+from repro.hypervisor.memory import HvmCopyResult
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.registers import GPR, Cr4
+
+_alloc = BlockAllocator("arch/x86/hvm/hvm.c", first_line=4000)
+_vmx = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=6000)
+
+BLK_TASK_SWITCH = _alloc.block(11)  # hvm_task_switch entry
+BLK_TSS_READ = _alloc.block(9)  # TSS loaded from guest memory
+BLK_TSS_READ_FAIL = _alloc.block(5)  # unreadable TSS
+BLK_TSS_BAD = _alloc.block(6)  # malformed TSS -> #TS injection
+BLK_APIC_ACCESS = _vmx.block(8)  # APICv virtualized access
+BLK_APIC_ACCESS_BAD_OFFSET = _vmx.block(4)
+BLK_TPR_THRESHOLD = _vmx.block(6)
+BLK_RDPMC = _vmx.block(5)
+BLK_RDPMC_GP = _vmx.block(3)
+BLK_GUEST_VMX = _vmx.block(5)  # nested VMX refused -> #UD
+
+#: Minimal 32-bit TSS size the task-switch path validates against.
+TSS_MIN_LIMIT = 0x67
+
+
+def handle_task_switch(hv, vcpu: Vcpu) -> None:
+    """Reason 9: task switch.
+
+    The qualification carries the target TSS selector; the handler
+    walks the guest's GDT-resident TSS — a guest-memory dependence that
+    behaves exactly like the descriptor loads under replay.
+    """
+    hv.cov(BLK_TASK_SWITCH)
+    qualification = hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    selector = qualification & 0xFFFF
+    gdtr_base = hv.vmread(vcpu, VmcsField.GUEST_GDTR_BASE)
+    tss_address = gdtr_base + (selector >> 3) * 8
+
+    hv.clock.charge("guest_mem_access")
+    assert vcpu.domain is not None
+    status, raw = vcpu.domain.memory.hvm_copy_from_guest(
+        tss_address, 8
+    )
+    if status is not HvmCopyResult.OKAY or raw == b"\x00" * 8:
+        hv.cov(BLK_TSS_READ_FAIL)
+        # Xen fails the emulation and injects #TS back to the guest.
+        inject_gp(hv, vcpu)
+        return
+    hv.cov(BLK_TSS_READ)
+    limit = int.from_bytes(raw[:2], "little")
+    if limit < TSS_MIN_LIMIT:
+        hv.cov(BLK_TSS_BAD)
+        inject_gp(hv, vcpu)
+        return
+    # Commit the new task register; the guest continues at the new
+    # context (the VMCS TR fields are guest state -> recorded writes).
+    hv.vmwrite(vcpu, VmcsField.GUEST_TR_SELECTOR, selector)
+    hv.vmwrite(vcpu, VmcsField.GUEST_TR_AR_BYTES, 0x8B)  # busy TSS
+
+
+def handle_apic_access(hv, vcpu: Vcpu) -> None:
+    """Reason 44: APIC-access (APICv page virtualization).
+
+    Unlike the EPT-violation route, the offset arrives directly in the
+    qualification — no instruction emulation, hence no guest-memory
+    dependence: this path replays exactly.
+    """
+    hv.cov(BLK_APIC_ACCESS)
+    qualification = hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    offset = qualification & 0xFFF
+    access_type = (qualification >> 12) & 0xF
+    if access_type > 3:
+        hv.cov(BLK_APIC_ACCESS_BAD_OFFSET)
+        hv.bug_on(
+            True,
+            f"vmx_apic_access: impossible access type {access_type}",
+        )
+    vlapic = hv.vlapic(vcpu)
+    is_write = access_type == 1
+    blocks, _ = vlapic.mmio_access(
+        vlapic.base + offset, is_write,
+        value=vcpu.regs.read_gpr(GPR.RAX) if is_write else 0,
+    )
+    hv.cov_all(blocks)
+    advance_rip(hv, vcpu)
+
+
+def handle_tpr_below_threshold(hv, vcpu: Vcpu) -> None:
+    """Reason 43: TPR dropped below the threshold — sync and clear."""
+    hv.cov(BLK_TPR_THRESHOLD)
+    vlapic = hv.vlapic(vcpu)
+    tpr = vlapic.regs.get(0x80, 0)
+    hv.vmwrite(vcpu, VmcsField.TPR_THRESHOLD, tpr & 0xF)
+    # No RIP advance: the exit is asynchronous to the guest.
+
+
+def handle_rdpmc(hv, vcpu: Vcpu) -> None:
+    """Reason 15: RDPMC — #GP unless CR4.PCE allows user access."""
+    cr4 = hv.vmread(vcpu, VmcsField.GUEST_CR4)
+    ss_ar = hv.vmread(vcpu, VmcsField.GUEST_SS_AR_BYTES)
+    cpl = (ss_ar >> 5) & 0x3
+    if cpl and not (cr4 & Cr4.PCE):
+        hv.cov(BLK_RDPMC_GP)
+        inject_gp(hv, vcpu)
+        return
+    hv.cov(BLK_RDPMC)
+    vcpu.regs.write_gpr(GPR.RAX, 0)
+    vcpu.regs.write_gpr(GPR.RDX, 0)
+    advance_rip(hv, vcpu)
+
+
+def handle_guest_vmx_instruction(hv, vcpu: Vcpu) -> None:
+    """Reasons 19-27/50/53: guest VMX instructions.
+
+    The modelled deployment does not offer nested virtualization, so
+    Xen injects #UD — the same policy its CR4.VMXE rejection follows.
+    """
+    hv.cov(BLK_GUEST_VMX)
+    inject_ud(hv, vcpu)

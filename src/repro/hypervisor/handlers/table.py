@@ -1,0 +1,68 @@
+"""Routing table construction: exit reason -> handler."""
+
+from __future__ import annotations
+
+from repro.hypervisor.dispatch import HandlerTable
+from repro.hypervisor.handlers import (
+    cpu_insns,
+    cr_access,
+    interrupts,
+    io_instr,
+    memory_events,
+    msr,
+    system_events,
+)
+from repro.vmx.exit_reasons import ExitReason
+
+
+def build_handler_table() -> HandlerTable:
+    """Build the full exit-reason routing table of the simulated Xen."""
+    table = HandlerTable()
+    register = table.register
+
+    register(ExitReason.EXCEPTION_NMI, interrupts.handle_exception_nmi)
+    register(ExitReason.EXTERNAL_INTERRUPT,
+             interrupts.handle_external_interrupt)
+    register(ExitReason.TRIPLE_FAULT, interrupts.handle_triple_fault)
+    register(ExitReason.INTERRUPT_WINDOW,
+             interrupts.handle_interrupt_window)
+    register(ExitReason.NMI_WINDOW, interrupts.handle_nmi_window)
+    register(ExitReason.CPUID, cpu_insns.handle_cpuid)
+    register(ExitReason.HLT, cpu_insns.handle_hlt)
+    register(ExitReason.INVD, cpu_insns.handle_invd)
+    register(ExitReason.INVLPG, cpu_insns.handle_invlpg)
+    register(ExitReason.RDTSC, cpu_insns.handle_rdtsc)
+    register(ExitReason.RDTSCP, cpu_insns.handle_rdtscp)
+    register(ExitReason.VMCALL, cpu_insns.handle_vmcall)
+    register(ExitReason.CR_ACCESS, cr_access.handle_cr_access)
+    register(ExitReason.DR_ACCESS, interrupts.handle_dr_access)
+    register(ExitReason.IO_INSTRUCTION, io_instr.handle_io_instruction)
+    register(ExitReason.RDMSR, msr.handle_rdmsr)
+    register(ExitReason.WRMSR, msr.handle_wrmsr)
+    register(ExitReason.MWAIT, cpu_insns.handle_mwait)
+    register(ExitReason.MONITOR, cpu_insns.handle_monitor)
+    register(ExitReason.PAUSE, cpu_insns.handle_pause)
+    register(ExitReason.GDTR_IDTR_ACCESS, memory_events.handle_dt_access)
+    register(ExitReason.LDTR_TR_ACCESS, memory_events.handle_dt_access)
+    register(ExitReason.EPT_VIOLATION, memory_events.handle_ept_violation)
+    register(ExitReason.EPT_MISCONFIG, memory_events.handle_ept_misconfig)
+    register(ExitReason.PREEMPTION_TIMER,
+             interrupts.handle_preemption_timer)
+    register(ExitReason.WBINVD, cpu_insns.handle_wbinvd)
+    register(ExitReason.XSETBV, cpu_insns.handle_xsetbv)
+    register(ExitReason.TASK_SWITCH,
+             system_events.handle_task_switch)
+    register(ExitReason.APIC_ACCESS,
+             system_events.handle_apic_access)
+    register(ExitReason.TPR_BELOW_THRESHOLD,
+             system_events.handle_tpr_below_threshold)
+    register(ExitReason.RDPMC, system_events.handle_rdpmc)
+    for vmx_insn in (
+        ExitReason.VMCLEAR, ExitReason.VMLAUNCH, ExitReason.VMPTRLD,
+        ExitReason.VMPTRST, ExitReason.VMREAD, ExitReason.VMRESUME,
+        ExitReason.VMWRITE, ExitReason.VMXOFF, ExitReason.VMXON,
+        ExitReason.INVEPT, ExitReason.INVVPID,
+    ):
+        register(vmx_insn,
+                 system_events.handle_guest_vmx_instruction)
+    return table

@@ -1,0 +1,82 @@
+"""Hypercall surface, including IRIS's ``xc_vmcs_fuzzing`` backend.
+
+The paper implements the manager as "a backend driver at the hypervisor
+level" reached through a dedicated hypercall (§V-C).  Here the hypercall
+numbers follow Xen's table, and :class:`HypercallRouter` lets the IRIS
+manager register the fuzzing backend while ordinary guest hypercalls
+(sched_op, event_channel_op, ...) get benign default behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hypervisor.vcpu import Vcpu
+from repro.x86.registers import GPR
+
+
+class XcVmcsFuzzingOp(enum.IntEnum):
+    """Sub-operations of the ``xc_vmcs_fuzzing`` hypercall (RDI)."""
+
+    ENABLE_RECORD = 0
+    DISABLE_RECORD = 1
+    ENABLE_REPLAY = 2
+    DISABLE_REPLAY = 3
+    FETCH_SEEDS = 4
+    FETCH_METRICS = 5
+    SUBMIT_SEED = 6
+    STATUS = 7
+
+
+#: The hypercall number IRIS claims (one past Xen's last stable number).
+XC_VMCS_FUZZING_NR = 39
+
+#: -ENOSYS as an unsigned 64-bit return value.
+ENOSYS = (1 << 64) - 38
+#: -EINVAL.
+EINVAL = (1 << 64) - 22
+
+
+@dataclass
+class HypercallRouter:
+    """Dispatches hypercall numbers to backends.
+
+    A backend receives ``(vcpu, args)`` where args are RDI/RSI/RDX in
+    Xen's HVM calling convention, and returns the RAX result.
+    """
+
+    backends: dict[int, Callable[[Vcpu, tuple[int, int, int]], int]] = (
+        field(default_factory=dict)
+    )
+    calls: list[tuple[int, int]] = field(default_factory=list)
+
+    def register(
+        self,
+        number: int,
+        backend: Callable[[Vcpu, tuple[int, int, int]], int],
+    ) -> None:
+        if number in self.backends:
+            raise ValueError(f"hypercall {number} already has a backend")
+        self.backends[number] = backend
+
+    def unregister(self, number: int) -> None:
+        self.backends.pop(number, None)
+
+    def dispatch(self, vcpu: Vcpu, number: int) -> int:
+        """Run a hypercall; returns the RAX value and records the call."""
+        args = (
+            vcpu.regs.read_gpr(GPR.RDI),
+            vcpu.regs.read_gpr(GPR.RSI),
+            vcpu.regs.read_gpr(GPR.RDX),
+        )
+        self.calls.append((number, args[0]))
+        backend = self.backends.get(number)
+        if backend is None:
+            # Known-but-unbacked hypercalls succeed benignly; the guest
+            # kernel issues them during boot (sched_op, vcpu_op, ...).
+            return 0
+        result = backend(vcpu, args)
+        vcpu.regs.write_gpr(GPR.RAX, result)
+        return result

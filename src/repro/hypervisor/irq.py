@@ -1,0 +1,78 @@
+"""Interrupt routing ("irq.c"): virtual PIC/IOAPIC glue.
+
+Routes device interrupts (platform timer, emulated devices) into the
+per-vCPU vlapic and handles the guest's PIC programming via port I/O.
+Runs both synchronously (EXTERNAL INTERRUPT exits, PIC port accesses)
+and asynchronously (assertion of pending lines after a timer fires) —
+the third coverage-noise source of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.coverage import BlockAllocator, SourceBlock
+
+_alloc = BlockAllocator("arch/x86/hvm/irq.c")
+
+BLK_ASSERT_IRQ = _alloc.block(4)  # hvm_isa_irq_assert
+BLK_DEASSERT = _alloc.block(4)
+BLK_PIC_PROGRAM = _alloc.block(10)  # i8259 init/OCW words
+BLK_PIC_MASK = _alloc.block(5)
+BLK_PIC_READ = _alloc.block(4)
+BLK_ROUTE_TO_VLAPIC = _alloc.block(5)  # via IOAPIC redirection
+BLK_EOI_PROPAGATE = _alloc.block(6)
+BLK_SPURIOUS = _alloc.block(5)
+
+
+@dataclass
+class VirtualIrqController:
+    """Per-domain interrupt controller state (i8259 pair + routing)."""
+
+    #: i8259 registers keyed by port (0x20/0x21 master, 0xA0/0xA1 slave).
+    pic_regs: dict[int, int] = field(default_factory=dict)
+    #: ISA IRQ lines currently asserted.
+    asserted: set[int] = field(default_factory=set)
+    assert_count: int = 0
+
+    def pic_write(self, port: int, value: int) -> list[SourceBlock]:
+        """Guest programming a PIC register via OUT."""
+        self.pic_regs[port] = value & 0xFF
+        blocks = [BLK_PIC_PROGRAM]
+        if port in (0x21, 0xA1):  # data port writes are mask updates
+            blocks.append(BLK_PIC_MASK)
+        return blocks
+
+    def pic_read(self, port: int) -> tuple[int, list[SourceBlock]]:
+        return self.pic_regs.get(port, 0), [BLK_PIC_READ]
+
+    def assert_line(self, irq: int) -> list[SourceBlock]:
+        """Assert an ISA IRQ and route it towards the vlapic."""
+        self.assert_count += 1
+        blocks = [BLK_ASSERT_IRQ]
+        if irq in self.asserted:
+            blocks.append(BLK_SPURIOUS)
+        else:
+            self.asserted.add(irq)
+            blocks.append(BLK_ROUTE_TO_VLAPIC)
+        return blocks
+
+    def deassert_line(self, irq: int) -> list[SourceBlock]:
+        self.asserted.discard(irq)
+        return [BLK_DEASSERT]
+
+    def eoi(self, irq: int) -> list[SourceBlock]:
+        self.asserted.discard(irq)
+        return [BLK_EOI_PROPAGATE]
+
+    def snapshot(self) -> dict:
+        return {
+            "pic_regs": dict(self.pic_regs),
+            "asserted": sorted(self.asserted),
+            "assert_count": self.assert_count,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.pic_regs = dict(state["pic_regs"])
+        self.asserted = set(state["asserted"])
+        self.assert_count = state["assert_count"]

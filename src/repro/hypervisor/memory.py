@@ -1,0 +1,188 @@
+"""Guest physical memory plus the hypervisor's guest-memory accessors.
+
+IRIS deliberately does **not** record guest memory (paper §IV-A); the
+handlers that dereference it anyway — the instruction emulator fetching
+code bytes, descriptor-table walks through GDTR/LDTR bases — are exactly
+where replay diverges (§VI-B, the >30-LOC cases).  This module provides
+both the sparse page store and Xen's ``hvm_copy_from_guest`` /
+``hvm_copy_to_guest`` analogues the handlers use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+class HvmCopyResult(enum.Enum):
+    """Return codes of the guest-memory copy routines (Xen HVMTRANS_*)."""
+
+    OKAY = "okay"
+    BAD_GFN = "bad_gfn_to_mfn"  # page not populated
+    BAD_LINEAR = "bad_linear_to_gfn"  # translation failed
+
+
+class GuestMemory:
+    """Sparse guest-physical memory for one domain.
+
+    ``background_pattern`` models a domain whose RAM has *contents we
+    did not record*: the paper's dummy VM is a live Linux DomU, so the
+    hypervisor's guest-memory reads there succeed but return that VM's
+    own (different) bytes.  When set, hypervisor-side copies from
+    unpopulated pages return the repeating pattern instead of failing —
+    the partial-divergence behaviour behind Fig. 6/7.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 1 << 30,
+        background_pattern: bytes | None = None,
+    ) -> None:
+        if size_bytes % PAGE_SIZE:
+            raise ValueError("memory size must be page-aligned")
+        if background_pattern is not None and not background_pattern:
+            raise ValueError("background pattern cannot be empty")
+        self.size_bytes = size_bytes
+        self.background_pattern = background_pattern
+        self._pages: dict[int, bytearray] = {}
+
+    # ---- page management ------------------------------------------
+
+    def populate(self, gfn: int) -> bytearray:
+        """Allocate (zeroed) backing for a guest frame."""
+        page = self._pages.get(gfn)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[gfn] = page
+        return page
+
+    def is_populated(self, gfn: int) -> bool:
+        return gfn in self._pages
+
+    def populated_gfns(self) -> frozenset[int]:
+        return frozenset(self._pages)
+
+    def drop_all(self) -> None:
+        """Release every page (the dummy VM starts with empty memory)."""
+        self._pages.clear()
+
+    # ---- byte-level access ------------------------------------------
+
+    def _check_range(self, gpa: int, length: int) -> None:
+        if gpa < 0 or length < 0 or gpa + length > self.size_bytes:
+            raise ValueError(
+                f"access [{gpa:#x}, {gpa + length:#x}) outside guest "
+                f"memory of {self.size_bytes:#x} bytes"
+            )
+
+    def write(self, gpa: int, data: bytes) -> None:
+        """Write bytes, populating pages on demand (guest-side store)."""
+        self._check_range(gpa, len(data))
+        offset = 0
+        while offset < len(data):
+            gfn = (gpa + offset) >> PAGE_SHIFT
+            page = self.populate(gfn)
+            page_off = (gpa + offset) & (PAGE_SIZE - 1)
+            chunk = min(len(data) - offset, PAGE_SIZE - page_off)
+            page[page_off:page_off + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    def read(self, gpa: int, length: int) -> bytes:
+        """Read bytes; unpopulated pages read as zeroes (guest-side)."""
+        self._check_range(gpa, length)
+        out = bytearray()
+        offset = 0
+        while offset < length:
+            gfn = (gpa + offset) >> PAGE_SHIFT
+            page_off = (gpa + offset) & (PAGE_SIZE - 1)
+            chunk = min(length - offset, PAGE_SIZE - page_off)
+            page = self._pages.get(gfn)
+            if page is None:
+                out.extend(b"\x00" * chunk)
+            else:
+                out.extend(page[page_off:page_off + chunk])
+            offset += chunk
+        return bytes(out)
+
+    def write_u64(self, gpa: int, value: int) -> None:
+        self.write(gpa, (value & (1 << 64) - 1).to_bytes(8, "little"))
+
+    def read_u64(self, gpa: int) -> int:
+        return int.from_bytes(self.read(gpa, 8), "little")
+
+    # ---- hypervisor-side accessors -----------------------------------
+
+    def hvm_copy_from_guest(
+        self, gpa: int, length: int
+    ) -> tuple[HvmCopyResult, bytes]:
+        """Xen's ``hvm_copy_from_guest_phys``: fails on unpopulated pages.
+
+        Unlike guest-side :meth:`read`, the hypervisor distinguishes "the
+        guest never touched this page" from "zero bytes" — this is the
+        signal the emulator's replay-divergence paths key on.
+        """
+        try:
+            self._check_range(gpa, length)
+        except ValueError:
+            return (HvmCopyResult.BAD_LINEAR, b"")
+        first_gfn = gpa >> PAGE_SHIFT
+        last_gfn = (gpa + max(length - 1, 0)) >> PAGE_SHIFT
+        for gfn in range(first_gfn, last_gfn + 1):
+            if gfn not in self._pages:
+                if self.background_pattern is not None:
+                    return (
+                        HvmCopyResult.OKAY,
+                        self._pattern_bytes(gpa, length),
+                    )
+                return (HvmCopyResult.BAD_GFN, b"")
+        return (HvmCopyResult.OKAY, self.read(gpa, length))
+
+    def _pattern_bytes(self, gpa: int, length: int) -> bytes:
+        """Phase-stable slice of the background pattern at ``gpa``."""
+        pattern = self.background_pattern or b"\x00"
+        start = gpa % len(pattern)
+        repeated = pattern * (length // len(pattern) + 2)
+        return repeated[start:start + length]
+
+    def hvm_copy_to_guest(self, gpa: int, data: bytes) -> HvmCopyResult:
+        """Xen's ``hvm_copy_to_guest_phys`` analogue."""
+        try:
+            self._check_range(gpa, len(data))
+        except ValueError:
+            return HvmCopyResult.BAD_LINEAR
+        self.write(gpa, data)
+        return HvmCopyResult.OKAY
+
+    # ---- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> dict[int, bytes]:
+        return {gfn: bytes(page) for gfn, page in self._pages.items()}
+
+    def restore(self, pages: dict[int, bytes]) -> None:
+        self._pages = {gfn: bytearray(data) for gfn, data in pages.items()}
+
+
+@dataclass
+class SharedMemoryArea:
+    """The IRIS shared-memory export area (paper §V-A).
+
+    The real implementation exports the coverage bitmap and seed buffers
+    to the guest through a shared page; the model keeps typed slots with
+    the same life cycle (hypervisor writes, tools read).
+    """
+
+    slots: dict[str, object] = field(default_factory=dict)
+
+    def publish(self, key: str, value: object) -> None:
+        self.slots[key] = value
+
+    def fetch(self, key: str) -> object:
+        if key not in self.slots:
+            raise KeyError(f"shared-memory slot {key!r} is empty")
+        return self.slots[key]
+
+    def clear(self) -> None:
+        self.slots.clear()

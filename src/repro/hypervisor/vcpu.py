@@ -1,0 +1,94 @@
+"""The virtual CPU abstraction (Xen's ``struct vcpu`` analogue).
+
+A vCPU bundles the architectural register state the hypervisor keeps in
+its own structures (GPRs — the paper's seed GPR area), the VMCS that
+holds the hardware-switched state, the per-vCPU VMX logical-processor
+model, and the hypervisor's *cached* abstractions of guest state (the
+"internal variables" of paper Fig. 2, most importantly the cached guest
+operating mode that the "bad RIP for mode 0" crash check consults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.x86.cpumodes import OperatingMode, classify_cr0
+from repro.x86.msr import MsrFile
+from repro.x86.registers import GPR, RegisterFile
+from repro.vmx.vmcs import Vmcs
+from repro.vmx.vmcs_fields import VmcsField
+from repro.vmx.vmx_ops import VmxCpu
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.domain import Domain
+
+
+@dataclass
+class HvmVcpuState:
+    """Hypervisor-side cached guest abstractions (Fig. 2's "internal
+    variables")."""
+
+    #: Cached guest operating mode; starts at MODE0 ("no state"), the
+    #: mode Xen's crash log names when a replayed protected-mode seed
+    #: arrives before any boot happened (paper §VI-B).
+    guest_mode: OperatingMode = OperatingMode.MODE0
+    #: The real CR0 the hypervisor believes the guest runs with; updated
+    #: only after the relevant exits complete successfully (§III).
+    hw_cr0: int = 0
+    hw_cr4: int = 0
+    #: Guest CR3 cache (used for the paging-enable path).
+    guest_cr3: int = 0
+    #: Pending event injection (vector, type) for the next VM entry.
+    pending_event: tuple[int, int] | None = None
+    #: Count of events injected so far (intr.c bookkeeping).
+    injected_events: int = 0
+    #: I/O request in flight to the device model (io.c state machine).
+    io_pending: bool = False
+    #: Monotonic count of handled exits for this vCPU.
+    exit_count: int = 0
+
+
+@dataclass
+class Vcpu:
+    """One virtual CPU bound 1:1 to a physical CPU (paper §VI setup)."""
+
+    vcpu_id: int
+    vmcs_address: int
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    msrs: MsrFile = field(default_factory=MsrFile)
+    vmx: VmxCpu = field(default_factory=VmxCpu)
+    hvm: HvmVcpuState = field(default_factory=HvmVcpuState)
+    domain: "Domain | None" = None
+    #: Set once the vCPU has been torn down by a crash.
+    dead: bool = False
+
+    def __post_init__(self) -> None:
+        self.vmx.vmxon(0x1000)  # per-pCPU VMXON region
+        self.vmx.allocate_vmcs(self.vmcs_address)
+
+    @property
+    def vmcs(self) -> Vmcs:
+        vmcs = self.vmx.regions[self.vmcs_address]
+        return vmcs
+
+    def save_guest_gprs(self) -> dict[GPR, int]:
+        """What the VM-exit assembly stub stores into ``struct vcpu``."""
+        return self.regs.snapshot_gprs()
+
+    def sync_mode_from_cr0(self, cr0: int) -> OperatingMode:
+        """Update the cached guest mode from a committed CR0 value."""
+        self.hvm.hw_cr0 = cr0
+        self.hvm.guest_mode = classify_cr0(cr0)
+        return self.hvm.guest_mode
+
+    def guest_rip(self) -> int:
+        """Guest RIP as stored in the VMCS (raw read, no hooks)."""
+        return self.vmcs.read(VmcsField.GUEST_RIP)
+
+    def describe(self) -> str:
+        dom = self.domain.domid if self.domain is not None else "?"
+        return (
+            f"d{dom}v{self.vcpu_id} mode={self.hvm.guest_mode.name} "
+            f"exits={self.hvm.exit_count}"
+        )

@@ -1,0 +1,155 @@
+"""Virtual local APIC ("vlapic.c").
+
+Two roles, both visible in the paper's data:
+
+* synchronous: APIC MMIO accesses from the guest arrive as EPT
+  violations against the APIC page and are emulated here;
+* asynchronous: the vlapic timer fires on its own schedule relative to
+  the TSC, running vlapic code *during* unrelated VM exits.  Because
+  record and replay advance time differently, the interrupted exits
+  differ — this is the 1-30 LOC "noise to filter out" of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.coverage import BlockAllocator, SourceBlock
+
+_alloc = BlockAllocator("arch/x86/hvm/vlapic.c")
+
+#: Synchronous MMIO emulation paths.
+BLK_MMIO_READ = _alloc.block(10)
+BLK_MMIO_WRITE = _alloc.block(12)
+BLK_REG_ID = _alloc.block(4)
+BLK_REG_VERSION = _alloc.block(3)
+BLK_REG_TPR = _alloc.block(6)
+BLK_REG_EOI = _alloc.block(7)
+BLK_REG_LDR = _alloc.block(4)
+BLK_REG_SVR = _alloc.block(5)
+BLK_REG_ICR = _alloc.block(11)
+BLK_REG_LVT_TIMER = _alloc.block(8)
+BLK_REG_LVT_LINT = _alloc.block(6)
+BLK_REG_TIMER_ICT = _alloc.block(7)
+BLK_REG_TIMER_DCR = _alloc.block(5)
+BLK_REG_UNKNOWN = _alloc.block(4)
+#: Asynchronous timer paths (the Fig. 7 noise).
+BLK_TIMER_FIRE = _alloc.block(5)
+BLK_SET_IRQ = _alloc.block(4)
+BLK_UPDATE_PPR = _alloc.block(3)
+#: Error path: APIC state corrupted (fuzzer-reachable panic).
+BLK_BAD_STATE = _alloc.block(6)
+
+#: APIC register offsets within the 4 KiB APIC page.
+APIC_REGS: dict[int, SourceBlock] = {
+    0x020: BLK_REG_ID,
+    0x030: BLK_REG_VERSION,
+    0x080: BLK_REG_TPR,
+    0x0B0: BLK_REG_EOI,
+    0x0D0: BLK_REG_LDR,
+    0x0F0: BLK_REG_SVR,
+    0x300: BLK_REG_ICR,
+    0x320: BLK_REG_LVT_TIMER,
+    0x350: BLK_REG_LVT_LINT,
+    0x360: BLK_REG_LVT_LINT,
+    0x380: BLK_REG_TIMER_ICT,
+    0x3E0: BLK_REG_TIMER_DCR,
+}
+
+#: Default APIC MMIO base (IA32_APIC_BASE reset value).
+APIC_DEFAULT_BASE = 0xFEE00000
+
+#: Timer period in TSC cycles (~0.7 ms at 3.6 GHz — a 1.4 kHz-ish local
+#: timer, dense enough to interrupt a visible fraction of exits).
+VLAPIC_TIMER_PERIOD = 2_500_000
+
+
+@dataclass
+class Vlapic:
+    """Per-vCPU virtual local APIC."""
+
+    vcpu_id: int
+    base: int = APIC_DEFAULT_BASE
+    enabled: bool = True
+    #: register file: offset -> value
+    regs: dict[int, int] = field(default_factory=dict)
+    #: pending vectors awaiting injection
+    irr: list[int] = field(default_factory=list)
+    #: timer period; a tickless-idle guest masks the LVT timer, which
+    #: the model expresses by stretching this period.
+    period: int = VLAPIC_TIMER_PERIOD
+    next_timer_due: int = VLAPIC_TIMER_PERIOD
+    timer_fires: int = 0
+
+    def contains(self, gpa: int) -> bool:
+        """True when a guest-physical address falls in the APIC page."""
+        return self.enabled and self.base <= gpa < self.base + 0x1000
+
+    def mmio_access(
+        self, gpa: int, is_write: bool, value: int = 0
+    ) -> tuple[list[SourceBlock], int]:
+        """Emulate an APIC register access.
+
+        Returns the instrumented blocks the access executed plus the
+        read value (0 for writes) — the caller records the coverage.
+        """
+        offset = (gpa - self.base) & 0xFFF
+        blocks = [BLK_MMIO_WRITE if is_write else BLK_MMIO_READ]
+        reg_block = APIC_REGS.get(offset & ~0xF)
+        if reg_block is None:
+            blocks.append(BLK_REG_UNKNOWN)
+            return blocks, 0
+        blocks.append(reg_block)
+        if is_write:
+            self.regs[offset & ~0xF] = value
+            if (offset & ~0xF) == 0x0B0:  # EOI completes the highest ISR
+                blocks.append(BLK_UPDATE_PPR)
+            if (offset & ~0xF) == 0x300:  # ICR may raise an IPI
+                blocks.append(BLK_SET_IRQ)
+            return blocks, 0
+        return blocks, self.regs.get(offset & ~0xF, 0)
+
+    def run_pending_timer(self, now: int) -> list[SourceBlock]:
+        """Fire the asynchronous vlapic timer if it is due.
+
+        Returns the blocks executed (empty when the timer is not due).
+        Catch-up is bounded so a long guest sleep fires once, like a
+        coalesced timer tick.
+        """
+        if now < self.next_timer_due:
+            return []
+        self.timer_fires += 1
+        vector = (self.regs.get(0x320, 0xEF)) & 0xFF
+        if vector not in self.irr:
+            self.irr.append(vector)
+        while self.next_timer_due <= now:
+            self.next_timer_due += self.period
+        return [BLK_TIMER_FIRE, BLK_SET_IRQ, BLK_UPDATE_PPR]
+
+    def ack_highest(self) -> tuple[int | None, list[SourceBlock]]:
+        """Deliver the highest-priority pending vector (for injection)."""
+        if not self.irr:
+            return None, []
+        vector = max(self.irr)
+        self.irr.remove(vector)
+        return vector, [BLK_UPDATE_PPR]
+
+    def snapshot(self) -> dict:
+        return {
+            "base": self.base,
+            "enabled": self.enabled,
+            "regs": dict(self.regs),
+            "irr": list(self.irr),
+            "period": self.period,
+            "next_timer_due": self.next_timer_due,
+            "timer_fires": self.timer_fires,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.base = state["base"]
+        self.enabled = state["enabled"]
+        self.regs = dict(state["regs"])
+        self.irr = list(state["irr"])
+        self.period = state.get("period", VLAPIC_TIMER_PERIOD)
+        self.next_timer_due = state["next_timer_due"]
+        self.timer_fires = state["timer_fires"]

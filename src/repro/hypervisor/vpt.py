@@ -1,0 +1,117 @@
+"""Virtual platform timers ("vpt.c"): PIT/HPET-style periodic timers.
+
+Like the vlapic timer, the platform timer runs on its own TSC-relative
+schedule and executes hypervisor code asynchronously with respect to VM
+exits — the second of the paper's three coverage-noise sources (Fig. 7
+attributes 1-30 LOC differences to vlapic.c, irq.c and vpt.c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.coverage import BlockAllocator, SourceBlock
+
+_alloc = BlockAllocator("arch/x86/hvm/vpt.c")
+
+BLK_PT_INTR = _alloc.block(5)  # pt_update_irq
+BLK_PT_PROCESS = _alloc.block(4)  # pt_process_missed_ticks
+BLK_PT_RESTART = _alloc.block(3)  # pt_timer restart/rearm
+BLK_PIT_PROGRAM = _alloc.block(9)  # PIT channel programming (port 0x43/0x40)
+BLK_PIT_READ = _alloc.block(5)  # PIT latch/read-back
+BLK_PT_BAD_PERIOD = _alloc.block(5)  # defensive path: absurd period
+
+#: PIT interrupt period in TSC cycles (100 Hz guest tick at 3.6 GHz).
+VPT_PERIOD = 36_000_000
+
+#: Reject periods below this (the real code rate-limits; the fuzzer can
+#: reach this path by corrupting the programmed counter).
+VPT_MIN_PERIOD = 3_600
+
+
+@dataclass
+class VirtualPlatformTimer:
+    """Per-domain platform timer state."""
+
+    period: int = VPT_PERIOD
+    next_due: int = VPT_PERIOD
+    pending_ticks: int = 0
+    fires: int = 0
+    #: PIT channel counters programmed via port I/O.
+    channels: dict[int, int] = field(default_factory=lambda: {0: 0xFFFF})
+    #: lobyte/hibyte latch state per channel (the counter ports are
+    #: 8-bit; a 16-bit reload is two consecutive writes).
+    _latch: dict[int, int | None] = field(default_factory=dict)
+
+    def write_control(self, value: int) -> list[SourceBlock]:
+        """Port 0x43: mode/command word — resets the byte latch."""
+        channel = (value >> 6) & 0x3
+        self._latch[channel] = None
+        return [BLK_PIT_PROGRAM]
+
+    def write_counter_byte(
+        self, channel: int, value: int
+    ) -> list[SourceBlock]:
+        """Ports 0x40-0x42: one byte of the 16-bit counter reload."""
+        value &= 0xFF
+        pending = self._latch.get(channel)
+        if pending is None:
+            self._latch[channel] = value
+            return [BLK_PIT_PROGRAM]
+        self._latch[channel] = None
+        return self.program_channel(channel, pending | (value << 8))
+
+    def program_channel(
+        self, channel: int, counter: int
+    ) -> list[SourceBlock]:
+        """Guest programmed a PIT channel (port 0x40+channel)."""
+        blocks = [BLK_PIT_PROGRAM]
+        if counter <= 0:
+            counter = 0x10000  # architectural wrap: 0 means 65536
+        self.channels[channel] = counter
+        if channel == 0:
+            # PIT runs at 1.193182 MHz; scale to TSC cycles at 3.6 GHz.
+            period = int(counter * (3.6e9 / 1.193182e6))
+            if period < VPT_MIN_PERIOD:
+                blocks.append(BLK_PT_BAD_PERIOD)
+                period = VPT_MIN_PERIOD
+            self.period = period
+            blocks.append(BLK_PT_RESTART)
+        return blocks
+
+    def read_channel(self, channel: int) -> tuple[int, list[SourceBlock]]:
+        return self.channels.get(channel, 0xFFFF), [BLK_PIT_READ]
+
+    def run_pending(self, now: int) -> list[SourceBlock]:
+        """Fire the periodic timer if due; coalesce missed ticks."""
+        if now < self.next_due:
+            return []
+        blocks = [BLK_PT_INTR]
+        missed = 0
+        while self.next_due <= now:
+            self.next_due += self.period
+            missed += 1
+        self.fires += 1
+        if missed > 1:
+            self.pending_ticks += missed - 1
+            blocks.append(BLK_PT_PROCESS)
+        blocks.append(BLK_PT_RESTART)
+        return blocks
+
+    def snapshot(self) -> dict:
+        return {
+            "period": self.period,
+            "next_due": self.next_due,
+            "pending_ticks": self.pending_ticks,
+            "fires": self.fires,
+            "channels": dict(self.channels),
+            "latch": dict(self._latch),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.period = state["period"]
+        self.next_due = state["next_due"]
+        self.pending_ticks = state["pending_ticks"]
+        self.fires = state["fires"]
+        self.channels = dict(state["channels"])
+        self._latch = dict(state.get("latch", {}))

@@ -1,0 +1,91 @@
+"""Hypervisor console log ring and panic machinery.
+
+The PoC fuzzer detects failures "by using scripts that analyze
+hypervisor behavior and logs" (paper §VII-3); this module is the log
+those scripts read.  It mimics Xen's ``printk`` ring: bounded, ordered,
+with severity prefixes, and a :meth:`XenLog.panic` that raises
+:class:`~repro.errors.HypervisorCrash` carrying the log tail for triage.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import HypervisorCrash
+
+
+class LogLevel(enum.IntEnum):
+    """Xen console log levels."""
+
+    DEBUG = 0
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+    GUEST = 4  # guest-triggered messages (rate-limited in real Xen)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One printk record: simulated TSC timestamp, level, message."""
+
+    tsc: int
+    level: LogLevel
+    message: str
+
+    def format(self) -> str:
+        prefix = {
+            LogLevel.DEBUG: "(XEN) [debug]",
+            LogLevel.INFO: "(XEN)",
+            LogLevel.WARNING: "(XEN) [warn]",
+            LogLevel.ERROR: "(XEN) [error]",
+            LogLevel.GUEST: "(d1)",
+        }[self.level]
+        return f"{prefix} t={self.tsc} {self.message}"
+
+
+class XenLog:
+    """Bounded in-memory console ring."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("log capacity must be positive")
+        self._ring: deque[LogEntry] = deque(maxlen=capacity)
+        self._tsc_source = lambda: 0
+
+    def bind_clock(self, tsc_source) -> None:
+        """Attach a zero-argument callable returning the current TSC."""
+        self._tsc_source = tsc_source
+
+    def printk(self, message: str, level: LogLevel = LogLevel.INFO) -> None:
+        self._ring.append(
+            LogEntry(tsc=self._tsc_source(), level=level, message=message)
+        )
+
+    def warn(self, message: str) -> None:
+        self.printk(message, LogLevel.WARNING)
+
+    def error(self, message: str) -> None:
+        self.printk(message, LogLevel.ERROR)
+
+    def panic(self, reason: str) -> None:
+        """Log and raise a hypervisor crash with the log tail attached."""
+        self.error(f"PANIC: {reason}")
+        raise HypervisorCrash(reason, log_tail=self.tail(20))
+
+    def tail(self, count: int = 10) -> list[str]:
+        return [entry.format() for entry in list(self._ring)[-count:]]
+
+    def entries(self) -> list[LogEntry]:
+        return list(self._ring)
+
+    def grep(self, needle: str) -> list[LogEntry]:
+        """The fuzzer's log-analysis primitive."""
+        return [e for e in self._ring if needle in e.message]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,46 @@
+"""AMD SVM portability layer (paper §IX, "Portability").
+
+"AMD SVM defines the Virtual Memory Control Block (VMCB) data
+structure, which holds information for the hypervisor and the guest
+similarly to the VMCS. AMD SVM introduces the world switch to indicate
+the context changes between the hypervisor and guests."
+
+This package demonstrates the paper's porting argument concretely: the
+IRIS seed model carries over because each VT-x concept has an SVM
+counterpart —
+
+* VMCS field        → VMCB offset (plain memory, no VMREAD/VMWRITE);
+* VM-exit reason    → VMCB exit code (EXITCODE);
+* exit qualification→ EXITINFO1/EXITINFO2;
+* VMLAUNCH/VMRESUME → VMRUN (the world switch);
+* preemption timer  → the SVM pause/intercept-driven equivalent.
+
+:mod:`repro.svm.translate` converts recorded VT-x traces into
+VMCB-addressed seeds, reporting exactly which entries have no SVM
+counterpart.
+"""
+
+from repro.svm.vmcb import Vmcb, VmcbField, VMCB_SAVE_AREA_OFFSET
+from repro.svm.exit_codes import SvmExitCode, exit_code_for_reason
+from repro.svm.translate import (
+    SvmSeed,
+    SvmSeedEntry,
+    TranslationReport,
+    translate_seed,
+    translate_trace,
+    VMCS_TO_VMCB,
+)
+
+__all__ = [
+    "Vmcb",
+    "VmcbField",
+    "VMCB_SAVE_AREA_OFFSET",
+    "SvmExitCode",
+    "exit_code_for_reason",
+    "SvmSeed",
+    "SvmSeedEntry",
+    "TranslationReport",
+    "translate_seed",
+    "translate_trace",
+    "VMCS_TO_VMCB",
+]

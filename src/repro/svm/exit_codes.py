@@ -1,0 +1,100 @@
+"""SVM exit codes and the VT-x exit-reason correspondence.
+
+SVM reports "what actions cause the guest to exit to host" through
+EXITCODE values (AMD APM Vol. 2, Appendix C) instead of VT-x's basic
+exit reasons; :func:`exit_code_for_reason` is the mapping an SVM port
+of IRIS would route its seeds through.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.vmx.exit_reasons import ExitReason
+
+
+class SvmExitCode(enum.IntEnum):
+    """SVM EXITCODE values (subset relevant to the IRIS seed model)."""
+
+    VMEXIT_CR0_READ = 0x000
+    VMEXIT_CR3_READ = 0x003
+    VMEXIT_CR4_READ = 0x004
+    VMEXIT_CR0_WRITE = 0x010
+    VMEXIT_CR3_WRITE = 0x013
+    VMEXIT_CR4_WRITE = 0x014
+    VMEXIT_EXCP_BASE = 0x040  # + vector
+    VMEXIT_INTR = 0x060
+    VMEXIT_NMI = 0x061
+    VMEXIT_SMI = 0x062
+    VMEXIT_VINTR = 0x064
+    VMEXIT_PAUSE = 0x077
+    VMEXIT_HLT = 0x078
+    VMEXIT_INVLPG = 0x079
+    VMEXIT_IOIO = 0x07B
+    VMEXIT_MSR = 0x07C
+    VMEXIT_TASK_SWITCH = 0x07D
+    VMEXIT_SHUTDOWN = 0x07F
+    VMEXIT_VMRUN = 0x080
+    VMEXIT_VMMCALL = 0x081
+    VMEXIT_RDTSC = 0x06E
+    VMEXIT_RDPMC = 0x06F
+    VMEXIT_CPUID = 0x072
+    VMEXIT_RSM = 0x073
+    VMEXIT_INVD = 0x076
+    VMEXIT_RDTSCP = 0x087
+    VMEXIT_MONITOR = 0x08A
+    VMEXIT_MWAIT = 0x08B
+    VMEXIT_XSETBV = 0x08D
+    VMEXIT_NPF = 0x400  # nested page fault (the EPT-violation twin)
+    VMEXIT_INVALID = (1 << 64) - 1
+
+
+#: VT-x basic exit reason -> SVM exit code.  CR accesses and MSR
+#: accesses collapse VT-x's single reason into SVM's per-register /
+#: per-direction codes; the translator refines them from the seed.
+_REASON_TO_CODE: dict[ExitReason, SvmExitCode] = {
+    ExitReason.EXCEPTION_NMI: SvmExitCode.VMEXIT_EXCP_BASE,
+    ExitReason.EXTERNAL_INTERRUPT: SvmExitCode.VMEXIT_INTR,
+    ExitReason.TRIPLE_FAULT: SvmExitCode.VMEXIT_SHUTDOWN,
+    ExitReason.INTERRUPT_WINDOW: SvmExitCode.VMEXIT_VINTR,
+    ExitReason.CPUID: SvmExitCode.VMEXIT_CPUID,
+    ExitReason.HLT: SvmExitCode.VMEXIT_HLT,
+    ExitReason.INVD: SvmExitCode.VMEXIT_INVD,
+    ExitReason.INVLPG: SvmExitCode.VMEXIT_INVLPG,
+    ExitReason.RDPMC: SvmExitCode.VMEXIT_RDPMC,
+    ExitReason.RDTSC: SvmExitCode.VMEXIT_RDTSC,
+    ExitReason.RDTSCP: SvmExitCode.VMEXIT_RDTSCP,
+    ExitReason.VMCALL: SvmExitCode.VMEXIT_VMMCALL,
+    ExitReason.CR_ACCESS: SvmExitCode.VMEXIT_CR0_WRITE,
+    ExitReason.IO_INSTRUCTION: SvmExitCode.VMEXIT_IOIO,
+    ExitReason.RDMSR: SvmExitCode.VMEXIT_MSR,
+    ExitReason.WRMSR: SvmExitCode.VMEXIT_MSR,
+    ExitReason.MWAIT: SvmExitCode.VMEXIT_MWAIT,
+    ExitReason.MONITOR: SvmExitCode.VMEXIT_MONITOR,
+    ExitReason.PAUSE: SvmExitCode.VMEXIT_PAUSE,
+    ExitReason.TASK_SWITCH: SvmExitCode.VMEXIT_TASK_SWITCH,
+    ExitReason.EPT_VIOLATION: SvmExitCode.VMEXIT_NPF,
+    ExitReason.EPT_MISCONFIG: SvmExitCode.VMEXIT_NPF,
+    ExitReason.XSETBV: SvmExitCode.VMEXIT_XSETBV,
+}
+
+
+def exit_code_for_reason(
+    reason: ExitReason, cr: int | None = None, is_read: bool = False
+) -> SvmExitCode | None:
+    """Map a VT-x exit reason (plus CR refinement) to an EXITCODE.
+
+    Returns ``None`` for VT-x-only reasons (e.g. the preemption timer,
+    which SVM lacks — an SVM IRIS would drive its exit loop with the
+    pause-filter intercept instead).
+    """
+    if reason is ExitReason.CR_ACCESS and cr is not None:
+        base = (
+            SvmExitCode.VMEXIT_CR0_READ if is_read
+            else SvmExitCode.VMEXIT_CR0_WRITE
+        )
+        try:
+            return SvmExitCode(int(base) + cr)
+        except ValueError:
+            return None
+    return _REASON_TO_CODE.get(reason)

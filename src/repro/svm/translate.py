@@ -1,0 +1,206 @@
+"""VT-x trace → SVM seed translation (the §IX porting argument, run).
+
+Translating a recorded IRIS trace onto the VMCB shows which parts of
+the seed model are architecture-neutral:
+
+* the 15 GPRs carry over unchanged (SVM keeps them in the host's
+  save area too, except RAX which lives in the VMCB);
+* every guest-state VMCS field in a seed has a VMCB save-area slot;
+* the exit-information fields map to EXITCODE/EXITINFO1/EXITINFO2;
+* a handful of VT-x-only fields (preemption timer value, interrupt-
+  ibility blocking details, the VMCS link pointer) have no VMCB
+  counterpart and are reported as dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.seed import SeedFlag, Trace, VMSeed
+from repro.svm.exit_codes import SvmExitCode, exit_code_for_reason
+from repro.svm.vmcb import VmcbField
+from repro.vmx.exit_qualification import CrAccessQualification
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.registers import GPR
+
+#: VMCS field -> VMCB field, for everything that has a counterpart.
+VMCS_TO_VMCB: dict[VmcsField, VmcbField] = {
+    # guest state: control registers and friends
+    VmcsField.GUEST_CR0: VmcbField.CR0,
+    VmcsField.GUEST_CR3: VmcbField.CR3,
+    VmcsField.GUEST_CR4: VmcbField.CR4,
+    VmcsField.GUEST_DR7: VmcbField.DR7,
+    VmcsField.GUEST_RSP: VmcbField.RSP,
+    VmcsField.GUEST_RIP: VmcbField.RIP,
+    VmcsField.GUEST_RFLAGS: VmcbField.RFLAGS,
+    VmcsField.GUEST_IA32_EFER: VmcbField.EFER,
+    VmcsField.GUEST_IA32_PAT: VmcbField.G_PAT,
+    VmcsField.GUEST_SYSENTER_CS: VmcbField.SYSENTER_CS,
+    VmcsField.GUEST_SYSENTER_ESP: VmcbField.SYSENTER_ESP,
+    VmcsField.GUEST_SYSENTER_EIP: VmcbField.SYSENTER_EIP,
+    # segments
+    VmcsField.GUEST_ES_SELECTOR: VmcbField.ES_SELECTOR,
+    VmcsField.GUEST_CS_SELECTOR: VmcbField.CS_SELECTOR,
+    VmcsField.GUEST_SS_SELECTOR: VmcbField.SS_SELECTOR,
+    VmcsField.GUEST_DS_SELECTOR: VmcbField.DS_SELECTOR,
+    VmcsField.GUEST_FS_SELECTOR: VmcbField.FS_SELECTOR,
+    VmcsField.GUEST_GS_SELECTOR: VmcbField.GS_SELECTOR,
+    VmcsField.GUEST_LDTR_SELECTOR: VmcbField.LDTR_SELECTOR,
+    VmcsField.GUEST_TR_SELECTOR: VmcbField.TR_SELECTOR,
+    VmcsField.GUEST_ES_BASE: VmcbField.ES_BASE,
+    VmcsField.GUEST_CS_BASE: VmcbField.CS_BASE,
+    VmcsField.GUEST_SS_BASE: VmcbField.SS_BASE,
+    VmcsField.GUEST_DS_BASE: VmcbField.DS_BASE,
+    VmcsField.GUEST_FS_BASE: VmcbField.FS_BASE,
+    VmcsField.GUEST_GS_BASE: VmcbField.GS_BASE,
+    VmcsField.GUEST_LDTR_BASE: VmcbField.LDTR_BASE,
+    VmcsField.GUEST_TR_BASE: VmcbField.TR_BASE,
+    VmcsField.GUEST_ES_LIMIT: VmcbField.ES_LIMIT,
+    VmcsField.GUEST_CS_LIMIT: VmcbField.CS_LIMIT,
+    VmcsField.GUEST_SS_LIMIT: VmcbField.SS_LIMIT,
+    VmcsField.GUEST_DS_LIMIT: VmcbField.DS_LIMIT,
+    VmcsField.GUEST_FS_LIMIT: VmcbField.FS_LIMIT,
+    VmcsField.GUEST_GS_LIMIT: VmcbField.GS_LIMIT,
+    VmcsField.GUEST_LDTR_LIMIT: VmcbField.LDTR_LIMIT,
+    VmcsField.GUEST_TR_LIMIT: VmcbField.TR_LIMIT,
+    VmcsField.GUEST_ES_AR_BYTES: VmcbField.ES_ATTRIB,
+    VmcsField.GUEST_CS_AR_BYTES: VmcbField.CS_ATTRIB,
+    VmcsField.GUEST_SS_AR_BYTES: VmcbField.SS_ATTRIB,
+    VmcsField.GUEST_DS_AR_BYTES: VmcbField.DS_ATTRIB,
+    VmcsField.GUEST_FS_AR_BYTES: VmcbField.FS_ATTRIB,
+    VmcsField.GUEST_GS_AR_BYTES: VmcbField.GS_ATTRIB,
+    VmcsField.GUEST_LDTR_AR_BYTES: VmcbField.LDTR_ATTRIB,
+    VmcsField.GUEST_TR_AR_BYTES: VmcbField.TR_ATTRIB,
+    VmcsField.GUEST_GDTR_BASE: VmcbField.GDTR_BASE,
+    VmcsField.GUEST_GDTR_LIMIT: VmcbField.GDTR_LIMIT,
+    VmcsField.GUEST_IDTR_BASE: VmcbField.IDTR_BASE,
+    VmcsField.GUEST_IDTR_LIMIT: VmcbField.IDTR_LIMIT,
+    VmcsField.GUEST_INTERRUPTIBILITY_INFO:
+        VmcbField.INTERRUPT_SHADOW,
+    # exit information
+    VmcsField.EXIT_QUALIFICATION: VmcbField.EXITINFO1,
+    VmcsField.GUEST_LINEAR_ADDRESS: VmcbField.EXITINFO1,
+    VmcsField.GUEST_PHYSICAL_ADDRESS: VmcbField.EXITINFO2,
+    VmcsField.VM_EXIT_INTR_INFO: VmcbField.EXITINTINFO,
+    VmcsField.IDT_VECTORING_INFO: VmcbField.EXITINTINFO,
+    VmcsField.VM_EXIT_INSTRUCTION_LEN: VmcbField.NEXT_RIP,
+    # controls with direct twins
+    VmcsField.TSC_OFFSET: VmcbField.TSC_OFFSET,
+    VmcsField.EPT_POINTER: VmcbField.N_CR3,
+    VmcsField.IO_BITMAP_A: VmcbField.IOPM_BASE_PA,
+    VmcsField.MSR_BITMAP: VmcbField.MSRPM_BASE_PA,
+    VmcsField.VM_ENTRY_INTR_INFO: VmcbField.EVENTINJ,
+    VmcsField.VIRTUAL_APIC_PAGE_ADDR: VmcbField.V_INTR,
+    VmcsField.CPU_BASED_VM_EXEC_CONTROL: VmcbField.INTERCEPT_VECTOR3,
+    VmcsField.EXCEPTION_BITMAP: VmcbField.INTERCEPT_EXCEPTIONS,
+    VmcsField.CR0_GUEST_HOST_MASK: VmcbField.INTERCEPT_CR,
+    VmcsField.CR4_GUEST_HOST_MASK: VmcbField.INTERCEPT_CR,
+}
+
+
+@dataclass(frozen=True)
+class SvmSeedEntry:
+    """One translated entry: a GPR or a VMCB field value."""
+
+    is_gpr: bool
+    gpr: GPR | None
+    vmcb_field: VmcbField | None
+    value: int
+
+
+@dataclass
+class SvmSeed:
+    """A VM seed addressed in SVM terms."""
+
+    exit_code: SvmExitCode
+    entries: list[SvmSeedEntry] = field(default_factory=list)
+
+    def vmcb_values(self) -> dict[VmcbField, int]:
+        """Last-write-wins view of the VMCB fields the seed sets."""
+        out: dict[VmcbField, int] = {}
+        for entry in self.entries:
+            if entry.vmcb_field is not None:
+                out[entry.vmcb_field] = entry.value
+        return out
+
+
+@dataclass
+class TranslationReport:
+    """What survived translation and what did not."""
+
+    seeds: list[SvmSeed] = field(default_factory=list)
+    translated_entries: int = 0
+    dropped_entries: int = 0
+    dropped_fields: dict[VmcsField, int] = field(default_factory=dict)
+    untranslatable_seeds: int = 0
+
+    @property
+    def entry_coverage_pct(self) -> float:
+        total = self.translated_entries + self.dropped_entries
+        if total == 0:
+            return 100.0
+        return 100.0 * self.translated_entries / total
+
+
+def _refine_cr_access(seed: VMSeed) -> tuple[int | None, bool]:
+    """Pull the CR number/direction out of a CR-access seed."""
+    for fld, value in seed.vmcs_reads():
+        if fld is VmcsField.EXIT_QUALIFICATION:
+            qual = CrAccessQualification.unpack(value)
+            return qual.cr, int(qual.access_type) == 1
+    return None, False
+
+
+def translate_seed(
+    seed: VMSeed, report: TranslationReport | None = None
+) -> SvmSeed | None:
+    """Translate one VT-x seed to SVM; ``None`` when the exit itself
+    has no SVM counterpart."""
+    report = report if report is not None else TranslationReport()
+    cr, is_read = (None, False)
+    if seed.reason is ExitReason.CR_ACCESS:
+        cr, is_read = _refine_cr_access(seed)
+    exit_code = exit_code_for_reason(seed.reason, cr=cr,
+                                     is_read=is_read)
+    if exit_code is None:
+        report.untranslatable_seeds += 1
+        return None
+
+    svm_seed = SvmSeed(exit_code=exit_code)
+    for entry in seed.entries:
+        if entry.flag is SeedFlag.GPR:
+            svm_seed.entries.append(SvmSeedEntry(
+                is_gpr=True, gpr=entry.gpr, vmcb_field=None,
+                value=entry.value,
+            ))
+            report.translated_entries += 1
+            continue
+        vmcs_field = entry.vmcs_field
+        if vmcs_field is VmcsField.VM_EXIT_REASON:
+            # Folded into the seed's exit code.
+            report.translated_entries += 1
+            continue
+        vmcb_field = VMCS_TO_VMCB.get(vmcs_field)
+        if vmcb_field is None:
+            report.dropped_entries += 1
+            report.dropped_fields[vmcs_field] = (
+                report.dropped_fields.get(vmcs_field, 0) + 1
+            )
+            continue
+        svm_seed.entries.append(SvmSeedEntry(
+            is_gpr=False, gpr=None, vmcb_field=vmcb_field,
+            value=entry.value,
+        ))
+        report.translated_entries += 1
+    return svm_seed
+
+
+def translate_trace(trace: Trace) -> TranslationReport:
+    """Translate a whole recorded VM behavior onto the VMCB."""
+    report = TranslationReport()
+    for record in trace.records:
+        svm_seed = translate_seed(record.seed, report)
+        if svm_seed is not None:
+            report.seeds.append(svm_seed)
+    return report

@@ -1,0 +1,67 @@
+"""Simulated Intel VT-x: VMCS, VMX instructions, exit reasons, EPT.
+
+This package is the hardware substrate substitution described in
+DESIGN.md §1: a software model of the VT-x contracts IRIS depends on —
+VMCS field encodings and access rights, the VMCS launch-state machine,
+VMX instruction semantics with architectural error numbers, the VM-exit
+reason namespace, VM-entry guest-state checks, the VMX preemption timer,
+and extended page tables.
+"""
+
+from repro.vmx.vmcs_fields import (
+    VmcsField,
+    FieldWidth,
+    FieldType,
+    field_width,
+    field_type,
+    is_read_only,
+    field_index,
+    field_by_index,
+    ALL_FIELDS,
+    GUEST_STATE_FIELDS,
+    HOST_STATE_FIELDS,
+    CONTROL_FIELDS,
+    EXIT_INFO_FIELDS,
+)
+from repro.vmx.vmcs import Vmcs, VmcsLaunchState
+from repro.vmx.exit_reasons import ExitReason, EXIT_REASON_NAMES
+from repro.vmx.exit_qualification import (
+    CrAccessQualification,
+    IoQualification,
+    EptViolationQualification,
+)
+from repro.vmx.vmx_ops import VmxCpu, VmxInstructionError
+from repro.vmx.entry_checks import check_vm_entry, EntryCheckViolation
+from repro.vmx.preemption_timer import PreemptionTimer
+from repro.vmx.ept import EptTables, EptViolation, EptAccess
+
+__all__ = [
+    "VmcsField",
+    "FieldWidth",
+    "FieldType",
+    "field_width",
+    "field_type",
+    "is_read_only",
+    "field_index",
+    "field_by_index",
+    "ALL_FIELDS",
+    "GUEST_STATE_FIELDS",
+    "HOST_STATE_FIELDS",
+    "CONTROL_FIELDS",
+    "EXIT_INFO_FIELDS",
+    "Vmcs",
+    "VmcsLaunchState",
+    "ExitReason",
+    "EXIT_REASON_NAMES",
+    "CrAccessQualification",
+    "IoQualification",
+    "EptViolationQualification",
+    "VmxCpu",
+    "VmxInstructionError",
+    "check_vm_entry",
+    "EntryCheckViolation",
+    "PreemptionTimer",
+    "EptTables",
+    "EptViolation",
+    "EptAccess",
+]

@@ -1,0 +1,261 @@
+"""VM-entry checks on the guest state area (SDM Vol. 3, §26.3).
+
+The paper's replay design deliberately routes every replayed seed
+through a full VM entry "to guarantee semantically-correct VM seeds
+submission" (§IV-B): the entry checks reject malformed guest states, and
+a failed entry is one of the fuzzer's "VM crash" outcomes.
+
+:func:`check_vm_entry` returns *all* violations rather than the first,
+which the fuzzer's failure triage uses to cluster crash causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.registers import (
+    CR0_RESERVED,
+    CR4_RESERVED,
+    Cr0,
+    Cr4,
+    Rflags,
+)
+from repro.x86.msr import EferBits
+from repro.vmx.vmcs import Vmcs
+from repro.vmx.vmcs_fields import (
+    VmcsField,
+    SEGMENT_AR_FIELDS,
+    SEGMENT_LIMIT_FIELDS,
+)
+
+#: Maximum guest physical address width modelled (bits).
+PHYSICAL_ADDRESS_WIDTH = 46
+
+#: Architecturally valid activity states (active/HLT/shutdown/wait-SIPI).
+VALID_ACTIVITY_STATES = frozenset({0, 1, 2, 3})
+
+#: RFLAGS bits that must be zero on entry.
+_RFLAGS_RESERVED = (
+    (1 << 3) | (1 << 5) | (1 << 15) | ((1 << 64) - (1 << 22))
+)
+
+_SEGMENT_ORDER = ("ES", "CS", "SS", "DS", "FS", "GS", "LDTR", "TR")
+
+
+@dataclass(frozen=True)
+class EntryCheckViolation:
+    """One failed §26.3 check."""
+
+    check: str  # stable identifier, e.g. "cr0.pg-without-pe"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.check}] {self.message}"
+
+
+def _check_control_registers(vmcs: Vmcs, out: list[EntryCheckViolation]) -> None:
+    cr0 = vmcs.read(VmcsField.GUEST_CR0)
+    cr3 = vmcs.read(VmcsField.GUEST_CR3)
+    cr4 = vmcs.read(VmcsField.GUEST_CR4)
+
+    if cr0 & CR0_RESERVED:
+        out.append(EntryCheckViolation(
+            "cr0.reserved",
+            f"CR0 has reserved bits set: {cr0 & CR0_RESERVED:#x}",
+        ))
+    if (cr0 & Cr0.PG) and not (cr0 & Cr0.PE):
+        out.append(EntryCheckViolation(
+            "cr0.pg-without-pe", "CR0.PG = 1 requires CR0.PE = 1"
+        ))
+    if (cr0 & Cr0.NW) and not (cr0 & Cr0.CD):
+        out.append(EntryCheckViolation(
+            "cr0.nw-without-cd", "CR0.NW = 1 requires CR0.CD = 1"
+        ))
+    if cr4 & CR4_RESERVED:
+        out.append(EntryCheckViolation(
+            "cr4.reserved",
+            f"CR4 has reserved bits set: {cr4 & CR4_RESERVED:#x}",
+        ))
+    if cr3 >> PHYSICAL_ADDRESS_WIDTH:
+        out.append(EntryCheckViolation(
+            "cr3.width",
+            f"CR3 {cr3:#x} exceeds {PHYSICAL_ADDRESS_WIDTH}-bit "
+            "physical address width",
+        ))
+
+    efer = vmcs.read(VmcsField.GUEST_IA32_EFER)
+    lme = bool(efer & EferBits.LME)
+    lma = bool(efer & EferBits.LMA)
+    pg = bool(cr0 & Cr0.PG)
+    if lma != (lme and pg):
+        out.append(EntryCheckViolation(
+            "efer.lma-consistency",
+            f"EFER.LMA ({int(lma)}) != EFER.LME & CR0.PG "
+            f"({int(lme and pg)})",
+        ))
+    if lma and not (cr4 & Cr4.PAE):
+        out.append(EntryCheckViolation(
+            "efer.lma-without-pae", "IA-32e mode requires CR4.PAE = 1"
+        ))
+
+
+def _check_rflags_rip(vmcs: Vmcs, out: list[EntryCheckViolation]) -> None:
+    rflags = vmcs.read(VmcsField.GUEST_RFLAGS)
+    rip = vmcs.read(VmcsField.GUEST_RIP)
+    efer = vmcs.read(VmcsField.GUEST_IA32_EFER)
+    long_mode = bool(efer & EferBits.LMA)
+
+    if not (rflags & Rflags.FIXED1):
+        out.append(EntryCheckViolation(
+            "rflags.fixed1", "RFLAGS bit 1 must be 1"
+        ))
+    if rflags & _RFLAGS_RESERVED:
+        out.append(EntryCheckViolation(
+            "rflags.reserved",
+            f"RFLAGS reserved bits set: {rflags & _RFLAGS_RESERVED:#x}",
+        ))
+    if long_mode and (rflags & Rflags.VM):
+        out.append(EntryCheckViolation(
+            "rflags.vm-in-long-mode",
+            "RFLAGS.VM must be 0 in IA-32e mode",
+        ))
+    intr_info = vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+    injecting_ext_int = bool(intr_info & (1 << 31)) and \
+        ((intr_info >> 8) & 0x7) == 0
+    if injecting_ext_int and not (rflags & Rflags.IF):
+        out.append(EntryCheckViolation(
+            "rflags.if-for-injection",
+            "RFLAGS.IF must be 1 when injecting an external interrupt",
+        ))
+    if not long_mode and rip > 0xFFFFFFFF:
+        out.append(EntryCheckViolation(
+            "rip.width", f"RIP {rip:#x} exceeds 32 bits outside IA-32e mode"
+        ))
+    if long_mode and _non_canonical(rip):
+        out.append(EntryCheckViolation(
+            "rip.canonical", f"RIP {rip:#x} is non-canonical"
+        ))
+
+
+def _non_canonical(address: int) -> bool:
+    """True when bits 63:47 are not a sign extension of bit 46."""
+    top = address >> 47
+    return top not in (0, (1 << 17) - 1)
+
+
+def _check_segments(vmcs: Vmcs, out: list[EntryCheckViolation]) -> None:
+    rflags = vmcs.read(VmcsField.GUEST_RFLAGS)
+    vm86 = bool(rflags & Rflags.VM)
+    unrestricted = True  # HVM guests run with "unrestricted guest" set
+
+    ars = [vmcs.read(f) for f in SEGMENT_AR_FIELDS]
+    limits = [vmcs.read(f) for f in SEGMENT_LIMIT_FIELDS]
+
+    for name, ar, limit in zip(_SEGMENT_ORDER, ars, limits):
+        unusable = bool(ar & (1 << 16))
+        if unusable:
+            continue
+        granularity = bool(ar & (1 << 15))
+        if (limit & 0xFFF) != 0xFFF and granularity:
+            out.append(EntryCheckViolation(
+                f"{name.lower()}.granularity",
+                f"{name} limit {limit:#x} has low bits != 0xFFF but G = 1",
+            ))
+        if (limit >> 20) and not granularity:
+            out.append(EntryCheckViolation(
+                f"{name.lower()}.granularity",
+                f"{name} limit {limit:#x} has high bits set but G = 0",
+            ))
+
+    cs_ar = ars[1]
+    if not (cs_ar & (1 << 16)):  # CS can never be unusable, but be safe
+        cs_type = cs_ar & 0xF
+        if not vm86:
+            valid_cs_types = {9, 11, 13, 15} if not unrestricted else \
+                {3, 9, 11, 13, 15}
+            if cs_type not in valid_cs_types:
+                out.append(EntryCheckViolation(
+                    "cs.type", f"CS type {cs_type} is not a code segment"
+                ))
+            if not (cs_ar & (1 << 4)):
+                out.append(EntryCheckViolation(
+                    "cs.s", "CS must be a code/data descriptor (S = 1)"
+                ))
+            if not (cs_ar & (1 << 7)):
+                out.append(EntryCheckViolation(
+                    "cs.present", "CS must be present"
+                ))
+
+    tr_ar = ars[7]
+    if tr_ar & (1 << 16):
+        out.append(EntryCheckViolation("tr.unusable", "TR must be usable"))
+    else:
+        tr_type = tr_ar & 0xF
+        if tr_type not in (3, 11):
+            out.append(EntryCheckViolation(
+                "tr.type", f"TR type {tr_type} is not a busy TSS"
+            ))
+        if tr_ar & (1 << 4):
+            out.append(EntryCheckViolation(
+                "tr.s", "TR must be a system descriptor (S = 0)"
+            ))
+        if not (tr_ar & (1 << 7)):
+            out.append(EntryCheckViolation(
+                "tr.present", "TR must be present"
+            ))
+
+    ldtr_ar = ars[6]
+    if not (ldtr_ar & (1 << 16)):
+        if (ldtr_ar & 0xF) != 2:
+            out.append(EntryCheckViolation(
+                "ldtr.type",
+                f"usable LDTR type {ldtr_ar & 0xF} is not an LDT",
+            ))
+        if ldtr_ar & (1 << 4):
+            out.append(EntryCheckViolation(
+                "ldtr.s", "LDTR must be a system descriptor (S = 0)"
+            ))
+
+
+def _check_non_register_state(
+    vmcs: Vmcs, out: list[EntryCheckViolation]
+) -> None:
+    activity = vmcs.read(VmcsField.GUEST_ACTIVITY_STATE)
+    if activity not in VALID_ACTIVITY_STATES:
+        out.append(EntryCheckViolation(
+            "activity-state", f"invalid activity state {activity}"
+        ))
+    interruptibility = vmcs.read(VmcsField.GUEST_INTERRUPTIBILITY_INFO)
+    if interruptibility & ~0x1F:
+        out.append(EntryCheckViolation(
+            "interruptibility.reserved",
+            f"interruptibility reserved bits set: {interruptibility:#x}",
+        ))
+    blocking_sti = bool(interruptibility & 0x1)
+    blocking_mov_ss = bool(interruptibility & 0x2)
+    if blocking_sti and blocking_mov_ss:
+        out.append(EntryCheckViolation(
+            "interruptibility.sti-and-movss",
+            "blocking-by-STI and blocking-by-MOV-SS cannot both be set",
+        ))
+    link = vmcs.read(VmcsField.VMCS_LINK_POINTER)
+    if link != (1 << 64) - 1:
+        out.append(EntryCheckViolation(
+            "vmcs-link-pointer",
+            f"VMCS link pointer must be ~0 (got {link:#x})",
+        ))
+    dr7 = vmcs.read(VmcsField.GUEST_DR7)
+    if dr7 >> 32:
+        out.append(EntryCheckViolation(
+            "dr7.width", f"DR7 {dr7:#x} has bits above 31 set"
+        ))
+
+
+def check_vm_entry(vmcs: Vmcs) -> list[EntryCheckViolation]:
+    """Run the modelled §26.3 guest-state checks; return all violations."""
+    violations: list[EntryCheckViolation] = []
+    _check_control_registers(vmcs, violations)
+    _check_rflags_rip(vmcs, violations)
+    _check_segments(vmcs, violations)
+    _check_non_register_state(vmcs, violations)
+    return violations

@@ -1,0 +1,138 @@
+"""Extended Page Tables (EPT) model.
+
+EPT translates guest-physical to host-physical addresses; a miss or
+permission failure raises an EPT violation, which on real hardware is VM
+exit reason 48.  The hypervisor's EPT-violation handler (Xen's
+``ept_handle_violation``) uses the violation's qualification plus the
+GUEST_PHYSICAL_ADDRESS/GUEST_LINEAR_ADDRESS exit fields — which is why
+EPT VIOL. is one of the exit reasons the paper's fuzzer targets in
+Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.vmx.exit_qualification import EptViolationQualification
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+class EptAccess(enum.IntFlag):
+    """EPT permission bits."""
+
+    READ = 1
+    WRITE = 2
+    EXECUTE = 4
+
+    @classmethod
+    def rwx(cls) -> "EptAccess":
+        return cls.READ | cls.WRITE | cls.EXECUTE
+
+
+@dataclass(frozen=True)
+class EptEntry:
+    """A leaf EPT mapping for one guest frame."""
+
+    mfn: int  # host (machine) frame number
+    access: EptAccess
+    memory_type: int = 6  # WB
+
+
+class EptViolation(Exception):
+    """An EPT translation failure, carrying the exit information."""
+
+    def __init__(
+        self,
+        gpa: int,
+        access: EptAccess,
+        entry: EptEntry | None,
+        linear_address: int | None = None,
+    ) -> None:
+        self.gpa = gpa
+        self.access = access
+        self.entry = entry
+        self.linear_address = linear_address
+        super().__init__(
+            f"EPT violation at GPA {gpa:#x} "
+            f"({access!r}, mapped={entry is not None})"
+        )
+
+    def qualification(self) -> EptViolationQualification:
+        """Build the architectural exit qualification for this fault."""
+        present = self.entry is not None
+        perms = self.entry.access if present else EptAccess(0)
+        return EptViolationQualification(
+            read=bool(self.access & EptAccess.READ),
+            write=bool(self.access & EptAccess.WRITE),
+            execute=bool(self.access & EptAccess.EXECUTE),
+            ept_readable=bool(perms & EptAccess.READ),
+            ept_writable=bool(perms & EptAccess.WRITE),
+            ept_executable=bool(perms & EptAccess.EXECUTE),
+            linear_address_valid=self.linear_address is not None,
+        )
+
+
+@dataclass
+class EptTables:
+    """Per-domain EPT: a sparse map from guest frame number to entry.
+
+    The real structure is a 4-level radix tree; the observable contract
+    (translate-or-violate, permission enforcement, invalidation) is what
+    matters to the handlers, so the model stores leaves directly.
+    """
+
+    eptp: int = 0  # EPT pointer; identity for the modelled domain
+    _entries: dict[int, EptEntry] = field(default_factory=dict)
+    #: violations recorded for introspection/tests
+    violation_count: int = 0
+
+    def map_page(
+        self, gfn: int, mfn: int, access: EptAccess = EptAccess.rwx()
+    ) -> None:
+        """Install a 4 KiB mapping."""
+        self._entries[gfn] = EptEntry(mfn=mfn, access=access)
+
+    def unmap_page(self, gfn: int) -> None:
+        self._entries.pop(gfn, None)
+
+    def protect_page(self, gfn: int, access: EptAccess) -> None:
+        """Change the permissions of an existing mapping."""
+        entry = self._entries.get(gfn)
+        if entry is None:
+            raise KeyError(f"GFN {gfn:#x} is not mapped")
+        self._entries[gfn] = EptEntry(
+            mfn=entry.mfn, access=access, memory_type=entry.memory_type
+        )
+
+    def lookup(self, gfn: int) -> EptEntry | None:
+        return self._entries.get(gfn)
+
+    def translate(
+        self,
+        gpa: int,
+        access: EptAccess,
+        linear_address: int | None = None,
+    ) -> int:
+        """Translate a guest-physical address; raise on miss/permission.
+
+        Returns the host-physical address.
+        """
+        gfn = gpa >> PAGE_SHIFT
+        entry = self._entries.get(gfn)
+        if entry is None or (access & ~entry.access):
+            self.violation_count += 1
+            raise EptViolation(
+                gpa, access, entry, linear_address=linear_address
+            )
+        return (entry.mfn << PAGE_SHIFT) | (gpa & (PAGE_SIZE - 1))
+
+    def mapped_gfns(self) -> frozenset[int]:
+        return frozenset(self._entries)
+
+    def copy(self) -> "EptTables":
+        clone = EptTables(eptp=self.eptp)
+        clone._entries = dict(self._entries)
+        return clone

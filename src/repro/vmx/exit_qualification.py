@@ -1,0 +1,140 @@
+"""Exit-qualification encodings (SDM Vol. 3, §27.2.1, Table 27-3 ff.).
+
+The EXIT_QUALIFICATION VMCS field carries per-reason structured data.
+Each class here packs/unpacks one architectural layout; the handlers
+decode qualifications with these, and the guest model encodes them when
+it constructs an exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CrAccessType(enum.IntEnum):
+    """CR-access exit sub-types (bits 5:4 of the qualification)."""
+
+    MOV_TO_CR = 0
+    MOV_FROM_CR = 1
+    CLTS = 2
+    LMSW = 3
+
+
+@dataclass(frozen=True)
+class CrAccessQualification:
+    """Control-register access qualification (Table 27-3).
+
+    * bits 3:0 — control register number;
+    * bits 5:4 — access type;
+    * bits 11:8 — GPR operand (MOV to/from CR);
+    * bits 31:16 — LMSW source data.
+    """
+
+    cr: int
+    access_type: CrAccessType
+    gpr: int = 0
+    lmsw_source: int = 0
+
+    def pack(self) -> int:
+        return (
+            (self.cr & 0xF)
+            | (int(self.access_type) << 4)
+            | ((self.gpr & 0xF) << 8)
+            | ((self.lmsw_source & 0xFFFF) << 16)
+        )
+
+    @classmethod
+    def unpack(cls, qual: int) -> "CrAccessQualification":
+        return cls(
+            cr=qual & 0xF,
+            access_type=CrAccessType((qual >> 4) & 0x3),
+            gpr=(qual >> 8) & 0xF,
+            lmsw_source=(qual >> 16) & 0xFFFF,
+        )
+
+
+@dataclass(frozen=True)
+class IoQualification:
+    """I/O instruction qualification (Table 27-5).
+
+    * bits 2:0 — access size minus one (0 = byte, 1 = word, 3 = dword);
+    * bit 3 — direction (1 = IN);
+    * bit 4 — string instruction;
+    * bit 5 — REP prefix;
+    * bit 6 — operand encoding (1 = immediate);
+    * bits 31:16 — port number.
+    """
+
+    port: int
+    size: int  # 1, 2 or 4 bytes
+    direction_in: bool
+    string_op: bool = False
+    rep_prefixed: bool = False
+    immediate_operand: bool = True
+
+    def pack(self) -> int:
+        return (
+            ((self.size - 1) & 0x7)
+            | (int(self.direction_in) << 3)
+            | (int(self.string_op) << 4)
+            | (int(self.rep_prefixed) << 5)
+            | (int(self.immediate_operand) << 6)
+            | ((self.port & 0xFFFF) << 16)
+        )
+
+    @classmethod
+    def unpack(cls, qual: int) -> "IoQualification":
+        return cls(
+            port=(qual >> 16) & 0xFFFF,
+            size=(qual & 0x7) + 1,
+            direction_in=bool(qual & (1 << 3)),
+            string_op=bool(qual & (1 << 4)),
+            rep_prefixed=bool(qual & (1 << 5)),
+            immediate_operand=bool(qual & (1 << 6)),
+        )
+
+
+@dataclass(frozen=True)
+class EptViolationQualification:
+    """EPT-violation qualification (Table 27-7).
+
+    * bit 0 — data read; bit 1 — data write; bit 2 — instruction fetch;
+    * bits 5:3 — the EPT permissions of the page (R/W/X);
+    * bit 7 — guest linear address field is valid;
+    * bit 8 — the access was to the final translation (not a PT walk).
+    """
+
+    read: bool
+    write: bool
+    execute: bool
+    ept_readable: bool = False
+    ept_writable: bool = False
+    ept_executable: bool = False
+    linear_address_valid: bool = True
+    final_translation: bool = True
+
+    def pack(self) -> int:
+        return (
+            int(self.read)
+            | (int(self.write) << 1)
+            | (int(self.execute) << 2)
+            | (int(self.ept_readable) << 3)
+            | (int(self.ept_writable) << 4)
+            | (int(self.ept_executable) << 5)
+            | (int(self.linear_address_valid) << 7)
+            | (int(self.final_translation) << 8)
+        )
+
+    @classmethod
+    def unpack(cls, qual: int) -> "EptViolationQualification":
+        return cls(
+            read=bool(qual & 1),
+            write=bool(qual & 2),
+            execute=bool(qual & 4),
+            ept_readable=bool(qual & 8),
+            ept_writable=bool(qual & 16),
+            ept_executable=bool(qual & 32),
+            linear_address_valid=bool(qual & 128),
+            final_translation=bool(qual & 256),
+        )

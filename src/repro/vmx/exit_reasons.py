@@ -1,0 +1,126 @@
+"""VM-exit basic reasons (SDM Vol. 3, Appendix C).
+
+Intel defines 69 basic exit reasons for the generation the paper
+targets; the enum below carries the architectural numbering, which is
+what the hardware stores in the VM_EXIT_REASON VMCS field (low 16 bits)
+on every exit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExitReason(enum.IntEnum):
+    """Basic VM-exit reasons by architectural number."""
+
+    EXCEPTION_NMI = 0
+    EXTERNAL_INTERRUPT = 1
+    TRIPLE_FAULT = 2
+    INIT_SIGNAL = 3
+    SIPI = 4
+    IO_SMI = 5
+    OTHER_SMI = 6
+    INTERRUPT_WINDOW = 7
+    NMI_WINDOW = 8
+    TASK_SWITCH = 9
+    CPUID = 10
+    GETSEC = 11
+    HLT = 12
+    INVD = 13
+    INVLPG = 14
+    RDPMC = 15
+    RDTSC = 16
+    RSM = 17
+    VMCALL = 18
+    VMCLEAR = 19
+    VMLAUNCH = 20
+    VMPTRLD = 21
+    VMPTRST = 22
+    VMREAD = 23
+    VMRESUME = 24
+    VMWRITE = 25
+    VMXOFF = 26
+    VMXON = 27
+    CR_ACCESS = 28
+    DR_ACCESS = 29
+    IO_INSTRUCTION = 30
+    RDMSR = 31
+    WRMSR = 32
+    ENTRY_FAILURE_GUEST_STATE = 33
+    ENTRY_FAILURE_MSR_LOADING = 34
+    MWAIT = 36
+    MONITOR_TRAP_FLAG = 37
+    MONITOR = 39
+    PAUSE = 40
+    ENTRY_FAILURE_MACHINE_CHECK = 41
+    TPR_BELOW_THRESHOLD = 43
+    APIC_ACCESS = 44
+    VIRTUALIZED_EOI = 45
+    GDTR_IDTR_ACCESS = 46
+    LDTR_TR_ACCESS = 47
+    EPT_VIOLATION = 48
+    EPT_MISCONFIG = 49
+    INVEPT = 50
+    RDTSCP = 51
+    PREEMPTION_TIMER = 52
+    INVVPID = 53
+    WBINVD = 54
+    XSETBV = 55
+    APIC_WRITE = 56
+    RDRAND = 57
+    INVPCID = 58
+    VMFUNC = 59
+    ENCLS = 60
+    RDSEED = 61
+    PML_FULL = 62
+    XSAVES = 63
+    XRSTORS = 64
+    SPP_EVENT = 66
+    UMWAIT = 67
+    TPAUSE = 68
+
+
+#: Bit 31 of VM_EXIT_REASON: set when VM entry itself failed.
+VM_EXIT_REASON_ENTRY_FAILURE = 1 << 31
+
+
+#: Short display names matching the paper's figure labels (Fig. 4/5 and
+#: Table I use abbreviated reason names like "EXT. INT." and "CR ACC.").
+EXIT_REASON_NAMES: dict[ExitReason, str] = {
+    ExitReason.EXCEPTION_NMI: "EXCEPTION",
+    ExitReason.EXTERNAL_INTERRUPT: "EXT. INT.",
+    ExitReason.TRIPLE_FAULT: "TRIPLE FAULT",
+    ExitReason.INTERRUPT_WINDOW: "INT. WI.",
+    ExitReason.CPUID: "CPUID",
+    ExitReason.HLT: "HLT",
+    ExitReason.INVLPG: "INVLPG",
+    ExitReason.RDTSC: "RDTSC",
+    ExitReason.VMCALL: "VMCALL",
+    ExitReason.CR_ACCESS: "CR ACC.",
+    ExitReason.DR_ACCESS: "DR ACC.",
+    ExitReason.IO_INSTRUCTION: "I/O INST.",
+    ExitReason.RDMSR: "RDMSR",
+    ExitReason.WRMSR: "WRMSR",
+    ExitReason.APIC_ACCESS: "APIC ACC.",
+    ExitReason.EPT_VIOLATION: "EPT VIOL.",
+    ExitReason.EPT_MISCONFIG: "EPT MISC.",
+    ExitReason.PREEMPTION_TIMER: "PREEMPT. TIMER",
+    ExitReason.PAUSE: "PAUSE",
+    ExitReason.WBINVD: "WBINVD",
+    ExitReason.XSETBV: "XSETBV",
+    ExitReason.GDTR_IDTR_ACCESS: "GDTR/IDTR",
+    ExitReason.LDTR_TR_ACCESS: "LDTR/TR",
+    ExitReason.MONITOR: "MONITOR",
+    ExitReason.MWAIT: "MWAIT",
+    ExitReason.RDTSCP: "RDTSCP",
+}
+
+
+def reason_name(reason: int) -> str:
+    """Human-readable name for an exit reason number."""
+    try:
+        member = ExitReason(reason & 0xFFFF)
+    except ValueError:
+        return f"UNKNOWN({reason & 0xFFFF})"
+    return EXIT_REASON_NAMES.get(member, member.name)

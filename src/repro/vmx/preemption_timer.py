@@ -1,0 +1,74 @@
+"""VMX-preemption timer (SDM Vol. 3, §25.5.1).
+
+The timer counts down in non-root operation at the TSC rate shifted
+right by a model-specific amount, and raises a VM exit (reason 52) when
+it reaches zero.  IRIS's replay loads the timer with **zero**, so the
+dummy VM is preempted "before the CPU executes any instructions in the
+guest" (paper §V-B) — the mechanism that turns the dummy VM into a pure
+VM-exit generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vmx.vmcs import Vmcs
+from repro.vmx.vmcs_fields import VmcsField
+
+#: Bit 6 of the pin-based VM-execution controls: activate the timer.
+PIN_BASED_PREEMPTION_TIMER = 1 << 6
+
+#: TSC-to-timer rate shift (IA32_VMX_MISC bits 4:0); 5 on the modelled
+#: part, i.e. the timer ticks once every 32 TSC cycles.
+PREEMPTION_TIMER_TSC_SHIFT = 5
+
+
+@dataclass
+class PreemptionTimer:
+    """Behavioural model of the preemption timer for one VMCS."""
+
+    vmcs: Vmcs
+
+    @property
+    def active(self) -> bool:
+        """True when the pin-based control activates the timer."""
+        controls = self.vmcs.read(VmcsField.PIN_BASED_VM_EXEC_CONTROL)
+        return bool(controls & PIN_BASED_PREEMPTION_TIMER)
+
+    def activate(self) -> None:
+        """Set the pin-based control bit enabling the timer."""
+        controls = self.vmcs.read(VmcsField.PIN_BASED_VM_EXEC_CONTROL)
+        self.vmcs.write(
+            VmcsField.PIN_BASED_VM_EXEC_CONTROL,
+            controls | PIN_BASED_PREEMPTION_TIMER,
+        )
+
+    def deactivate(self) -> None:
+        controls = self.vmcs.read(VmcsField.PIN_BASED_VM_EXEC_CONTROL)
+        self.vmcs.write(
+            VmcsField.PIN_BASED_VM_EXEC_CONTROL,
+            controls & ~PIN_BASED_PREEMPTION_TIMER,
+        )
+
+    def load(self, value: int) -> None:
+        """Set the countdown value a VM entry will load."""
+        self.vmcs.write(VmcsField.VMX_PREEMPTION_TIMER_VALUE, value)
+
+    @property
+    def value(self) -> int:
+        return self.vmcs.read(VmcsField.VMX_PREEMPTION_TIMER_VALUE)
+
+    def guest_cycles_until_expiry(self) -> int | None:
+        """TSC cycles of guest execution before the timer fires.
+
+        Returns ``None`` when the timer is inactive.  A loaded value of
+        zero fires immediately (zero guest instructions execute), which
+        is the replay configuration.
+        """
+        if not self.active:
+            return None
+        return self.value << PREEMPTION_TIMER_TSC_SHIFT
+
+    def expire(self) -> None:
+        """Model expiry: the timer stops at zero."""
+        self.vmcs.write(VmcsField.VMX_PREEMPTION_TIMER_VALUE, 0)

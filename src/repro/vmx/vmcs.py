@@ -1,0 +1,115 @@
+"""The Virtual Machine Control Structure and its launch-state machine.
+
+A :class:`Vmcs` is the per-vCPU control structure of VT-x.  The model
+enforces the architectural rules the paper leans on:
+
+* fields must be accessed via VMREAD/VMWRITE (here: :meth:`read` /
+  :meth:`write`) — §II: "except for its first eight bytes, [the VMCS]
+  must be read and written by executing dedicated VMX instructions";
+* VM-exit information fields are read-only — IRIS replays them by
+  overriding VMREAD return values rather than VMWRITE (§V-B);
+* the launch state (*Clear* / *Launched*) gates VMLAUNCH vs VMRESUME.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.vmx.vmcs_fields import (
+    VmcsField,
+    field_width,
+    is_read_only,
+)
+
+#: VMCS revision identifier, first 4 bytes of the region (directly
+#: accessible without VMREAD, per SDM §24.2).
+VMCS_REVISION_ID = 0x11
+
+#: Architectural "no VMCS" pointer value.
+VMXON_POINTER_INVALID = (1 << 64) - 1
+
+
+class VmcsLaunchState(enum.Enum):
+    """Internal VMCS launch state (SDM §24.11.3)."""
+
+    CLEAR = "clear"
+    LAUNCHED = "launched"
+
+
+@dataclass
+class Vmcs:
+    """One VMCS region.
+
+    ``address`` stands in for the physical address of the 4 KiB VMCS
+    region; it is the identity VMPTRLD/VMCLEAR operate on.
+    """
+
+    address: int
+    revision_id: int = VMCS_REVISION_ID
+    abort_indicator: int = 0
+    launch_state: VmcsLaunchState = VmcsLaunchState.CLEAR
+    _fields: dict[VmcsField, int] = field(default_factory=dict)
+
+    def read(self, fld: VmcsField) -> int:
+        """Raw field read (the VMREAD data path).
+
+        Access checking (is there a current VMCS? is the encoding
+        valid?) lives in :class:`repro.vmx.vmx_ops.VmxCpu`; this is the
+        storage layer.
+        """
+        fld = VmcsField(fld)
+        return self._fields.get(fld, 0) & field_width(fld).mask
+
+    def write(self, fld: VmcsField, value: int) -> None:
+        """Raw field write (the VMWRITE data path).
+
+        Read-only (exit-information) fields may only be written through
+        :meth:`write_exit_info`, which models the *hardware* populating
+        them during a VM exit.
+        """
+        fld = VmcsField(fld)
+        if is_read_only(fld):
+            raise PermissionError(
+                f"VMWRITE to read-only field {fld.name}; use "
+                "write_exit_info() for hardware-side population"
+            )
+        self._fields[fld] = value & field_width(fld).mask
+
+    def write_exit_info(self, fld: VmcsField, value: int) -> None:
+        """Hardware-side write used while delivering a VM exit."""
+        fld = VmcsField(fld)
+        self._fields[fld] = value & field_width(fld).mask
+
+    def clear(self) -> None:
+        """VMCLEAR semantics: launch state back to *Clear*.
+
+        Field contents are preserved — VMCLEAR initializes/flushes the
+        region but a subsequent VMPTRLD sees the in-memory data.
+        """
+        self.launch_state = VmcsLaunchState.CLEAR
+
+    def contents(self) -> dict[VmcsField, int]:
+        """Copy of all populated fields (used by snapshots)."""
+        return dict(self._fields)
+
+    def load_contents(self, values: dict[VmcsField, int]) -> None:
+        """Bulk-restore fields (snapshot revert path, not VMWRITE)."""
+        self._fields = {
+            VmcsField(f): v & field_width(VmcsField(f)).mask
+            for f, v in values.items()
+        }
+
+    def populated_fields(self) -> frozenset[VmcsField]:
+        return frozenset(self._fields)
+
+    def copy(self, address: int | None = None) -> "Vmcs":
+        """Deep copy; optionally relocated to a new address."""
+        clone = Vmcs(
+            address=self.address if address is None else address,
+            revision_id=self.revision_id,
+            abort_indicator=self.abort_indicator,
+            launch_state=self.launch_state,
+        )
+        clone._fields = dict(self._fields)
+        return clone

@@ -1,0 +1,45 @@
+"""Simulated x86 CPU state: registers, control bits, descriptors, MSRs.
+
+This package models the slice of the x86 architecture that hardware-
+assisted virtualization (and therefore IRIS) observes: the general
+purpose register file, control registers with their architectural bit
+semantics, segmentation state (selectors, descriptor tables), the MSR
+space, and the CPU operating-mode lattice that Figure 8 of the paper
+derives from CR0.
+"""
+
+from repro.x86.registers import (
+    GPR,
+    Cr0,
+    Cr4,
+    Rflags,
+    RegisterFile,
+    SegmentRegister,
+    SegmentCache,
+)
+from repro.x86.cpumodes import OperatingMode, classify_cr0
+from repro.x86.descriptors import (
+    DescriptorTableRegister,
+    SegmentDescriptor,
+)
+from repro.x86.msr import Msr, MsrFile, MsrAccessError
+from repro.x86.costs import CostModel, DEFAULT_COSTS
+
+__all__ = [
+    "GPR",
+    "Cr0",
+    "Cr4",
+    "Rflags",
+    "RegisterFile",
+    "SegmentRegister",
+    "SegmentCache",
+    "OperatingMode",
+    "classify_cr0",
+    "DescriptorTableRegister",
+    "SegmentDescriptor",
+    "Msr",
+    "MsrFile",
+    "MsrAccessError",
+    "CostModel",
+    "DEFAULT_COSTS",
+]

@@ -1,0 +1,117 @@
+"""Deterministic CPU-cycle cost model.
+
+Every observable time in the reproduction — Figure 9's replay-vs-real
+comparison, Figure 10's recording overhead, the ideal-throughput analysis
+of §VI-C — is derived from a simulated time-stamp counter that only this
+cost model advances.  The constants are calibrated against the paper's
+published absolute numbers for its 3.6 GHz Xeon testbed:
+
+* an *empty* VM exit (hardware context switch out, dispatch, preemption-
+  timer handler, entry checks, context switch in) costs ~70K cycles,
+  matching the paper's ideal replay throughput of 50K exits/s
+  (0.1 s / 5000 exits ~= 350M cycles, §VI-C);
+* replay adds a per-seed injection cost proportional to the number of
+  seed entries, landing measured replay throughput in the paper's
+  18.5K-23.8K exits/s band;
+* recording adds ~1% of handler time per exit (Figure 10's 1.02%-1.25%).
+
+Guest-side instruction costs (the time a real guest spends *between*
+exits, which replay elides) are parameters of the workload generators in
+:mod:`repro.guest.workloads`, not of this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+#: Cycle costs of named micro-operations (see module docstring).
+_DEFAULT_COST_TABLE: dict[str, int] = {
+    # Hardware context switches (SDM: VM exit ~ tens of thousands of
+    # cycles on Haswell-class parts).
+    "vm_exit_context_switch": 22_000,
+    "vm_entry_context_switch": 18_000,
+    # Software VM-entry consistency checks (SDM §26.3 subset).
+    "vm_entry_checks": 12_000,
+    # Reading the exit reason + routing to the handler.
+    "handler_dispatch": 8_000,
+    # Executing one instrumented basic block of handler code.
+    "handler_block": 450,
+    # VMREAD/VMWRITE are serializing and expensive.
+    "vmread": 800,
+    "vmwrite": 1_000,
+    # Saving/restoring the 15 hypervisor-held GPRs.
+    "gpr_save": 1_500,
+    "gpr_load": 1_500,
+    # The near-empty preemption-timer handler body.
+    "preemption_handler": 4_000,
+    # IRIS replay: fixed cost of consuming one seed from the ring…
+    "inject_base": 35_000,
+    # …plus per-entry cost (GPR copy, _vmwrite(), or vmread-override).
+    "inject_entry": 7_000,
+    # IRIS record: callback invocation at handler start…
+    "record_base": 500,
+    # …plus per-entry buffering into the pre-allocated seed area.
+    "record_entry": 45,
+    # Reading the TSC for the temporal metric.
+    "rdtsc_probe": 30,
+    # Hypercall round trip (manager control path, not on the hot path).
+    "hypercall": 40_000,
+    # Asynchronous component activity (vlapic/irq/vpt callbacks).
+    "async_event": 2_500,
+    # Guest-memory access from the hypervisor (copy_from_guest et al.).
+    "guest_mem_access": 1_200,
+    # gcov compile-time instrumentation: the per-basic-block counter
+    # update the paper's coverage collection pays inline.
+    "gcov_probe": 25,
+    # Intel PT alternative (paper §IX): the hardware emits a trace
+    # packet per branch at near-zero cost to the traced code…
+    "pt_packet": 4,
+    # …and decoding happens offline, per recovered block.
+    "pt_decode_block": 80,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs of micro-operations plus the clock frequency.
+
+    Instances are immutable; derive variants with :meth:`with_overrides`
+    (used by the ablation benchmarks to explore the cost space).
+    """
+
+    frequency_hz: float = 3.6e9
+    table: Mapping[str, int] = field(
+        default_factory=lambda: MappingProxyType(dict(_DEFAULT_COST_TABLE))
+    )
+
+    def cost(self, name: str) -> int:
+        """Cycle cost of the named micro-operation."""
+        try:
+            return self.table[name]
+        except KeyError:
+            raise KeyError(f"unknown cost-model entry: {name!r}") from None
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count to seconds at the model frequency."""
+        return cycles / self.frequency_hz
+
+    def cycles(self, seconds: float) -> int:
+        """Convert seconds to cycles at the model frequency."""
+        return round(seconds * self.frequency_hz)
+
+    def with_overrides(self, **overrides: int) -> "CostModel":
+        """Return a copy with some named costs replaced."""
+        merged = dict(self.table)
+        for name, value in overrides.items():
+            if name not in merged:
+                raise KeyError(f"unknown cost-model entry: {name!r}")
+            merged[name] = value
+        return CostModel(
+            frequency_hz=self.frequency_hz, table=MappingProxyType(merged)
+        )
+
+
+#: The calibrated default model used throughout the library.
+DEFAULT_COSTS = CostModel()

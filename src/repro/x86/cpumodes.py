@@ -1,0 +1,80 @@
+"""CPU operating-mode lattice derived from CR0 (paper Figure 8).
+
+The paper validates replay accuracy by tracking the sequence of guest
+operating modes implied by VMWRITEs to the CR0 guest-state field during
+OS BOOT.  Its Figure 8 names seven modes:
+
+* ``Mode1`` — real mode (PE = 0)
+* ``Mode2`` — protected mode (PE = 1, PG = 0)
+* ``Mode3`` — protected mode with paging (PE = 1, PG = 1)
+* ``Mode4`` — Mode3 + alignment checking (AM = 1)
+* ``Mode5`` — Mode4 + task-switch flag testing (TS = 1)
+* ``Mode6`` — Mode4 + caching enabled (CD = 0, NW = 0)
+* ``Mode7`` — Mode5 + caching disabled (CD = 1)
+
+Classification applies the most specific predicate first, so the lattice
+is total: every CR0 value maps to exactly one mode.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.x86.registers import Cr0
+
+
+class OperatingMode(enum.IntEnum):
+    """The seven CR0-derived operating modes of paper Figure 8.
+
+    Values are ordered so that the OS BOOT sequence is monotonically
+    increasing through the common path (real -> protected -> paging).
+    ``MODE0`` is the pre-boot "no state" marker that Xen's log calls
+    "mode 0" in the crash message quoted by the paper (§VI-B).
+    """
+
+    MODE0 = 0  # uninitialized / pre-boot
+    MODE1 = 1  # real mode
+    MODE2 = 2  # protected mode
+    MODE3 = 3  # protected + paging
+    MODE4 = 4  # + alignment checking
+    MODE5 = 5  # + task-switch flag testing
+    MODE6 = 6  # MODE4 + caching enabled
+    MODE7 = 7  # MODE5 + caching disabled
+
+
+def classify_cr0(cr0: int) -> OperatingMode:
+    """Map a CR0 value to the operating mode of Figure 8."""
+    pe = bool(cr0 & Cr0.PE)
+    pg = bool(cr0 & Cr0.PG)
+    am = bool(cr0 & Cr0.AM)
+    ts = bool(cr0 & Cr0.TS)
+    cd = bool(cr0 & Cr0.CD)
+    nw = bool(cr0 & Cr0.NW)
+
+    if not pe:
+        return OperatingMode.MODE1
+    if not pg:
+        return OperatingMode.MODE2
+    if not am:
+        return OperatingMode.MODE3
+    if ts and cd:
+        return OperatingMode.MODE7
+    if ts:
+        return OperatingMode.MODE5
+    if not cd and not nw:
+        return OperatingMode.MODE6
+    return OperatingMode.MODE4
+
+
+def mode_transitions(cr0_values: list[int]) -> list[OperatingMode]:
+    """Collapse a CR0 write sequence into its mode-change sequence.
+
+    Consecutive writes that stay within the same operating mode are
+    merged, mirroring how Figure 8 plots mode *changes* across VM exits.
+    """
+    modes: list[OperatingMode] = []
+    for value in cr0_values:
+        mode = classify_cr0(value)
+        if not modes or modes[-1] is not mode:
+            modes.append(mode)
+    return modes

@@ -1,0 +1,142 @@
+"""Segment descriptors and descriptor-table registers (GDT/LDT/IDT).
+
+The guest mini-OS builds a GDT in guest memory before switching to
+protected mode, exactly as the paper's protected-mode example requires
+(§III).  The hypervisor's instruction emulator dereferences descriptor
+table bases out of guest memory, which is the mechanism behind the
+paper's >30-LOC replay divergences (§VI-B): during replay the dummy VM's
+memory does not contain the recorded guest's tables.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """An 8-byte legacy segment descriptor.
+
+    Only the fields the simulation consumes are modelled explicitly;
+    :meth:`pack`/:meth:`unpack` round-trip through the real wire layout
+    so that guest memory contains architecturally-shaped bytes.
+    """
+
+    base: int
+    limit: int
+    type_: int  # 4-bit type field
+    s: bool  # descriptor type (1 = code/data)
+    dpl: int
+    present: bool
+    avl: bool = False
+    long_mode: bool = False
+    default_big: bool = True
+    granularity: bool = True
+
+    def pack(self) -> bytes:
+        """Encode into the architectural 8-byte descriptor layout."""
+        limit = self.limit & 0xFFFFF
+        base = self.base & 0xFFFFFFFF
+        low = (limit & 0xFFFF) | ((base & 0xFFFF) << 16)
+        access = (
+            (self.type_ & 0xF)
+            | (int(self.s) << 4)
+            | ((self.dpl & 0x3) << 5)
+            | (int(self.present) << 7)
+        )
+        flags = (
+            int(self.avl)
+            | (int(self.long_mode) << 1)
+            | (int(self.default_big) << 2)
+            | (int(self.granularity) << 3)
+        )
+        high = (
+            ((base >> 16) & 0xFF)
+            | (access << 8)
+            | (((limit >> 16) & 0xF) << 16)
+            | (flags << 20)
+            | (((base >> 24) & 0xFF) << 24)
+        )
+        return struct.pack("<II", low, high)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SegmentDescriptor":
+        """Decode an 8-byte descriptor; inverse of :meth:`pack`."""
+        if len(raw) != 8:
+            raise ValueError(f"descriptor must be 8 bytes, got {len(raw)}")
+        low, high = struct.unpack("<II", raw)
+        limit = (low & 0xFFFF) | (((high >> 16) & 0xF) << 16)
+        base = (
+            ((low >> 16) & 0xFFFF)
+            | (((high) & 0xFF) << 16)
+            | (((high >> 24) & 0xFF) << 24)
+        )
+        access = (high >> 8) & 0xFF
+        flags = (high >> 20) & 0xF
+        return cls(
+            base=base,
+            limit=limit,
+            type_=access & 0xF,
+            s=bool(access & 0x10),
+            dpl=(access >> 5) & 0x3,
+            present=bool(access & 0x80),
+            avl=bool(flags & 0x1),
+            long_mode=bool(flags & 0x2),
+            default_big=bool(flags & 0x4),
+            granularity=bool(flags & 0x8),
+        )
+
+    @property
+    def access_rights(self) -> int:
+        """VT-x style access-rights encoding for VMCS segment fields."""
+        ar = (
+            (self.type_ & 0xF)
+            | (int(self.s) << 4)
+            | ((self.dpl & 0x3) << 5)
+            | (int(self.present) << 7)
+            | (int(self.avl) << 12)
+            | (int(self.long_mode) << 13)
+            | (int(self.default_big) << 14)
+            | (int(self.granularity) << 15)
+        )
+        if not self.present:
+            ar |= 1 << 16  # unusable
+        return ar
+
+
+def flat_code_descriptor(dpl: int = 0) -> SegmentDescriptor:
+    """A flat 4 GiB ring-``dpl`` code descriptor (the mini-OS default)."""
+    return SegmentDescriptor(
+        base=0, limit=0xFFFFF, type_=0xB, s=True, dpl=dpl, present=True
+    )
+
+
+def flat_data_descriptor(dpl: int = 0) -> SegmentDescriptor:
+    """A flat 4 GiB ring-``dpl`` data descriptor."""
+    return SegmentDescriptor(
+        base=0, limit=0xFFFFF, type_=0x3, s=True, dpl=dpl, present=True
+    )
+
+
+@dataclass
+class DescriptorTableRegister:
+    """GDTR/IDTR/LDTR-style register: a base address and a limit."""
+
+    base: int = 0
+    limit: int = 0xFFFF
+
+    def entry_address(self, selector: int) -> int:
+        """Linear address of the descriptor a selector refers to."""
+        index = selector >> 3
+        return (self.base + index * 8) & MASK64
+
+    def contains(self, selector: int) -> bool:
+        """True when the selector's descriptor lies within the limit."""
+        index = selector >> 3
+        return index * 8 + 7 <= self.limit
+
+    def copy(self) -> "DescriptorTableRegister":
+        return DescriptorTableRegister(self.base, self.limit)

@@ -1,0 +1,166 @@
+"""Model-specific register (MSR) space.
+
+RDMSR/WRMSR are sensitive instructions and therefore VM-exit sources; the
+hypervisor's MSR exit handlers consult this database to decide between
+pass-through, emulation, and injecting #GP — the three behaviours Xen's
+``hvm_msr_read_intercept``/``hvm_msr_write_intercept`` implement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+MASK64 = (1 << 64) - 1
+
+
+class Msr(enum.IntEnum):
+    """Architectural MSR indices used by the simulation."""
+
+    IA32_TSC = 0x10
+    IA32_PLATFORM_ID = 0x17
+    IA32_APIC_BASE = 0x1B
+    IA32_FEATURE_CONTROL = 0x3A
+    IA32_SPEC_CTRL = 0x48
+    IA32_BIOS_SIGN_ID = 0x8B
+    IA32_MTRRCAP = 0xFE
+    IA32_SYSENTER_CS = 0x174
+    IA32_SYSENTER_ESP = 0x175
+    IA32_SYSENTER_EIP = 0x176
+    IA32_MCG_CAP = 0x179
+    IA32_MCG_STATUS = 0x17A
+    IA32_PERF_STATUS = 0x198
+    IA32_MISC_ENABLE = 0x1A0
+    IA32_DEBUGCTL = 0x1D9
+    IA32_PAT = 0x277
+    IA32_MTRR_DEF_TYPE = 0x2FF
+    IA32_VMX_BASIC = 0x480
+    IA32_VMX_PINBASED_CTLS = 0x481
+    IA32_VMX_PROCBASED_CTLS = 0x482
+    IA32_VMX_EXIT_CTLS = 0x483
+    IA32_VMX_ENTRY_CTLS = 0x484
+    IA32_VMX_MISC = 0x485
+    IA32_VMX_CR0_FIXED0 = 0x486
+    IA32_VMX_CR0_FIXED1 = 0x487
+    IA32_VMX_CR4_FIXED0 = 0x488
+    IA32_VMX_CR4_FIXED1 = 0x489
+    IA32_VMX_PROCBASED_CTLS2 = 0x48B
+    IA32_VMX_EPT_VPID_CAP = 0x48C
+    IA32_VMX_PREEMPTION_TIMER_RATE = 0x48D  # modelled: TSC shift
+    IA32_TSC_DEADLINE = 0x6E0
+    IA32_EFER = 0xC0000080
+    IA32_STAR = 0xC0000081
+    IA32_LSTAR = 0xC0000082
+    IA32_CSTAR = 0xC0000083
+    IA32_FMASK = 0xC0000084
+    IA32_FS_BASE = 0xC0000100
+    IA32_GS_BASE = 0xC0000101
+    IA32_KERNEL_GS_BASE = 0xC0000102
+    IA32_TSC_AUX = 0xC0000103
+
+
+class EferBits(enum.IntFlag):
+    """IA32_EFER bits."""
+
+    SCE = 1 << 0
+    LME = 1 << 8
+    LMA = 1 << 10
+    NXE = 1 << 11
+
+
+#: MSRs a guest may read without triggering #GP in this model.
+_READABLE: frozenset[int] = frozenset(int(m) for m in Msr)
+
+#: MSRs that are read-only from the guest's point of view.
+_GUEST_READ_ONLY: frozenset[int] = frozenset(
+    {
+        int(Msr.IA32_PLATFORM_ID),
+        int(Msr.IA32_MTRRCAP),
+        int(Msr.IA32_MCG_CAP),
+        int(Msr.IA32_PERF_STATUS),
+        int(Msr.IA32_VMX_BASIC),
+        int(Msr.IA32_VMX_PINBASED_CTLS),
+        int(Msr.IA32_VMX_PROCBASED_CTLS),
+        int(Msr.IA32_VMX_EXIT_CTLS),
+        int(Msr.IA32_VMX_ENTRY_CTLS),
+        int(Msr.IA32_VMX_MISC),
+        int(Msr.IA32_VMX_CR0_FIXED0),
+        int(Msr.IA32_VMX_CR0_FIXED1),
+        int(Msr.IA32_VMX_CR4_FIXED0),
+        int(Msr.IA32_VMX_CR4_FIXED1),
+        int(Msr.IA32_VMX_PROCBASED_CTLS2),
+        int(Msr.IA32_VMX_EPT_VPID_CAP),
+    }
+)
+
+#: Per-MSR masks of bits that are writable; other bits are reserved and
+#: writing a 1 to them raises :class:`MsrAccessError` (#GP in hardware).
+_WRITABLE_BITS: dict[int, int] = {
+    int(Msr.IA32_EFER): int(
+        EferBits.SCE | EferBits.LME | EferBits.LMA | EferBits.NXE
+    ),
+    int(Msr.IA32_APIC_BASE): 0xFFFFFF000 | (1 << 11) | (1 << 10) | (1 << 8),
+    int(Msr.IA32_FEATURE_CONTROL): 0x7,
+    int(Msr.IA32_DEBUGCTL): 0x3,
+    int(Msr.IA32_MISC_ENABLE): (1 << 0) | (1 << 3) | (1 << 16) | (1 << 22),
+    int(Msr.IA32_MTRR_DEF_TYPE): 0xCFF,
+}
+
+
+class MsrAccessError(Exception):
+    """An MSR access that architecturally raises #GP(0)."""
+
+    def __init__(self, msr: int, write: bool, reason: str) -> None:
+        op = "WRMSR" if write else "RDMSR"
+        super().__init__(f"{op} 0x{msr:x}: {reason}")
+        self.msr = msr
+        self.write = write
+        self.reason = reason
+
+
+def _default_values() -> dict[int, int]:
+    return {
+        int(Msr.IA32_APIC_BASE): 0xFEE00000 | (1 << 11) | (1 << 8),
+        int(Msr.IA32_PLATFORM_ID): 1 << 50,
+        int(Msr.IA32_MTRRCAP): 0x508,
+        int(Msr.IA32_MCG_CAP): 0x9,
+        int(Msr.IA32_PAT): 0x0007040600070406,
+        int(Msr.IA32_MISC_ENABLE): 1 << 0,
+        int(Msr.IA32_VMX_BASIC): (1 << 32) | 0x11,  # rev id 0x11, 4K region
+        int(Msr.IA32_VMX_CR0_FIXED0): 0x80000021,  # PE|NE|PG must be 1
+        int(Msr.IA32_VMX_CR0_FIXED1): 0xFFFFFFFF,
+        int(Msr.IA32_VMX_CR4_FIXED0): 0x2000,  # VMXE must be 1
+        int(Msr.IA32_VMX_CR4_FIXED1): 0x7FFFFF,
+        int(Msr.IA32_MTRR_DEF_TYPE): 0xC06,
+    }
+
+
+@dataclass
+class MsrFile:
+    """The MSR state of one virtual CPU."""
+
+    values: dict[int, int] = field(default_factory=_default_values)
+
+    def read(self, msr: int) -> int:
+        """RDMSR semantics: unknown MSR -> #GP."""
+        if msr not in _READABLE:
+            raise MsrAccessError(msr, write=False, reason="unknown MSR")
+        return self.values.get(msr, 0)
+
+    def write(self, msr: int, value: int) -> None:
+        """WRMSR semantics: reserved-bit or read-only writes -> #GP."""
+        value &= MASK64
+        if msr not in _READABLE:
+            raise MsrAccessError(msr, write=True, reason="unknown MSR")
+        if msr in _GUEST_READ_ONLY:
+            raise MsrAccessError(msr, write=True, reason="read-only MSR")
+        writable = _WRITABLE_BITS.get(msr)
+        if writable is not None and value & ~writable & MASK64:
+            raise MsrAccessError(
+                msr, write=True,
+                reason=f"reserved bits set: 0x{value & ~writable & MASK64:x}",
+            )
+        self.values[msr] = value
+
+    def copy(self) -> "MsrFile":
+        return MsrFile(values=dict(self.values))

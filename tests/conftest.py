@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Recording sessions are expensive enough (a full simulated boot is ~15K
+exits) that the commonly used traces are session-scoped: tests must not
+mutate them (mutation-style tests copy what they need).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.manager import IrisManager
+from repro.guest.machine import GuestMachine
+from repro.hypervisor.domain import DomainType
+from repro.hypervisor.hypervisor import Hypervisor
+
+
+@pytest.fixture
+def hv() -> Hypervisor:
+    """A fresh hypervisor."""
+    return Hypervisor()
+
+
+@pytest.fixture
+def hvm_domain(hv):
+    """A fresh HVM domain with identity-mapped low memory."""
+    domain = hv.create_domain(DomainType.HVM, name="test-vm")
+    domain.populate_identity_map(64)
+    return domain
+
+
+@pytest.fixture
+def vcpu(hvm_domain):
+    return hvm_domain.vcpus[0]
+
+
+@pytest.fixture
+def machine(hv, hvm_domain) -> GuestMachine:
+    return GuestMachine(hv, hvm_domain, rng=random.Random(7))
+
+
+@pytest.fixture
+def manager() -> IrisManager:
+    return IrisManager()
+
+
+# ---- session-scoped recorded sessions (read-only!) -------------------
+
+@pytest.fixture(scope="session")
+def cpu_session():
+    """CPU-bound: 800 exits recorded on a booted test VM."""
+    manager = IrisManager()
+    session = manager.record_workload(
+        "cpu-bound", n_exits=800, precondition="boot"
+    )
+    return manager, session
+
+
+@pytest.fixture(scope="session")
+def boot_session():
+    """OS BOOT: 3000 exits recorded right after the BIOS."""
+    manager = IrisManager()
+    session = manager.record_workload(
+        "os-boot", n_exits=3000, precondition="bios"
+    )
+    return manager, session
+
+
+@pytest.fixture(scope="session")
+def idle_session():
+    """IDLE: 600 exits recorded on a booted test VM."""
+    manager = IrisManager()
+    session = manager.record_workload(
+        "idle", n_exits=600, precondition="boot"
+    )
+    return manager, session

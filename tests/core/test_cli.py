@@ -1,0 +1,72 @@
+"""Unit tests for the ``iris`` CLI."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+class TestParser:
+    def test_record_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["record", "-w", "cpu-bound"])
+
+    def test_record_args(self):
+        args = build_parser().parse_args(
+            ["record", "-w", "idle", "-n", "100", "-o", "x.iris"]
+        )
+        assert args.workload == "idle"
+        assert args.exits == 100
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["record", "-w", "nope", "-o", "x"]
+            )
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("os-boot", "cpu-bound", "idle"):
+            assert name in out
+
+    def test_record_inspect_replay_roundtrip(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.iris")
+        assert main([
+            "record", "-w", "cpu-bound", "-n", "30",
+            "-p", "none", "-o", trace_file,
+        ]) == 0
+        assert "recorded 30 exits" in capsys.readouterr().out
+
+        assert main(["inspect", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "records:  30" in out
+        assert "RDTSC" in out
+
+        # Recorded without boot -> replays fine on a fresh dummy.
+        assert main(["replay", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 30/30" in out
+
+    def test_replay_booted_trace_explains_crash(self, tmp_path,
+                                                capsys):
+        trace_file = str(tmp_path / "t.iris")
+        main(["record", "-w", "cpu-bound", "-n", "20",
+              "-p", "boot", "-o", trace_file])
+        capsys.readouterr()
+        assert main(["replay", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "bad RIP" in out or "replay stopped" in out
+
+    def test_evaluate_reports_metrics(self, capsys):
+        assert main([
+            "evaluate", "-w", "cpu-bound", "-n", "40", "-p", "none",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coverage fitting" in out
+        assert "VMWRITE fitting" in out

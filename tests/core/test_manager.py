@@ -1,0 +1,152 @@
+"""Unit tests for the IRIS manager."""
+
+import pytest
+
+from repro.core.manager import IrisManager, IrisMode
+from repro.core.replay import ReplayOutcome
+from repro.errors import IrisError
+from repro.hypervisor.hypercalls import (
+    EINVAL,
+    XC_VMCS_FUZZING_NR,
+    XcVmcsFuzzingOp,
+)
+from repro.x86.registers import GPR
+
+
+class TestSetup:
+    def test_manager_creates_dom0(self, manager):
+        assert manager.dom0.domid == 0
+        assert manager.dom0.name == "Domain-0"
+
+    def test_hypercall_backend_registered(self, manager):
+        assert XC_VMCS_FUZZING_NR in manager.hv.hypercalls.backends
+
+    def test_initial_mode_off(self, manager):
+        assert manager.mode is IrisMode.OFF
+
+
+class TestHypercallBackend:
+    def dispatch(self, manager, op):
+        vcpu = manager.create_test_vm().vcpu
+        vcpu.regs.write_gpr(GPR.RDI, int(op))
+        return manager.hv.hypercalls.dispatch(
+            vcpu, XC_VMCS_FUZZING_NR
+        )
+
+    def test_enable_disable_record(self, manager):
+        self.dispatch(manager, XcVmcsFuzzingOp.ENABLE_RECORD)
+        assert manager.mode & IrisMode.RECORD
+        manager.test_machine.vcpu.regs.write_gpr(
+            GPR.RDI, int(XcVmcsFuzzingOp.DISABLE_RECORD)
+        )
+        manager.hv.hypercalls.dispatch(
+            manager.test_machine.vcpu, XC_VMCS_FUZZING_NR
+        )
+        assert not manager.mode & IrisMode.RECORD
+
+    def test_status_returns_mode_bits(self, manager):
+        manager.mode = IrisMode.RECORD | IrisMode.REPLAY
+        result = self.dispatch(manager, XcVmcsFuzzingOp.STATUS)
+        assert result == manager.mode.value
+
+    def test_garbage_op_returns_einval(self, manager):
+        machine = manager.create_test_vm()
+        machine.vcpu.regs.write_gpr(GPR.RDI, 0xDEADBEEF)
+        assert manager.hv.hypercalls.dispatch(
+            machine.vcpu, XC_VMCS_FUZZING_NR
+        ) == EINVAL
+
+
+class TestRecordMode:
+    def test_record_without_precondition(self, manager):
+        session = manager.record_workload(
+            "cpu-bound", n_exits=50, precondition=None
+        )
+        assert len(session.trace) == 50
+        assert session.trace.workload == "CPU-bound"
+        assert session.wall_cycles > 0
+
+    def test_unknown_precondition_rejected(self, manager):
+        with pytest.raises(IrisError):
+            manager.record_workload(
+                "cpu-bound", n_exits=10, precondition="warp"
+            )
+
+    def test_snapshot_taken_before_recording(self, manager):
+        session = manager.record_workload(
+            "cpu-bound", n_exits=20, precondition=None
+        )
+        # The snapshot predates the workload: restoring it must not
+        # carry the recorded exits' state (exit_count check).
+        assert session.snapshot.hvm["exit_count"] < 20
+
+    def test_mode_restored_after_recording(self, manager):
+        manager.record_workload("cpu-bound", n_exits=10,
+                                precondition=None)
+        assert not manager.mode & IrisMode.RECORD
+
+    def test_recorder_stats_attached(self, manager):
+        session = manager.record_workload(
+            "cpu-bound", n_exits=10, precondition=None
+        )
+        assert session.recorder_stats.exits_recorded == 10
+
+    def test_park_test_vm_idles_without_recording(self, manager):
+        # §IV-C: the test VM idles between sessions; nothing recorded.
+        delivered = manager.park_test_vm(exits=8)
+        assert delivered >= 8
+        session = manager.record_workload(
+            "cpu-bound", n_exits=10, precondition=None
+        )
+        assert len(session.trace) == 10  # parking left no residue
+
+
+class TestReplayMode:
+    def test_replay_without_metrics(self, cpu_session):
+        manager, session = cpu_session
+        replay = manager.replay_trace(
+            session.trace, from_snapshot=session.snapshot,
+            record_metrics=False,
+        )
+        assert replay.completed == len(session.trace)
+        assert all(not r.vmwrites or r.vmwrites
+                   for r in replay.results)
+
+    def test_replay_throughput_computed(self, cpu_session):
+        manager, session = cpu_session
+        replay = manager.replay_trace(
+            session.trace, from_snapshot=session.snapshot
+        )
+        # Paper §VI-C: measured replay sits in the ~20K exits/s band.
+        assert 15_000 < replay.throughput_exits_per_second() < 30_000
+
+    def test_fresh_dummy_crashes_on_booted_trace(self, cpu_session):
+        manager, session = cpu_session
+        replay = manager.replay_trace(session.trace)
+        assert replay.crashed
+        assert "bad RIP" in replay.results[-1].crash_reason
+
+    def test_submit_single_crafted_seed(self, manager):
+        from repro.core.seed import SeedEntry, SeedFlag, VMSeed
+        from repro.vmx.exit_reasons import ExitReason
+        from repro.vmx.vmcs_fields import VmcsField
+
+        seed = VMSeed(
+            exit_reason=int(ExitReason.CPUID),
+            entries=[
+                SeedEntry.for_gpr(GPR.RAX, 0),
+                SeedEntry.for_vmcs(
+                    SeedFlag.VMCS_READ, VmcsField.VM_EXIT_REASON,
+                    int(ExitReason.CPUID),
+                ),
+                SeedEntry.for_vmcs(
+                    SeedFlag.VMCS_READ, VmcsField.GUEST_RIP, 0x100
+                ),
+                SeedEntry.for_vmcs(
+                    SeedFlag.VMCS_READ,
+                    VmcsField.VM_EXIT_INSTRUCTION_LEN, 2,
+                ),
+            ],
+        )
+        result = manager.submit_seed(seed)
+        assert result.outcome is ReplayOutcome.OK

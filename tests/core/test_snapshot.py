@@ -1,0 +1,84 @@
+"""Unit tests for VM snapshots."""
+
+import pytest
+
+from repro.core.snapshot import restore_snapshot, take_snapshot
+from repro.hypervisor.domain import DomainType
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.cpumodes import OperatingMode
+from repro.x86.msr import Msr
+from repro.x86.registers import GPR
+
+
+class TestRoundtrip:
+    def test_vmcs_and_registers_restored(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 0x1234)
+        vcpu.regs.write_gpr(GPR.RAX, 7)
+        vcpu.msrs.write(int(Msr.IA32_LSTAR), 0x9999)
+        snapshot = take_snapshot(hv, hvm_domain)
+
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 0xFFFF)
+        vcpu.regs.write_gpr(GPR.RAX, 0)
+        vcpu.msrs.write(int(Msr.IA32_LSTAR), 0)
+        restore_snapshot(hv, hvm_domain, snapshot)
+
+        assert vcpu.vmcs.read(VmcsField.GUEST_RIP) == 0x1234
+        assert vcpu.regs.read_gpr(GPR.RAX) == 7
+        assert vcpu.msrs.read(int(Msr.IA32_LSTAR)) == 0x9999
+
+    def test_cached_mode_restored(self, hv, hvm_domain, vcpu):
+        vcpu.sync_mode_from_cr0(0x80040011)
+        snapshot = take_snapshot(hv, hvm_domain)
+        vcpu.sync_mode_from_cr0(0x10)
+        restore_snapshot(hv, hvm_domain, snapshot)
+        assert vcpu.hvm.guest_mode is OperatingMode.MODE6
+
+    def test_device_state_restored(self, hv, hvm_domain, vcpu):
+        hv.vlapic(vcpu).irr.append(0x30)
+        hv.platform_timer(hvm_domain).program_channel(0, 500)
+        snapshot = take_snapshot(hv, hvm_domain)
+        hv.vlapic(vcpu).irr.clear()
+        restore_snapshot(hv, hvm_domain, snapshot)
+        assert 0x30 in hv.vlapic(vcpu).irr
+
+    def test_memory_excluded_by_default(self, hv, hvm_domain):
+        hvm_domain.memory.write(0x1000, b"secret")
+        snapshot = take_snapshot(hv, hvm_domain)
+        assert snapshot.memory_pages is None
+
+    def test_memory_included_on_request(self, hv, hvm_domain):
+        hvm_domain.memory.write(0x1000, b"secret")
+        snapshot = take_snapshot(hv, hvm_domain,
+                                 include_memory=True)
+        hvm_domain.memory.write(0x1000, b"dirty!")
+        restore_snapshot(hv, hvm_domain, snapshot)
+        assert hvm_domain.memory.read(0x1000, 6) == b"secret"
+
+    def test_restore_revives_crashed_domain(self, hv, hvm_domain,
+                                            vcpu):
+        from repro.errors import GuestCrash
+
+        snapshot = take_snapshot(hv, hvm_domain)
+        with pytest.raises(GuestCrash):
+            hvm_domain.domain_crash("test")
+        restore_snapshot(hv, hvm_domain, snapshot)
+        assert not hvm_domain.crashed and not vcpu.dead
+
+
+class TestCrossDomainRestore:
+    def test_snapshot_restores_onto_dummy_vm(self, hv, hvm_domain,
+                                             vcpu):
+        # The dummy VM starts "from a particular VM state" (§IV-C):
+        # same hypervisor-side state, its own memory.
+        vcpu.sync_mode_from_cr0(0x80040011)
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 0x1000000)
+        hvm_domain.memory.write(0x2000, b"guest-only")
+        snapshot = take_snapshot(hv, hvm_domain)
+
+        dummy = hv.create_domain(DomainType.HVM, name="dummy",
+                                 is_dummy=True)
+        dummy_vcpu = restore_snapshot(hv, dummy, snapshot)
+        assert dummy_vcpu.hvm.guest_mode is OperatingMode.MODE6
+        assert dummy_vcpu.vmcs.read(VmcsField.GUEST_RIP) == 0x1000000
+        # Guest memory did NOT travel (paper §IV-A).
+        assert not dummy.memory.is_populated(0x2)

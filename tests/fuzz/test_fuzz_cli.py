@@ -1,0 +1,46 @@
+"""Unit tests for the ``iris-fuzz`` CLI."""
+
+import pytest
+
+from repro.fuzz.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "cpu-bound"
+        assert args.rule == "bit-flip"
+        assert args.area == "both"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-w", "nope"])
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--rule", "teleport"])
+
+    def test_unknown_reason_is_a_clean_error(self, capsys):
+        assert main(["--reasons", "WARP_DRIVE"]) == 2
+        assert "unknown exit reason" in capsys.readouterr().err
+
+
+class TestSmallCampaign:
+    def test_end_to_end_run(self, capsys):
+        code = main([
+            "-w", "cpu-bound", "-n", "200", "--mutations", "40",
+            "--reasons", "RDTSC,CPUID", "--area", "both",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RDTSC" in out
+        assert "VMCS" in out and "GPR" in out
+        assert "total failures observed" in out
+
+    def test_missing_reasons_reported(self, capsys):
+        code = main([
+            "-w", "cpu-bound", "-n", "100", "--mutations", "10",
+            "--reasons", "HLT",  # absent from CPU-bound traces
+        ])
+        assert code == 1
+        assert "no seeds" in capsys.readouterr().out

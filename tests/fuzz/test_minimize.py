@@ -1,0 +1,111 @@
+"""Tests for crash-seed minimization."""
+
+import random
+
+import pytest
+
+from repro.core.snapshot import take_snapshot
+from repro.core.seed import SeedEntry, SeedFlag, VMSeed
+from repro.fuzz.minimize import (
+    minimize_crash,
+    seed_deltas,
+)
+from repro.fuzz.mutations import MutationArea, bit_flip
+from repro.vmx.vmcs_fields import VmcsField
+
+
+@pytest.fixture
+def crash_setup(cpu_session):
+    """A target state plus an original seed known to replay cleanly."""
+    manager, session = cpu_session
+    manager.create_dummy_vm(from_snapshot=session.snapshot)
+    original = session.trace.records[10].seed
+    # Establish the state right before the seed (replay a prefix).
+    for record in session.trace.records[:10]:
+        manager.replayer.submit(record.seed)
+    state = take_snapshot(manager.hv, manager.dummy_vm)
+    return manager, original, state
+
+
+def corrupt_instruction_len(seed: VMSeed) -> VMSeed:
+    """A deterministic crasher: instruction length 99 -> BUG_ON."""
+    mutant = VMSeed(exit_reason=seed.exit_reason,
+                    entries=list(seed.entries))
+    for index, entry in enumerate(mutant.entries):
+        if entry.flag is SeedFlag.VMCS_READ and \
+                entry.vmcs_field is \
+                VmcsField.VM_EXIT_INSTRUCTION_LEN:
+            mutant.entries[index] = SeedEntry(
+                flag=entry.flag, encoding=entry.encoding, value=99
+            )
+            break
+    return mutant
+
+
+class TestSeedDeltas:
+    def test_no_difference(self, crash_setup):
+        _, original, _ = crash_setup
+        assert seed_deltas(original, original) == []
+
+    def test_single_difference_located(self, crash_setup):
+        _, original, _ = crash_setup
+        mutant = corrupt_instruction_len(original)
+        deltas = seed_deltas(original, mutant)
+        assert len(deltas) == 1
+        assert deltas[0].mutated.value == 99
+        assert "VM_EXIT_INSTRUCTION_LEN" in deltas[0].describe()
+
+    def test_structural_mismatch_rejected(self, crash_setup):
+        _, original, _ = crash_setup
+        shorter = VMSeed(exit_reason=original.exit_reason,
+                         entries=original.entries[:-1])
+        with pytest.raises(ValueError):
+            seed_deltas(original, shorter)
+
+
+class TestMinimization:
+    def test_noise_deltas_removed(self, crash_setup):
+        manager, original, state = crash_setup
+        # One essential corruption + several harmless bit flips.
+        mutant = corrupt_instruction_len(original)
+        rng = random.Random(3)
+        for _ in range(4):
+            mutant = bit_flip(mutant, MutationArea.GPR, rng)
+        deltas_before = len(seed_deltas(original, mutant))
+        assert deltas_before >= 3
+
+        result = minimize_crash(manager, original, mutant, state)
+        assert result.crash_reason
+        assert result.initial_delta_count == deltas_before
+        # Everything but the essential corruption is reverted.
+        assert len(result.essential_deltas) == 1
+        assert result.essential_deltas[0].mutated.value == 99
+        assert result.reduced
+
+    def test_minimal_seed_still_crashes(self, crash_setup):
+        manager, original, state = crash_setup
+        mutant = corrupt_instruction_len(original)
+        result = minimize_crash(manager, original, mutant, state)
+
+        from repro.core.snapshot import restore_snapshot
+        from repro.core.replay import ReplayOutcome
+
+        restore_snapshot(manager.hv, manager.dummy_vm, state)
+        outcome = manager.replayer.submit(result.minimal_seed)
+        assert outcome.outcome is not ReplayOutcome.OK
+
+    def test_non_crashing_mutant_rejected(self, crash_setup):
+        manager, original, state = crash_setup
+        with pytest.raises(ValueError):
+            minimize_crash(manager, original, original, state)
+
+    def test_execution_budget_respected(self, crash_setup):
+        manager, original, state = crash_setup
+        mutant = corrupt_instruction_len(original)
+        rng = random.Random(9)
+        for _ in range(6):
+            mutant = bit_flip(mutant, MutationArea.GPR, rng)
+        result = minimize_crash(
+            manager, original, mutant, state, max_executions=5
+        )
+        assert result.executions <= 5

@@ -1,0 +1,129 @@
+"""Unit tests for the mutation rules."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.seed import SeedEntry, SeedFlag, VMSeed
+from repro.fuzz.mutations import (
+    MUTATION_RULES,
+    MutationArea,
+    arithmetic_mutation,
+    bit_flip,
+    byte_flip,
+)
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField, field_width
+from repro.x86.registers import GPR
+
+
+def sample_seed():
+    return VMSeed(
+        exit_reason=int(ExitReason.RDTSC),
+        entries=[
+            SeedEntry.for_gpr(GPR.RAX, 0xFFFFFFF0),
+            SeedEntry.for_gpr(GPR.RBX, 0),
+            SeedEntry.for_vmcs(
+                SeedFlag.VMCS_READ, VmcsField.GUEST_RIP, 0x8000
+            ),
+            SeedEntry.for_vmcs(
+                SeedFlag.VMCS_READ, VmcsField.GUEST_CS_SELECTOR, 0x8
+            ),
+        ],
+    )
+
+
+class TestBitFlip:
+    def test_exactly_one_bit_differs(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            seed = sample_seed()
+            mutated = bit_flip(seed, MutationArea.VMCS, rng)
+            diffs = [
+                (a, b) for a, b in zip(seed.entries, mutated.entries)
+                if a != b
+            ]
+            assert len(diffs) == 1
+            original, changed = diffs[0]
+            assert bin(original.value ^ changed.value).count("1") == 1
+
+    def test_vmcs_area_only_touches_vmcs_entries(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            seed = sample_seed()
+            mutated = bit_flip(seed, MutationArea.VMCS, rng)
+            for a, b in zip(seed.entries, mutated.entries):
+                if a != b:
+                    assert a.flag is SeedFlag.VMCS_READ
+
+    def test_gpr_area_only_touches_gprs(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            seed = sample_seed()
+            mutated = bit_flip(seed, MutationArea.GPR, rng)
+            for a, b in zip(seed.entries, mutated.entries):
+                if a != b:
+                    assert a.flag is SeedFlag.GPR
+
+    def test_flip_respects_field_width(self):
+        # The CS selector is a 16-bit field: flips stay inside it.
+        rng = random.Random(4)
+        for _ in range(100):
+            seed = sample_seed()
+            mutated = bit_flip(seed, MutationArea.VMCS, rng)
+            selector = mutated.entries[3]
+            if selector != seed.entries[3]:
+                width = field_width(
+                    int(VmcsField.GUEST_CS_SELECTOR)
+                ).bits
+                assert selector.value < (1 << width)
+
+    def test_empty_area_returns_seed_unchanged(self):
+        seed = VMSeed(exit_reason=0, entries=[
+            SeedEntry.for_gpr(GPR.RAX, 0)
+        ])
+        mutated = bit_flip(seed, MutationArea.VMCS, random.Random(0))
+        assert mutated is seed
+
+    def test_original_never_mutated(self):
+        seed = sample_seed()
+        original_entries = list(seed.entries)
+        bit_flip(seed, MutationArea.VMCS, random.Random(5))
+        assert seed.entries == original_entries
+
+
+class TestOtherRules:
+    def test_byte_flip_inverts_one_byte(self):
+        rng = random.Random(6)
+        seed = sample_seed()
+        mutated = byte_flip(seed, MutationArea.GPR, rng)
+        diffs = [
+            a.value ^ b.value
+            for a, b in zip(seed.entries, mutated.entries) if a != b
+        ]
+        assert len(diffs) == 1
+        xor = diffs[0]
+        # The xor pattern is 0xFF at some byte position.
+        assert xor in [0xFF << (8 * i) for i in range(8)]
+
+    def test_arithmetic_changes_value(self):
+        rng = random.Random(7)
+        seed = sample_seed()
+        mutated = arithmetic_mutation(seed, MutationArea.GPR, rng)
+        assert mutated.entries != seed.entries
+
+    def test_registry_contains_paper_rule(self):
+        assert MUTATION_RULES["bit-flip"] is bit_flip
+        assert set(MUTATION_RULES) == {
+            "bit-flip", "byte-flip", "arithmetic"
+        }
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_rules_are_deterministic_given_rng_seed(self, rng_seed):
+        seed = sample_seed()
+        a = bit_flip(seed, MutationArea.VMCS,
+                     random.Random(rng_seed))
+        b = bit_flip(seed, MutationArea.VMCS,
+                     random.Random(rng_seed))
+        assert a.entries == b.entries

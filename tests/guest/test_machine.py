@@ -1,0 +1,144 @@
+"""Unit tests for the guest machine."""
+
+import pytest
+
+from repro.guest.machine import HOST_TIMER_PERIOD, GuestMachine
+from repro.guest.ops import GuestOp, OpKind
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.registers import GPR
+
+
+class TestBasics:
+    def test_requires_vcpu(self, hv):
+        from repro.hypervisor.domain import Domain, DomainType
+
+        bare = Domain(domid=9, dtype=DomainType.DOM0)
+        with pytest.raises(ValueError):
+            GuestMachine(hv, bare)
+
+    def test_launch_is_idempotent(self, machine):
+        machine.launch()
+        machine.launch()
+        assert machine.stats.exits_delivered == 0
+
+    def test_exec_op_burns_cycles_without_exit(self, hv, machine):
+        machine.launch()
+        before = hv.clock.now
+        machine.execute(GuestOp(OpKind.EXEC, cycles=5_000))
+        assert hv.clock.now >= before + 5_000
+        assert machine.stats.exits_delivered == 0
+
+    def test_cpuid_op_delivers_exit(self, hv, machine):
+        machine.launch()
+        machine.execute(GuestOp(OpKind.CPUID, leaf=0, cycles=1_000))
+        assert machine.stats.exits_delivered == 1
+        assert hv.stats.by_reason[ExitReason.CPUID] == 1
+
+    def test_rip_advances_after_handled_exit(self, machine):
+        machine.launch()
+        before = machine.rip
+        machine.execute(GuestOp(OpKind.CPUID, leaf=0))
+        assert machine.rip > before
+
+    def test_mem_write_stores_to_guest_memory(self, machine,
+                                              hvm_domain):
+        machine.launch()
+        machine.execute(GuestOp(
+            OpKind.MEM_WRITE, stores=((0x6000, b"gdt!"),)
+        ))
+        assert hvm_domain.memory.read(0x6000, 4) == b"gdt!"
+
+    def test_jump_moves_rip_and_cs_base(self, machine, vcpu):
+        machine.launch()
+        machine.execute(GuestOp(OpKind.JUMP, new_rip=0x7C00,
+                                new_cs_base=0))
+        assert machine.rip == 0x7C00
+        assert vcpu.vmcs.read(VmcsField.GUEST_CS_BASE) == 0
+
+    def test_jump_requires_target(self, machine):
+        machine.launch()
+        with pytest.raises(ValueError):
+            machine.execute(GuestOp(OpKind.JUMP))
+
+    def test_cli_sti_toggle_rflags_if(self, machine, vcpu):
+        machine.launch()
+        machine.execute(GuestOp(OpKind.STI))
+        assert vcpu.vmcs.read(VmcsField.GUEST_RFLAGS) & (1 << 9)
+        machine.execute(GuestOp(OpKind.CLI))
+        assert not vcpu.vmcs.read(VmcsField.GUEST_RFLAGS) & (1 << 9)
+
+
+class TestOperandPlumbing:
+    def test_io_out_places_value_in_rax(self, machine, vcpu):
+        machine.launch()
+        machine.execute(GuestOp(OpKind.IO_OUT, port=0x3F8,
+                                value=0x41))
+        # After the handler the value is still in RAX (OUT preserves).
+        assert vcpu.regs.read_gpr(GPR.RAX) & 0xFF == 0x41
+
+    def test_wrmsr_places_msr_and_value(self, machine, vcpu):
+        from repro.x86.msr import Msr
+
+        machine.launch()
+        machine.execute(GuestOp(
+            OpKind.WRMSR, msr=int(Msr.IA32_LSTAR),
+            value=0xFFFF800000000042,
+        ))
+        assert vcpu.msrs.read(int(Msr.IA32_LSTAR)) == \
+            0xFFFF800000000042
+
+    def test_mmio_op_writes_code_bytes(self, machine, hvm_domain,
+                                       vcpu):
+        machine.launch()
+        rip = machine.rip
+        cs_base = vcpu.vmcs.read(VmcsField.GUEST_CS_BASE)
+        machine.execute(GuestOp(
+            OpKind.MMIO_WRITE, gpa=0xFEE000B0, opcode=0x89,
+        ))
+        raw = hvm_domain.memory.read(cs_base + rip, 1)
+        assert raw == b"\x89"
+
+
+class TestAsynchrony:
+    def test_long_exec_takes_host_timer_interrupts(self, hv, machine):
+        machine.launch()
+        machine.execute(GuestOp(
+            OpKind.EXEC, cycles=3 * HOST_TIMER_PERIOD + 1000
+        ))
+        assert machine.stats.external_interrupts >= 3
+        assert hv.stats.by_reason[ExitReason.EXTERNAL_INTERRUPT] >= 3
+
+    def test_interrupt_window_honoured(self, hv, machine, vcpu):
+        machine.launch()
+        machine.execute(GuestOp(OpKind.STI))
+        vcpu.vmcs.write(
+            VmcsField.CPU_BASED_VM_EXEC_CONTROL,
+            vcpu.vmcs.read(VmcsField.CPU_BASED_VM_EXEC_CONTROL)
+            | (1 << 2),
+        )
+        machine.execute(GuestOp(OpKind.CPUID, leaf=0, cycles=100))
+        assert machine.stats.interrupt_windows == 1
+
+    def test_hlt_sleeps_until_platform_timer(self, hv, machine):
+        machine.launch()
+        machine.execute(GuestOp(OpKind.STI))
+        vpt = hv.platform_timer(machine.domain)
+        wake_target = vpt.next_due
+        machine.execute(GuestOp(OpKind.HLT, cycles=100))
+        assert hv.clock.now >= wake_target
+        assert machine.stats.halted_sleeps == 1
+
+    def test_idle_wake_period_overrides_vpt(self, hv, machine):
+        machine.launch()
+        machine.idle_wake_period = 50_000_000
+        machine.execute(GuestOp(OpKind.STI))
+        before = hv.clock.now
+        machine.execute(GuestOp(OpKind.HLT, cycles=100))
+        slept = hv.clock.now - before
+        assert 50_000_000 <= slept < 80_000_000
+
+    def test_run_respects_max_exits(self, machine):
+        ops = (GuestOp(OpKind.RDTSC, cycles=1000) for _ in range(100))
+        delivered = machine.run(ops, max_exits=10)
+        assert delivered == 10

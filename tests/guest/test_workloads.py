@@ -1,0 +1,154 @@
+"""Unit tests for the BIOS, mini-OS and workload generators."""
+
+import random
+
+import pytest
+
+from repro.guest.bios import bios_ops
+from repro.guest.machine import GuestMachine
+from repro.guest.minios import kernel_boot_ops
+from repro.guest.ops import GuestOp, OpKind
+from repro.guest.workloads import (
+    WORKLOADS,
+    WorkloadName,
+    build_workload,
+)
+from repro.hypervisor.domain import DomainType
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.vmx.exit_reasons import ExitReason
+from repro.x86.cpumodes import OperatingMode
+
+
+def run_workload(name, max_exits, **kwargs):
+    hv = Hypervisor()
+    domain = hv.create_domain(DomainType.HVM, name="wl")
+    domain.populate_identity_map(64)
+    machine = GuestMachine(hv, domain, rng=random.Random(3))
+    workload = build_workload(name, **kwargs)
+    delivered = workload.run(machine, max_exits=max_exits)
+    return hv, machine, delivered
+
+
+class TestOps:
+    def test_exec_does_not_exit(self):
+        assert not GuestOp(OpKind.EXEC).exits
+
+    def test_sensitive_ops_exit(self):
+        assert GuestOp(OpKind.CPUID).exits
+        assert GuestOp(OpKind.MOV_TO_CR).exits
+        assert GuestOp(OpKind.HLT).exits
+
+    def test_bookkeeping_ops_do_not_exit(self):
+        for kind in (OpKind.CLI, OpKind.STI, OpKind.JUMP,
+                     OpKind.MEM_WRITE):
+            assert not GuestOp(kind).exits
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        for name in WorkloadName:
+            workload = build_workload(name)
+            assert workload.name
+
+    def test_build_by_string(self):
+        assert build_workload("cpu-bound").name == "CPU-bound"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            build_workload("quantum-bound")
+
+    def test_registry_covers_paper_workloads(self):
+        names = {w.value for w in WORKLOADS}
+        assert {"os-boot", "cpu-bound", "mem-bound", "io-bound",
+                "idle"} <= names
+
+
+class TestBios:
+    def test_bios_is_pure_port_io(self):
+        ops = list(bios_ops(random.Random(0), scale=1))
+        exiting = [op for op in ops if op.exits]
+        assert exiting
+        assert all(
+            op.kind in (OpKind.IO_OUT, OpKind.IO_IN) for op in exiting
+        )
+
+    def test_bios_produces_thousands_of_exits(self):
+        ops = list(bios_ops(random.Random(0), scale=1))
+        assert sum(1 for op in ops if op.exits) > 2_000
+
+
+class TestKernelBoot:
+    def test_boot_reaches_5000_exits(self):
+        hv, machine, delivered = run_workload("os-boot", 5000)
+        assert delivered == 5000
+
+    def test_boot_walks_the_mode_ladder(self):
+        hv, machine, _ = run_workload("os-boot", 5000)
+        vcpu = machine.vcpu
+        # By the login prompt the guest sits in protected paged mode
+        # with alignment checks on (MODE6) — having visited the others.
+        assert vcpu.hvm.guest_mode is OperatingMode.MODE6
+
+    def test_boot_is_io_dominated(self):
+        hv, machine, _ = run_workload("os-boot", 5000)
+        reasons = machine.stats.exit_reasons
+        io_share = reasons[ExitReason.IO_INSTRUCTION] / 5000
+        assert io_share > 0.4  # Fig. 5: I/O dominates OS BOOT
+
+    def test_boot_determinism(self):
+        _, m1, _ = run_workload("os-boot", 1000, seed=5)
+        _, m2, _ = run_workload("os-boot", 1000, seed=5)
+        assert m1.stats.exit_reasons == m2.stats.exit_reasons
+
+    def test_kernel_boot_ops_include_protected_switch(self):
+        ops = list(kernel_boot_ops(random.Random(0)))
+        cr_writes = [
+            op for op in ops
+            if op.kind is OpKind.MOV_TO_CR and op.cr == 0
+        ]
+        assert any(op.value & 1 for op in cr_writes)  # PE set
+        assert any(op.value >> 31 for op in cr_writes)  # PG set
+
+
+class TestSteadyStateWorkloads:
+    @pytest.mark.parametrize("name", [
+        "cpu-bound", "mem-bound", "io-bound", "idle",
+    ])
+    def test_rdtsc_dominates(self, name):
+        # Fig. 5: ~80% of non-boot exits are RDTSC.
+        hv, machine, _ = run_workload(name, 1500)
+        share = machine.stats.exit_reasons.get(
+            ExitReason.RDTSC, 0
+        ) / 1500
+        assert share > 0.6
+
+    def test_idle_contains_hlt(self):
+        hv, machine, _ = run_workload("idle", 800)
+        assert machine.stats.exit_reasons.get(ExitReason.HLT, 0) > 0
+
+    def test_mem_bound_produces_ept_violations(self):
+        hv, machine, _ = run_workload("mem-bound", 1500)
+        assert machine.stats.exit_reasons.get(
+            ExitReason.EPT_VIOLATION, 0
+        ) > 50
+
+    def test_io_bound_produces_io_instructions(self):
+        hv, machine, _ = run_workload("io-bound", 1500)
+        assert machine.stats.exit_reasons.get(
+            ExitReason.IO_INSTRUCTION, 0
+        ) > 100
+
+    def test_idle_elapsed_time_dwarfs_cpu_bound(self):
+        hv_idle, _, _ = run_workload("idle", 500)
+        hv_cpu, _, _ = run_workload("cpu-bound", 500)
+        # Fig. 9: idle real time is orders of magnitude larger.
+        assert hv_idle.clock.now > 10 * hv_cpu.clock.now
+
+    def test_workload_rng_isolation(self):
+        workload = build_workload("cpu-bound", seed=1)
+        first = [op.cycles for op, _ in
+                 zip(workload.ops(), range(50))]
+        second = [op.cycles for op, _ in
+                  zip(build_workload("cpu-bound", seed=1).ops(),
+                      range(50))]
+        assert first == second

@@ -1,0 +1,136 @@
+"""Unit tests for the coverage instrumentation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hypervisor.coverage import (
+    BlockAllocator,
+    CoverageMap,
+    IRIS_FILE,
+    NOISE_FILES,
+    SourceBlock,
+    fitting_percentage,
+)
+
+
+class TestSourceBlock:
+    def test_loc(self):
+        assert SourceBlock("a.c", 10, 14).loc == 5
+
+    def test_single_line_block(self):
+        assert SourceBlock("a.c", 10, 10).loc == 1
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            SourceBlock("a.c", 10, 9)
+
+    def test_lines_enumeration(self):
+        block = SourceBlock("a.c", 3, 5)
+        assert list(block.lines()) == [("a.c", 3), ("a.c", 4),
+                                       ("a.c", 5)]
+
+
+class TestBlockAllocator:
+    def test_blocks_do_not_overlap(self):
+        alloc = BlockAllocator("f.c")
+        blocks = [alloc.block(7) for _ in range(20)]
+        lines: set[tuple[str, int]] = set()
+        for block in blocks:
+            block_lines = set(block.lines())
+            assert not lines & block_lines
+            lines |= block_lines
+
+    def test_deterministic(self):
+        a = BlockAllocator("f.c").block(5)
+        b = BlockAllocator("f.c").block(5)
+        assert a == b
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            BlockAllocator("f.c").block(0)
+
+
+class TestCoverageMap:
+    def test_hit_accumulates_lines(self):
+        cov = CoverageMap()
+        cov.hit(SourceBlock("a.c", 1, 10))
+        assert cov.loc == 10
+
+    def test_overlapping_hits_count_once(self):
+        cov = CoverageMap()
+        cov.hit(SourceBlock("a.c", 1, 10))
+        cov.hit(SourceBlock("a.c", 5, 15))
+        assert cov.loc == 15
+
+    def test_iris_file_excluded_from_loc(self):
+        cov = CoverageMap()
+        cov.hit(SourceBlock(IRIS_FILE, 1, 100))
+        cov.hit(SourceBlock("a.c", 1, 5))
+        assert cov.loc == 5  # paper: IRIS's own hits are cleaned up
+
+    def test_difference(self):
+        a = CoverageMap({("a.c", 1), ("a.c", 2)})
+        b = CoverageMap({("a.c", 2)})
+        assert a.difference(b).lines() == frozenset({("a.c", 1)})
+
+    def test_symmetric_difference(self):
+        a = CoverageMap({("a.c", 1), ("a.c", 2)})
+        b = CoverageMap({("a.c", 2), ("a.c", 3)})
+        assert len(a.symmetric_difference(b)) == 2
+
+    def test_merge(self):
+        a = CoverageMap({("a.c", 1)})
+        a.merge(CoverageMap({("b.c", 1)}))
+        assert a.loc == 2
+
+    def test_by_file(self):
+        cov = CoverageMap({("a.c", 1), ("a.c", 2), ("b.c", 9)})
+        assert cov.by_file() == {"a.c": 2, "b.c": 1}
+
+    def test_noise_loc(self):
+        noise_file = next(iter(NOISE_FILES))
+        cov = CoverageMap({(noise_file, 1), ("a.c", 1)})
+        assert cov.noise_loc() == 1
+
+    def test_without_files(self):
+        cov = CoverageMap({("a.c", 1), ("b.c", 1)})
+        assert cov.without_files(frozenset({"a.c"})).loc == 1
+
+    def test_copy_is_independent(self):
+        cov = CoverageMap({("a.c", 1)})
+        clone = cov.copy()
+        clone.hit(SourceBlock("a.c", 2, 2))
+        assert cov.loc == 1
+
+    def test_equality(self):
+        assert CoverageMap({("a.c", 1)}) == CoverageMap({("a.c", 1)})
+        assert CoverageMap() != CoverageMap({("a.c", 1)})
+
+
+class TestFitting:
+    def test_identical_coverage_is_100(self):
+        cov = CoverageMap({("a.c", 1), ("a.c", 2)})
+        assert fitting_percentage(cov, cov.copy()) == 100.0
+
+    def test_empty_recording_is_100(self):
+        assert fitting_percentage(CoverageMap(), CoverageMap()) == 100.0
+
+    def test_partial_fitting(self):
+        recorded = CoverageMap({("a.c", i) for i in range(10)})
+        replayed = CoverageMap({("a.c", i) for i in range(9)})
+        assert fitting_percentage(recorded, replayed) == \
+            pytest.approx(90.0)
+
+    def test_replay_only_lines_do_not_raise_fitting(self):
+        # Fitting measures how much of the *recorded* coverage replay
+        # rediscovered; extra replay-only lines are irrelevant.
+        recorded = CoverageMap({("a.c", 1)})
+        replay_lines = {("b.c", i) for i in range(50)} | {("a.c", 1)}
+        replayed = CoverageMap(replay_lines)
+        assert fitting_percentage(recorded, replayed) == 100.0
+
+    @given(st.sets(st.integers(min_value=1, max_value=200)))
+    def test_fitting_bounded(self, lines):
+        recorded = CoverageMap({("a.c", i) for i in lines})
+        replayed = CoverageMap({("a.c", i) for i in lines if i % 2})
+        assert 0.0 <= fitting_percentage(recorded, replayed) <= 100.0

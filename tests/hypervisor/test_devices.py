@@ -1,0 +1,199 @@
+"""Unit tests for the virtual devices: vlapic, vpt, irq controller."""
+
+import pytest
+
+from repro.hypervisor import vlapic as vlapic_mod
+from repro.hypervisor.irq import VirtualIrqController
+from repro.hypervisor.vlapic import VLAPIC_TIMER_PERIOD, Vlapic
+from repro.hypervisor.vpt import (
+    VPT_MIN_PERIOD,
+    VPT_PERIOD,
+    VirtualPlatformTimer,
+)
+
+
+class TestVlapicMmio:
+    def test_contains_apic_page(self):
+        apic = Vlapic(vcpu_id=0)
+        assert apic.contains(0xFEE00000)
+        assert apic.contains(0xFEE00FFF)
+        assert not apic.contains(0xFEE01000)
+
+    def test_disabled_apic_claims_nothing(self):
+        apic = Vlapic(vcpu_id=0, enabled=False)
+        assert not apic.contains(0xFEE00000)
+
+    def test_register_write_read(self):
+        apic = Vlapic(vcpu_id=0)
+        apic.mmio_access(0xFEE00080, is_write=True, value=0x20)
+        _, value = apic.mmio_access(0xFEE00080, is_write=False)
+        assert value == 0x20
+
+    def test_known_register_covers_its_block(self):
+        apic = Vlapic(vcpu_id=0)
+        blocks, _ = apic.mmio_access(0xFEE00080, is_write=False)
+        assert vlapic_mod.BLK_REG_TPR in blocks
+
+    def test_unknown_register_covers_unknown_block(self):
+        apic = Vlapic(vcpu_id=0)
+        blocks, _ = apic.mmio_access(0xFEE00FF0, is_write=False)
+        assert vlapic_mod.BLK_REG_UNKNOWN in blocks
+
+    def test_eoi_write_updates_ppr(self):
+        apic = Vlapic(vcpu_id=0)
+        blocks, _ = apic.mmio_access(0xFEE000B0, is_write=True, value=0)
+        assert vlapic_mod.BLK_UPDATE_PPR in blocks
+
+    def test_icr_write_raises_ipi_path(self):
+        apic = Vlapic(vcpu_id=0)
+        blocks, _ = apic.mmio_access(
+            0xFEE00300, is_write=True, value=0x4030
+        )
+        assert vlapic_mod.BLK_SET_IRQ in blocks
+
+
+class TestVlapicTimer:
+    def test_not_due_returns_no_blocks(self):
+        apic = Vlapic(vcpu_id=0)
+        assert apic.run_pending_timer(0) == []
+
+    def test_due_timer_fires_and_queues_vector(self):
+        apic = Vlapic(vcpu_id=0)
+        blocks = apic.run_pending_timer(VLAPIC_TIMER_PERIOD + 1)
+        assert vlapic_mod.BLK_TIMER_FIRE in blocks
+        assert apic.irr
+
+    def test_catch_up_coalesces(self):
+        apic = Vlapic(vcpu_id=0)
+        apic.run_pending_timer(10 * VLAPIC_TIMER_PERIOD)
+        assert apic.timer_fires == 1
+        assert apic.next_timer_due > 10 * VLAPIC_TIMER_PERIOD
+
+    def test_ack_highest_drains_irr(self):
+        apic = Vlapic(vcpu_id=0)
+        apic.irr = [0x30, 0xEF]
+        vector, _ = apic.ack_highest()
+        assert vector == 0xEF
+        assert apic.irr == [0x30]
+
+    def test_ack_empty(self):
+        vector, blocks = Vlapic(vcpu_id=0).ack_highest()
+        assert vector is None and blocks == []
+
+    def test_snapshot_restore(self):
+        apic = Vlapic(vcpu_id=0)
+        apic.irr = [7]
+        apic.regs[0x80] = 0x30
+        state = apic.snapshot()
+        apic.irr.clear()
+        apic.regs.clear()
+        apic.restore(state)
+        assert apic.irr == [7]
+        assert apic.regs[0x80] == 0x30
+
+
+class TestVpt:
+    def test_program_channel_scales_to_tsc(self):
+        vpt = VirtualPlatformTimer()
+        vpt.program_channel(0, 0x2E9C)  # ~100 Hz PIT divisor
+        assert 30_000_000 < vpt.period < 42_000_000
+
+    def test_zero_counter_wraps_to_65536(self):
+        vpt = VirtualPlatformTimer()
+        vpt.program_channel(0, 0)
+        assert vpt.channels[0] == 0x10000
+
+    def test_tiny_counter_clamped(self):
+        vpt = VirtualPlatformTimer()
+        blocks = vpt.program_channel(0, 1)
+        assert vpt.period == VPT_MIN_PERIOD
+        from repro.hypervisor.vpt import BLK_PT_BAD_PERIOD
+        assert BLK_PT_BAD_PERIOD in blocks
+
+    def test_non_zero_channel_does_not_reprogram_period(self):
+        vpt = VirtualPlatformTimer()
+        vpt.program_channel(2, 100)
+        assert vpt.period == VPT_PERIOD
+
+    def test_run_pending_fires_when_due(self):
+        vpt = VirtualPlatformTimer()
+        assert vpt.run_pending(0) == []
+        assert vpt.run_pending(VPT_PERIOD) != []
+        assert vpt.fires == 1
+
+    def test_missed_ticks_recorded(self):
+        vpt = VirtualPlatformTimer()
+        vpt.run_pending(5 * VPT_PERIOD)
+        assert vpt.pending_ticks >= 4
+
+    def test_read_channel(self):
+        vpt = VirtualPlatformTimer()
+        value, _ = vpt.read_channel(0)
+        assert value == 0xFFFF
+
+    def test_byte_wise_programming_latches(self):
+        # The PIT counter ports are 8-bit: control word, low byte,
+        # high byte (the kernel's classic 0x34/0x9C/0x2E sequence).
+        vpt = VirtualPlatformTimer()
+        vpt.write_control(0x34)
+        vpt.write_counter_byte(0, 0x9C)
+        assert vpt.period == VPT_PERIOD  # not reprogrammed yet
+        vpt.write_counter_byte(0, 0x2E)
+        assert vpt.channels[0] == 0x2E9C
+        assert 30_000_000 < vpt.period < 42_000_000
+
+    def test_control_word_resets_latch(self):
+        vpt = VirtualPlatformTimer()
+        vpt.write_counter_byte(0, 0x11)  # dangling low byte
+        vpt.write_control(0x34)
+        vpt.write_counter_byte(0, 0x9C)
+        vpt.write_counter_byte(0, 0x2E)
+        assert vpt.channels[0] == 0x2E9C
+
+    def test_snapshot_restore(self):
+        vpt = VirtualPlatformTimer()
+        vpt.program_channel(0, 1234)
+        state = vpt.snapshot()
+        vpt.program_channel(0, 9)
+        vpt.restore(state)
+        assert vpt.channels[0] == 1234
+
+
+class TestIrqController:
+    def test_pic_write_read(self):
+        irq = VirtualIrqController()
+        irq.pic_write(0x21, 0xFB)
+        value, _ = irq.pic_read(0x21)
+        assert value == 0xFB
+
+    def test_assert_line_routes_once(self):
+        from repro.hypervisor.irq import BLK_ROUTE_TO_VLAPIC, BLK_SPURIOUS
+
+        irq = VirtualIrqController()
+        first = irq.assert_line(0)
+        second = irq.assert_line(0)
+        assert BLK_ROUTE_TO_VLAPIC in first
+        assert BLK_SPURIOUS in second
+
+    def test_eoi_clears_line(self):
+        irq = VirtualIrqController()
+        irq.assert_line(4)
+        irq.eoi(4)
+        assert 4 not in irq.asserted
+
+    def test_deassert(self):
+        irq = VirtualIrqController()
+        irq.assert_line(1)
+        irq.deassert_line(1)
+        assert 1 not in irq.asserted
+
+    def test_snapshot_restore(self):
+        irq = VirtualIrqController()
+        irq.pic_write(0x20, 0x11)
+        irq.assert_line(2)
+        state = irq.snapshot()
+        irq.pic_regs.clear()
+        irq.asserted.clear()
+        irq.restore(state)
+        assert irq.pic_regs[0x20] == 0x11
+        assert 2 in irq.asserted

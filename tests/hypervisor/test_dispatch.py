@@ -1,0 +1,205 @@
+"""Unit tests for the VM-exit dispatcher and its hook seams."""
+
+import pytest
+
+from repro.errors import GuestCrash, HypervisorCrash
+from repro.hypervisor.dispatch import ExitEvent, NullHooks
+from repro.hypervisor.handlers import build_handler_table
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.cpumodes import OperatingMode
+
+from tests.hypervisor.util import deliver
+
+
+class RecordingHooks(NullHooks):
+    """Captures the order and content of hook invocations."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_exit_start(self, vcpu):
+        self.events.append(("start", None))
+
+    def on_vmread(self, vcpu, fld, value):
+        self.events.append(("read", fld))
+        return value
+
+    def on_vmwrite(self, vcpu, fld, value):
+        self.events.append(("write", fld))
+
+    def on_exit_end(self, vcpu, reason):
+        self.events.append(("end", reason))
+
+
+class TestDispatchFlow:
+    def test_handled_reason_returned(self, hv, hvm_domain, vcpu):
+        assert deliver(hv, vcpu, ExitReason.CPUID) is ExitReason.CPUID
+
+    def test_stats_updated(self, hv, hvm_domain, vcpu):
+        deliver(hv, vcpu, ExitReason.CPUID)
+        deliver(hv, vcpu, ExitReason.RDTSC)
+        assert hv.stats.total_exits == 2
+        assert hv.stats.by_reason[ExitReason.RDTSC] == 1
+        assert hv.stats.last_reason is ExitReason.RDTSC
+        assert hv.stats.last_cycles > 0
+
+    def test_exit_coverage_reset_per_exit(self, hv, hvm_domain, vcpu):
+        deliver(hv, vcpu, ExitReason.CPUID)
+        cpuid_lines = hv.exit_coverage.lines()
+        deliver(hv, vcpu, ExitReason.RDTSC)
+        assert hv.exit_coverage.lines() != cpuid_lines
+        assert hv.session_coverage.lines() >= cpuid_lines
+
+    def test_vcpu_exit_count_increments(self, hv, hvm_domain, vcpu):
+        deliver(hv, vcpu, ExitReason.CPUID)
+        assert vcpu.hvm.exit_count == 1
+
+    def test_exit_to_dead_vcpu_rejected(self, hv, hvm_domain, vcpu):
+        vcpu.dead = True
+        with pytest.raises(GuestCrash):
+            deliver(hv, vcpu, ExitReason.CPUID)
+
+
+class TestHookSeams:
+    def test_hook_order_start_reads_end(self, hv, hvm_domain, vcpu):
+        hooks = RecordingHooks()
+        hv.add_hook(hooks)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        kinds = [kind for kind, _ in hooks.events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "end"
+        assert "read" in kinds and "write" in kinds
+
+    def test_first_read_is_the_exit_reason(self, hv, hvm_domain,
+                                           vcpu):
+        hooks = RecordingHooks()
+        hv.add_hook(hooks)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        reads = [f for kind, f in hooks.events if kind == "read"]
+        assert reads[0] is VmcsField.VM_EXIT_REASON
+
+    def test_vmread_override_redirects_dispatch(self, hv, hvm_domain,
+                                                vcpu):
+        class Redirect(NullHooks):
+            def on_vmread(self, vcpu, fld, value):
+                if fld is VmcsField.VM_EXIT_REASON:
+                    return int(ExitReason.RDTSC)
+                return value
+
+        hv.add_hook(Redirect())
+        handled = deliver(hv, vcpu, ExitReason.PREEMPTION_TIMER)
+        # The physical exit was the preemption timer, but the handler
+        # that ran was RDTSC's — the IRIS replay mechanism.
+        assert handled is ExitReason.RDTSC
+
+    def test_remove_hook(self, hv, hvm_domain, vcpu):
+        hooks = RecordingHooks()
+        hv.add_hook(hooks)
+        hv.remove_hook(hooks)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        assert hooks.events == []
+
+
+class TestDispatchFailureArms:
+    def test_unexpected_exit_reason_crashes_domain(self, hv,
+                                                   hvm_domain, vcpu):
+        with pytest.raises(GuestCrash):
+            deliver(hv, vcpu, ExitReason.GETSEC)  # no handler routed
+        assert hvm_domain.crashed
+        assert hv.log.grep("unexpected exit reason")
+
+    def test_entry_failure_bit_panics(self, hv, hvm_domain, vcpu):
+        hv.launch(vcpu)
+        vcpu.vmcs.write_exit_info(
+            VmcsField.VM_EXIT_REASON,
+            (1 << 31) | int(ExitReason.CPUID),
+        )
+        event = ExitEvent(reason=ExitReason.CPUID)
+        with pytest.raises(HypervisorCrash):
+            hv.handle_vmexit(vcpu, event)
+
+    def test_reserved_reason_bits_panic(self, hv, hvm_domain, vcpu):
+        hv.launch(vcpu)
+        ExitEvent(reason=ExitReason.CPUID).write_to(vcpu)
+        vcpu.vmcs.write_exit_info(
+            VmcsField.VM_EXIT_REASON,
+            (1 << 20) | int(ExitReason.CPUID),
+        )
+        with pytest.raises(HypervisorCrash):
+            hv.handle_vmexit(vcpu, ExitEvent(reason=ExitReason.CPUID))
+
+    def test_bad_instruction_length_panics(self, hv, hvm_domain,
+                                           vcpu):
+        with pytest.raises(HypervisorCrash):
+            deliver(hv, vcpu, ExitReason.CPUID, instruction_len=99)
+
+    def test_entry_check_failure_crashes_domain(self, hv, hvm_domain,
+                                                vcpu):
+        hv.launch(vcpu)
+
+        class Corrupt(NullHooks):
+            def on_exit_end(self, vcpu, reason):
+                vcpu.vmcs.write(VmcsField.VMCS_LINK_POINTER, 0)
+
+        hv.add_hook(Corrupt())
+        with pytest.raises(GuestCrash) as excinfo:
+            deliver(hv, vcpu, ExitReason.CPUID)
+        assert "VM entry failure" in excinfo.value.reason
+
+
+class TestBadRipModeCheck:
+    def test_high_rip_in_mode0_crashes(self, hv, hvm_domain, vcpu):
+        # The paper's §VI-B experiment: protected-mode state reaching
+        # a vCPU whose cached mode never left MODE0.
+        assert vcpu.hvm.guest_mode is OperatingMode.MODE0
+        vcpu.vmcs.write(VmcsField.GUEST_CS_BASE, 0)
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 0x1000000)
+        with pytest.raises(GuestCrash) as excinfo:
+            deliver(hv, vcpu, ExitReason.RDTSC)
+        assert "bad RIP" in excinfo.value.reason
+        assert hv.log.grep("bad RIP")
+
+    def test_low_rip_in_mode0_is_fine(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_CS_BASE, 0)
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 0x7C00)
+        deliver(hv, vcpu, ExitReason.RDTSC)
+
+    def test_high_rip_after_mode_update_is_fine(self, hv, hvm_domain,
+                                                vcpu):
+        vcpu.sync_mode_from_cr0(0x80040011)  # protected + paging
+        vcpu.vmcs.write(VmcsField.GUEST_CS_BASE, 0)
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 0x1000000)
+        deliver(hv, vcpu, ExitReason.RDTSC)
+
+    def test_non_canonical_rip_panics(self, hv, hvm_domain, vcpu):
+        # A RIP that goes non-canonical *during* handling (only VMCS
+        # corruption can do this) hits the host-fatal arm, not the
+        # entry checks.
+        vcpu.sync_mode_from_cr0(0x80040011)
+        hv.launch(vcpu)
+        vcpu.vmcs.write(VmcsField.GUEST_RIP, 1 << 55)
+        with pytest.raises(HypervisorCrash):
+            deliver(hv, vcpu, ExitReason.RDTSC)
+
+
+class TestHandlerTable:
+    def test_duplicate_registration_rejected(self):
+        table = build_handler_table()
+        with pytest.raises(ValueError):
+            table.register(ExitReason.CPUID, lambda hv, vcpu: None)
+
+    def test_core_reasons_routed(self):
+        table = build_handler_table()
+        for reason in (
+            ExitReason.CPUID, ExitReason.RDTSC, ExitReason.HLT,
+            ExitReason.CR_ACCESS, ExitReason.IO_INSTRUCTION,
+            ExitReason.RDMSR, ExitReason.WRMSR, ExitReason.VMCALL,
+            ExitReason.EPT_VIOLATION, ExitReason.PREEMPTION_TIMER,
+            ExitReason.EXTERNAL_INTERRUPT, ExitReason.TRIPLE_FAULT,
+        ):
+            assert table.lookup(reason) is not None
+
+    def test_unrouted_reason_returns_none(self):
+        table = build_handler_table()
+        assert table.lookup(ExitReason.GETSEC) is None

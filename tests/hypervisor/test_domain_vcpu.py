@@ -1,0 +1,85 @@
+"""Unit tests for domains and vCPUs."""
+
+import pytest
+
+from repro.errors import GuestCrash
+from repro.hypervisor.domain import Domain, DomainType
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.vmcs import VmcsLaunchState
+from repro.x86.cpumodes import OperatingMode
+
+
+class TestDomain:
+    def test_hvm_domain_has_memory_and_ept(self):
+        domain = Domain(domid=1, dtype=DomainType.HVM)
+        assert domain.memory.size_bytes == 1 << 30
+        assert domain.ept.eptp
+
+    def test_identity_map(self):
+        domain = Domain(domid=1, dtype=DomainType.HVM)
+        domain.populate_identity_map(4)
+        assert domain.ept.lookup(3) is not None
+        assert domain.ept.lookup(4) is None
+
+    def test_domain_crash_raises_and_marks(self):
+        domain = Domain(domid=1, dtype=DomainType.HVM)
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        domain.add_vcpu(vcpu)
+        with pytest.raises(GuestCrash) as excinfo:
+            domain.domain_crash("triple fault")
+        assert domain.crashed
+        assert vcpu.dead
+        assert excinfo.value.domain_id == 1
+
+    def test_revive_clears_crash_state(self):
+        domain = Domain(domid=1, dtype=DomainType.HVM)
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        domain.add_vcpu(vcpu)
+        with pytest.raises(GuestCrash):
+            domain.domain_crash("x")
+        domain.revive()
+        assert not domain.crashed and not vcpu.dead
+
+    def test_describe_mentions_state(self):
+        domain = Domain(domid=2, dtype=DomainType.HVM, name="dummy")
+        assert "running" in domain.describe()
+
+    def test_default_name(self):
+        assert Domain(domid=3, dtype=DomainType.HVM).name == "dom3"
+
+    def test_dummy_background_pattern_plumbs_through(self):
+        domain = Domain(
+            domid=4, dtype=DomainType.HVM,
+            background_pattern=b"\x8b",
+        )
+        assert domain.memory.background_pattern == b"\x8b"
+
+
+class TestVcpu:
+    def test_construction_enters_vmx_and_allocates_vmcs(self):
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        assert vcpu.vmcs.address == 0x2000
+        assert vcpu.vmcs.launch_state is VmcsLaunchState.CLEAR
+
+    def test_initial_guest_mode_is_mode0(self):
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        assert vcpu.hvm.guest_mode is OperatingMode.MODE0
+
+    def test_sync_mode_from_cr0(self):
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        mode = vcpu.sync_mode_from_cr0(0x11)
+        assert mode is OperatingMode.MODE2
+        assert vcpu.hvm.guest_mode is OperatingMode.MODE2
+        assert vcpu.hvm.hw_cr0 == 0x11
+
+    def test_save_guest_gprs_is_copy(self):
+        from repro.x86.registers import GPR
+
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        saved = vcpu.save_guest_gprs()
+        vcpu.regs.write_gpr(GPR.RAX, 99)
+        assert saved[GPR.RAX] == 0
+
+    def test_describe(self):
+        vcpu = Vcpu(vcpu_id=0, vmcs_address=0x2000)
+        assert "MODE0" in vcpu.describe()

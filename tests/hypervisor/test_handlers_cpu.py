@@ -1,0 +1,153 @@
+"""Unit tests for the CPU-instruction exit handlers."""
+
+import pytest
+
+from repro.hypervisor.handlers import cpu_insns
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.msr import Msr
+from repro.x86.registers import GPR, Cr4
+
+from tests.hypervisor.util import deliver
+
+
+class TestCpuid:
+    def test_known_leaf_fills_gprs(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 0x0)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        assert vcpu.regs.read_gpr(GPR.RBX) == 0x756E6547  # "Genu"
+        assert vcpu.regs.read_gpr(GPR.RDX) == 0x49656E69  # "ineI"
+        assert vcpu.regs.read_gpr(GPR.RCX) == 0x6C65746E  # "ntel"
+
+    def test_unknown_leaf_returns_zeroes(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 0x12345)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        assert vcpu.regs.read_gpr(GPR.RAX) == 0
+
+    def test_leaf_dependent_coverage(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 0x1)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        first = hv.exit_coverage.lines()
+        vcpu.regs.write_gpr(GPR.RAX, 0x80000001)
+        deliver(hv, vcpu, ExitReason.CPUID)
+        second = hv.exit_coverage.lines()
+        assert first != second
+
+    def test_advances_rip(self, hv, hvm_domain, vcpu):
+        before = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        deliver(hv, vcpu, ExitReason.CPUID, instruction_len=2)
+        assert vcpu.vmcs.read(VmcsField.GUEST_RIP) == before + 2
+
+
+class TestRdtsc:
+    def test_returns_offset_tsc(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.TSC_OFFSET, 0)
+        deliver(hv, vcpu, ExitReason.RDTSC)
+        tsc = (vcpu.regs.read_gpr(GPR.RDX) << 32) | \
+            vcpu.regs.read_gpr(GPR.RAX)
+        assert 0 < tsc <= hv.clock.now
+
+    def test_tsc_offset_applied(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.TSC_OFFSET, 1 << 40)
+        deliver(hv, vcpu, ExitReason.RDTSC)
+        tsc = (vcpu.regs.read_gpr(GPR.RDX) << 32) | \
+            vcpu.regs.read_gpr(GPR.RAX)
+        assert tsc > 1 << 40
+
+    def test_tsd_in_user_mode_injects_gp(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_CR4, int(Cr4.TSD))
+        vcpu.vmcs.write(
+            VmcsField.GUEST_SS_AR_BYTES, 0x93 | (3 << 5)
+        )  # CPL 3
+        deliver(hv, vcpu, ExitReason.RDTSC)
+        intr = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        assert intr & 0xFF == 13  # #GP
+
+    def test_rdtscp_sets_aux_in_rcx(self, hv, hvm_domain, vcpu):
+        deliver(hv, vcpu, ExitReason.RDTSCP, instruction_len=3)
+        assert vcpu.regs.read_gpr(GPR.RCX) == vcpu.vcpu_id
+
+
+class TestHlt:
+    def test_sets_halted_activity_state(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_RFLAGS, 0x202)
+        hv.vlapic(vcpu).irr.clear()
+        deliver(hv, vcpu, ExitReason.HLT, instruction_len=1)
+        assert vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE) == 1
+
+    def test_halt_with_if_clear_and_empty_irr_logs(
+        self, hv, hvm_domain, vcpu
+    ):
+        vcpu.vmcs.write(VmcsField.GUEST_RFLAGS, 0x2)
+        hv.vlapic(vcpu).irr.clear()
+        deliver(hv, vcpu, ExitReason.HLT, instruction_len=1)
+        assert hv.log.grep("HLT with IF=0")
+
+    def test_pending_interrupt_wakes_at_entry(
+        self, hv, hvm_domain, vcpu
+    ):
+        vcpu.vmcs.write(VmcsField.GUEST_RFLAGS, 0x202)
+        hv.vlapic(vcpu).irr.append(0x30)
+        deliver(hv, vcpu, ExitReason.HLT, instruction_len=1)
+        assert vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE) == 0
+
+
+class TestVmcall:
+    def test_known_hypercall_covers_its_block(
+        self, hv, hvm_domain, vcpu
+    ):
+        vcpu.regs.write_gpr(GPR.RAX, 29)  # sched_op
+        deliver(hv, vcpu, ExitReason.VMCALL, instruction_len=3)
+        _, block = cpu_insns.HYPERCALL_BLOCKS[29]
+        assert hv.exit_coverage.lines() >= frozenset(block.lines())
+
+    def test_unknown_hypercall_returns_enosys(
+        self, hv, hvm_domain, vcpu
+    ):
+        vcpu.regs.write_gpr(GPR.RAX, 9999)
+        deliver(hv, vcpu, ExitReason.VMCALL, instruction_len=3)
+        assert vcpu.regs.read_gpr(GPR.RAX) == (1 << 64) - 38
+
+    def test_hypercall_recorded_by_router(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 32)
+        deliver(hv, vcpu, ExitReason.VMCALL, instruction_len=3)
+        assert (32, vcpu.regs.read_gpr(GPR.RDI)) in hv.hypercalls.calls
+
+
+class TestXsetbv:
+    def test_valid_xcr0_accepted(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 0x7)
+        vcpu.regs.write_gpr(GPR.RDX, 0)
+        deliver(hv, vcpu, ExitReason.XSETBV, instruction_len=3)
+        intr = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        assert not intr & (1 << 31)
+
+    def test_x87_disable_injects_gp(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 0x6)  # bit 0 clear
+        vcpu.regs.write_gpr(GPR.RDX, 0)
+        deliver(hv, vcpu, ExitReason.XSETBV, instruction_len=3)
+        intr = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        assert intr & 0xFF == 13
+
+
+class TestSimpleInstructions:
+    @pytest.mark.parametrize("reason,length", [
+        (ExitReason.PAUSE, 2),
+        (ExitReason.WBINVD, 2),
+        (ExitReason.INVD, 2),
+        (ExitReason.INVLPG, 3),
+    ])
+    def test_instruction_skipped(self, hv, hvm_domain, vcpu, reason,
+                                 length):
+        before = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        deliver(hv, vcpu, reason, instruction_len=length)
+        assert vcpu.vmcs.read(VmcsField.GUEST_RIP) == before + length
+
+    @pytest.mark.parametrize(
+        "reason", [ExitReason.MONITOR, ExitReason.MWAIT]
+    )
+    def test_monitor_mwait_inject_ud(self, hv, hvm_domain, vcpu,
+                                     reason):
+        deliver(hv, vcpu, reason)
+        intr = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        assert intr & 0xFF == 6  # #UD

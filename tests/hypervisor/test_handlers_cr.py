@@ -1,0 +1,143 @@
+"""Unit tests for the CR-access handler (the paper's Fig. 2 flow)."""
+
+import pytest
+
+from repro.vmx.exit_qualification import (
+    CrAccessQualification,
+    CrAccessType,
+)
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.cpumodes import OperatingMode
+from repro.x86.registers import GPR
+
+from tests.hypervisor.util import deliver
+
+
+def cr_exit(hv, vcpu, cr, value=None, access=CrAccessType.MOV_TO_CR,
+            gpr=GPR.RBX, lmsw_source=0):
+    """Deliver a CR-access exit with the operand in ``gpr``."""
+    gpr_index = {GPR.RAX: 0, GPR.RCX: 1, GPR.RDX: 2, GPR.RBX: 3}[gpr]
+    if value is not None:
+        vcpu.regs.write_gpr(gpr, value)
+    qual = CrAccessQualification(
+        cr=cr, access_type=access, gpr=gpr_index,
+        lmsw_source=lmsw_source,
+    )
+    return deliver(
+        hv, vcpu, ExitReason.CR_ACCESS,
+        qualification=qual.pack(), instruction_len=3,
+    )
+
+
+class TestMovToCr0:
+    def test_pe_switch_updates_vmcs_and_cached_mode(
+        self, hv, hvm_domain, vcpu
+    ):
+        cr_exit(hv, vcpu, cr=0, value=0x11)
+        assert vcpu.vmcs.read(VmcsField.GUEST_CR0) == 0x11
+        assert vcpu.vmcs.read(VmcsField.CR0_READ_SHADOW) == 0x11
+        assert vcpu.hvm.guest_mode is OperatingMode.MODE2
+
+    def test_reserved_bits_inject_gp(self, hv, hvm_domain, vcpu):
+        old = vcpu.vmcs.read(VmcsField.GUEST_CR0)
+        cr_exit(hv, vcpu, cr=0, value=0x11 | (1 << 24))
+        intr = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        assert intr & 0xFF == 13
+        assert vcpu.vmcs.read(VmcsField.GUEST_CR0) == old
+
+    def test_unchanged_value_takes_fast_path(self, hv, hvm_domain,
+                                             vcpu):
+        from repro.hypervisor.handlers.cr_access import BLK_CR0_NOCHANGE
+
+        old = vcpu.vmcs.read(VmcsField.GUEST_CR0)
+        cr_exit(hv, vcpu, cr=0, value=old)
+        assert hv.exit_coverage.lines() >= \
+            frozenset(BLK_CR0_NOCHANGE.lines())
+
+    def test_paging_enable_with_lme_raises_lma(
+        self, hv, hvm_domain, vcpu
+    ):
+        cr_exit(hv, vcpu, cr=0, value=0x11)
+        vcpu.vmcs.write(VmcsField.GUEST_CR4, 0x20)  # PAE
+        vcpu.vmcs.write(VmcsField.GUEST_IA32_EFER, 1 << 8)  # LME
+        cr_exit(hv, vcpu, cr=0, value=0x80000011)
+        efer = vcpu.vmcs.read(VmcsField.GUEST_IA32_EFER)
+        assert efer & (1 << 10)  # LMA
+
+    def test_paging_disable_drops_lma(self, hv, hvm_domain, vcpu):
+        cr_exit(hv, vcpu, cr=0, value=0x11)
+        vcpu.vmcs.write(VmcsField.GUEST_CR4, 0x20)
+        vcpu.vmcs.write(VmcsField.GUEST_IA32_EFER, 1 << 8)
+        cr_exit(hv, vcpu, cr=0, value=0x80000011)
+        cr_exit(hv, vcpu, cr=0, value=0x11)
+        assert not vcpu.vmcs.read(VmcsField.GUEST_IA32_EFER) & (1 << 10)
+
+    def test_pae_paging_loads_pdptes_from_guest_memory(
+        self, hv, hvm_domain, vcpu
+    ):
+        cr_exit(hv, vcpu, cr=0, value=0x11)
+        vcpu.vmcs.write(VmcsField.GUEST_CR4, 0x20)
+        hvm_domain.memory.write_u64(0x2000, 0x3003)
+        vcpu.vmcs.write(VmcsField.GUEST_CR3, 0x2000)
+        cr_exit(hv, vcpu, cr=0, value=0x80000011)
+        assert vcpu.vmcs.read(VmcsField.GUEST_PDPTE0) == 0x3003
+
+    def test_mode_ladder_through_boot_values(self, hv, hvm_domain,
+                                             vcpu):
+        for value, mode in [
+            (0x11, OperatingMode.MODE2),
+            (0x80000011, OperatingMode.MODE3),
+            (0x80040011, OperatingMode.MODE6),
+            (0xC0040011, OperatingMode.MODE4),
+            (0x80040019, OperatingMode.MODE5),
+            (0xC0040019, OperatingMode.MODE7),
+        ]:
+            cr_exit(hv, vcpu, cr=0, value=value)
+            assert vcpu.hvm.guest_mode is mode
+
+
+class TestOtherAccesses:
+    def test_mov_to_cr3(self, hv, hvm_domain, vcpu):
+        cr_exit(hv, vcpu, cr=3, value=0x2000)
+        assert vcpu.vmcs.read(VmcsField.GUEST_CR3) == 0x2000
+        assert vcpu.hvm.guest_cr3 == 0x2000
+
+    def test_mov_to_cr4_sets_shadow(self, hv, hvm_domain, vcpu):
+        cr_exit(hv, vcpu, cr=4, value=0x20)
+        assert vcpu.vmcs.read(VmcsField.GUEST_CR4) == 0x20
+        assert vcpu.vmcs.read(VmcsField.CR4_READ_SHADOW) == 0x20
+
+    def test_cr4_vmxe_rejected(self, hv, hvm_domain, vcpu):
+        cr_exit(hv, vcpu, cr=4, value=0x2000)
+        intr = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        assert intr & 0xFF == 13
+
+    def test_mov_from_cr0_reads_shadow(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.CR0_READ_SHADOW, 0x11)
+        cr_exit(hv, vcpu, cr=0, access=CrAccessType.MOV_FROM_CR,
+                gpr=GPR.RCX)
+        assert vcpu.regs.read_gpr(GPR.RCX) == 0x11
+
+    def test_mov_from_cr3_reads_cached_value(self, hv, hvm_domain,
+                                             vcpu):
+        vcpu.hvm.guest_cr3 = 0x5000
+        cr_exit(hv, vcpu, cr=3, access=CrAccessType.MOV_FROM_CR,
+                gpr=GPR.RDX)
+        assert vcpu.regs.read_gpr(GPR.RDX) == 0x5000
+
+    def test_clts_clears_ts(self, hv, hvm_domain, vcpu):
+        cr_exit(hv, vcpu, cr=0, value=0x19)  # PE + TS
+        cr_exit(hv, vcpu, cr=0, access=CrAccessType.CLTS)
+        assert not vcpu.vmcs.read(VmcsField.GUEST_CR0) & 0x8
+
+    def test_lmsw_merges_low_nibble(self, hv, hvm_domain, vcpu):
+        cr_exit(hv, vcpu, cr=0, access=CrAccessType.LMSW,
+                lmsw_source=0x1)
+        assert vcpu.vmcs.read(VmcsField.GUEST_CR0) & 0x1
+
+    def test_impossible_cr_number_panics(self, hv, hvm_domain, vcpu):
+        from repro.errors import HypervisorCrash
+
+        with pytest.raises(HypervisorCrash):
+            cr_exit(hv, vcpu, cr=5, value=0)

@@ -1,0 +1,173 @@
+"""Unit tests for the I/O-instruction and MSR exit handlers."""
+
+import pytest
+
+from repro.errors import HypervisorCrash
+from repro.vmx.exit_qualification import IoQualification
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.msr import Msr
+from repro.x86.registers import GPR
+
+from tests.hypervisor.util import deliver
+
+
+def io_exit(hv, vcpu, port, direction_in, value=0, size=1,
+            string_op=False):
+    if not direction_in:
+        vcpu.regs.write_gpr(GPR.RAX, value)
+    qual = IoQualification(
+        port=port, size=size, direction_in=direction_in,
+        string_op=string_op,
+    )
+    return deliver(
+        hv, vcpu, ExitReason.IO_INSTRUCTION,
+        qualification=qual.pack(), instruction_len=1,
+    )
+
+
+class TestPortRouting:
+    def test_pic_write_reaches_irq_controller(self, hv, hvm_domain,
+                                              vcpu):
+        io_exit(hv, vcpu, port=0x21, direction_in=False, value=0xFB)
+        assert hv.irq_controller(hvm_domain).pic_regs[0x21] == 0xFB
+
+    def test_pit_programming_reaches_vpt(self, hv, hvm_domain, vcpu):
+        io_exit(hv, vcpu, port=0x40, direction_in=False, value=0x9C)
+        assert 0 in hv.platform_timer(hvm_domain).channels
+
+    def test_in_merges_into_rax_low_bits(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RAX, 0xAABBCCDD)
+        io_exit(hv, vcpu, port=0x71, direction_in=True, size=1)
+        rax = vcpu.regs.read_gpr(GPR.RAX)
+        assert rax & 0xFF == 0x26  # CMOS idle value
+        assert rax & 0xFFFFFF00 == 0xAABBCC00
+
+    def test_unclaimed_port_reads_all_ones(self, hv, hvm_domain, vcpu):
+        io_exit(hv, vcpu, port=0x9999, direction_in=True, size=2)
+        assert vcpu.regs.read_gpr(GPR.RAX) & 0xFFFF == 0xFFFF
+
+    def test_serial_output_covers_uart_block(self, hv, hvm_domain,
+                                             vcpu):
+        from repro.hypervisor.handlers.io_instr import BLK_SERIAL_DATA
+
+        io_exit(hv, vcpu, port=0x3F8, direction_in=False, value=0x41)
+        assert hv.exit_coverage.lines() >= \
+            frozenset(BLK_SERIAL_DATA.lines())
+
+    def test_pci_config_read_returns_device_id(self, hv, hvm_domain,
+                                               vcpu):
+        io_exit(hv, vcpu, port=0xCFC, direction_in=True, size=4)
+        assert vcpu.regs.read_gpr(GPR.RAX) & 0xFFFF != 0
+
+    def test_different_devices_cover_different_blocks(
+        self, hv, hvm_domain, vcpu
+    ):
+        io_exit(hv, vcpu, port=0x70, direction_in=False, value=0)
+        rtc_lines = hv.exit_coverage.lines()
+        io_exit(hv, vcpu, port=0x1F7, direction_in=True)
+        ide_lines = hv.exit_coverage.lines()
+        assert rtc_lines != ide_lines
+
+
+class TestStringIo:
+    def test_string_op_with_code_bytes_emulates(self, hv, hvm_domain,
+                                                vcpu):
+        from repro.hypervisor.emulate import OPCODE_BLOCKS
+
+        rip = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        cs_base = vcpu.vmcs.read(VmcsField.GUEST_CS_BASE)
+        hvm_domain.memory.write(cs_base + rip, b"\xa4\x00\x00\x00")
+        io_exit(hv, vcpu, port=0x1F0, direction_in=True, size=2,
+                string_op=True)
+        _, movs_block = OPCODE_BLOCKS[0xA4]
+        assert hv.exit_coverage.lines() >= \
+            frozenset(movs_block.lines())
+
+    def test_string_op_without_code_bytes_falls_back(
+        self, hv, hvm_domain, vcpu
+    ):
+        from repro.hypervisor.handlers.io_instr import \
+            BLK_STRING_FALLBACK
+
+        before = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        io_exit(hv, vcpu, port=0x1F0, direction_in=True, size=2,
+                string_op=True)
+        assert hv.exit_coverage.lines() >= \
+            frozenset(BLK_STRING_FALLBACK.lines())
+        assert vcpu.vmcs.read(VmcsField.GUEST_RIP) > before
+
+    def test_invalid_size_panics(self, hv, hvm_domain, vcpu):
+        # Sizes other than 1/2/4 cannot be produced by hardware;
+        # reaching the handler with one means VMCS corruption.
+        from repro.vmx.vmx_ops import CpuVmxMode
+
+        if vcpu.vmx.mode is CpuVmxMode.ROOT:
+            hv.launch(vcpu)
+        from repro.hypervisor.dispatch import ExitEvent
+
+        event = ExitEvent(
+            reason=ExitReason.IO_INSTRUCTION,
+            qualification=IoQualification(
+                port=0x80, size=3, direction_in=False
+            ).pack() | 0x2,  # force size bits to an invalid value
+        )
+        event.write_to(vcpu)
+        with pytest.raises(HypervisorCrash):
+            hv.handle_vmexit(vcpu, event)
+
+
+class TestMsrHandlers:
+    def test_rdmsr_returns_value_in_rdx_rax(self, hv, hvm_domain,
+                                            vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, int(Msr.IA32_PAT))
+        deliver(hv, vcpu, ExitReason.RDMSR)
+        value = (vcpu.regs.read_gpr(GPR.RDX) << 32) | \
+            vcpu.regs.read_gpr(GPR.RAX)
+        assert value == 0x0007040600070406
+
+    def test_rdmsr_unknown_injects_gp(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, 0xDEAD)
+        deliver(hv, vcpu, ExitReason.RDMSR)
+        assert vcpu.vmcs.read(
+            VmcsField.VM_ENTRY_INTR_INFO
+        ) & 0xFF == 13
+
+    def test_wrmsr_stores_value(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, int(Msr.IA32_LSTAR))
+        vcpu.regs.write_gpr(GPR.RAX, 0x1000)
+        vcpu.regs.write_gpr(GPR.RDX, 0xFFFF8000)
+        deliver(hv, vcpu, ExitReason.WRMSR)
+        assert vcpu.msrs.read(int(Msr.IA32_LSTAR)) == \
+            0xFFFF800000001000
+
+    def test_wrmsr_reserved_bits_inject_gp(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, int(Msr.IA32_EFER))
+        vcpu.regs.write_gpr(GPR.RAX, 1 << 20)
+        vcpu.regs.write_gpr(GPR.RDX, 0)
+        deliver(hv, vcpu, ExitReason.WRMSR)
+        assert vcpu.vmcs.read(
+            VmcsField.VM_ENTRY_INTR_INFO
+        ) & 0xFF == 13
+
+    def test_apic_base_write_relocates_vlapic(self, hv, hvm_domain,
+                                              vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, int(Msr.IA32_APIC_BASE))
+        vcpu.regs.write_gpr(GPR.RAX, 0xFEC00000 | (1 << 11))
+        vcpu.regs.write_gpr(GPR.RDX, 0)
+        deliver(hv, vcpu, ExitReason.WRMSR)
+        assert hv.vlapic(vcpu).base == 0xFEC00000
+
+    def test_efer_write_syncs_vmcs_field(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, int(Msr.IA32_EFER))
+        vcpu.regs.write_gpr(GPR.RAX, 1 << 8)
+        vcpu.regs.write_gpr(GPR.RDX, 0)
+        deliver(hv, vcpu, ExitReason.WRMSR)
+        assert vcpu.vmcs.read(VmcsField.GUEST_IA32_EFER) & (1 << 8)
+
+    def test_rdmsr_tsc_reads_clock(self, hv, hvm_domain, vcpu):
+        vcpu.regs.write_gpr(GPR.RCX, int(Msr.IA32_TSC))
+        deliver(hv, vcpu, ExitReason.RDMSR)
+        tsc = (vcpu.regs.read_gpr(GPR.RDX) << 32) | \
+            vcpu.regs.read_gpr(GPR.RAX)
+        assert 0 < tsc <= hv.clock.now

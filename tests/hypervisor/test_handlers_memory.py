@@ -1,0 +1,154 @@
+"""Unit tests for EPT-violation/misconfig and descriptor-table
+handlers, plus the instruction emulator."""
+
+import pytest
+
+from repro.errors import GuestCrash
+from repro.hypervisor import emulate
+from repro.hypervisor.emulate import (
+    EmulationOutcome,
+    emulate_current_instruction,
+    load_descriptor,
+)
+from repro.vmx.exit_qualification import EptViolationQualification
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import VmcsField
+from repro.x86.descriptors import flat_code_descriptor
+
+from tests.hypervisor.util import deliver
+
+
+def ept_exit(hv, vcpu, gpa, write=False):
+    qual = EptViolationQualification(
+        read=not write, write=write, execute=False
+    )
+    return deliver(
+        hv, vcpu, ExitReason.EPT_VIOLATION,
+        qualification=qual.pack(),
+        guest_physical_address=gpa,
+        guest_linear_address=gpa,
+    )
+
+
+def put_code(domain, vcpu, raw):
+    rip = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+    cs_base = vcpu.vmcs.read(VmcsField.GUEST_CS_BASE)
+    domain.memory.write(cs_base + rip, raw)
+
+
+class TestEmulator:
+    def test_fetch_failure_is_unhandleable(self, hv, hvm_domain,
+                                           vcpu):
+        result = emulate_current_instruction(hv, vcpu)
+        assert result.outcome is EmulationOutcome.UNHANDLEABLE
+
+    def test_known_opcode_decodes(self, hv, hvm_domain, vcpu):
+        put_code(hvm_domain, vcpu, b"\x8b\x00\xe0\xfe")
+        result = emulate_current_instruction(hv, vcpu)
+        assert result.outcome is EmulationOutcome.OKAY
+        assert result.opcode == 0x8B
+        assert result.mmio_gpa == 0xFEE00000
+
+    def test_write_opcode_flagged(self, hv, hvm_domain, vcpu):
+        put_code(hvm_domain, vcpu, b"\x89\x00\x00\x00")
+        result = emulate_current_instruction(hv, vcpu)
+        assert result.is_write
+
+    def test_unknown_opcode_raises_ud(self, hv, hvm_domain, vcpu):
+        put_code(hvm_domain, vcpu, b"\xf1\x00\x00\x00")
+        result = emulate_current_instruction(hv, vcpu)
+        assert result.outcome is EmulationOutcome.EXCEPTION
+        assert result.exception_vector == 6
+
+    def test_opcode_specific_coverage(self, hv, hvm_domain, vcpu):
+        put_code(hvm_domain, vcpu, b"\x8b\x00\x00\x00")
+        emulate_current_instruction(hv, vcpu)
+        first = hv.session_coverage.lines()
+        put_code(hvm_domain, vcpu, b"\xa4\x00\x00\x00")
+        emulate_current_instruction(hv, vcpu)
+        assert hv.session_coverage.lines() > first
+
+
+class TestDescriptorWalk:
+    def test_walk_succeeds_with_populated_gdt(self, hv, hvm_domain,
+                                              vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_BASE, 0x6000)
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_LIMIT, 0xFFFF)
+        hvm_domain.memory.write(
+            0x6008, flat_code_descriptor().pack()
+        )
+        descriptor, walked = load_descriptor(hv, vcpu, selector=0x08)
+        assert walked
+        assert descriptor is not None and descriptor.present
+
+    def test_walk_fails_without_memory(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_BASE, 0x6000)
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_LIMIT, 0xFFFF)
+        descriptor, walked = load_descriptor(hv, vcpu, selector=0x08)
+        assert not walked and descriptor is None
+
+    def test_selector_beyond_limit_fails(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_LIMIT, 0xF)
+        _, walked = load_descriptor(hv, vcpu, selector=0x20)
+        assert not walked
+
+
+class TestEptViolationHandler:
+    def test_apic_access_reaches_vlapic(self, hv, hvm_domain, vcpu):
+        put_code(hvm_domain, vcpu, b"\x89\x00\xe0\xfe")
+        ept_exit(hv, vcpu, gpa=0xFEE000B0, write=True)
+        # The EOI register write went through vlapic emulation.
+        from repro.hypervisor.vlapic import BLK_REG_EOI
+
+        assert hv.session_coverage.lines() >= \
+            frozenset(BLK_REG_EOI.lines())
+
+    def test_populate_on_demand_maps_page(self, hv, hvm_domain, vcpu):
+        gfn = 0x20000
+        assert hvm_domain.ept.lookup(gfn) is None
+        ept_exit(hv, vcpu, gpa=gfn << 12, write=True)
+        assert hvm_domain.ept.lookup(gfn) is not None
+        assert hvm_domain.memory.is_populated(gfn)
+
+    def test_pod_does_not_advance_rip(self, hv, hvm_domain, vcpu):
+        before = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        ept_exit(hv, vcpu, gpa=0x20000 << 12)
+        assert vcpu.vmcs.read(VmcsField.GUEST_RIP) == before
+
+    def test_gpa_beyond_p2m_crashes_domain(self, hv, hvm_domain,
+                                           vcpu):
+        with pytest.raises(GuestCrash):
+            ept_exit(hv, vcpu, gpa=1 << 40)
+        assert hvm_domain.crashed
+
+    def test_permission_fault_relaxes_mapping(self, hv, hvm_domain,
+                                              vcpu):
+        from repro.vmx.ept import EptAccess
+
+        hvm_domain.ept.map_page(0x30, mfn=0x30,
+                                access=EptAccess.READ)
+        ept_exit(hv, vcpu, gpa=0x30 << 12, write=True)
+        entry = hvm_domain.ept.lookup(0x30)
+        assert entry is not None and entry.access & EptAccess.WRITE
+
+
+class TestDtAccess:
+    def test_store_form_just_advances(self, hv, hvm_domain, vcpu):
+        before = vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        deliver(
+            hv, vcpu, ExitReason.GDTR_IDTR_ACCESS,
+            instruction_info=1 << 29, instruction_len=3,
+        )
+        assert vcpu.vmcs.read(VmcsField.GUEST_RIP) == before + 3
+
+    def test_load_walks_guest_memory(self, hv, hvm_domain, vcpu):
+        vcpu.vmcs.write(VmcsField.GUEST_LDTR_SELECTOR, 0x08)
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_BASE, 0x6000)
+        vcpu.vmcs.write(VmcsField.GUEST_GDTR_LIMIT, 0xFFFF)
+        hvm_domain.memory.write(
+            0x6008, flat_code_descriptor().pack()
+        )
+        deliver(hv, vcpu, ExitReason.LDTR_TR_ACCESS,
+                instruction_len=3)
+        assert hv.session_coverage.lines() >= \
+            frozenset(emulate.BLK_DESCRIPTOR_LOAD.lines())

@@ -1,0 +1,69 @@
+"""Unit tests for the hypercall router."""
+
+import pytest
+
+from repro.hypervisor.hypercalls import (
+    EINVAL,
+    HypercallRouter,
+    XC_VMCS_FUZZING_NR,
+    XcVmcsFuzzingOp,
+)
+from repro.hypervisor.vcpu import Vcpu
+from repro.x86.registers import GPR
+
+
+@pytest.fixture
+def router():
+    return HypercallRouter()
+
+
+@pytest.fixture
+def vcpu():
+    return Vcpu(vcpu_id=0, vmcs_address=0x2000)
+
+
+class TestRouter:
+    def test_unbacked_hypercall_returns_zero(self, router, vcpu):
+        assert router.dispatch(vcpu, 29) == 0
+
+    def test_backend_receives_args_and_sets_rax(self, router, vcpu):
+        seen = {}
+
+        def backend(vcpu, args):
+            seen["args"] = args
+            return 7
+
+        router.register(40, backend)
+        vcpu.regs.write_gpr(GPR.RDI, 1)
+        vcpu.regs.write_gpr(GPR.RSI, 2)
+        vcpu.regs.write_gpr(GPR.RDX, 3)
+        assert router.dispatch(vcpu, 40) == 7
+        assert seen["args"] == (1, 2, 3)
+        assert vcpu.regs.read_gpr(GPR.RAX) == 7
+
+    def test_duplicate_backend_rejected(self, router):
+        router.register(40, lambda v, a: 0)
+        with pytest.raises(ValueError):
+            router.register(40, lambda v, a: 0)
+
+    def test_unregister(self, router, vcpu):
+        router.register(40, lambda v, a: 5)
+        router.unregister(40)
+        assert router.dispatch(vcpu, 40) == 0
+
+    def test_calls_are_logged(self, router, vcpu):
+        vcpu.regs.write_gpr(GPR.RDI, 4)
+        router.dispatch(vcpu, 29)
+        assert router.calls == [(29, 4)]
+
+
+class TestXcVmcsFuzzingConstants:
+    def test_hypercall_number(self):
+        assert XC_VMCS_FUZZING_NR == 39
+
+    def test_op_vocabulary(self):
+        assert XcVmcsFuzzingOp.ENABLE_RECORD == 0
+        assert XcVmcsFuzzingOp.SUBMIT_SEED == 6
+
+    def test_einval_is_unsigned_minus_22(self):
+        assert EINVAL == (1 << 64) - 22

@@ -1,0 +1,146 @@
+"""Unit tests for guest memory and the hypervisor-side accessors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hypervisor.memory import (
+    GuestMemory,
+    HvmCopyResult,
+    PAGE_SIZE,
+    SharedMemoryArea,
+)
+
+
+class TestGuestSideAccess:
+    def test_write_read_roundtrip(self):
+        mem = GuestMemory()
+        mem.write(0x1000, b"hello")
+        assert mem.read(0x1000, 5) == b"hello"
+
+    def test_unpopulated_reads_zero(self):
+        mem = GuestMemory()
+        assert mem.read(0x5000, 4) == b"\x00" * 4
+
+    def test_cross_page_write(self):
+        mem = GuestMemory()
+        data = bytes(range(64))
+        mem.write(PAGE_SIZE - 32, data)
+        assert mem.read(PAGE_SIZE - 32, 64) == data
+
+    def test_u64_helpers(self):
+        mem = GuestMemory()
+        mem.write_u64(0x2000, 0xDEADBEEF12345678)
+        assert mem.read_u64(0x2000) == 0xDEADBEEF12345678
+
+    def test_out_of_range_raises(self):
+        mem = GuestMemory(size_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            mem.write(1 << 20, b"x")
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError):
+            GuestMemory(size_bytes=100)
+
+    @given(
+        gpa=st.integers(min_value=0, max_value=(1 << 20) - 64),
+        data=st.binary(min_size=1, max_size=64),
+    )
+    def test_roundtrip_property(self, gpa, data):
+        mem = GuestMemory(size_bytes=1 << 20)
+        mem.write(gpa, data)
+        assert mem.read(gpa, len(data)) == data
+
+
+class TestHypervisorSideAccess:
+    def test_copy_from_populated_page(self):
+        mem = GuestMemory()
+        mem.write(0x3000, b"abcd")
+        status, data = mem.hvm_copy_from_guest(0x3000, 4)
+        assert status is HvmCopyResult.OKAY
+        assert data == b"abcd"
+
+    def test_copy_from_unpopulated_page_fails(self):
+        # Unlike guest-side reads, the hypervisor distinguishes "never
+        # touched" from "zero" — this is the replay-divergence signal.
+        mem = GuestMemory()
+        status, data = mem.hvm_copy_from_guest(0x3000, 4)
+        assert status is HvmCopyResult.BAD_GFN
+        assert data == b""
+
+    def test_copy_out_of_range_is_bad_linear(self):
+        mem = GuestMemory(size_bytes=1 << 20)
+        status, _ = mem.hvm_copy_from_guest(1 << 21, 4)
+        assert status is HvmCopyResult.BAD_LINEAR
+
+    def test_copy_to_guest(self):
+        mem = GuestMemory()
+        assert mem.hvm_copy_to_guest(0x100, b"xy") is \
+            HvmCopyResult.OKAY
+        assert mem.read(0x100, 2) == b"xy"
+
+    def test_copy_spanning_into_unpopulated_page_fails(self):
+        mem = GuestMemory()
+        mem.write(PAGE_SIZE - 2, b"ab")  # populates page 0... and 1
+        mem.drop_all()
+        mem.write(0, b"a")  # only page 0
+        status, _ = mem.hvm_copy_from_guest(PAGE_SIZE - 2, 4)
+        assert status is HvmCopyResult.BAD_GFN
+
+
+class TestBackgroundPattern:
+    def test_pattern_makes_unpopulated_reads_succeed(self):
+        mem = GuestMemory(background_pattern=b"\x8b\x89")
+        status, data = mem.hvm_copy_from_guest(0x7000, 4)
+        assert status is HvmCopyResult.OKAY
+        assert data == b"\x8b\x89\x8b\x89"
+
+    def test_pattern_is_phase_stable(self):
+        mem = GuestMemory(background_pattern=b"\x8b\x89")
+        _, at_even = mem.hvm_copy_from_guest(0x7000, 1)
+        _, at_odd = mem.hvm_copy_from_guest(0x7001, 1)
+        assert at_even == b"\x8b"
+        assert at_odd == b"\x89"
+
+    def test_populated_pages_beat_the_pattern(self):
+        mem = GuestMemory(background_pattern=b"\x8b")
+        mem.write(0x7000, b"real")
+        _, data = mem.hvm_copy_from_guest(0x7000, 4)
+        assert data == b"real"
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            GuestMemory(background_pattern=b"")
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        mem = GuestMemory()
+        mem.write(0x1000, b"state")
+        snapshot = mem.snapshot()
+        mem.write(0x1000, b"dirty")
+        mem.restore(snapshot)
+        assert mem.read(0x1000, 5) == b"state"
+
+    def test_drop_all(self):
+        mem = GuestMemory()
+        mem.write(0x1000, b"x")
+        mem.drop_all()
+        assert not mem.populated_gfns()
+
+
+class TestSharedMemoryArea:
+    def test_publish_fetch(self):
+        area = SharedMemoryArea()
+        area.publish("coverage", [1, 2, 3])
+        assert area.fetch("coverage") == [1, 2, 3]
+
+    def test_fetch_empty_slot_raises(self):
+        with pytest.raises(KeyError):
+            SharedMemoryArea().fetch("nope")
+
+    def test_clear(self):
+        area = SharedMemoryArea()
+        area.publish("x", 1)
+        area.clear()
+        with pytest.raises(KeyError):
+            area.fetch("x")

@@ -1,0 +1,59 @@
+"""Tests for the Xen hypervisor CPUID signature leaves."""
+
+from repro.vmx.exit_reasons import ExitReason
+from repro.x86.registers import GPR
+
+from tests.hypervisor.util import deliver
+
+
+def cpuid(hv, vcpu, leaf):
+    vcpu.regs.write_gpr(GPR.RAX, leaf)
+    deliver(hv, vcpu, ExitReason.CPUID)
+    return tuple(
+        vcpu.regs.read_gpr(r)
+        for r in (GPR.RAX, GPR.RBX, GPR.RCX, GPR.RDX)
+    )
+
+
+class TestXenLeaves:
+    def test_signature_leaf_says_xenvmm(self, hv, hvm_domain, vcpu):
+        eax, ebx, ecx, edx = cpuid(hv, vcpu, 0x40000000)
+        signature = b"".join(
+            v.to_bytes(4, "little") for v in (ebx, ecx, edx)
+        )
+        assert signature == b"XenVMMXenVMM"
+        assert eax == 0x40000004  # max hypervisor leaf
+
+    def test_version_leaf_is_xen_4_16(self, hv, hvm_domain, vcpu):
+        eax, *_ = cpuid(hv, vcpu, 0x40000001)
+        assert (eax >> 16, eax & 0xFFFF) == (4, 16)
+
+    def test_hypercall_page_leaf(self, hv, hvm_domain, vcpu):
+        eax, ebx, *_ = cpuid(hv, vcpu, 0x40000002)
+        assert eax == 1  # one hypercall page
+        assert ebx == 0x40000000
+
+    def test_leaves_have_distinct_coverage(self, hv, hvm_domain,
+                                           vcpu):
+        cpuid(hv, vcpu, 0x40000000)
+        first = hv.exit_coverage.lines()
+        cpuid(hv, vcpu, 0x40000001)
+        assert hv.exit_coverage.lines() != first
+
+    def test_leaf_beyond_range_is_zero(self, hv, hvm_domain, vcpu):
+        assert cpuid(hv, vcpu, 0x40000005) == (0, 0, 0, 0)
+
+    def test_boot_trace_contains_xen_detection(self):
+        from repro.core.manager import IrisManager
+        from repro.x86.registers import GPR as _GPR
+
+        manager = IrisManager()
+        session = manager.record_workload(
+            "os-boot", n_exits=3000, precondition="bios"
+        )
+        leaves = {
+            seed.gprs()[_GPR.RAX]
+            for seed in session.trace.seeds()
+            if seed.reason is ExitReason.CPUID
+        }
+        assert 0x40000000 in leaves

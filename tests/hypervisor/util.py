@@ -1,0 +1,24 @@
+"""Helpers for driving raw VM exits in handler tests."""
+
+from __future__ import annotations
+
+from repro.hypervisor.dispatch import ExitEvent
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.vcpu import Vcpu
+from repro.vmx.exit_reasons import ExitReason
+
+
+def deliver(
+    hv: Hypervisor,
+    vcpu: Vcpu,
+    reason: ExitReason,
+    **event_fields,
+) -> ExitReason:
+    """Launch (if needed) and deliver one exit; returns handled reason."""
+    from repro.vmx.vmx_ops import CpuVmxMode
+
+    if vcpu.vmx.mode is CpuVmxMode.ROOT:
+        hv.launch(vcpu)
+    event = ExitEvent(reason=reason, **event_fields)
+    event.write_to(vcpu)
+    return hv.handle_vmexit(vcpu, event)

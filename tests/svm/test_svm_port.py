@@ -1,0 +1,148 @@
+"""Tests for the SVM portability layer (paper §IX)."""
+
+import pytest
+
+from repro.svm import (
+    SvmExitCode,
+    Vmcb,
+    VmcbField,
+    VMCB_SAVE_AREA_OFFSET,
+    VMCS_TO_VMCB,
+    exit_code_for_reason,
+    translate_seed,
+    translate_trace,
+)
+from repro.svm.translate import TranslationReport
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.vmcs_fields import GUEST_STATE_FIELDS, VmcsField
+
+
+class TestVmcb:
+    def test_save_area_split(self):
+        assert VmcbField.EXITCODE.in_save_area is False
+        assert VmcbField.CR0.in_save_area is True
+        assert all(
+            (int(f) >= VMCB_SAVE_AREA_OFFSET) == f.in_save_area
+            for f in VmcbField
+        )
+
+    def test_offsets_unique(self):
+        offsets = [int(f) for f in VmcbField]
+        assert len(offsets) == len(set(offsets))
+
+    def test_exitcode_is_plain_memory(self):
+        # The key structural difference from the VMCS: no read-only
+        # fields, no special instructions.
+        vmcb = Vmcb(address=0x1000)
+        vmcb.write(VmcbField.EXITCODE,
+                   int(SvmExitCode.VMEXIT_CPUID))
+        assert vmcb.read(VmcbField.EXITCODE) == \
+            int(SvmExitCode.VMEXIT_CPUID)
+
+    def test_copy_and_bulk_ops(self):
+        vmcb = Vmcb(address=0x1000)
+        vmcb.write(VmcbField.RIP, 0x7C00)
+        clone = vmcb.copy(address=0x2000)
+        clone.write(VmcbField.RIP, 0)
+        assert vmcb.read(VmcbField.RIP) == 0x7C00
+        assert clone.address == 0x2000
+
+
+class TestExitCodeMapping:
+    def test_common_reasons_map(self):
+        assert exit_code_for_reason(ExitReason.CPUID) is \
+            SvmExitCode.VMEXIT_CPUID
+        assert exit_code_for_reason(ExitReason.HLT) is \
+            SvmExitCode.VMEXIT_HLT
+        assert exit_code_for_reason(ExitReason.EPT_VIOLATION) is \
+            SvmExitCode.VMEXIT_NPF
+        assert exit_code_for_reason(ExitReason.VMCALL) is \
+            SvmExitCode.VMEXIT_VMMCALL
+
+    def test_cr_access_refined_by_register_and_direction(self):
+        assert exit_code_for_reason(
+            ExitReason.CR_ACCESS, cr=0, is_read=False
+        ) is SvmExitCode.VMEXIT_CR0_WRITE
+        assert exit_code_for_reason(
+            ExitReason.CR_ACCESS, cr=3, is_read=True
+        ) is SvmExitCode.VMEXIT_CR3_READ
+
+    def test_preemption_timer_has_no_svm_twin(self):
+        assert exit_code_for_reason(
+            ExitReason.PREEMPTION_TIMER
+        ) is None
+
+
+class TestFieldMapping:
+    def test_mapping_targets_are_consistent_areas(self):
+        for vmcs_field, vmcb_field in VMCS_TO_VMCB.items():
+            if vmcs_field in GUEST_STATE_FIELDS and \
+                    vmcs_field is not \
+                    VmcsField.GUEST_INTERRUPTIBILITY_INFO:
+                assert vmcb_field.in_save_area, (
+                    vmcs_field, vmcb_field
+                )
+
+    def test_every_segment_field_mapped(self):
+        for seg in ("ES", "CS", "SS", "DS", "FS", "GS", "LDTR", "TR"):
+            for suffix in ("SELECTOR", "BASE", "LIMIT", "AR_BYTES"):
+                field = VmcsField[f"GUEST_{seg}_{suffix}"]
+                assert field in VMCS_TO_VMCB, field
+
+
+class TestTraceTranslation:
+    def test_recorded_trace_translates_nearly_completely(
+        self, cpu_session
+    ):
+        _, session = cpu_session
+        report = translate_trace(session.trace)
+        # Every seed of the CPU-bound mix has an SVM exit code.
+        assert report.untranslatable_seeds == 0
+        assert len(report.seeds) == len(session.trace)
+        # The seed model is essentially architecture-neutral.
+        assert report.entry_coverage_pct > 95.0
+
+    def test_boot_trace_reports_dropped_vtx_only_fields(
+        self, boot_session
+    ):
+        _, session = boot_session
+        report = translate_trace(session.trace)
+        assert report.entry_coverage_pct > 90.0
+        # Anything dropped must be a genuinely VT-x-only field.
+        for vmcs_field in report.dropped_fields:
+            assert vmcs_field not in VMCS_TO_VMCB
+
+    def test_gprs_carry_over(self, cpu_session):
+        _, session = cpu_session
+        seed = session.trace.records[0].seed
+        svm_seed = translate_seed(seed)
+        assert svm_seed is not None
+        gprs = [e for e in svm_seed.entries if e.is_gpr]
+        assert len(gprs) == 15
+
+    def test_cr_access_seed_gets_cr_specific_code(self, boot_session):
+        _, session = boot_session
+        cr_seeds = [
+            r.seed for r in session.trace.records
+            if r.seed.reason is ExitReason.CR_ACCESS
+        ]
+        assert cr_seeds
+        report = TranslationReport()
+        codes = {
+            translate_seed(seed, report).exit_code
+            for seed in cr_seeds
+            if translate_seed(seed) is not None
+        }
+        assert codes & {
+            SvmExitCode.VMEXIT_CR0_WRITE,
+            SvmExitCode.VMEXIT_CR3_WRITE,
+            SvmExitCode.VMEXIT_CR4_WRITE,
+        }
+
+    def test_vmcb_values_last_write_wins(self, cpu_session):
+        _, session = cpu_session
+        svm_seed = translate_seed(session.trace.records[0].seed)
+        values = svm_seed.vmcb_values()
+        # RIP appears twice in most seeds (advance + mode check); the
+        # flattened VMCB view keeps the final value.
+        assert VmcbField.RIP in values

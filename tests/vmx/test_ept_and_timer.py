@@ -1,0 +1,137 @@
+"""Unit tests for EPT and the VMX-preemption timer."""
+
+import pytest
+
+from repro.vmx.ept import EptAccess, EptTables, EptViolation
+from repro.vmx.exit_reasons import ExitReason, reason_name
+from repro.vmx.preemption_timer import (
+    PIN_BASED_PREEMPTION_TIMER,
+    PREEMPTION_TIMER_TSC_SHIFT,
+    PreemptionTimer,
+)
+from repro.vmx.vmcs import Vmcs
+from repro.vmx.vmcs_fields import VmcsField
+
+
+class TestEpt:
+    def test_translate_mapped_page(self):
+        ept = EptTables()
+        ept.map_page(gfn=5, mfn=0x100)
+        hpa = ept.translate(5 << 12 | 0x123, EptAccess.READ)
+        assert hpa == (0x100 << 12) | 0x123
+
+    def test_unmapped_page_raises_violation(self):
+        ept = EptTables()
+        with pytest.raises(EptViolation) as excinfo:
+            ept.translate(0x7000, EptAccess.READ)
+        assert excinfo.value.entry is None
+        assert ept.violation_count == 1
+
+    def test_permission_violation(self):
+        ept = EptTables()
+        ept.map_page(gfn=1, mfn=2, access=EptAccess.READ)
+        with pytest.raises(EptViolation) as excinfo:
+            ept.translate(1 << 12, EptAccess.WRITE)
+        qual = excinfo.value.qualification()
+        assert qual.write and not qual.ept_writable
+        assert qual.ept_readable
+
+    def test_protect_page_changes_permissions(self):
+        ept = EptTables()
+        ept.map_page(gfn=1, mfn=2)
+        ept.protect_page(1, EptAccess.READ)
+        with pytest.raises(EptViolation):
+            ept.translate(1 << 12, EptAccess.EXECUTE)
+
+    def test_protect_unmapped_page_raises(self):
+        with pytest.raises(KeyError):
+            EptTables().protect_page(1, EptAccess.READ)
+
+    def test_unmap(self):
+        ept = EptTables()
+        ept.map_page(gfn=1, mfn=2)
+        ept.unmap_page(1)
+        assert ept.lookup(1) is None
+
+    def test_copy_is_independent(self):
+        ept = EptTables()
+        ept.map_page(gfn=1, mfn=2)
+        clone = ept.copy()
+        clone.unmap_page(1)
+        assert ept.lookup(1) is not None
+
+    def test_violation_qualification_for_miss(self):
+        ept = EptTables()
+        try:
+            ept.translate(0x5000, EptAccess.WRITE, linear_address=0x10)
+        except EptViolation as violation:
+            qual = violation.qualification()
+            assert qual.write
+            assert not qual.ept_readable
+            assert qual.linear_address_valid
+        else:  # pragma: no cover
+            pytest.fail("expected EptViolation")
+
+
+class TestPreemptionTimer:
+    @pytest.fixture
+    def timer(self):
+        return PreemptionTimer(Vmcs(address=0x1000))
+
+    def test_inactive_by_default(self, timer):
+        assert not timer.active
+        assert timer.guest_cycles_until_expiry() is None
+
+    def test_activate_sets_pin_based_bit(self, timer):
+        timer.activate()
+        controls = timer.vmcs.read(
+            VmcsField.PIN_BASED_VM_EXEC_CONTROL
+        )
+        assert controls & PIN_BASED_PREEMPTION_TIMER
+
+    def test_deactivate(self, timer):
+        timer.activate()
+        timer.deactivate()
+        assert not timer.active
+
+    def test_zero_value_expires_immediately(self, timer):
+        # The replay configuration: no guest instructions execute.
+        timer.activate()
+        timer.load(0)
+        assert timer.guest_cycles_until_expiry() == 0
+
+    def test_nonzero_value_scales_by_tsc_shift(self, timer):
+        timer.activate()
+        timer.load(100)
+        assert timer.guest_cycles_until_expiry() == \
+            100 << PREEMPTION_TIMER_TSC_SHIFT
+
+    def test_expire_zeroes_value(self, timer):
+        timer.load(55)
+        timer.expire()
+        assert timer.value == 0
+
+
+class TestExitReasons:
+    def test_architectural_numbering(self):
+        assert ExitReason.EXCEPTION_NMI == 0
+        assert ExitReason.CPUID == 10
+        assert ExitReason.HLT == 12
+        assert ExitReason.RDTSC == 16
+        assert ExitReason.CR_ACCESS == 28
+        assert ExitReason.IO_INSTRUCTION == 30
+        assert ExitReason.EPT_VIOLATION == 48
+        assert ExitReason.PREEMPTION_TIMER == 52
+
+    def test_paper_figure_labels(self):
+        assert reason_name(int(ExitReason.EXTERNAL_INTERRUPT)) == \
+            "EXT. INT."
+        assert reason_name(int(ExitReason.CR_ACCESS)) == "CR ACC."
+        assert reason_name(int(ExitReason.IO_INSTRUCTION)) == \
+            "I/O INST."
+
+    def test_unknown_reason_name(self):
+        assert reason_name(0x1234) == "UNKNOWN(4660)"
+
+    def test_name_falls_back_to_enum_name(self):
+        assert reason_name(int(ExitReason.GETSEC)) == "GETSEC"

@@ -1,0 +1,103 @@
+"""Unit tests for exit-qualification encodings."""
+
+from hypothesis import given, strategies as st
+
+from repro.vmx.exit_qualification import (
+    CrAccessQualification,
+    CrAccessType,
+    EptViolationQualification,
+    IoQualification,
+)
+
+cr_quals = st.builds(
+    CrAccessQualification,
+    cr=st.integers(min_value=0, max_value=15),
+    access_type=st.sampled_from(CrAccessType),
+    gpr=st.integers(min_value=0, max_value=15),
+    lmsw_source=st.integers(min_value=0, max_value=0xFFFF),
+)
+
+io_quals = st.builds(
+    IoQualification,
+    port=st.integers(min_value=0, max_value=0xFFFF),
+    size=st.sampled_from([1, 2, 4]),
+    direction_in=st.booleans(),
+    string_op=st.booleans(),
+    rep_prefixed=st.booleans(),
+    immediate_operand=st.booleans(),
+)
+
+ept_quals = st.builds(
+    EptViolationQualification,
+    read=st.booleans(),
+    write=st.booleans(),
+    execute=st.booleans(),
+    ept_readable=st.booleans(),
+    ept_writable=st.booleans(),
+    ept_executable=st.booleans(),
+    linear_address_valid=st.booleans(),
+    final_translation=st.booleans(),
+)
+
+
+class TestCrAccess:
+    @given(cr_quals)
+    def test_roundtrip(self, qual):
+        assert CrAccessQualification.unpack(qual.pack()) == qual
+
+    def test_mov_to_cr0_layout(self):
+        qual = CrAccessQualification(
+            cr=0, access_type=CrAccessType.MOV_TO_CR, gpr=3
+        )
+        packed = qual.pack()
+        assert packed & 0xF == 0
+        assert (packed >> 8) & 0xF == 3
+
+    def test_lmsw_source_in_high_bits(self):
+        qual = CrAccessQualification(
+            cr=0, access_type=CrAccessType.LMSW, lmsw_source=0xABCD
+        )
+        assert (qual.pack() >> 16) == 0xABCD
+
+
+class TestIo:
+    @given(io_quals)
+    def test_roundtrip(self, qual):
+        assert IoQualification.unpack(qual.pack()) == qual
+
+    def test_port_layout(self):
+        qual = IoQualification(port=0x3F8, size=1, direction_in=False)
+        assert (qual.pack() >> 16) & 0xFFFF == 0x3F8
+
+    def test_size_encoding_is_size_minus_one(self):
+        assert IoQualification(
+            port=0, size=4, direction_in=True
+        ).pack() & 0x7 == 3
+
+    def test_direction_bit(self):
+        in_qual = IoQualification(port=0, size=1, direction_in=True)
+        out_qual = IoQualification(port=0, size=1, direction_in=False)
+        assert in_qual.pack() & 0x8
+        assert not out_qual.pack() & 0x8
+
+
+class TestEptViolation:
+    @given(ept_quals)
+    def test_roundtrip(self, qual):
+        assert EptViolationQualification.unpack(qual.pack()) == qual
+
+    def test_write_fault_bits(self):
+        qual = EptViolationQualification(
+            read=False, write=True, execute=False
+        )
+        packed = qual.pack()
+        assert packed & 0x2
+        assert not packed & 0x1
+
+    def test_permission_bits_positions(self):
+        qual = EptViolationQualification(
+            read=True, write=False, execute=False,
+            ept_readable=True, ept_writable=True, ept_executable=True,
+        )
+        packed = qual.pack()
+        assert packed & (0x7 << 3) == 0x7 << 3

@@ -1,0 +1,95 @@
+"""Unit tests for the VMCS object."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vmx.vmcs import Vmcs, VmcsLaunchState
+from repro.vmx.vmcs_fields import (
+    ALL_FIELDS,
+    VmcsField,
+    field_width,
+    is_read_only,
+)
+
+
+@pytest.fixture
+def vmcs():
+    return Vmcs(address=0x1000)
+
+
+class TestFieldAccess:
+    def test_unwritten_field_reads_zero(self, vmcs):
+        assert vmcs.read(VmcsField.GUEST_RIP) == 0
+
+    def test_write_read_roundtrip(self, vmcs):
+        vmcs.write(VmcsField.GUEST_RSP, 0x9F00)
+        assert vmcs.read(VmcsField.GUEST_RSP) == 0x9F00
+
+    def test_value_masked_to_field_width(self, vmcs):
+        vmcs.write(VmcsField.GUEST_CS_SELECTOR, 0x12345)
+        assert vmcs.read(VmcsField.GUEST_CS_SELECTOR) == 0x2345
+
+    def test_32bit_field_masked(self, vmcs):
+        vmcs.write(VmcsField.VM_ENTRY_INSTRUCTION_LEN, 1 << 40)
+        assert vmcs.read(VmcsField.VM_ENTRY_INSTRUCTION_LEN) == 0
+
+    def test_write_to_read_only_field_rejected(self, vmcs):
+        with pytest.raises(PermissionError):
+            vmcs.write(VmcsField.VM_EXIT_REASON, 1)
+
+    def test_write_exit_info_populates_read_only(self, vmcs):
+        vmcs.write_exit_info(VmcsField.VM_EXIT_REASON, 28)
+        assert vmcs.read(VmcsField.VM_EXIT_REASON) == 28
+
+    @given(
+        field=st.sampled_from(
+            [f for f in ALL_FIELDS if not is_read_only(f)]
+        ),
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_roundtrip_respects_width(self, field, value):
+        vmcs = Vmcs(address=0x1000)
+        vmcs.write(field, value)
+        assert vmcs.read(field) == value & field_width(field).mask
+
+
+class TestLaunchState:
+    def test_initial_state_is_clear(self, vmcs):
+        assert vmcs.launch_state is VmcsLaunchState.CLEAR
+
+    def test_clear_preserves_contents(self, vmcs):
+        vmcs.write(VmcsField.GUEST_RIP, 0x7C00)
+        vmcs.launch_state = VmcsLaunchState.LAUNCHED
+        vmcs.clear()
+        assert vmcs.launch_state is VmcsLaunchState.CLEAR
+        assert vmcs.read(VmcsField.GUEST_RIP) == 0x7C00
+
+
+class TestBulkOperations:
+    def test_contents_returns_copy(self, vmcs):
+        vmcs.write(VmcsField.GUEST_RIP, 1)
+        contents = vmcs.contents()
+        contents[VmcsField.GUEST_RIP] = 2
+        assert vmcs.read(VmcsField.GUEST_RIP) == 1
+
+    def test_load_contents_replaces_everything(self, vmcs):
+        vmcs.write(VmcsField.GUEST_RIP, 1)
+        vmcs.load_contents({VmcsField.GUEST_RSP: 2})
+        assert vmcs.read(VmcsField.GUEST_RIP) == 0
+        assert vmcs.read(VmcsField.GUEST_RSP) == 2
+
+    def test_load_contents_masks_values(self, vmcs):
+        vmcs.load_contents({VmcsField.GUEST_ES_SELECTOR: 0x10008})
+        assert vmcs.read(VmcsField.GUEST_ES_SELECTOR) == 0x8
+
+    def test_populated_fields(self, vmcs):
+        vmcs.write(VmcsField.GUEST_RIP, 1)
+        assert vmcs.populated_fields() == {VmcsField.GUEST_RIP}
+
+    def test_copy_is_deep(self, vmcs):
+        vmcs.write(VmcsField.GUEST_RIP, 1)
+        clone = vmcs.copy(address=0x2000)
+        clone.write(VmcsField.GUEST_RIP, 2)
+        assert vmcs.read(VmcsField.GUEST_RIP) == 1
+        assert clone.address == 0x2000
+        assert clone.launch_state is vmcs.launch_state

@@ -1,0 +1,112 @@
+"""Unit tests for the VMCS field encoding table."""
+
+from hypothesis import given, strategies as st
+
+from repro.vmx.vmcs_fields import (
+    ALL_FIELDS,
+    CONTROL_FIELDS,
+    EXIT_INFO_FIELDS,
+    GUEST_STATE_FIELDS,
+    HOST_STATE_FIELDS,
+    FieldType,
+    FieldWidth,
+    VmcsField,
+    field_by_index,
+    field_index,
+    field_type,
+    field_width,
+    is_read_only,
+)
+
+
+class TestEncodingStructure:
+    def test_field_count_close_to_paper(self):
+        # The paper's seed encoding covers 147 VMCS fields; the table
+        # models the same generation of the architecture.
+        assert 140 <= len(ALL_FIELDS) <= 165
+
+    def test_all_encodings_unique(self):
+        assert len({int(f) for f in ALL_FIELDS}) == len(ALL_FIELDS)
+
+    def test_access_type_bit_is_zero(self):
+        # Only full-width encodings are modelled (bit 0 clear).
+        for field in ALL_FIELDS:
+            assert not int(field) & 1
+
+    def test_width_decoding_examples(self):
+        assert field_width(VmcsField.GUEST_CS_SELECTOR) is \
+            FieldWidth.WIDTH_16
+        assert field_width(VmcsField.EPT_POINTER) is FieldWidth.WIDTH_64
+        assert field_width(VmcsField.VM_EXIT_REASON) is \
+            FieldWidth.WIDTH_32
+        assert field_width(VmcsField.GUEST_RIP) is \
+            FieldWidth.WIDTH_NATURAL
+
+    def test_type_decoding_examples(self):
+        assert field_type(VmcsField.VPID) is FieldType.CONTROL
+        assert field_type(VmcsField.EXIT_QUALIFICATION) is \
+            FieldType.EXIT_INFO
+        assert field_type(VmcsField.GUEST_CR0) is FieldType.GUEST_STATE
+        assert field_type(VmcsField.HOST_RIP) is FieldType.HOST_STATE
+
+    def test_name_prefix_matches_decoded_type(self):
+        # The naming convention must agree with the encoding bits.
+        for field in GUEST_STATE_FIELDS:
+            assert field.name.startswith(("GUEST_", "VMCS_LINK",
+                                          "VMX_PREEMPTION"))
+        for field in HOST_STATE_FIELDS:
+            assert field.name.startswith("HOST_")
+
+    def test_partition_is_complete(self):
+        union = (GUEST_STATE_FIELDS | HOST_STATE_FIELDS
+                 | CONTROL_FIELDS | EXIT_INFO_FIELDS)
+        assert union == frozenset(ALL_FIELDS)
+
+    def test_width_masks(self):
+        assert FieldWidth.WIDTH_16.mask == 0xFFFF
+        assert FieldWidth.WIDTH_32.mask == 0xFFFFFFFF
+        assert FieldWidth.WIDTH_64.mask == (1 << 64) - 1
+        assert FieldWidth.WIDTH_NATURAL.mask == (1 << 64) - 1
+
+
+class TestReadOnly:
+    def test_exit_info_fields_are_read_only(self):
+        assert is_read_only(VmcsField.VM_EXIT_REASON)
+        assert is_read_only(VmcsField.EXIT_QUALIFICATION)
+        assert is_read_only(VmcsField.GUEST_PHYSICAL_ADDRESS)
+        assert is_read_only(VmcsField.VM_INSTRUCTION_ERROR)
+
+    def test_guest_state_is_writable(self):
+        assert not is_read_only(VmcsField.GUEST_CR0)
+        assert not is_read_only(VmcsField.GUEST_RIP)
+
+    def test_read_only_count(self):
+        read_only = [f for f in ALL_FIELDS if is_read_only(f)]
+        assert len(read_only) == len(EXIT_INFO_FIELDS)
+        assert 10 <= len(read_only) <= 20
+
+
+class TestCompactIndex:
+    def test_roundtrip_all_fields(self):
+        for field in ALL_FIELDS:
+            assert field_by_index(field_index(field)) is field
+
+    def test_index_fits_one_byte(self):
+        # The seed format stores the encoding in a single byte.
+        assert all(field_index(f) < 256 for f in ALL_FIELDS)
+
+    def test_invalid_index_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            field_by_index(len(ALL_FIELDS))
+
+    @given(st.integers(min_value=0))
+    def test_index_never_crashes(self, index):
+        import pytest
+
+        if index < len(ALL_FIELDS):
+            field_by_index(index)
+        else:
+            with pytest.raises(ValueError):
+                field_by_index(index)

@@ -1,0 +1,149 @@
+"""Unit tests for VMX instruction semantics."""
+
+import pytest
+
+from repro.errors import VmxFailInvalid, VmxFailValid
+from repro.vmx.vmcs import VmcsLaunchState
+from repro.vmx.vmcs_fields import VmcsField
+from repro.vmx.vmx_ops import CpuVmxMode, VmxCpu, VmxInstructionError
+
+
+@pytest.fixture
+def cpu():
+    cpu = VmxCpu()
+    cpu.vmxon(0x1000)
+    return cpu
+
+
+@pytest.fixture
+def loaded(cpu):
+    cpu.allocate_vmcs(0x2000)
+    cpu.vmclear(0x2000)
+    cpu.vmptrld(0x2000)
+    return cpu
+
+
+class TestVmxOnOff:
+    def test_vmxon_enters_root(self):
+        cpu = VmxCpu()
+        cpu.vmxon(0x1000)
+        assert cpu.mode is CpuVmxMode.ROOT
+
+    def test_double_vmxon_fails(self, cpu):
+        with pytest.raises(VmxFailInvalid):
+            cpu.vmxon(0x1000)
+
+    def test_double_vmxon_with_current_vmcs_is_fail_valid(self, loaded):
+        with pytest.raises(VmxFailValid) as excinfo:
+            loaded.vmxon(0x1000)
+        assert excinfo.value.error_number == \
+            VmxInstructionError.VMXON_IN_ROOT
+
+    def test_vmxoff_leaves_vmx(self, cpu):
+        cpu.vmxoff()
+        assert cpu.mode is CpuVmxMode.OFF
+
+    def test_instructions_require_vmx_on(self):
+        cpu = VmxCpu()
+        with pytest.raises(VmxFailInvalid):
+            cpu.vmclear(0x2000)
+
+
+class TestVmclearVmptrld:
+    def test_vmclear_invalid_address(self, cpu):
+        with pytest.raises(VmxFailInvalid):
+            cpu.vmclear(0xBAD000)
+
+    def test_vmclear_vmxon_pointer(self, cpu):
+        with pytest.raises(VmxFailInvalid):
+            cpu.vmclear(0x1000)
+
+    def test_vmclear_current_vmcs_invalidates_pointer(self, loaded):
+        loaded.vmclear(0x2000)
+        assert loaded.current_vmcs is None
+
+    def test_vmptrld_makes_current(self, cpu):
+        vmcs = cpu.allocate_vmcs(0x2000)
+        assert cpu.vmptrld(0x2000) is vmcs
+        assert cpu.current_vmcs is vmcs
+
+    def test_vmptrld_vmxon_pointer(self, cpu):
+        with pytest.raises(VmxFailInvalid):
+            cpu.vmptrld(0x1000)
+
+    def test_vmptrld_bad_revision(self, loaded):
+        bad = loaded.allocate_vmcs(0x3000)
+        bad.revision_id = 0x99
+        with pytest.raises(VmxFailValid) as excinfo:
+            loaded.vmptrld(0x3000)
+        assert excinfo.value.error_number == \
+            VmxInstructionError.VMPTRLD_INCORRECT_REVISION
+
+    def test_allocate_duplicate_address_rejected(self, loaded):
+        with pytest.raises(ValueError):
+            loaded.allocate_vmcs(0x2000)
+
+    def test_allocate_over_vmxon_region_rejected(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.allocate_vmcs(0x1000)
+
+
+class TestVmreadVmwrite:
+    def test_vmread_no_current_vmcs(self, cpu):
+        with pytest.raises(VmxFailInvalid):
+            cpu.vmread(VmcsField.GUEST_RIP)
+
+    def test_write_then_read(self, loaded):
+        loaded.vmwrite(VmcsField.GUEST_RIP, 0x7C00)
+        assert loaded.vmread(VmcsField.GUEST_RIP) == 0x7C00
+
+    def test_vmwrite_read_only_component_error_13(self, loaded):
+        with pytest.raises(VmxFailValid) as excinfo:
+            loaded.vmwrite(VmcsField.VM_EXIT_REASON, 1)
+        assert excinfo.value.error_number == \
+            VmxInstructionError.VMWRITE_READ_ONLY_COMPONENT
+
+    def test_failed_instruction_sets_error_field(self, loaded):
+        with pytest.raises(VmxFailValid):
+            loaded.vmwrite(VmcsField.VM_EXIT_REASON, 1)
+        assert loaded.vmread(VmcsField.VM_INSTRUCTION_ERROR) == \
+            int(VmxInstructionError.VMWRITE_READ_ONLY_COMPONENT)
+
+    def test_unsupported_component(self, loaded):
+        with pytest.raises(VmxFailValid) as excinfo:
+            loaded.vmread(0x5555)  # not a defined encoding
+        assert excinfo.value.error_number == \
+            VmxInstructionError.UNSUPPORTED_VMCS_COMPONENT
+
+
+class TestLaunchResume:
+    def test_vmlaunch_requires_clear(self, loaded):
+        loaded.vmlaunch()
+        assert loaded.mode is CpuVmxMode.NON_ROOT
+        assert loaded.current_vmcs.launch_state is \
+            VmcsLaunchState.LAUNCHED
+
+    def test_vmlaunch_twice_fails(self, loaded):
+        loaded.vmlaunch()
+        loaded.deliver_vm_exit()
+        with pytest.raises(VmxFailValid) as excinfo:
+            loaded.vmlaunch()
+        assert excinfo.value.error_number == \
+            VmxInstructionError.VMLAUNCH_NONCLEAR_VMCS
+
+    def test_vmresume_requires_launched(self, loaded):
+        with pytest.raises(VmxFailValid) as excinfo:
+            loaded.vmresume()
+        assert excinfo.value.error_number == \
+            VmxInstructionError.VMRESUME_NONLAUNCHED_VMCS
+
+    def test_launch_exit_resume_cycle(self, loaded):
+        loaded.vmlaunch()
+        loaded.deliver_vm_exit()
+        assert loaded.mode is CpuVmxMode.ROOT
+        loaded.vmresume()
+        assert loaded.mode is CpuVmxMode.NON_ROOT
+
+    def test_exit_requires_non_root(self, loaded):
+        with pytest.raises(VmxFailInvalid):
+            loaded.deliver_vm_exit()

@@ -1,0 +1,58 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.x86.costs import CostModel, DEFAULT_COSTS
+
+
+class TestLookup:
+    def test_known_cost(self):
+        assert DEFAULT_COSTS.cost("vmread") > 0
+
+    def test_unknown_cost_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_COSTS.cost("warp-drive")
+
+    def test_exit_costs_match_ideal_throughput_budget(self):
+        # The empty-exit budget (context switches + checks + dispatch)
+        # must stay in the ~70K-cycle band that yields the paper's
+        # ~50K exits/s ideal replay throughput.
+        empty_exit = (
+            DEFAULT_COSTS.cost("vm_exit_context_switch")
+            + DEFAULT_COSTS.cost("vm_entry_context_switch")
+            + DEFAULT_COSTS.cost("vm_entry_checks")
+            + DEFAULT_COSTS.cost("handler_dispatch")
+            + DEFAULT_COSTS.cost("preemption_handler")
+        )
+        assert 50_000 <= empty_exit <= 90_000
+
+
+class TestConversions:
+    def test_seconds_at_model_frequency(self):
+        assert DEFAULT_COSTS.seconds(3_600_000_000) == pytest.approx(1.0)
+
+    def test_cycles_roundtrip(self):
+        cycles = DEFAULT_COSTS.cycles(0.5)
+        assert DEFAULT_COSTS.seconds(cycles) == pytest.approx(0.5)
+
+
+class TestOverrides:
+    def test_with_overrides_changes_value(self):
+        model = DEFAULT_COSTS.with_overrides(vmread=1)
+        assert model.cost("vmread") == 1
+
+    def test_with_overrides_leaves_original(self):
+        DEFAULT_COSTS.with_overrides(vmread=1)
+        assert DEFAULT_COSTS.cost("vmread") != 1
+
+    def test_with_overrides_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            DEFAULT_COSTS.with_overrides(nonsense=1)
+
+    def test_table_is_immutable(self):
+        with pytest.raises(TypeError):
+            DEFAULT_COSTS.table["vmread"] = 0  # type: ignore[index]
+
+    def test_custom_frequency(self):
+        model = CostModel(frequency_hz=1e9)
+        assert model.seconds(1_000_000_000) == pytest.approx(1.0)

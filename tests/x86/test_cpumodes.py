@@ -1,0 +1,89 @@
+"""Unit tests for the CR0-derived operating-mode lattice (Fig. 8)."""
+
+from hypothesis import given, strategies as st
+
+from repro.x86.cpumodes import (
+    OperatingMode,
+    classify_cr0,
+    mode_transitions,
+)
+from repro.x86.registers import Cr0
+
+ET = int(Cr0.ET)
+
+
+class TestClassification:
+    def test_real_mode(self):
+        assert classify_cr0(ET) is OperatingMode.MODE1
+
+    def test_pe_clear_dominates_everything(self):
+        # Without PE, no other bit matters.
+        value = int(Cr0.PG | Cr0.AM | Cr0.TS | Cr0.CD)
+        assert classify_cr0(value) is OperatingMode.MODE1
+
+    def test_protected_mode(self):
+        assert classify_cr0(ET | int(Cr0.PE)) is OperatingMode.MODE2
+
+    def test_paged_mode(self):
+        value = ET | int(Cr0.PE | Cr0.PG)
+        assert classify_cr0(value) is OperatingMode.MODE3
+
+    def test_alignment_checking_with_cache_on(self):
+        value = ET | int(Cr0.PE | Cr0.PG | Cr0.AM)
+        assert classify_cr0(value) is OperatingMode.MODE6
+
+    def test_cache_disabled(self):
+        value = ET | int(Cr0.PE | Cr0.PG | Cr0.AM | Cr0.CD)
+        assert classify_cr0(value) is OperatingMode.MODE4
+
+    def test_task_switch_flag(self):
+        value = ET | int(Cr0.PE | Cr0.PG | Cr0.AM | Cr0.TS)
+        assert classify_cr0(value) is OperatingMode.MODE5
+
+    def test_ts_with_cache_disabled(self):
+        value = ET | int(Cr0.PE | Cr0.PG | Cr0.AM | Cr0.TS | Cr0.CD)
+        assert classify_cr0(value) is OperatingMode.MODE7
+
+    def test_mode0_is_never_classified(self):
+        # MODE0 marks "no state yet"; classification always yields a
+        # real mode.
+        assert classify_cr0(0) is not OperatingMode.MODE0
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_total_function(self, cr0):
+        # Every CR0 value maps to exactly one mode in 1..7.
+        mode = classify_cr0(cr0)
+        assert OperatingMode.MODE1 <= mode <= OperatingMode.MODE7
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_deterministic(self, cr0):
+        assert classify_cr0(cr0) is classify_cr0(cr0)
+
+
+class TestTransitions:
+    def test_boot_ladder(self):
+        # The canonical real -> protected -> paged walk of paper §III.
+        values = [
+            ET,
+            ET | int(Cr0.PE),
+            ET | int(Cr0.PE | Cr0.PG),
+            ET | int(Cr0.PE | Cr0.PG | Cr0.AM),
+        ]
+        assert mode_transitions(values) == [
+            OperatingMode.MODE1,
+            OperatingMode.MODE2,
+            OperatingMode.MODE3,
+            OperatingMode.MODE6,
+        ]
+
+    def test_consecutive_same_mode_collapses(self):
+        values = [ET, ET | 2, ET | 8]  # all real mode
+        assert mode_transitions(values) == [OperatingMode.MODE1]
+
+    def test_empty_input(self):
+        assert mode_transitions([]) == []
+
+    def test_oscillation_preserved(self):
+        prot = ET | int(Cr0.PE)
+        values = [ET, prot, ET, prot]
+        assert len(mode_transitions(values)) == 4

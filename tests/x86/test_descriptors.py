@@ -1,0 +1,95 @@
+"""Unit tests for segment descriptors and descriptor-table registers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x86.descriptors import (
+    DescriptorTableRegister,
+    SegmentDescriptor,
+    flat_code_descriptor,
+    flat_data_descriptor,
+)
+
+descriptors = st.builds(
+    SegmentDescriptor,
+    base=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    limit=st.integers(min_value=0, max_value=0xFFFFF),
+    type_=st.integers(min_value=0, max_value=0xF),
+    s=st.booleans(),
+    dpl=st.integers(min_value=0, max_value=3),
+    present=st.booleans(),
+    avl=st.booleans(),
+    long_mode=st.booleans(),
+    default_big=st.booleans(),
+    granularity=st.booleans(),
+)
+
+
+class TestPacking:
+    @given(descriptors)
+    def test_pack_unpack_roundtrip(self, descriptor):
+        assert SegmentDescriptor.unpack(descriptor.pack()) == descriptor
+
+    def test_packed_size_is_eight_bytes(self):
+        assert len(flat_code_descriptor().pack()) == 8
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            SegmentDescriptor.unpack(b"\x00" * 7)
+
+    def test_null_descriptor_is_not_present(self):
+        descriptor = SegmentDescriptor.unpack(b"\x00" * 8)
+        assert not descriptor.present
+
+
+class TestFlatDescriptors:
+    def test_code_descriptor_shape(self):
+        code = flat_code_descriptor()
+        assert code.s and code.present
+        assert code.type_ & 0x8  # executable
+        assert code.base == 0 and code.limit == 0xFFFFF
+
+    def test_data_descriptor_is_writable_non_code(self):
+        data = flat_data_descriptor()
+        assert not data.type_ & 0x8
+        assert data.type_ & 0x2  # writable
+
+    def test_dpl_parameter(self):
+        assert flat_code_descriptor(dpl=3).dpl == 3
+
+
+class TestAccessRights:
+    def test_vtx_access_rights_present_code(self):
+        ar = flat_code_descriptor().access_rights
+        assert ar & (1 << 7)  # present
+        assert ar & (1 << 4)  # S
+        assert not ar & (1 << 16)  # usable
+
+    def test_not_present_descriptor_is_unusable(self):
+        descriptor = SegmentDescriptor(
+            base=0, limit=0, type_=0xB, s=True, dpl=0, present=False
+        )
+        assert descriptor.access_rights & (1 << 16)
+
+
+class TestDescriptorTableRegister:
+    def test_entry_address(self):
+        gdtr = DescriptorTableRegister(base=0x6000, limit=0xFFFF)
+        assert gdtr.entry_address(0x08) == 0x6008
+        assert gdtr.entry_address(0x10) == 0x6010
+
+    def test_requested_privilege_bits_ignored(self):
+        gdtr = DescriptorTableRegister(base=0x6000)
+        # selector 0x0B = index 1, RPL 3
+        assert gdtr.entry_address(0x0B) == 0x6008
+
+    def test_contains_respects_limit(self):
+        gdtr = DescriptorTableRegister(base=0, limit=23)  # 3 entries
+        assert gdtr.contains(0x10)
+        assert not gdtr.contains(0x18)
+
+    def test_copy(self):
+        gdtr = DescriptorTableRegister(base=0x1000, limit=7)
+        clone = gdtr.copy()
+        clone.base = 0x2000
+        assert gdtr.base == 0x1000

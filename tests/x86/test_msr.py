@@ -1,0 +1,76 @@
+"""Unit tests for the MSR file."""
+
+import pytest
+
+from repro.x86.msr import EferBits, Msr, MsrAccessError, MsrFile
+
+
+class TestRead:
+    def test_known_msr_reads_default(self):
+        msrs = MsrFile()
+        assert msrs.read(int(Msr.IA32_PAT)) == 0x0007040600070406
+
+    def test_unknown_msr_raises_gp(self):
+        msrs = MsrFile()
+        with pytest.raises(MsrAccessError) as excinfo:
+            msrs.read(0xDEAD)
+        assert not excinfo.value.write
+
+    def test_unset_known_msr_reads_zero(self):
+        msrs = MsrFile()
+        assert msrs.read(int(Msr.IA32_SYSENTER_CS)) == 0
+
+    def test_vmx_capability_msrs_present(self):
+        msrs = MsrFile()
+        assert msrs.read(int(Msr.IA32_VMX_BASIC)) & (1 << 32)
+        # CR0 fixed-0: PE/NE/PG must be 1 in VMX operation.
+        fixed0 = msrs.read(int(Msr.IA32_VMX_CR0_FIXED0))
+        assert fixed0 & 0x80000021 == 0x80000021
+
+
+class TestWrite:
+    def test_write_read_roundtrip(self):
+        msrs = MsrFile()
+        msrs.write(int(Msr.IA32_LSTAR), 0xFFFF800000001000)
+        assert msrs.read(int(Msr.IA32_LSTAR)) == 0xFFFF800000001000
+
+    def test_unknown_msr_write_raises(self):
+        msrs = MsrFile()
+        with pytest.raises(MsrAccessError) as excinfo:
+            msrs.write(0xDEAD, 1)
+        assert excinfo.value.write
+
+    def test_read_only_msr_write_raises(self):
+        msrs = MsrFile()
+        with pytest.raises(MsrAccessError):
+            msrs.write(int(Msr.IA32_MTRRCAP), 0)
+
+    def test_vmx_capability_msrs_are_read_only(self):
+        msrs = MsrFile()
+        with pytest.raises(MsrAccessError):
+            msrs.write(int(Msr.IA32_VMX_BASIC), 0)
+
+    def test_efer_reserved_bits_raise(self):
+        msrs = MsrFile()
+        with pytest.raises(MsrAccessError) as excinfo:
+            msrs.write(int(Msr.IA32_EFER), 1 << 20)
+        assert "reserved" in excinfo.value.reason
+
+    def test_efer_defined_bits_accepted(self):
+        msrs = MsrFile()
+        value = int(EferBits.SCE | EferBits.LME | EferBits.NXE)
+        msrs.write(int(Msr.IA32_EFER), value)
+        assert msrs.read(int(Msr.IA32_EFER)) == value
+
+    def test_value_masked_to_64_bits(self):
+        msrs = MsrFile()
+        msrs.write(int(Msr.IA32_LSTAR), 1 << 70)
+        assert msrs.read(int(Msr.IA32_LSTAR)) == 0
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        msrs = MsrFile()
+        clone = msrs.copy()
+        clone.write(int(Msr.IA32_LSTAR), 5)
+        assert msrs.read(int(Msr.IA32_LSTAR)) == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the register file."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x86.registers import (
+    CR0_RESERVED,
+    CR4_RESERVED,
+    Cr0,
+    Cr4,
+    GPR,
+    MASK64,
+    RegisterFile,
+    Rflags,
+    SegmentCache,
+    SegmentRegister,
+)
+
+
+class TestGpr:
+    def test_exactly_fifteen_gprs(self):
+        # The seed format's 1-byte GPR encoding covers 15 values
+        # (paper §V-A): RSP/RIP live in the VMCS instead.
+        assert len(GPR) == 15
+
+    def test_encodings_are_contiguous(self):
+        assert sorted(int(r) for r in GPR) == list(range(15))
+
+    def test_no_rsp_or_rip(self):
+        names = {r.name for r in GPR}
+        assert "RSP" not in names
+        assert "RIP" not in names
+
+
+class TestRegisterFile:
+    def test_reset_state_is_real_mode(self):
+        regs = RegisterFile()
+        assert not regs.cr0 & Cr0.PE
+        assert regs.cr0 & Cr0.ET
+        assert regs.rflags & Rflags.FIXED1
+
+    def test_reset_cs_points_into_bios(self):
+        regs = RegisterFile()
+        cs = regs.segments[SegmentRegister.CS]
+        assert cs.base + regs.rip == 0xFFFF0  # the classic reset vector
+
+    def test_write_gpr_masks_to_64_bits(self):
+        regs = RegisterFile()
+        regs.write_gpr(GPR.RAX, (1 << 70) | 5)
+        assert regs.read_gpr(GPR.RAX) == ((1 << 70) | 5) & MASK64
+
+    def test_snapshot_gprs_is_a_copy(self):
+        regs = RegisterFile()
+        regs.write_gpr(GPR.RBX, 42)
+        snap = regs.snapshot_gprs()
+        regs.write_gpr(GPR.RBX, 99)
+        assert snap[GPR.RBX] == 42
+
+    def test_load_gprs_accepts_raw_encodings(self):
+        regs = RegisterFile()
+        regs.load_gprs({3: 7})  # RDX by encoding
+        assert regs.read_gpr(GPR.RDX) == 7
+
+    def test_copy_is_deep(self):
+        regs = RegisterFile()
+        clone = regs.copy()
+        clone.write_gpr(GPR.RAX, 1)
+        clone.segments[SegmentRegister.CS].selector = 0x1234
+        assert regs.read_gpr(GPR.RAX) == 0
+        assert regs.segments[SegmentRegister.CS].selector == 0xF000
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_gpr_write_read_roundtrip(self, value):
+        regs = RegisterFile()
+        regs.write_gpr(GPR.R9, value)
+        assert regs.read_gpr(GPR.R9) == value
+
+
+class TestSegmentCache:
+    def test_default_is_present_data_segment(self):
+        seg = SegmentCache()
+        assert seg.present
+        assert not seg.unusable
+        assert seg.dpl == 0
+
+    def test_unusable_bit(self):
+        seg = SegmentCache(access_rights=1 << 16)
+        assert seg.unusable
+
+    def test_dpl_extraction(self):
+        seg = SegmentCache(access_rights=0x93 | (3 << 5))
+        assert seg.dpl == 3
+
+    def test_copy_independent(self):
+        seg = SegmentCache(selector=8)
+        clone = seg.copy()
+        clone.selector = 16
+        assert seg.selector == 8
+
+
+class TestControlRegisterBits:
+    def test_cr0_bit_positions(self):
+        assert Cr0.PE == 1
+        assert Cr0.PG == 1 << 31
+        assert Cr0.CD == 1 << 30
+        assert Cr0.AM == 1 << 18
+
+    def test_cr0_reserved_excludes_defined_bits(self):
+        defined = (
+            Cr0.PE | Cr0.MP | Cr0.EM | Cr0.TS | Cr0.ET | Cr0.NE
+            | Cr0.WP | Cr0.AM | Cr0.NW | Cr0.CD | Cr0.PG
+        )
+        assert not CR0_RESERVED & defined
+
+    def test_cr4_reserved_excludes_defined_bits(self):
+        for bit in Cr4:
+            assert not CR4_RESERVED & bit
+
+    def test_rflags_bit1_always_one(self):
+        assert Rflags.FIXED1 == 2
