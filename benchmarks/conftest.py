@@ -12,7 +12,10 @@ Environment knobs:
 * ``IRIS_FULL_BOOT_SCALE``  — Fig. 4 boot-size scale (default 0.12,
   ~60K exits; 1.0 reproduces the paper's ~520K-exit boot);
 * ``IRIS_FUZZ_MUTATIONS``   — mutations per Table I cell (default 400;
-  the paper uses 10000).
+  the paper uses 10000);
+* ``IRIS_FUZZ_JOBS``        — worker processes for the Table I
+  campaign (default 1; results are jobs-independent by construction,
+  so this only changes wall-clock time).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.core.manager import IrisManager, RecordingSession, ReplaySession
 BENCH_EXITS = int(os.environ.get("IRIS_BENCH_EXITS", "5000"))
 FULL_BOOT_SCALE = float(os.environ.get("IRIS_FULL_BOOT_SCALE", "0.12"))
 FUZZ_MUTATIONS = int(os.environ.get("IRIS_FUZZ_MUTATIONS", "400"))
+FUZZ_JOBS = int(os.environ.get("IRIS_FUZZ_JOBS", "1"))
 
 
 @dataclass

@@ -8,18 +8,23 @@ essentially benign (a few VM crashes only together with CR ACCESS).
 
 ``IRIS_FUZZ_MUTATIONS`` scales the per-cell mutation count (default
 400; the paper's 10000 works but takes minutes per cell).
+``IRIS_FUZZ_JOBS`` runs the campaign through the parallel engine with
+that many workers — by the engine's determinism contract the grid is
+identical at any job count, so both paths feed the same assertions.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import time
 
 import pytest
 
-from benchmarks.conftest import FUZZ_MUTATIONS
+from benchmarks.conftest import FUZZ_JOBS, FUZZ_MUTATIONS
 from repro.analysis import render_table
-from repro.fuzz.fuzzer import IrisFuzzer
 from repro.fuzz.mutations import MutationArea
+from repro.fuzz.parallel import ParallelCampaign
 from repro.fuzz.testcase import plan_test_cases
 from repro.vmx.exit_reasons import ExitReason
 
@@ -39,28 +44,31 @@ TABLE_REASONS = (
 
 @pytest.fixture(scope="module")
 def table1(boot_experiment, cpu_experiment, idle_experiment):
-    """Run the full Table I grid; returns {workload: {(reason, area):
-    FuzzResult}}."""
+    """Run the full Table I grid through the campaign engine; returns
+    {workload: {(reason, area): FuzzResult}}.
+
+    ``IRIS_FUZZ_JOBS`` selects the worker count; per the engine's
+    determinism contract the grid is the same at any setting.
+    """
     grid = {}
     for name, experiment in (
         ("OS BOOT", boot_experiment),
         ("CPU-bound", cpu_experiment),
         ("IDLE", idle_experiment),
     ):
-        fuzzer = IrisFuzzer(
-            experiment.manager, rng=random.Random(0xF0 + len(grid))
-        )
         cases = plan_test_cases(
             experiment.session.trace, list(TABLE_REASONS),
             n_mutations=FUZZ_MUTATIONS, rng=random.Random(7),
         )
-        cells = {}
-        for case in cases:
-            result = fuzzer.run_test_case(
-                case, from_snapshot=experiment.session.snapshot
-            )
-            cells[(case.exit_reason, case.area)] = result
-        grid[name] = cells
+        outcome = ParallelCampaign(
+            experiment.session.trace, experiment.session.snapshot,
+            cases, campaign_seed=0xF0 + len(grid), jobs=FUZZ_JOBS,
+        ).run()
+        assert not outcome.abandoned_cells
+        grid[name] = {
+            (result.exit_reason, result.area): result
+            for result in outcome.results
+        }
     return grid
 
 
@@ -183,3 +191,67 @@ def test_table1_crash_rates(table1, benchmark):
                 assert result.hypervisor_crashes == 0, reason
                 if reason is not ExitReason.CR_ACCESS:
                     assert result.vm_crashes == 0, reason
+
+
+# ---- the parallel path -----------------------------------------------
+
+def _campaign_cases(experiment, reasons, mutations):
+    return plan_test_cases(
+        experiment.session.trace, list(reasons),
+        n_mutations=mutations, rng=random.Random(7),
+    )
+
+
+def test_table1_serial_and_parallel_paths_agree(
+    cpu_experiment, benchmark
+):
+    """Both bench paths (jobs=1 inline, jobs=2 pool) produce the same
+    grid — the engine's determinism contract at bench scale."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cases = _campaign_cases(
+        cpu_experiment, (ExitReason.RDTSC, ExitReason.CPUID),
+        min(FUZZ_MUTATIONS, 200),
+    )
+    run = lambda jobs: ParallelCampaign(
+        cpu_experiment.session.trace, cpu_experiment.session.snapshot,
+        cases, campaign_seed=0xF1, jobs=jobs,
+    ).run()
+    serial, parallel = run(1), run(2)
+    assert serial.results == parallel.results
+    assert serial.merged_coverage() == parallel.merged_coverage()
+    assert serial.crash_tallies() == parallel.crash_tallies()
+    assert serial.merged_corpus() == parallel.merged_corpus()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs >= 2 CPU cores",
+)
+def test_table1_parallel_speedup(cpu_experiment, benchmark):
+    """--jobs 2 beats serial by >= 1.5x wall-clock on >= 2 cores.
+
+    Per-cell work (prefix replay + N mutations) dominates the pool's
+    pickling/fork overhead at bench scale, so two workers should land
+    near 2x; 1.5x leaves room for scheduler noise.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cases = _campaign_cases(cpu_experiment, TABLE_REASONS,
+                            FUZZ_MUTATIONS)
+
+    def timed(jobs):
+        start = time.perf_counter()
+        outcome = ParallelCampaign(
+            cpu_experiment.session.trace,
+            cpu_experiment.session.snapshot,
+            cases, campaign_seed=0xF2, jobs=jobs,
+        ).run()
+        return time.perf_counter() - start, outcome
+
+    serial_s, serial = timed(1)
+    parallel_s, parallel = timed(2)
+    speedup = serial_s / parallel_s
+    print(f"\nTable I campaign: serial {serial_s:.2f}s, "
+          f"--jobs 2 {parallel_s:.2f}s -> {speedup:.2f}x speedup "
+          f"({serial.stats.total_mutations} mutations)")
+    assert serial.results == parallel.results
+    assert speedup >= 1.5

@@ -38,8 +38,28 @@ from repro.fuzz.minimize import (
     minimize_crash,
     seed_deltas,
 )
+from repro.fuzz.parallel import (
+    CampaignResult,
+    CampaignStats,
+    ParallelCampaign,
+    ShardStats,
+    ShardTask,
+    WorkerFault,
+    derive_shard_seed,
+    run_parallel_campaign,
+    split_mutations,
+)
 
 __all__ = [
+    "CampaignResult",
+    "CampaignStats",
+    "ParallelCampaign",
+    "ShardStats",
+    "ShardTask",
+    "WorkerFault",
+    "derive_shard_seed",
+    "run_parallel_campaign",
+    "split_mutations",
     "CoverageGuidedFuzzer",
     "GuidedCampaignReport",
     "CrashBucket",

@@ -52,11 +52,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--rule", choices=sorted(MUTATION_RULES), default="bit-flip",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the campaign; 1 (default) keeps "
+             "the classic serial path.  Results are independent of "
+             "the worker count: each cell's RNG is derived from "
+             "(campaign seed, cell index), so --jobs only changes "
+             "wall-clock time.",
+    )
+    parser.add_argument(
+        "--shards-per-cell", type=int, default=1,
+        help="split each cell's mutation budget across this many "
+             "shards (more pool parallelism for few-cell campaigns)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.shards_per_cell < 1:
+        print(
+            f"--shards-per-cell must be >= 1, got "
+            f"{args.shards_per_cell}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.mutations < 1:
+        print(
+            f"--mutations must be >= 1, got {args.mutations}",
+            file=sys.stderr,
+        )
+        return 2
     rng = random.Random(args.seed)
 
     reasons = []
@@ -93,14 +122,51 @@ def main(argv: list[str] | None = None) -> int:
         if case.mutation_rule != args.rule:
             object.__setattr__(case, "mutation_rule", args.rule)
 
-    fuzzer = IrisFuzzer(manager, rng=rng)
+    campaign_stats = None
+    if args.jobs > 1 or args.shards_per_cell > 1:
+        from repro.fuzz.parallel import ParallelCampaign
+
+        def report(event):
+            kind, payload = event
+            if kind == "shard-completed":
+                case = cases[payload.cell_index]
+                print(
+                    f"  [{payload.cell_index + 1}/{len(cases)}] "
+                    f"{case.exit_reason.name}/{case.area.value} "
+                    f"shard {payload.shard_index}: "
+                    f"{payload.mutations_run} mutations in "
+                    f"{payload.duration_seconds:.2f}s "
+                    f"({payload.mutations_per_second:.0f} mut/s)"
+                )
+            else:
+                print(f"  !! {kind}: {payload.describe()}")
+
+        campaign = ParallelCampaign(
+            session.trace, session.snapshot, cases,
+            campaign_seed=args.seed, jobs=args.jobs,
+            shards_per_cell=args.shards_per_cell, on_event=report,
+        )
+        outcome = campaign.run()
+        campaign_stats = outcome.stats
+        results = outcome.results
+        for cell_index in outcome.abandoned_cells:
+            case = cases[cell_index]
+            print(
+                f"cell {case.exit_reason.name}/{case.area.value} "
+                "abandoned after retry — excluded from the table",
+                file=sys.stderr,
+            )
+    else:
+        fuzzer = IrisFuzzer(manager, rng=rng)
+        results = [
+            fuzzer.run_test_case(case, from_snapshot=session.snapshot)
+            for case in cases
+        ]
+
     rows = []
     total_crashes = 0
     all_failures = []
-    for case in cases:
-        result = fuzzer.run_test_case(
-            case, from_snapshot=session.snapshot
-        )
+    for result in results:
         total_crashes += result.vm_crashes + result.hypervisor_crashes
         all_failures.extend(result.failures)
         rows.append((
@@ -119,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
               f"({args.mutations} mutations/case, rule={args.rule})",
     ))
     print(f"total failures observed: {total_crashes}")
+    if campaign_stats is not None:
+        print(f"campaign stats: {campaign_stats.describe()}")
     if all_failures:
         from repro.fuzz.triage import triage
 

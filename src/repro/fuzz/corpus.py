@@ -34,6 +34,22 @@ def coverage_fingerprint(lines: frozenset[tuple[str, int]]) -> str:
     return digest.hexdigest()[:16]
 
 
+def entry_identity(entry: CorpusEntry) -> tuple:
+    """Total order over entries, independent of discovery order.
+
+    Covers every field (the packed seed bytes stand in for the seed),
+    so two entries compare equal exactly when they are the same
+    retained mutant — the key parallel shard merging dedups and sorts
+    by.
+    """
+    return (
+        entry.reason_kept,
+        entry.coverage_fingerprint,
+        entry.seed.pack(),
+        entry.new_loc,
+    )
+
+
 @dataclass
 class Corpus:
     """The campaign's retained-mutant set."""
@@ -66,6 +82,36 @@ class Corpus:
             coverage_fingerprint=fingerprint,
         ))
         return True
+
+    def merge(self, other: "Corpus") -> "Corpus":
+        """Pure, order-insensitive merge of two corpora.
+
+        Returns a new *canonical* corpus: entries from both sides,
+        deduplicated by :func:`entry_identity` and sorted by it.  On
+        canonical corpora the operation is commutative, associative,
+        and idempotent, so parallel campaign shards merge to the same
+        corpus regardless of worker count, scheduling, or retries.
+        """
+        seen: dict[tuple, CorpusEntry] = {}
+        for entry in self.entries + other.entries:
+            seen.setdefault(entry_identity(entry), entry)
+        merged = Corpus()
+        merged.entries = sorted(seen.values(), key=entry_identity)
+        merged._fingerprints = {
+            e.coverage_fingerprint for e in merged.entries
+            if e.reason_kept == "new-coverage"
+        }
+        return merged
+
+    def canonical(self) -> "Corpus":
+        """This corpus in canonical (sorted, deduplicated) form."""
+        return self.merge(Corpus())
+
+    def copy(self) -> "Corpus":
+        clone = Corpus()
+        clone.entries = list(self.entries)
+        clone._fingerprints = set(self._fingerprints)
+        return clone
 
     def crashes(self) -> list[CorpusEntry]:
         return [

@@ -62,6 +62,24 @@ class FailureRecord:
         )
 
 
+def failure_identity(record: FailureRecord) -> tuple:
+    """Total order over failure records, independent of shard order.
+
+    Mutation index first: when merged shards overflow the per-cell
+    retention cap, the earliest-discovered failures win, matching the
+    serial fuzzer's first-``MAX_FAILURES_KEPT`` behavior.  The
+    remaining fields break ties deterministically.
+    """
+    return (
+        record.mutation_index,
+        record.kind.value,
+        record.cause,
+        record.crash_reason,
+        record.seed.pack(),
+        record.log_tail,
+    )
+
+
 def diagnose_cause(crash_reason: str, log: XenLog) -> str:
     """Refine a crash reason, preferring the reason text itself.
 

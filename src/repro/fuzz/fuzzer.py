@@ -22,6 +22,7 @@ from repro.fuzz.failures import (
     FailureKind,
     FailureRecord,
     classify_result,
+    failure_identity,
 )
 from repro.fuzz.mutations import MUTATION_RULES, MutationArea
 from repro.fuzz.testcase import FuzzTestCase
@@ -42,6 +43,14 @@ class FuzzResult:
     hypervisor_crashes: int = 0
     failures: list[FailureRecord] = field(default_factory=list)
     corpus: Corpus = field(default_factory=Corpus)
+    #: The discovered lines themselves (not just the count), so shard
+    #: results can be merged without double-counting overlap.
+    new_lines: frozenset[tuple[str, int]] = frozenset()
+
+    @property
+    def cell_key(self) -> tuple:
+        """The Table-I cell this result belongs to."""
+        return (self.workload, self.exit_reason, self.area)
 
     @property
     def coverage_increase_pct(self) -> float:
@@ -64,6 +73,49 @@ class FuzzResult:
             f": +{self.coverage_increase_pct:.0f}% coverage, "
             f"{self.vm_crashes} VM / {self.hypervisor_crashes} HV "
             f"crashes over {self.mutations_run} mutations"
+        )
+
+    def merge(self, other: "FuzzResult") -> "FuzzResult":
+        """Order-insensitive merge of two shards of the same cell.
+
+        Counts are summed, discovered coverage is unioned through
+        ``new_lines`` (so overlap between shards is not double
+        counted), corpora merge canonically, and the combined failure
+        records are re-capped at :data:`MAX_FAILURES_KEPT` keeping the
+        lowest :func:`failure_identity` keys — taking the K smallest is
+        associative, so chained merges land on the same retained set as
+        one flat merge, and merged shards can never silently exceed the
+        per-cell cap.
+        """
+        if self.cell_key != other.cell_key:
+            raise ValueError(
+                f"cannot merge results of different cells: "
+                f"{self.cell_key} vs {other.cell_key}"
+            )
+        if self.baseline_loc != other.baseline_loc:
+            raise ValueError(
+                "shards disagree on the cell's baseline coverage "
+                f"({self.baseline_loc} vs {other.baseline_loc} LOC): "
+                "they did not replay from the same snapshot"
+            )
+        lines = self.new_lines | other.new_lines
+        failures = sorted(
+            self.failures + other.failures, key=failure_identity
+        )[:MAX_FAILURES_KEPT]
+        return FuzzResult(
+            workload=self.workload,
+            exit_reason=self.exit_reason,
+            area=self.area,
+            mutations_run=self.mutations_run + other.mutations_run,
+            baseline_loc=self.baseline_loc,
+            new_loc=len(lines),
+            vm_crashes=self.vm_crashes + other.vm_crashes,
+            hypervisor_crashes=(
+                self.hypervisor_crashes + other.hypervisor_crashes
+            ),
+            failures=failures,
+            corpus=self.corpus.merge(other.corpus),
+            new_lines=lines,
         )
 
 
@@ -165,6 +217,7 @@ class IrisFuzzer:
                 )
 
         result.new_loc = len(discovered)
+        result.new_lines = frozenset(discovered)
         return result
 
     @staticmethod

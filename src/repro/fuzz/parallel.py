@@ -1,0 +1,592 @@
+"""Parallel fuzzing campaign engine with deterministic shard merging.
+
+The paper's Table I campaign (workload x exit reason x mutation area,
+N mutations per cell) is embarrassingly parallel: every cell replays
+the same recorded behavior up to its target seed and then mutates
+independently.  :class:`ParallelCampaign` shards those cells (and,
+optionally, each cell's mutation budget) across a ``multiprocessing``
+worker pool, the way NecoFuzz scales virtualization fuzzing across
+many harness VMs — while keeping rr's bargain: parallel replay is only
+trustworthy if it stays bit-for-bit deterministic.
+
+The determinism contract
+------------------------
+
+* Every shard runs in a **fresh** :class:`IrisManager` (fresh simulated
+  hypervisor, clock at zero, empty log), so nothing about the host
+  process, prior shards, or scheduling leaks into a shard's outcome.
+* Each shard's ``random.Random`` seed is derived from
+  ``(campaign_seed, cell_index, shard_index)`` via
+  :func:`derive_shard_seed` — never from worker identity or wall time.
+* Per-shard artifacts merge through order-insensitive operations:
+  :meth:`FuzzResult.merge`, :meth:`Corpus.merge`, and
+  :meth:`CoverageMap.union`.
+
+Together these make the merged campaign result a pure function of
+``(trace, snapshot, cases, campaign_seed, shards_per_cell)``: the
+``jobs`` worker count never changes results, only wall-clock time.
+
+Fault isolation
+---------------
+
+A worker that dies mid-shard (hypervisor panic escaping the harness, a
+pickling error, a timeout) is reported on the stats channel, its shard
+is retried exactly once on a fresh worker, and a shard that fails its
+retry is *abandoned* — logged, surfaced in
+:attr:`CampaignResult.abandoned_cells`, and excluded from the merge —
+so the campaign degrades gracefully instead of aborting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Callable, Mapping
+
+from repro.core.seed import Trace
+from repro.core.snapshot import VmSnapshot
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.fuzzer import FuzzResult, IrisFuzzer
+from repro.fuzz.mutations import MutationArea
+from repro.fuzz.testcase import FuzzTestCase
+from repro.hypervisor.coverage import CoverageMap
+
+
+# ---- deterministic seeding -------------------------------------------
+
+def derive_shard_seed(
+    campaign_seed: int, cell_index: int, shard_index: int = 0
+) -> int:
+    """Derive a shard's RNG seed from its campaign coordinates.
+
+    SHA-256 over the coordinate string, so the seed is stable across
+    Python versions, processes, and ``PYTHONHASHSEED`` — the property
+    the jobs-independence contract rests on.
+    """
+    coords = f"iris-campaign:{campaign_seed}:{cell_index}:{shard_index}"
+    digest = hashlib.sha256(coords.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def split_mutations(n_mutations: int, shards: int) -> list[int]:
+    """Split a cell's mutation budget into per-shard slices.
+
+    Deterministic: earlier shards absorb the remainder; zero-sized
+    slices are never produced (a cell smaller than the shard count
+    simply uses fewer shards).
+    """
+    if n_mutations < 1:
+        raise ValueError("need at least one mutation")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    shards = min(shards, n_mutations)
+    base, extra = divmod(n_mutations, shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+# ---- work units -------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of worker-pool work: a slice of one Table-I cell."""
+
+    cell_index: int
+    shard_index: int
+    seed_index: int
+    area: MutationArea
+    n_mutations: int
+    mutation_rule: str
+    rng_seed: int
+    attempt: int = 0
+    #: Fault-injection hook (tests / chaos drills): ``"raise"`` makes
+    #: the worker raise, ``"hang"`` makes it sleep past any timeout.
+    fault_kind: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What a worker sends back for one task (result *or* fault)."""
+
+    cell_index: int
+    shard_index: int
+    attempt: int
+    result: FuzzResult | None = None
+    error: str | None = None
+    error_traceback: str | None = None
+    duration_seconds: float = 0.0
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+# ---- stats channel ----------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One worker death, surfaced (not swallowed) on the stats channel."""
+
+    cell_index: int
+    shard_index: int
+    attempt: int
+    error: str
+    traceback: str | None = None
+
+    def describe(self) -> str:
+        return (
+            f"worker fault on cell {self.cell_index} shard "
+            f"{self.shard_index} (attempt {self.attempt}): {self.error}"
+        )
+
+
+@dataclass
+class ShardStats:
+    """Per-shard progress record."""
+
+    cell_index: int
+    shard_index: int
+    status: str = "pending"  # ok | retried | failed
+    attempts: int = 0
+    duration_seconds: float = 0.0
+    mutations_run: int = 0
+    worker_pid: int = 0
+    error: str | None = None
+
+    @property
+    def mutations_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.mutations_run / self.duration_seconds
+
+
+@dataclass
+class CampaignStats:
+    """The campaign's lightweight stats channel.
+
+    Wall-clock numbers describe *this* run's worker pool; they are
+    observability, not part of the deterministic merged result.
+    """
+
+    jobs: int = 1
+    shards: list[ShardStats] = field(default_factory=list)
+    faults: list[WorkerFault] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_mutations(self) -> int:
+        return sum(s.mutations_run for s in self.shards)
+
+    @property
+    def mutations_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_mutations / self.wall_seconds
+
+    @property
+    def retried_shards(self) -> list[ShardStats]:
+        return [s for s in self.shards if s.status == "retried"]
+
+    @property
+    def failed_shards(self) -> list[ShardStats]:
+        return [s for s in self.shards if s.status == "failed"]
+
+    @property
+    def healthy(self) -> bool:
+        """True when no worker died (not even a recovered one)."""
+        return not self.faults
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.shards)} shards on {self.jobs} worker(s): "
+            f"{self.total_mutations} mutations in "
+            f"{self.wall_seconds:.2f}s "
+            f"({self.mutations_per_second:.0f} mut/s), "
+            f"{len(self.faults)} worker fault(s), "
+            f"{len(self.retried_shards)} retried, "
+            f"{len(self.failed_shards)} failed"
+        )
+
+
+# ---- campaign result --------------------------------------------------
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of a (possibly parallel) fuzzing campaign."""
+
+    results: list[FuzzResult]
+    stats: CampaignStats
+    abandoned_cells: list[int] = field(default_factory=list)
+
+    def merged_coverage(self) -> CoverageMap:
+        """Union of every cell's newly discovered lines."""
+        return CoverageMap.union_all(
+            CoverageMap(result.new_lines) for result in self.results
+        )
+
+    def merged_corpus(self) -> Corpus:
+        """Canonical union of every cell's corpus."""
+        return reduce(
+            Corpus.merge,
+            (result.corpus for result in self.results),
+            Corpus(),
+        )
+
+    def crash_tallies(self) -> dict[str, int]:
+        return {
+            "vm-crash": sum(r.vm_crashes for r in self.results),
+            "hypervisor-crash": sum(
+                r.hypervisor_crashes for r in self.results
+            ),
+        }
+
+    def describe(self) -> str:
+        tallies = self.crash_tallies()
+        return (
+            f"{len(self.results)} cells "
+            f"({len(self.abandoned_cells)} abandoned), "
+            f"{self.merged_coverage().loc} new LOC, "
+            f"{tallies['vm-crash']} VM / "
+            f"{tallies['hypervisor-crash']} HV crashes, "
+            f"corpus of {len(self.merged_corpus())}"
+        )
+
+
+# ---- worker side ------------------------------------------------------
+
+class InjectedWorkerFault(RuntimeError):
+    """Raised by the fault-injection hook to simulate a worker death."""
+
+
+#: Per-worker campaign context, installed once by the pool initializer
+#: so the (large) trace is pickled once per worker, not once per task.
+_WORKER_CONTEXT: tuple[Trace, VmSnapshot | None] | None = None
+
+
+def _worker_init(trace: Trace, snapshot: VmSnapshot | None) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (trace, snapshot)
+
+
+def run_shard(
+    task: ShardTask, trace: Trace, snapshot: VmSnapshot | None
+) -> FuzzResult:
+    """Run one shard hermetically: fresh manager, shard-derived RNG.
+
+    This is the pure function the determinism contract is about — its
+    output depends only on its arguments, never on which process (or
+    how many siblings) it runs in.
+    """
+    from repro.core.manager import IrisManager
+
+    manager = IrisManager()
+    if snapshot is not None and snapshot.clock_tsc > manager.hv.clock.now:
+        # Timer deadlines in the snapshot (vpt.next_due, vlapic) are
+        # absolute TSC values on the recording host's clock.  A fresh
+        # hypervisor starts at TSC 0, which would push every restored
+        # deadline unreachably far into the future and silence the
+        # interrupt-injection paths replay legitimately exercises.
+        # Fast-forward into the snapshot's clock domain — a pure
+        # function of the snapshot, so shards stay deterministic.
+        manager.hv.clock.advance(snapshot.clock_tsc - manager.hv.clock.now)
+    fuzzer = IrisFuzzer(manager, rng=random.Random(task.rng_seed))
+    case = FuzzTestCase(
+        trace=trace,
+        seed_index=task.seed_index,
+        area=task.area,
+        n_mutations=task.n_mutations,
+        mutation_rule=task.mutation_rule,
+    )
+    return fuzzer.run_test_case(case, from_snapshot=snapshot)
+
+
+def _execute_task(
+    task: ShardTask, trace: Trace, snapshot: VmSnapshot | None
+) -> ShardOutcome:
+    """Run a task, converting any worker-side death into an outcome."""
+    import os
+    import traceback
+
+    start = time.perf_counter()
+    try:
+        if task.fault_kind == "raise":
+            raise InjectedWorkerFault(
+                f"injected fault: cell {task.cell_index} shard "
+                f"{task.shard_index} attempt {task.attempt}"
+            )
+        if task.fault_kind == "hang":
+            time.sleep(3600)
+        result = run_shard(task, trace, snapshot)
+        return ShardOutcome(
+            cell_index=task.cell_index,
+            shard_index=task.shard_index,
+            attempt=task.attempt,
+            result=result,
+            duration_seconds=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+    except Exception as exc:
+        return ShardOutcome(
+            cell_index=task.cell_index,
+            shard_index=task.shard_index,
+            attempt=task.attempt,
+            error=f"{type(exc).__name__}: {exc}",
+            error_traceback=traceback.format_exc(),
+            duration_seconds=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+
+
+def _pool_run_shard(task: ShardTask) -> ShardOutcome:
+    """Pool entry point: pull the per-worker context and execute."""
+    assert _WORKER_CONTEXT is not None, "worker not initialized"
+    trace, snapshot = _WORKER_CONTEXT
+    return _execute_task(task, trace, snapshot)
+
+
+# ---- the engine -------------------------------------------------------
+
+class ParallelCampaign:
+    """Shard Table-I cells across a worker pool and merge the results.
+
+    ``jobs=1`` runs every shard inline (no pool) through the *same*
+    hermetic per-shard path, so it produces bit-identical results to
+    any ``jobs=N`` run — the property the differential tests pin.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        snapshot: VmSnapshot | None,
+        cases: list[FuzzTestCase],
+        *,
+        campaign_seed: int = 0,
+        jobs: int = 1,
+        shards_per_cell: int = 1,
+        shard_timeout: float | None = None,
+        start_method: str | None = None,
+        on_event: Callable[[object], None] | None = None,
+        fault_plan: Mapping[int, tuple[str, int]] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if shards_per_cell < 1:
+            raise ValueError("shards_per_cell must be >= 1")
+        self.trace = trace
+        self.snapshot = snapshot
+        self.cases = list(cases)
+        self.campaign_seed = campaign_seed
+        self.jobs = jobs
+        self.shards_per_cell = shards_per_cell
+        self.shard_timeout = shard_timeout
+        self.start_method = start_method
+        self.on_event = on_event
+        #: cell_index -> (fault kind, number of attempts to sabotage);
+        #: the chaos hook the fault-isolation tests drive.
+        self.fault_plan = dict(fault_plan or {})
+
+    # -- planning ------------------------------------------------------
+
+    def plan(self) -> list[ShardTask]:
+        """The deterministic shard list (before any retry bookkeeping)."""
+        tasks: list[ShardTask] = []
+        for cell_index, case in enumerate(self.cases):
+            slices = split_mutations(
+                case.n_mutations, self.shards_per_cell
+            )
+            for shard_index, n_mutations in enumerate(slices):
+                tasks.append(ShardTask(
+                    cell_index=cell_index,
+                    shard_index=shard_index,
+                    seed_index=case.seed_index,
+                    area=case.area,
+                    n_mutations=n_mutations,
+                    mutation_rule=case.mutation_rule,
+                    rng_seed=derive_shard_seed(
+                        self.campaign_seed, cell_index, shard_index
+                    ),
+                    fault_kind=self._fault_for(cell_index, attempt=0),
+                ))
+        return tasks
+
+    def _fault_for(self, cell_index: int, attempt: int) -> str | None:
+        kind, bad_attempts = self.fault_plan.get(
+            cell_index, (None, 0)
+        )
+        return kind if attempt < bad_attempts else None
+
+    # -- execution -----------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        started = time.perf_counter()
+        tasks = self.plan()
+        stats = CampaignStats(jobs=self.jobs)
+        shard_stats = {
+            (t.cell_index, t.shard_index): ShardStats(
+                cell_index=t.cell_index, shard_index=t.shard_index
+            )
+            for t in tasks
+        }
+        stats.shards = [
+            shard_stats[(t.cell_index, t.shard_index)] for t in tasks
+        ]
+        shard_results: dict[tuple[int, int], FuzzResult] = {}
+
+        outcomes = self._run_batch(tasks)
+        retries = []
+        for task, outcome in zip(tasks, outcomes):
+            self._account(shard_stats, shard_results, stats, task,
+                          outcome)
+            if not outcome.ok:
+                retries.append(self._retry_task(task))
+
+        if retries:
+            # A fresh pool (fresh workers) for the retry pass: a shard
+            # is never re-run on the worker that just failed it.
+            for task, outcome in zip(retries,
+                                     self._run_batch(retries)):
+                self._account(shard_stats, shard_results, stats, task,
+                              outcome)
+
+        results, abandoned = self._merge_cells(shard_results)
+        stats.wall_seconds = time.perf_counter() - started
+        return CampaignResult(
+            results=results, stats=stats, abandoned_cells=abandoned
+        )
+
+    def _retry_task(self, task: ShardTask) -> ShardTask:
+        attempt = task.attempt + 1
+        return ShardTask(
+            cell_index=task.cell_index,
+            shard_index=task.shard_index,
+            seed_index=task.seed_index,
+            area=task.area,
+            n_mutations=task.n_mutations,
+            mutation_rule=task.mutation_rule,
+            rng_seed=task.rng_seed,
+            attempt=attempt,
+            fault_kind=self._fault_for(task.cell_index, attempt),
+        )
+
+    def _run_batch(
+        self, tasks: list[ShardTask]
+    ) -> list[ShardOutcome]:
+        if not tasks:
+            return []
+        if self.jobs == 1:
+            return [
+                _execute_task(task, self.trace, self.snapshot)
+                for task in tasks
+            ]
+        context = multiprocessing.get_context(self._start_method())
+        pool = context.Pool(
+            processes=min(self.jobs, len(tasks)),
+            initializer=_worker_init,
+            initargs=(self.trace, self.snapshot),
+        )
+        outcomes: list[ShardOutcome] = []
+        try:
+            pending = [
+                (task, pool.apply_async(_pool_run_shard, (task,)))
+                for task in tasks
+            ]
+            for task, handle in pending:
+                try:
+                    outcomes.append(handle.get(self.shard_timeout))
+                except multiprocessing.TimeoutError:
+                    outcomes.append(ShardOutcome(
+                        cell_index=task.cell_index,
+                        shard_index=task.shard_index,
+                        attempt=task.attempt,
+                        error=(
+                            "TimeoutError: shard exceeded "
+                            f"{self.shard_timeout}s"
+                        ),
+                    ))
+        finally:
+            # terminate(), not close(): a hung worker must not wedge
+            # the campaign during the join.
+            pool.terminate()
+            pool.join()
+        return outcomes
+
+    def _start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else methods[0]
+
+    # -- bookkeeping / merging ----------------------------------------
+
+    def _account(
+        self,
+        shard_stats: dict[tuple[int, int], ShardStats],
+        shard_results: dict[tuple[int, int], FuzzResult],
+        stats: CampaignStats,
+        task: ShardTask,
+        outcome: ShardOutcome,
+    ) -> None:
+        key = (task.cell_index, task.shard_index)
+        record = shard_stats[key]
+        record.attempts += 1
+        record.duration_seconds += outcome.duration_seconds
+        record.worker_pid = outcome.worker_pid
+        if outcome.ok:
+            assert outcome.result is not None
+            record.mutations_run += outcome.result.mutations_run
+            record.status = "retried" if task.attempt else "ok"
+            record.error = None
+            shard_results[key] = outcome.result
+            self._emit(("shard-completed", record))
+        else:
+            record.error = outcome.error
+            fault = WorkerFault(
+                cell_index=task.cell_index,
+                shard_index=task.shard_index,
+                attempt=task.attempt,
+                error=outcome.error or "unknown",
+                traceback=outcome.error_traceback,
+            )
+            stats.faults.append(fault)
+            if task.attempt == 0:
+                self._emit(("worker-fault", fault))
+            else:
+                record.status = "failed"
+                self._emit(("shard-abandoned", fault))
+
+    def _emit(self, event: tuple[str, object]) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _merge_cells(
+        self, shard_results: dict[tuple[int, int], FuzzResult]
+    ) -> tuple[list[FuzzResult], list[int]]:
+        results: list[FuzzResult] = []
+        abandoned: list[int] = []
+        for cell_index, case in enumerate(self.cases):
+            n_shards = len(split_mutations(
+                case.n_mutations, self.shards_per_cell
+            ))
+            cell_shards = [
+                shard_results.get((cell_index, shard_index))
+                for shard_index in range(n_shards)
+            ]
+            if any(r is None for r in cell_shards):
+                abandoned.append(cell_index)
+                continue
+            results.append(reduce(FuzzResult.merge, cell_shards))
+        return results, abandoned
+
+
+def run_parallel_campaign(
+    trace: Trace,
+    snapshot: VmSnapshot | None,
+    cases: list[FuzzTestCase],
+    **kwargs: object,
+) -> CampaignResult:
+    """Convenience wrapper: build a :class:`ParallelCampaign` and run it."""
+    return ParallelCampaign(trace, snapshot, cases, **kwargs).run()

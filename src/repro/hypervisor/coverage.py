@@ -114,6 +114,27 @@ class CoverageMap:
     def merge(self, other: "CoverageMap") -> None:
         self._lines |= other._lines
 
+    def union(self, other: "CoverageMap") -> "CoverageMap":
+        """Pure, order-insensitive merge: a new map with both line sets.
+
+        Set union is commutative, associative, and idempotent, so
+        parallel campaign shards can be merged in any order (or
+        repeatedly, after a retry) without changing the result.
+        """
+        return CoverageMap(self._lines | other._lines)
+
+    __or__ = union
+
+    @classmethod
+    def union_all(
+        cls, maps: Iterable["CoverageMap"]
+    ) -> "CoverageMap":
+        """Union an arbitrary collection of maps (shard merging)."""
+        merged = cls()
+        for cov in maps:
+            merged._lines |= cov._lines
+        return merged
+
     def difference(self, other: "CoverageMap") -> "CoverageMap":
         """Lines covered here but not in ``other`` (IRIS code excluded)."""
         return CoverageMap(

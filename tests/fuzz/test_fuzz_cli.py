@@ -24,6 +24,25 @@ class TestParser:
         assert main(["--reasons", "WARP_DRIVE"]) == 2
         assert "unknown exit reason" in capsys.readouterr().err
 
+    def test_jobs_defaults_to_serial(self):
+        args = build_parser().parse_args([])
+        assert args.jobs == 1
+        assert args.shards_per_cell == 1
+
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--shards-per-cell", "2"]
+        )
+        assert args.jobs == 4
+        assert args.shards_per_cell == 2
+
+    def test_nonpositive_jobs_is_a_clean_error(self, capsys):
+        assert main(["--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+        assert main(["--shards-per-cell", "-1"]) == 2
+        assert "--shards-per-cell must be >= 1" in \
+            capsys.readouterr().err
+
 
 class TestSmallCampaign:
     def test_end_to_end_run(self, capsys):
@@ -36,6 +55,18 @@ class TestSmallCampaign:
         assert "RDTSC" in out
         assert "VMCS" in out and "GPR" in out
         assert "total failures observed" in out
+
+    def test_parallel_run_prints_table_and_stats(self, capsys):
+        code = main([
+            "-w", "cpu-bound", "-n", "200", "--mutations", "30",
+            "--reasons", "RDTSC,CPUID", "--jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RDTSC" in out and "CPUID" in out
+        assert "campaign stats" in out
+        assert "0 worker fault(s)" in out
+        assert "mut/s" in out  # per-shard progress lines
 
     def test_missing_reasons_reported(self, capsys):
         code = main([

@@ -1,0 +1,385 @@
+"""The parallel campaign engine: determinism, fault isolation, stats.
+
+The rr-style invariant under test: a campaign's merged results are a
+pure function of (trace, snapshot, cases, campaign seed, shard plan) —
+the worker count and scheduling never change them.  Asserted
+*structurally* (per-cell results, merged coverage line sets, corpus
+entries, failure records), not just by counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.manager import IrisManager
+from repro.core.seed import SeedEntry, VMSeed
+from repro.fuzz.failures import FailureKind, FailureRecord
+from repro.fuzz.fuzzer import MAX_FAILURES_KEPT, FuzzResult, IrisFuzzer
+from repro.fuzz.mutations import MutationArea
+from repro.fuzz.parallel import (
+    ParallelCampaign,
+    derive_shard_seed,
+    run_shard,
+    split_mutations,
+)
+from repro.fuzz.testcase import plan_test_cases
+from repro.vmx.exit_reasons import ExitReason
+from repro.x86.registers import GPR
+
+CAMPAIGN_SEED = 0xC0FFEE
+N_MUTATIONS = 40
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """A small dedicated recording (the shared fixtures stay pristine)."""
+    manager = IrisManager()
+    session = manager.record_workload(
+        "cpu-bound", n_exits=300, precondition="boot"
+    )
+    return session
+
+
+@pytest.fixture(scope="module")
+def cases(recorded):
+    planned = plan_test_cases(
+        recorded.trace, [ExitReason.RDTSC, ExitReason.CPUID],
+        n_mutations=N_MUTATIONS, rng=random.Random(2),
+    )
+    assert len(planned) == 4  # 2 reasons x 2 areas
+    return planned
+
+
+def run_campaign(recorded, cases, jobs, **kwargs):
+    return ParallelCampaign(
+        recorded.trace, recorded.snapshot, cases,
+        campaign_seed=CAMPAIGN_SEED, jobs=jobs, **kwargs,
+    ).run()
+
+
+# ---- seeding and shard planning --------------------------------------
+
+class TestShardPlanning:
+    def test_derived_seeds_are_stable_and_distinct(self):
+        a = derive_shard_seed(1, 0, 0)
+        assert a == derive_shard_seed(1, 0, 0)
+        assert len({
+            derive_shard_seed(1, cell, shard)
+            for cell in range(8) for shard in range(8)
+        }) == 64
+        assert derive_shard_seed(2, 0, 0) != a
+
+    def test_split_mutations_covers_budget_without_empty_shards(self):
+        for n in (1, 2, 7, 40, 10_000):
+            for shards in (1, 2, 3, 8, 50):
+                slices = split_mutations(n, shards)
+                assert sum(slices) == n
+                assert all(s >= 1 for s in slices)
+                assert len(slices) == min(shards, n)
+
+    def test_split_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            split_mutations(0, 2)
+        with pytest.raises(ValueError):
+            split_mutations(10, 0)
+
+    def test_plan_is_deterministic(self, recorded, cases):
+        campaign = ParallelCampaign(
+            recorded.trace, recorded.snapshot, cases,
+            campaign_seed=CAMPAIGN_SEED, shards_per_cell=3,
+        )
+        assert campaign.plan() == campaign.plan()
+
+    def test_bad_job_counts_rejected(self, recorded, cases):
+        with pytest.raises(ValueError):
+            ParallelCampaign(recorded.trace, recorded.snapshot,
+                             cases, jobs=0)
+        with pytest.raises(ValueError):
+            ParallelCampaign(recorded.trace, recorded.snapshot,
+                             cases, shards_per_cell=0)
+
+
+# ---- the differential determinism invariant --------------------------
+
+class TestDifferentialDeterminism:
+    @pytest.fixture(scope="class")
+    def campaigns(self, recorded, cases):
+        """The same campaign at jobs=1 (inline), 2, and 4 (pools)."""
+        return {
+            jobs: run_campaign(recorded, cases, jobs)
+            for jobs in (1, 2, 4)
+        }
+
+    def test_all_cells_complete_everywhere(self, campaigns, cases):
+        for outcome in campaigns.values():
+            assert len(outcome.results) == len(cases)
+            assert outcome.abandoned_cells == []
+            assert outcome.stats.healthy
+
+    def test_per_cell_results_identical(self, campaigns):
+        """Full structural equality: dataclass __eq__ covers counts,
+        coverage lines, failure records (incl. log tails), corpora."""
+        reference = campaigns[1].results
+        assert campaigns[2].results == reference
+        assert campaigns[4].results == reference
+
+    def test_merged_coverage_identical(self, campaigns):
+        reference = campaigns[1].merged_coverage()
+        assert reference.loc > 0
+        assert campaigns[2].merged_coverage() == reference
+        assert campaigns[4].merged_coverage() == reference
+        # Structurally: the exact same line sets.
+        assert campaigns[2].merged_coverage().lines() == \
+            reference.lines()
+
+    def test_crash_tallies_identical(self, campaigns):
+        reference = campaigns[1].crash_tallies()
+        assert sum(reference.values()) > 0
+        assert campaigns[2].crash_tallies() == reference
+        assert campaigns[4].crash_tallies() == reference
+
+    def test_corpus_contents_identical(self, campaigns):
+        reference = campaigns[1].merged_corpus()
+        assert len(reference) > 0
+        for jobs in (2, 4):
+            merged = campaigns[jobs].merged_corpus()
+            assert merged.entries == reference.entries
+            # Entry-level structure: the same retained seeds with the
+            # same fingerprints, byte for byte.
+            for ours, theirs in zip(merged.entries,
+                                    reference.entries):
+                assert ours.seed.pack() == theirs.seed.pack()
+                assert ours.coverage_fingerprint == \
+                    theirs.coverage_fingerprint
+
+    def test_sub_cell_sharding_is_also_jobs_independent(
+        self, recorded, cases
+    ):
+        sharded_serial = run_campaign(
+            recorded, cases, 1, shards_per_cell=3
+        )
+        sharded_pool = run_campaign(
+            recorded, cases, 3, shards_per_cell=3
+        )
+        assert sharded_serial.results == sharded_pool.results
+        assert sharded_serial.merged_corpus() == \
+            sharded_pool.merged_corpus()
+        # Each cell's budget is fully spent across its shards.
+        for result in sharded_serial.results:
+            assert result.mutations_run == N_MUTATIONS
+
+    def test_campaign_seed_actually_matters(self, recorded, cases):
+        a = run_campaign(recorded, cases, 1)
+        b = ParallelCampaign(
+            recorded.trace, recorded.snapshot, cases,
+            campaign_seed=CAMPAIGN_SEED + 1, jobs=1,
+        ).run()
+        assert a.results != b.results
+
+    def test_shard_function_is_hermetic(self, recorded, cases):
+        """The per-shard primitive returns identical results when run
+        twice in the *same* process — no hidden shared state."""
+        campaign = ParallelCampaign(
+            recorded.trace, recorded.snapshot, cases,
+            campaign_seed=CAMPAIGN_SEED,
+        )
+        task = campaign.plan()[0]
+        first = run_shard(task, recorded.trace, recorded.snapshot)
+        second = run_shard(task, recorded.trace, recorded.snapshot)
+        assert first == second
+
+
+# ---- fault isolation -------------------------------------------------
+
+class TestFaultIsolation:
+    def test_killed_worker_is_retried_exactly_once(
+        self, recorded, cases
+    ):
+        events = []
+        outcome = run_campaign(
+            recorded, cases, 2,
+            fault_plan={1: ("raise", 1)},
+            on_event=events.append,
+        )
+        # The campaign completed: every cell present, none abandoned.
+        assert len(outcome.results) == len(cases)
+        assert outcome.abandoned_cells == []
+        # The fault is surfaced on the stats channel, not swallowed.
+        assert len(outcome.stats.faults) == 1
+        fault = outcome.stats.faults[0]
+        assert fault.cell_index == 1
+        assert fault.attempt == 0
+        assert "InjectedWorkerFault" in fault.error
+        assert ("worker-fault", fault) in events
+        # Retried exactly once.
+        record = outcome.stats.shards[1]
+        assert record.attempts == 2
+        assert record.status == "retried"
+        assert len(outcome.stats.retried_shards) == 1
+        assert not outcome.stats.healthy
+
+    def test_retried_cell_result_matches_clean_run(
+        self, recorded, cases
+    ):
+        """The retry reruns the shard with the same derived seed, so
+        the recovered campaign is bit-identical to a fault-free one."""
+        clean = run_campaign(recorded, cases, 2)
+        faulty = run_campaign(
+            recorded, cases, 2, fault_plan={1: ("raise", 1)},
+        )
+        assert faulty.results == clean.results
+        assert faulty.merged_corpus() == clean.merged_corpus()
+
+    def test_double_fault_abandons_cell_gracefully(
+        self, recorded, cases
+    ):
+        events = []
+        outcome = run_campaign(
+            recorded, cases, 2,
+            fault_plan={0: ("raise", 2)},
+            on_event=events.append,
+        )
+        # Degrades instead of aborting: the other cells are intact.
+        assert outcome.abandoned_cells == [0]
+        assert len(outcome.results) == len(cases) - 1
+        assert len(outcome.stats.faults) == 2
+        assert outcome.stats.shards[0].status == "failed"
+        assert any(kind == "shard-abandoned" for kind, _ in events)
+        clean = run_campaign(recorded, cases, 2)
+        assert outcome.results == clean.results[1:]
+
+    def test_serial_mode_gets_the_same_fault_handling(
+        self, recorded, cases
+    ):
+        outcome = run_campaign(
+            recorded, cases, 1, fault_plan={2: ("raise", 1)},
+        )
+        assert outcome.abandoned_cells == []
+        assert outcome.stats.shards[2].attempts == 2
+        assert len(outcome.stats.faults) == 1
+
+    def test_hung_worker_times_out_and_is_retried(
+        self, recorded, cases
+    ):
+        outcome = run_campaign(
+            recorded, cases[:2], 2,
+            fault_plan={0: ("hang", 1)},
+            shard_timeout=1.0,
+        )
+        assert outcome.abandoned_cells == []
+        assert len(outcome.results) == 2
+        assert outcome.stats.shards[0].status == "retried"
+        assert any("Timeout" in f.error
+                   for f in outcome.stats.faults)
+
+
+# ---- the stats channel -----------------------------------------------
+
+class TestStatsChannel:
+    def test_progress_and_throughput_reported(self, recorded, cases):
+        events = []
+        outcome = run_campaign(
+            recorded, cases, 2, on_event=events.append,
+        )
+        stats = outcome.stats
+        assert stats.jobs == 2
+        assert stats.total_mutations == N_MUTATIONS * len(cases)
+        assert stats.wall_seconds > 0
+        assert stats.mutations_per_second > 0
+        completed = [p for k, p in events if k == "shard-completed"]
+        assert len(completed) == len(cases)
+        for record in stats.shards:
+            assert record.status == "ok"
+            assert record.mutations_run == N_MUTATIONS
+            assert record.duration_seconds > 0
+            assert record.mutations_per_second > 0
+            assert record.worker_pid > 0
+        assert "worker fault" in stats.describe() or \
+            "0 worker fault(s)" in stats.describe()
+
+    def test_campaign_result_describe(self, recorded, cases):
+        outcome = run_campaign(recorded, cases, 1)
+        text = outcome.describe()
+        assert "cells" in text and "new LOC" in text
+
+
+# ---- MAX_FAILURES_KEPT under merging (regression) --------------------
+
+def _failure(index: int, tag: int = 0) -> FailureRecord:
+    seed = VMSeed(
+        exit_reason=int(ExitReason.RDTSC),
+        entries=[SeedEntry.for_gpr(GPR.RAX, 0xAB00 + tag)],
+    )
+    return FailureRecord(
+        kind=FailureKind.HYPERVISOR_CRASH,
+        cause="corrupt exit-reason field",
+        crash_reason=f"synthetic crash {index}/{tag}",
+        mutation_index=index,
+        seed=seed,
+    )
+
+
+def _cell_result(failures, mutations=100) -> FuzzResult:
+    return FuzzResult(
+        workload="cpu-bound",
+        exit_reason=ExitReason.RDTSC,
+        area=MutationArea.VMCS,
+        mutations_run=mutations,
+        baseline_loc=50,
+        hypervisor_crashes=len(failures),
+        failures=list(failures),
+    )
+
+
+class TestFailureCapRegression:
+    def test_merged_shards_cannot_exceed_the_cap(self):
+        a = _cell_result([_failure(i, 0) for i in range(50)])
+        b = _cell_result([_failure(i, 1) for i in range(50)])
+        merged = a.merge(b)
+        assert len(a.failures) + len(b.failures) > MAX_FAILURES_KEPT
+        assert len(merged.failures) == MAX_FAILURES_KEPT
+        # Crash *tallies* are not truncated — only retained artifacts.
+        assert merged.hypervisor_crashes == 100
+
+    def test_truncation_keeps_earliest_mutations(self):
+        early = _cell_result([_failure(i) for i in range(10)])
+        late = _cell_result([_failure(1000 + i, 1)
+                             for i in range(MAX_FAILURES_KEPT)])
+        merged = early.merge(late)
+        kept_indices = [f.mutation_index for f in merged.failures]
+        assert kept_indices == sorted(kept_indices)
+        assert set(range(10)) <= set(kept_indices)
+        assert len(merged.failures) == MAX_FAILURES_KEPT
+
+    def test_chained_merges_land_on_the_same_retained_set(self):
+        shards = [
+            _cell_result([_failure(i, tag) for i in range(40)])
+            for tag in range(4)
+        ]
+        left = shards[0].merge(shards[1]).merge(shards[2]) \
+            .merge(shards[3])
+        right = shards[0].merge(
+            shards[1].merge(shards[2].merge(shards[3]))
+        )
+        reordered = shards[3].merge(shards[2]).merge(shards[1]) \
+            .merge(shards[0])
+        assert left.failures == right.failures == reordered.failures
+        assert len(left.failures) == MAX_FAILURES_KEPT
+
+    def test_merge_rejects_mismatched_cells(self):
+        a = _cell_result([])
+        b = FuzzResult(
+            workload="cpu-bound", exit_reason=ExitReason.CPUID,
+            area=MutationArea.VMCS, baseline_loc=50,
+        )
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_rejects_mismatched_baselines(self):
+        a = _cell_result([])
+        b = _cell_result([])
+        b.baseline_loc = 51
+        with pytest.raises(ValueError):
+            a.merge(b)
