@@ -9,7 +9,7 @@ from repro.core.replay import SeedReplayResult
 from repro.core.seed import Trace
 from repro.hypervisor.coverage import NOISE_FILES
 from repro.vmx.exit_reasons import reason_name
-from repro.vmx.vmcs_fields import GUEST_STATE_FIELDS, VmcsField
+from repro.arch.fields import GUEST_STATE_FIELDS, ArchField
 from repro.x86.cpumodes import OperatingMode, mode_transitions
 
 #: The paper's threshold separating asynchronous-event noise from
@@ -158,8 +158,8 @@ class VmwriteFitting:
 
 
 def _guest_state_writes(
-    writes: list[tuple[VmcsField, int]]
-) -> list[tuple[VmcsField, int]]:
+    writes: list[tuple[ArchField, int]]
+) -> list[tuple[ArchField, int]]:
     return [(f, v) for f, v in writes if f in GUEST_STATE_FIELDS]
 
 
@@ -202,6 +202,6 @@ def cr0_mode_trajectory(
         for result in source:
             cr0_values.extend(
                 v for f, v in result.vmwrites
-                if f is VmcsField.GUEST_CR0
+                if f is ArchField.GUEST_CR0
             )
     return mode_transitions(cr0_values)

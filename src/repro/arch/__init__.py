@@ -1,0 +1,52 @@
+"""Architecture-neutral virtualization layer (paper §IX, implemented).
+
+This package is the seam that makes the record→replay→fuzz loop run on
+either vendor's hardware virtualization:
+
+* :mod:`repro.arch.fields` — the symbolic guest-state vocabulary
+  (:class:`ArchField`) shared by seeds, handlers, and mutations;
+* :mod:`repro.arch.events` — the neutral :class:`ExitEvent` latched on
+  every VM exit;
+* :mod:`repro.arch.backend` — the :class:`VirtBackend` protocol and
+  the :func:`get_backend` registry resolving "vmx"/"svm".
+"""
+
+from repro.arch.backend import (
+    BACKEND_NAMES,
+    LAUNCH_CLEAR,
+    LAUNCH_LAUNCHED,
+    ContinuousExitDriver,
+    VirtBackend,
+    get_backend,
+)
+from repro.arch.events import ExitEvent
+from repro.arch.fields import (
+    ALL_FIELDS,
+    ArchField,
+    FieldType,
+    FieldWidth,
+    field_by_index,
+    field_index,
+    field_type,
+    field_width,
+    is_read_only,
+)
+
+__all__ = [
+    "ALL_FIELDS",
+    "ArchField",
+    "BACKEND_NAMES",
+    "ContinuousExitDriver",
+    "ExitEvent",
+    "FieldType",
+    "FieldWidth",
+    "LAUNCH_CLEAR",
+    "LAUNCH_LAUNCHED",
+    "VirtBackend",
+    "field_by_index",
+    "field_index",
+    "field_type",
+    "field_width",
+    "get_backend",
+    "is_read_only",
+]

@@ -1,0 +1,223 @@
+"""The architecture-neutral virtualization backend interface.
+
+The paper's §IX portability argument — "IRIS ports to AMD SVM because
+seeds are mostly architecture-neutral" — is made executable here: all
+the layers above (dispatch, handlers, record, replay, fuzz) speak
+:class:`~repro.arch.fields.ArchField` and :class:`VirtBackend`;
+everything vendor-specific (VMCS vs. VMCB, VMREAD/VMWRITE vs. plain
+memory, preemption timer vs. pause filter, §26.3 entry checks vs.
+§15.5 VMRUN consistency checks) lives behind this protocol.
+
+Backends are looked up by name through :func:`get_backend`; the
+concrete classes are :class:`repro.vmx.backend.VmxBackend` and
+:class:`repro.svm.backend.SvmBackend` (imported lazily to keep the
+package import graph acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.arch.fields import ArchField
+from repro.vmx.exit_reasons import ExitReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.events import ExitEvent
+    from repro.hypervisor.vcpu import Vcpu
+    from repro.vmx.entry_checks import EntryCheckViolation
+
+#: Launch-state tokens carried by snapshots instead of the VMX-specific
+#: VmcsLaunchState enum, so a snapshot taken on one backend can be
+#: restored onto the other (the cross-architecture replay experiment).
+LAUNCH_CLEAR = "clear"
+LAUNCH_LAUNCHED = "launched"
+
+
+class ContinuousExitDriver(Protocol):
+    """The dummy VM's exit generator (paper §V-B, generalized).
+
+    On VT-x this is the VMX-preemption timer loaded with zero; on SVM
+    it is the PAUSE intercept with a zero pause-filter count.  Either
+    way the guest is preempted "before the CPU executes any
+    instructions", turning the dummy VM into a pure VM-exit generator.
+    """
+
+    @property
+    def exit_reason(self) -> ExitReason:
+        """The physical exit reason each forced exit arrives with."""
+        ...
+
+    def activate(self) -> None:
+        """Enable the continuous-exit mechanism on the vCPU."""
+        ...
+
+    def load(self, value: int) -> None:
+        """Load the countdown/filter value (0 = exit immediately)."""
+        ...
+
+    def guest_cycles_until_expiry(self) -> int | None:
+        """Guest TSC cycles before the forced exit; None if inactive."""
+        ...
+
+
+@runtime_checkable
+class VirtBackend(Protocol):
+    """Everything the neutral layers need from a virtualization arch."""
+
+    name: str
+
+    # ---- CPU / control-structure lifecycle -------------------------
+
+    def create_cpu(self, vcpu: "Vcpu") -> None:
+        """Bring up the per-vCPU virtualization state (VMXON+VMCS
+        allocation on VT-x, EFER.SVME+VMCB allocation on SVM)."""
+        ...
+
+    def init_guest_state(self, vcpu: "Vcpu") -> None:
+        """Write the reset-state baseline (Xen's construct_vmcs())."""
+        ...
+
+    # ---- guest-state access ----------------------------------------
+
+    def read(self, vcpu: "Vcpu", fld: ArchField) -> int:
+        """VM-instruction-level read (VMREAD semantics on VT-x)."""
+        ...
+
+    def write(self, vcpu: "Vcpu", fld: ArchField, value: int) -> None:
+        """VM-instruction-level write; fails on VT-x read-only fields
+        with VM-instruction error 13, exactly like VMWRITE."""
+        ...
+
+    def read_raw(self, vcpu: "Vcpu", fld: ArchField) -> int:
+        """Uninstrumented structure access (plain memory read)."""
+        ...
+
+    def write_raw(self, vcpu: "Vcpu", fld: ArchField, value: int) -> None:
+        """Uninstrumented structure write (no hooks, no clock)."""
+        ...
+
+    def field_is_read_only(self, fld: ArchField) -> bool:
+        """Whether the *architecture* refuses instruction-level writes
+        to this field (always False on SVM: the VMCB is plain memory)."""
+        ...
+
+    # ---- exit/entry machinery --------------------------------------
+
+    def latch_exit(self, vcpu: "Vcpu", event: "ExitEvent") -> None:
+        """Hardware-side exit-information population."""
+        ...
+
+    def deliver_exit_to_cpu(self, vcpu: "Vcpu") -> None:
+        """Context-switch the logical CPU back to host context."""
+        ...
+
+    def validate_entry(self, vcpu: "Vcpu") -> "list[EntryCheckViolation]":
+        """Guest-state consistency checks run at every entry (§26.3 on
+        VT-x, the APM §15.5 VMRUN checks on SVM)."""
+        ...
+
+    def enter_guest(self, vcpu: "Vcpu") -> None:
+        """VMLAUNCH/VMRESUME on VT-x, VMRUN on SVM."""
+        ...
+
+    def is_in_guest(self, vcpu: "Vcpu") -> bool:
+        """True while the logical CPU runs guest code."""
+        ...
+
+    # ---- snapshot support ------------------------------------------
+
+    def export_guest_state(
+        self, vcpu: "Vcpu"
+    ) -> tuple[dict[ArchField, int], str]:
+        """Dump the control structure as a neutral field map plus a
+        launch token (:data:`LAUNCH_CLEAR`/:data:`LAUNCH_LAUNCHED`)."""
+        ...
+
+    def import_guest_state(
+        self, vcpu: "Vcpu", fields: dict[ArchField, int],
+        launch_token: str,
+    ) -> None:
+        """Restore a neutral field map (possibly exported by the other
+        backend) onto this vCPU's control structure."""
+        ...
+
+    # ---- replay support --------------------------------------------
+
+    def continuous_exit_driver(self, vcpu: "Vcpu") -> ContinuousExitDriver:
+        """Build the dummy-VM exit generator for this vCPU."""
+        ...
+
+
+#: Names accepted by :func:`get_backend` and the ``--arch`` CLI flags.
+BACKEND_NAMES = ("vmx", "svm")
+
+_BACKENDS: dict[str, VirtBackend] = {}
+
+
+def get_backend(name: str) -> VirtBackend:
+    """Resolve a backend by name ("vmx" or "svm").
+
+    Backends are stateless singletons (all per-vCPU state lives on the
+    vCPU); the concrete modules are imported on first use so that
+    ``repro.arch`` never drags in both vendor stacks eagerly.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        pass
+    if name == "vmx":
+        from repro.vmx.backend import VmxBackend
+
+        _BACKENDS[name] = VmxBackend()
+    elif name == "svm":
+        from repro.svm.backend import SvmBackend
+
+        _BACKENDS[name] = SvmBackend()
+    else:
+        raise ValueError(
+            f"unknown virtualization backend {name!r}; "
+            f"expected one of {BACKEND_NAMES}"
+        )
+    return _BACKENDS[name]
+
+
+def apply_reset_state(backend: VirtBackend, vcpu: "Vcpu") -> None:
+    """The arch-neutral part of Xen's construct_vmcs()/construct_vmcb().
+
+    Real-mode reset values that pass both the §26.3 VM-entry checks and
+    the §15.5 VMRUN consistency checks; each backend calls this from
+    :meth:`VirtBackend.init_guest_state` after its own structure setup.
+    """
+    w = backend.write_raw
+    w(vcpu, ArchField.GUEST_CR0, vcpu.regs.cr0)
+    w(vcpu, ArchField.CR0_READ_SHADOW, vcpu.regs.cr0)
+    w(vcpu, ArchField.GUEST_CR4, 0)
+    w(vcpu, ArchField.GUEST_RFLAGS, vcpu.regs.rflags)
+    w(vcpu, ArchField.GUEST_RIP, vcpu.regs.rip)
+    w(vcpu, ArchField.GUEST_RSP, 0)
+    w(vcpu, ArchField.VMCS_LINK_POINTER, (1 << 64) - 1)
+    w(vcpu, ArchField.GUEST_ACTIVITY_STATE, 0)
+    w(vcpu, ArchField.GUEST_CS_SELECTOR, 0xF000)
+    w(vcpu, ArchField.GUEST_CS_BASE, 0xF0000)
+    w(vcpu, ArchField.GUEST_CS_LIMIT, 0xFFFF)
+    w(vcpu, ArchField.GUEST_CS_AR_BYTES, 0x9B)
+    for seg in ("ES", "SS", "DS", "FS", "GS"):
+        w(vcpu, ArchField[f"GUEST_{seg}_SELECTOR"], 0)
+        w(vcpu, ArchField[f"GUEST_{seg}_BASE"], 0)
+        w(vcpu, ArchField[f"GUEST_{seg}_LIMIT"], 0xFFFF)
+        w(vcpu, ArchField[f"GUEST_{seg}_AR_BYTES"], 0x93)
+    w(vcpu, ArchField.GUEST_TR_SELECTOR, 0)
+    w(vcpu, ArchField.GUEST_TR_BASE, 0)
+    w(vcpu, ArchField.GUEST_TR_LIMIT, 0xFF)
+    w(vcpu, ArchField.GUEST_TR_AR_BYTES, 0x8B)
+    w(vcpu, ArchField.GUEST_LDTR_AR_BYTES, 1 << 16)  # unusable
+    w(vcpu, ArchField.GUEST_GDTR_LIMIT, 0xFFFF)
+    w(vcpu, ArchField.GUEST_IDTR_LIMIT, 0xFFFF)
+    w(vcpu, ArchField.GUEST_DR7, 0x400)
+    # Controls.
+    w(vcpu, ArchField.PIN_BASED_VM_EXEC_CONTROL, 0x16)
+    w(vcpu, ArchField.CPU_BASED_VM_EXEC_CONTROL, 0x84006172)
+    w(vcpu, ArchField.SECONDARY_VM_EXEC_CONTROL, 0x822)
+    w(vcpu, ArchField.EXCEPTION_BITMAP, 1 << 18)
+    w(vcpu, ArchField.TSC_OFFSET, 0)
+    w(vcpu, ArchField.EPT_POINTER, 0x7000)

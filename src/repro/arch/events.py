@@ -1,0 +1,45 @@
+"""Architecture-neutral VM-exit events.
+
+An :class:`ExitEvent` is what the simulated virtualization hardware
+latches when the guest traps to the hypervisor, expressed in the
+neutral vocabulary both backends understand.  The *backend* decides
+where the latched data physically lands: the VMX backend populates the
+read-only exit-information VMCS fields, the SVM backend writes
+EXITCODE/EXITINFO1/EXITINFO2/NEXT_RIP into the VMCB control area (plus
+a software shadow for the VT-x-only details).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.vmx.exit_reasons import ExitReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.vcpu import Vcpu
+
+
+@dataclass(frozen=True)
+class ExitEvent:
+    """What the simulated hardware latches when delivering a VM exit."""
+
+    reason: ExitReason
+    qualification: int = 0
+    guest_linear_address: int = 0
+    guest_physical_address: int = 0
+    instruction_len: int = 2
+    intr_info: int = 0
+    instruction_info: int = 0
+    #: TSC cycles the guest spent executing since the previous entry —
+    #: the time replay elides (Fig. 9's efficiency gap).
+    guest_cycles: int = 0
+
+    def write_to(self, vcpu: "Vcpu") -> None:
+        """Latch this event into the vCPU's control structure.
+
+        Models the *hardware* side of the exit, so it bypasses the
+        instrumented access path; the concrete destination (VMCS
+        exit-info fields vs. VMCB control area) is the backend's call.
+        """
+        vcpu.backend.latch_exit(vcpu, self)

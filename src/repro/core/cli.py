@@ -20,6 +20,7 @@ from repro.analysis import (
     render_table,
     vmwrite_fitting,
 )
+from repro.arch.backend import BACKEND_NAMES
 from repro.core.manager import IrisManager
 from repro.core.seed import Trace
 from repro.guest.workloads import WorkloadName
@@ -44,6 +45,15 @@ def _add_record_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed"
     )
+    _add_arch_option(parser)
+
+
+def _add_arch_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch", choices=list(BACKEND_NAMES), default="vmx",
+        help="virtualization backend to run on (paper §IX: the "
+             "record/replay mechanism is architecture-neutral)",
+    )
 
 
 def _resolve_precondition(args) -> str:
@@ -59,7 +69,7 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_record(args) -> int:
-    manager = IrisManager()
+    manager = IrisManager(arch=args.arch)
     session = manager.record_workload(
         args.workload, n_exits=args.exits,
         precondition=_resolve_precondition(args),
@@ -154,7 +164,7 @@ def _cmd_svm_export(args) -> int:
 
 def _cmd_replay(args) -> int:
     trace = Trace.load(args.trace)
-    manager = IrisManager()
+    manager = IrisManager(arch=args.arch)
     session = manager.replay_trace(trace)
     print(f"replayed {session.completed}/{len(session.results)} seeds "
           f"in {session.wall_seconds:.3f} simulated s "
@@ -168,7 +178,7 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    manager = IrisManager()
+    manager = IrisManager(arch=args.arch)
     session = manager.record_workload(
         args.workload, n_exits=args.exits,
         precondition=_resolve_precondition(args),
@@ -227,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     replay = sub.add_parser("replay", help="replay a trace file")
     replay.add_argument("trace")
+    _add_arch_option(replay)
 
     evaluate = sub.add_parser(
         "evaluate", help="record + replay + accuracy report"

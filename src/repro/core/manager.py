@@ -11,7 +11,7 @@ against the recorded ones.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.record import Recorder
 from repro.core.replay import Replayer, SeedReplayResult
@@ -82,8 +82,14 @@ class ReplaySession:
 class IrisManager:
     """Front-end for recording and replaying VM behaviors."""
 
-    def __init__(self, hv: Hypervisor | None = None) -> None:
-        self.hv = hv or Hypervisor()
+    def __init__(
+        self, hv: Hypervisor | None = None, arch: str = "vmx"
+    ) -> None:
+        """``arch`` picks the virtualization backend ("vmx"/"svm") when
+        no pre-built hypervisor is supplied; with ``hv`` given, the
+        hypervisor's own backend wins."""
+        self.hv = hv or Hypervisor(arch=arch)
+        self.arch = self.hv.arch
         self.dom0 = self.hv.create_domain(
             DomainType.DOM0, name="Domain-0"
         )

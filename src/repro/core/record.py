@@ -31,7 +31,7 @@ from repro.hypervisor.dispatch import NullHooks
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
 from repro.vmx.exit_reasons import ExitReason
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.registers import GPR
 
 
@@ -70,7 +70,7 @@ class Recorder(NullHooks):
         # per-exit scratch state
         self._recording_exit = False
         self._entries: list[SeedEntry] = []
-        self._vmwrites: list[tuple[VmcsField, int]] = []
+        self._vmwrites: list[tuple[ArchField, int]] = []
         self._exit_reason: int = 0
         self._exit_start_tsc = 0
 
@@ -132,9 +132,9 @@ class Recorder(NullHooks):
             + len(self._vmwrites)
         )
 
-    def on_vmread(self, vcpu: Vcpu, fld: VmcsField, value: int) -> int:
+    def on_vmread(self, vcpu: Vcpu, fld: ArchField, value: int) -> int:
         if self._recording_exit and self._is_target(vcpu):
-            if fld is VmcsField.VM_EXIT_REASON and not self._exit_reason:
+            if fld is ArchField.VM_EXIT_REASON and not self._exit_reason:
                 self._exit_reason = value
             if self.store_seeds:
                 if self._vmcs_ops_buffered() < MAX_VMCS_OPS_PER_EXIT:
@@ -147,7 +147,7 @@ class Recorder(NullHooks):
                     self.stats.vmcs_ops_dropped += 1
         return value
 
-    def on_vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
+    def on_vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
         if self._recording_exit and self._is_target(vcpu):
             if self.store_metrics:
                 if self._vmcs_ops_buffered() < MAX_VMCS_OPS_PER_EXIT:

@@ -24,14 +24,13 @@ import enum
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.arch.fields import ArchField, is_read_only
 from repro.core.seed import Trace, VMSeed
-from repro.errors import GuestCrash, HypervisorCrash, VmxError
+from repro.errors import GuestCrash, HypervisorCrash, VirtError
 from repro.hypervisor.dispatch import ExitEvent, NullHooks
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
 from repro.vmx.exit_reasons import ExitReason
-from repro.vmx.preemption_timer import PreemptionTimer
-from repro.vmx.vmcs_fields import VmcsField, is_read_only
 
 #: Sanitization masks applied when the replay echo-writes a seed value
 #: back into a guest-state field.  IRIS's injection callback goes
@@ -41,15 +40,15 @@ from repro.vmx.vmcs_fields import VmcsField, is_read_only
 #: architectural state stays VM-entry-valid.  Without this, nearly
 #: every guest-state bit-flip would die at the §26.3 checks, which is
 #: not what the paper observes (Table I: ~1% VM crashes).
-_ECHO_WRITE_MASKS: dict[VmcsField, tuple[int, int]] = {
+_ECHO_WRITE_MASKS: dict[ArchField, tuple[int, int]] = {
     # field: (AND mask, OR mask)
-    VmcsField.GUEST_CR0: (0xE005003F, 0x00000010),
-    VmcsField.GUEST_CR4: (0x007FFFFF & ~0x2000, 0),
-    VmcsField.GUEST_RFLAGS: (0x3F7FD7, 0x2),
-    VmcsField.GUEST_INTERRUPTIBILITY_INFO: (0x1D, 0),
-    VmcsField.GUEST_ACTIVITY_STATE: (0x3, 0),
-    VmcsField.VMCS_LINK_POINTER: (0, (1 << 64) - 1),
-    VmcsField.GUEST_DR7: (0xFFFFFFFF, 0),
+    ArchField.GUEST_CR0: (0xE005003F, 0x00000010),
+    ArchField.GUEST_CR4: (0x007FFFFF & ~0x2000, 0),
+    ArchField.GUEST_RFLAGS: (0x3F7FD7, 0x2),
+    ArchField.GUEST_INTERRUPTIBILITY_INFO: (0x1D, 0),
+    ArchField.GUEST_ACTIVITY_STATE: (0x3, 0),
+    ArchField.VMCS_LINK_POINTER: (0, (1 << 64) - 1),
+    ArchField.GUEST_DR7: (0xFFFFFFFF, 0),
 }
 
 
@@ -68,7 +67,7 @@ class SeedReplayResult:
     outcome: ReplayOutcome
     handled_reason: ExitReason | None = None
     coverage_lines: frozenset[tuple[str, int]] = frozenset()
-    vmwrites: list[tuple[VmcsField, int]] = field(default_factory=list)
+    vmwrites: list[tuple[ArchField, int]] = field(default_factory=list)
     handler_cycles: int = 0
     crash_reason: str | None = None
 
@@ -79,18 +78,21 @@ class Replayer(NullHooks):
     def __init__(self, hv: Hypervisor, dummy_vcpu: Vcpu) -> None:
         self.hv = hv
         self.vcpu = dummy_vcpu
-        self.timer = PreemptionTimer(dummy_vcpu.vmcs)
+        #: The continuous-exit mechanism: the zero-loaded preemption
+        #: timer on VT-x, the zero pause-filter PAUSE intercept on SVM.
+        #: Kept under the historical name ``timer``.
+        self.timer = dummy_vcpu.backend.continuous_exit_driver(dummy_vcpu)
         self.timer.activate()
         self.timer.load(0)  # preempt before any guest instruction
         self._attached = False
         self._pending: VMSeed | None = None
-        self._overrides: dict[VmcsField, deque[int]] = {}
+        self._overrides: dict[ArchField, deque[int]] = {}
         #: Batched submission (submit_batch): the ring-staging cost is
         #: paid once per batch, not per seed.
         self._in_batch = False
         self.seeds_submitted = 0
         #: VMWRITEs the replayed handler performed (per-seed scratch).
-        self._vmwrites: list[tuple[VmcsField, int]] = []
+        self._vmwrites: list[tuple[ArchField, int]] = []
         self._capture_writes = False
 
     # ---- lifecycle ---------------------------------------------------
@@ -131,7 +133,7 @@ class Replayer(NullHooks):
         self._vmwrites = []
         self._capture_writes = True
 
-    def on_vmread(self, vcpu: Vcpu, fld: VmcsField, value: int) -> int:
+    def on_vmread(self, vcpu: Vcpu, fld: ArchField, value: int) -> int:
         if vcpu is not self.vcpu:
             return value
         queue = self._overrides.get(fld)
@@ -149,10 +151,10 @@ class Replayer(NullHooks):
             if masks is not None:
                 and_mask, or_mask = masks
                 value_to_write = (recorded & and_mask) | or_mask
-            vcpu.vmcs.write(fld, value_to_write)
+            vcpu.write_field(fld, value_to_write)
         return recorded
 
-    def on_vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
+    def on_vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
         if vcpu is self.vcpu and self._capture_writes:
             self._vmwrites.append((fld, value))
 
@@ -183,7 +185,7 @@ class Replayer(NullHooks):
             # configuration eliminates.
             self.hv.clock.advance(guest_cycles)
         event = ExitEvent(
-            reason=ExitReason.PREEMPTION_TIMER,
+            reason=self.timer.exit_reason,
             guest_cycles=guest_cycles,
         )
         event.write_to(self.vcpu)
@@ -210,9 +212,10 @@ class Replayer(NullHooks):
                 handler_cycles=self.hv.clock.now - start,
                 crash_reason=crash.reason,
             )
-        except VmxError as crash:
-            # A VMX instruction failed inside the hypervisor (e.g. a
-            # VMWRITE rejected by the hardware): Xen BUG()s on these.
+        except VirtError as crash:
+            # A virtualization instruction failed inside the hypervisor
+            # (e.g. a VMWRITE rejected by the hardware, or a VMRUN from
+            # the wrong mode): Xen BUG()s on these.
             self._pending = None
             self._capture_writes = False
             return SeedReplayResult(
@@ -220,7 +223,7 @@ class Replayer(NullHooks):
                 coverage_lines=self.hv.exit_coverage.lines(),
                 vmwrites=list(self._vmwrites),
                 handler_cycles=self.hv.clock.now - start,
-                crash_reason=f"VMX instruction failure: {crash}",
+                crash_reason=f"virtualization instruction failure: {crash}",
             )
         return SeedReplayResult(
             outcome=ReplayOutcome.OK,
@@ -277,10 +280,8 @@ class Replayer(NullHooks):
         return results
 
     def _ensure_running(self) -> None:
-        """Launch the dummy VM if it has not entered non-root yet."""
-        from repro.vmx.vmx_ops import CpuVmxMode
-
-        if self.vcpu.vmx.mode is CpuVmxMode.ROOT:
+        """Launch the dummy VM if it has not entered the guest yet."""
+        if not self.vcpu.backend.is_in_guest(self.vcpu):
             self.hv.launch(self.vcpu)
 
     def run_empty_exits(self, count: int) -> int:
@@ -295,7 +296,7 @@ class Replayer(NullHooks):
         start = self.hv.clock.now
         for _ in range(count):
             event = ExitEvent(
-                reason=ExitReason.PREEMPTION_TIMER, guest_cycles=0
+                reason=self.timer.exit_reason, guest_cycles=0
             )
             event.write_to(self.vcpu)
             self.hv.handle_vmexit(self.vcpu, event)

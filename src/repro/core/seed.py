@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import SeedFormatError
 from repro.vmx.exit_reasons import ExitReason, reason_name
-from repro.vmx.vmcs_fields import (
-    VmcsField,
+from repro.arch.fields import (
+    ArchField,
     field_by_index,
     field_index,
 )
@@ -61,9 +61,24 @@ class SeedEntry:
     def unpack(cls, raw: bytes) -> "SeedEntry":
         try:
             flag, encoding, value = _ENTRY_STRUCT.unpack(raw)
-            return cls(SeedFlag(flag), encoding, value)
+            kind = SeedFlag(flag)
         except (struct.error, ValueError) as exc:
             raise SeedFormatError(f"bad seed entry: {exc}") from exc
+        # Validate the encoding byte *at parse time*, not when the
+        # entry is first consumed: a corrupted corpus file should fail
+        # with SeedFormatError at load, never with a stray ValueError
+        # deep inside replay.
+        try:
+            if kind is SeedFlag.GPR:
+                GPR(encoding)
+            else:
+                field_by_index(encoding)
+        except ValueError:
+            raise SeedFormatError(
+                f"bad seed entry: encoding {encoding} out of range "
+                f"for {kind.name}"
+            ) from None
+        return cls(kind, encoding, value)
 
     # -- convenience constructors/accessors ----------------------------
 
@@ -73,7 +88,7 @@ class SeedEntry:
 
     @classmethod
     def for_vmcs(
-        cls, flag: SeedFlag, fld: VmcsField, value: int
+        cls, flag: SeedFlag, fld: ArchField, value: int
     ) -> "SeedEntry":
         return cls(flag, field_index(fld), value)
 
@@ -84,7 +99,7 @@ class SeedEntry:
         return GPR(self.encoding)
 
     @property
-    def vmcs_field(self) -> VmcsField:
+    def vmcs_field(self) -> ArchField:
         if self.flag is SeedFlag.GPR:
             raise ValueError("not a VMCS entry")
         return field_by_index(self.encoding)
@@ -111,7 +126,7 @@ class VMSeed:
             if e.flag is SeedFlag.GPR
         }
 
-    def vmcs_reads(self) -> list[tuple[VmcsField, int]]:
+    def vmcs_reads(self) -> list[tuple[ArchField, int]]:
         """Ordered (field, value) pairs read during the exit."""
         return [
             (e.vmcs_field, e.value) for e in self.entries
@@ -151,6 +166,11 @@ class VMSeed:
             if len(raw) != SEED_ENTRY_SIZE:
                 raise SeedFormatError("truncated seed entry")
             entries.append(SeedEntry.unpack(raw))
+        trailing = buf.read(1)
+        if trailing:
+            raise SeedFormatError(
+                f"trailing bytes after {count} seed entries"
+            )
         return cls(exit_reason=exit_reason, entries=entries)
 
     def describe(self) -> str:
@@ -172,7 +192,7 @@ class ExitMetrics:
       replay elides).
     """
 
-    vmwrites: list[tuple[VmcsField, int]] = field(default_factory=list)
+    vmwrites: list[tuple[ArchField, int]] = field(default_factory=list)
     coverage_lines: frozenset[tuple[str, int]] = frozenset()
     handler_cycles: int = 0
     guest_cycles: int = 0
@@ -183,7 +203,7 @@ class ExitMetrics:
     def cr0_writes(self) -> list[int]:
         """Values written to GUEST_CR0 (Fig. 8's trajectory)."""
         return [
-            v for f, v in self.vmwrites if f is VmcsField.GUEST_CR0
+            v for f, v in self.vmwrites if f is ArchField.GUEST_CR0
         ]
 
 
@@ -291,13 +311,18 @@ class Trace:
             payload = json.loads(blob.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise SeedFormatError(f"bad metrics blob: {exc}") from exc
-        return ExitMetrics(
-            vmwrites=[
-                (VmcsField(f), v) for f, v in payload["vmwrites"]
-            ],
-            coverage_lines=frozenset(
-                (f, l) for f, l in payload["coverage"]
-            ),
-            handler_cycles=payload["handler_cycles"],
-            guest_cycles=payload["guest_cycles"],
-        )
+        try:
+            return ExitMetrics(
+                vmwrites=[
+                    (ArchField(f), v) for f, v in payload["vmwrites"]
+                ],
+                coverage_lines=frozenset(
+                    (f, l) for f, l in payload["coverage"]
+                ),
+                handler_cycles=payload["handler_cycles"],
+                guest_cycles=payload["guest_cycles"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeedFormatError(
+                f"bad metrics payload: {exc}"
+            ) from exc

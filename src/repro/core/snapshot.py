@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.fields import ArchField
 from repro.hypervisor.domain import Domain
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vcpu import HvmVcpuState, Vcpu
-from repro.vmx.vmcs import VmcsLaunchState
-from repro.vmx.vmcs_fields import VmcsField
 from repro.x86.cpumodes import OperatingMode
 
 
@@ -25,8 +24,10 @@ from repro.x86.cpumodes import OperatingMode
 class VmSnapshot:
     """Everything needed to restore a vCPU/domain to a prior state."""
 
-    vmcs_fields: dict[VmcsField, int]
-    launch_state: VmcsLaunchState
+    #: Guest state as a neutral field map (exported by the backend).
+    vmcs_fields: dict[ArchField, int]
+    #: Backend-neutral launch token (arch.backend.LAUNCH_*).
+    launch_state: str
     gprs: dict
     rip: int
     rsp: int
@@ -50,9 +51,10 @@ def take_snapshot(
 ) -> VmSnapshot:
     """Capture the hypervisor-visible state of ``domain``'s vCPU 0."""
     vcpu = domain.vcpus[0]
+    fields, launch_token = vcpu.backend.export_guest_state(vcpu)
     return VmSnapshot(
-        vmcs_fields=vcpu.vmcs.contents(),
-        launch_state=vcpu.vmcs.launch_state,
+        vmcs_fields=fields,
+        launch_state=launch_token,
         gprs=dict(vcpu.regs.gprs),
         rip=vcpu.regs.rip,
         rsp=vcpu.regs.rsp,
@@ -91,8 +93,9 @@ def restore_snapshot(
     unless the snapshot carried memory) guest memory.
     """
     vcpu = domain.vcpus[0]
-    vcpu.vmcs.load_contents(snapshot.vmcs_fields)
-    vcpu.vmcs.launch_state = snapshot.launch_state
+    vcpu.backend.import_guest_state(
+        vcpu, snapshot.vmcs_fields, snapshot.launch_state
+    )
     vcpu.regs.load_gprs(snapshot.gprs)
     vcpu.regs.rip = snapshot.rip
     vcpu.regs.rsp = snapshot.rsp

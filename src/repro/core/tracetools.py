@@ -12,7 +12,7 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.core.seed import Trace, VMExitRecord
-from repro.vmx.exit_reasons import ExitReason, reason_name
+from repro.vmx.exit_reasons import ExitReason
 
 
 def slice_trace(trace: Trace, start: int = 0,

@@ -2,8 +2,14 @@
 
 The hierarchy mirrors the failure domains of the real system:
 
+* :class:`VirtError` — failures of the simulated virtualization
+  hardware layer, whichever vendor flavour is active.  Arch-neutral
+  code (replay, the fuzzer) catches this; the concrete subclasses are
+  :class:`VmxError` for VT-x and :class:`SvmError` for AMD-V.
 * :class:`VmxError` — failures of the simulated VT-x hardware layer
   (invalid VMCS accesses, failed VMX instructions, entry-check failures).
+* :class:`SvmError` — failures of the simulated AMD-V hardware layer
+  (bad VMRUN, consistency-check failures delivering VMEXIT_INVALID).
 * :class:`HypervisorCrash` — the hypervisor panicked (the paper's
   "hypervisor crash" failure mode; on real hardware this takes down the
   host and every VM).
@@ -20,8 +26,31 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
-class VmxError(ReproError):
+class VirtError(ReproError):
+    """A simulated virtualization-hardware operation failed.
+
+    Common base of :class:`VmxError` and :class:`SvmError` so that
+    architecture-neutral layers can catch hardware-level failures
+    without naming a vendor.
+    """
+
+
+class VmxError(VirtError):
     """A simulated VT-x operation failed."""
+
+
+class SvmError(VirtError):
+    """A simulated AMD-V (SVM) operation failed.
+
+    Models the VMRUN failure paths of APM Vol. 2, §15.5: illegal
+    guest state or a malformed VMCB makes VMRUN exit immediately with
+    ``VMEXIT_INVALID`` — raised here as an exception, symmetric to
+    :class:`VmxFailValid` on the VT-x side.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])
 
 
 class VmxFailInvalid(VmxError):

@@ -13,6 +13,7 @@ import random
 import sys
 
 from repro.analysis import render_table
+from repro.arch.backend import BACKEND_NAMES
 from repro.core.manager import IrisManager
 from repro.fuzz.fuzzer import IrisFuzzer
 from repro.fuzz.mutations import MUTATION_RULES, MutationArea
@@ -52,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--rule", choices=sorted(MUTATION_RULES), default="bit-flip",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--arch", choices=list(BACKEND_NAMES), default="vmx",
+        help="virtualization backend to fuzz on (paper §IX)",
+    )
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes for the campaign; 1 (default) keeps "
@@ -103,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
         "both": (MutationArea.VMCS, MutationArea.GPR),
     }[args.area]
 
-    manager = IrisManager()
+    manager = IrisManager(arch=args.arch)
     precondition = (
         "bios" if args.workload in ("os-boot", "full-boot") else "boot"
     )
@@ -145,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
             session.trace, session.snapshot, cases,
             campaign_seed=args.seed, jobs=args.jobs,
             shards_per_cell=args.shards_per_cell, on_event=report,
+            arch=args.arch,
         )
         outcome = campaign.run()
         campaign_stats = outcome.stats

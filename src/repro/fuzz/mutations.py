@@ -14,7 +14,7 @@ import enum
 import random
 
 from repro.core.seed import SeedEntry, SeedFlag, VMSeed
-from repro.vmx.vmcs_fields import field_width
+from repro.arch.fields import field_width
 
 
 class MutationArea(enum.Enum):

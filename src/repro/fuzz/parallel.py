@@ -23,7 +23,7 @@ The determinism contract
   :meth:`CoverageMap.union`.
 
 Together these make the merged campaign result a pure function of
-``(trace, snapshot, cases, campaign_seed, shards_per_cell)``: the
+``(trace, snapshot, cases, campaign_seed, shards_per_cell, arch)``: the
 ``jobs`` worker count never changes results, only wall-clock time.
 
 Fault isolation
@@ -102,6 +102,10 @@ class ShardTask:
     mutation_rule: str
     rng_seed: int
     attempt: int = 0
+    #: Virtualization backend the shard's fresh hypervisor runs on.
+    #: Part of the task (not ambient state) so the determinism contract
+    #: covers it: the merged result is a function of the arch too.
+    arch: str = "vmx"
     #: Fault-injection hook (tests / chaos drills): ``"raise"`` makes
     #: the worker raise, ``"hang"`` makes it sleep past any timeout.
     fault_kind: str | None = None
@@ -283,7 +287,7 @@ def run_shard(
     """
     from repro.core.manager import IrisManager
 
-    manager = IrisManager()
+    manager = IrisManager(arch=task.arch)
     if snapshot is not None and snapshot.clock_tsc > manager.hv.clock.now:
         # Timer deadlines in the snapshot (vpt.next_due, vlapic) are
         # absolute TSC values on the recording host's clock.  A fresh
@@ -371,11 +375,13 @@ class ParallelCampaign:
         start_method: str | None = None,
         on_event: Callable[[object], None] | None = None,
         fault_plan: Mapping[int, tuple[str, int]] | None = None,
+        arch: str = "vmx",
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if shards_per_cell < 1:
             raise ValueError("shards_per_cell must be >= 1")
+        self.arch = arch
         self.trace = trace
         self.snapshot = snapshot
         self.cases = list(cases)
@@ -410,6 +416,7 @@ class ParallelCampaign:
                         self.campaign_seed, cell_index, shard_index
                     ),
                     fault_kind=self._fault_for(cell_index, attempt=0),
+                    arch=self.arch,
                 ))
         return tasks
 
@@ -470,6 +477,7 @@ class ParallelCampaign:
             rng_seed=task.rng_seed,
             attempt=attempt,
             fault_kind=self._fault_for(task.cell_index, attempt),
+            arch=task.arch,
         )
 
     def _run_batch(

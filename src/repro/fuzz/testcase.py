@@ -10,7 +10,7 @@ versions of the seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.seed import Trace
 from repro.fuzz.mutations import MutationArea

@@ -11,7 +11,6 @@ distinct findings.
 from __future__ import annotations
 
 import re
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.fuzz.failures import FailureKind, FailureRecord

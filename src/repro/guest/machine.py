@@ -26,7 +26,7 @@ from repro.vmx.exit_qualification import (
     EptViolationQualification,
     IoQualification,
 )
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.registers import GPR, Rflags
 
 #: Host (Xen) timer period in TSC cycles: 250 Hz at 3.6 GHz.
@@ -79,7 +79,7 @@ class GuestMachine:
         self.vcpu: Vcpu = domain.vcpus[vcpu_index]
         self.rng = rng or random.Random(0)
         #: Current guest RIP (flat addressing in the modelled guest).
-        self.rip = self.vcpu.vmcs.read(VmcsField.GUEST_RIP)
+        self.rip = self.vcpu.read_field(ArchField.GUEST_RIP)
         self.rsp = 0x9F000
         self.interrupts_enabled = False
         self.code_base = code_base
@@ -142,13 +142,13 @@ class GuestMachine:
             if op.new_rip is None:
                 raise ValueError("JUMP op requires new_rip")
             self.rip = op.new_rip
-            self.vcpu.vmcs.write(VmcsField.GUEST_RIP, self.rip)
+            self.vcpu.write_field(ArchField.GUEST_RIP, self.rip)
             if op.new_cs_base is not None:
-                self.vcpu.vmcs.write(
-                    VmcsField.GUEST_CS_BASE, op.new_cs_base
+                self.vcpu.write_field(
+                    ArchField.GUEST_CS_BASE, op.new_cs_base
                 )
-                self.vcpu.vmcs.write(
-                    VmcsField.GUEST_CS_SELECTOR,
+                self.vcpu.write_field(
+                    ArchField.GUEST_CS_SELECTOR,
                     0x8 if op.new_cs_base == 0 else 0xF000,
                 )
             return
@@ -163,7 +163,7 @@ class GuestMachine:
         rflags = int(Rflags.FIXED1)
         if self.interrupts_enabled:
             rflags |= int(Rflags.IF)
-        self.vcpu.vmcs.write(VmcsField.GUEST_RFLAGS, rflags)
+        self.vcpu.write_field(ArchField.GUEST_RFLAGS, rflags)
 
     def _burn_guest_cycles(self, cycles: int) -> None:
         """Advance guest time, taking host-timer preemptions."""
@@ -186,8 +186,8 @@ class GuestMachine:
 
     def _maybe_interrupt_window(self) -> None:
         """Honour an interrupt-window request from the hypervisor."""
-        controls = self.vcpu.vmcs.read(
-            VmcsField.CPU_BASED_VM_EXEC_CONTROL
+        controls = self.vcpu.read_field(
+            ArchField.CPU_BASED_VM_EXEC_CONTROL
         )
         if (controls & (1 << 2)) and self.interrupts_enabled:
             self.stats.interrupt_windows += 1
@@ -200,7 +200,7 @@ class GuestMachine:
         encoded = bytes([op.opcode]) + (
             (op.gpa >> 8) & 0xFFFFFF
         ).to_bytes(3, "little")
-        cs_base = self.vcpu.vmcs.read(VmcsField.GUEST_CS_BASE)
+        cs_base = self.vcpu.read_field(ArchField.GUEST_CS_BASE)
         self.domain.memory.write(cs_base + self.rip, encoded)
 
     def _set_background_gprs(self) -> None:
@@ -344,9 +344,8 @@ class GuestMachine:
 
     def _deliver(self, event: ExitEvent) -> None:
         """Hardware exit delivery: save guest state, call the handler."""
-        vmcs = self.vcpu.vmcs
-        vmcs.write(VmcsField.GUEST_RIP, self.rip)
-        vmcs.write(VmcsField.GUEST_RSP, self.rsp)
+        self.vcpu.write_field(ArchField.GUEST_RIP, self.rip)
+        self.vcpu.write_field(ArchField.GUEST_RSP, self.rsp)
         self._sync_rflags()
         event.write_to(self.vcpu)
         self.stats.exits_delivered += 1
@@ -355,13 +354,13 @@ class GuestMachine:
         )
         self.hv.handle_vmexit(self.vcpu, event)
         # The handler may have advanced RIP (update_guest_eip).
-        self.rip = vmcs.read(VmcsField.GUEST_RIP)
+        self.rip = self.vcpu.read_field(ArchField.GUEST_RIP)
         if event.reason is ExitReason.HLT:
             self._sleep_until_wakeup()
 
     def _sleep_until_wakeup(self) -> None:
         """The vCPU is halted; sleep until the platform timer wakes it."""
-        activity = self.vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE)
+        activity = self.vcpu.read_field(ArchField.GUEST_ACTIVITY_STATE)
         if activity != 1:
             return
         self.stats.halted_sleeps += 1
@@ -388,10 +387,10 @@ class GuestMachine:
             intr_info=(1 << 31) | HOST_TIMER_VECTOR,
             guest_cycles=0,
         ))
-        if self.vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE) == 1:
+        if self.vcpu.read_field(ArchField.GUEST_ACTIVITY_STATE) == 1:
             # Still halted (nothing was injected): force-wake so the
             # workload can continue; a real guest would stay blocked.
-            self.vcpu.vmcs.write(VmcsField.GUEST_ACTIVITY_STATE, 0)
+            self.vcpu.write_field(ArchField.GUEST_ACTIVITY_STATE, 0)
         if self.host_timer_next < self.hv.clock.now:
             missed = (
                 (self.hv.clock.now - self.host_timer_next)

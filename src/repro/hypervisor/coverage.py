@@ -14,7 +14,7 @@ execution of our record and replay components".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from collections import defaultdict
 from typing import Iterable
 

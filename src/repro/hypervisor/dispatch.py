@@ -23,50 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from repro.arch.events import ExitEvent
+from repro.arch.fields import ArchField
 from repro.hypervisor.vcpu import Vcpu
 from repro.vmx.exit_reasons import ExitReason
-from repro.vmx.vmcs_fields import VmcsField
 
-
-@dataclass(frozen=True)
-class ExitEvent:
-    """What the simulated hardware latches when delivering a VM exit."""
-
-    reason: ExitReason
-    qualification: int = 0
-    guest_linear_address: int = 0
-    guest_physical_address: int = 0
-    instruction_len: int = 2
-    intr_info: int = 0
-    instruction_info: int = 0
-    #: TSC cycles the guest spent executing since the previous entry —
-    #: the time replay elides (Fig. 9's efficiency gap).
-    guest_cycles: int = 0
-
-    def write_to(self, vcpu: Vcpu) -> None:
-        """Populate the read-only exit-information VMCS fields.
-
-        This models the *hardware* side of the exit, hence the direct
-        ``write_exit_info`` rather than VMWRITE.
-        """
-        vmcs = vcpu.vmcs
-        vmcs.write_exit_info(VmcsField.VM_EXIT_REASON, int(self.reason))
-        vmcs.write_exit_info(
-            VmcsField.EXIT_QUALIFICATION, self.qualification
-        )
-        vmcs.write_exit_info(
-            VmcsField.GUEST_LINEAR_ADDRESS, self.guest_linear_address
-        )
-        vmcs.write_exit_info(
-            VmcsField.GUEST_PHYSICAL_ADDRESS, self.guest_physical_address
-        )
-        vmcs.write_exit_info(
-            VmcsField.VM_EXIT_INSTRUCTION_LEN, self.instruction_len
-        )
-        vmcs.write_exit_info(VmcsField.VM_EXIT_INTR_INFO, self.intr_info)
-        vmcs.write_exit_info(
-            VmcsField.VMX_INSTRUCTION_INFO, self.instruction_info
-        )
+__all__ = [
+    "ExitEvent",
+    "Handler",
+    "HandlerTable",
+    "NullHooks",
+    "VmxHooks",
+]
 
 
 class VmxHooks(Protocol):
@@ -79,10 +47,10 @@ class VmxHooks(Protocol):
     def on_exit_start(self, vcpu: Vcpu) -> None:
         """Called before the exit reason is read."""
 
-    def on_vmread(self, vcpu: Vcpu, fld: VmcsField, value: int) -> int:
+    def on_vmread(self, vcpu: Vcpu, fld: ArchField, value: int) -> int:
         """Observe/override a vmread(); return the (possibly new) value."""
 
-    def on_vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
+    def on_vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
         """Observe a vmwrite()."""
 
     def on_exit_end(self, vcpu: Vcpu, reason: ExitReason) -> None:
@@ -95,10 +63,10 @@ class NullHooks:
     def on_exit_start(self, vcpu: Vcpu) -> None:
         return None
 
-    def on_vmread(self, vcpu: Vcpu, fld: VmcsField, value: int) -> int:
+    def on_vmread(self, vcpu: Vcpu, fld: ArchField, value: int) -> int:
         return value
 
-    def on_vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
+    def on_vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
         return None
 
     def on_exit_end(self, vcpu: Vcpu, reason: ExitReason) -> None:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.hypervisor.coverage import BlockAllocator, SourceBlock
 from repro.hypervisor.memory import HvmCopyResult
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.descriptors import SegmentDescriptor
 
 _alloc = BlockAllocator("arch/x86/hvm/emulate.c")
@@ -84,8 +84,8 @@ def emulate_current_instruction(hv, vcpu: Vcpu) -> EmulationResult:
     """
     hv.cov(BLK_FETCH)
     hv.clock.charge("guest_mem_access")
-    rip = hv.vmread(vcpu, VmcsField.GUEST_RIP)
-    cs_base = hv.vmread(vcpu, VmcsField.GUEST_CS_BASE)
+    rip = hv.vmread(vcpu, ArchField.GUEST_RIP)
+    cs_base = hv.vmread(vcpu, ArchField.GUEST_CS_BASE)
     fetch_gpa = (cs_base + rip) & ((1 << 64) - 1)
 
     assert vcpu.domain is not None
@@ -132,8 +132,8 @@ def load_descriptor(
     the replay-divergence path).
     """
     hv.cov(BLK_SEGMENT_CHECK)
-    gdtr_base = hv.vmread(vcpu, VmcsField.GUEST_GDTR_BASE)
-    gdtr_limit = hv.vmread(vcpu, VmcsField.GUEST_GDTR_LIMIT)
+    gdtr_base = hv.vmread(vcpu, ArchField.GUEST_GDTR_BASE)
+    gdtr_limit = hv.vmread(vcpu, ArchField.GUEST_GDTR_LIMIT)
     index_offset = (selector >> 3) * 8
     if index_offset + 7 > gdtr_limit:
         hv.cov(BLK_DESCRIPTOR_FAIL)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.hypervisor.coverage import BlockAllocator
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 
 _alloc = BlockAllocator("arch/x86/hvm/vmx/vmx.c")
 
@@ -47,21 +47,21 @@ def advance_rip(hv, vcpu: Vcpu) -> None:
     it; also clears interruptibility blocking, as the real helper does.
     """
     hv.cov(BLK_ADVANCE_RIP)
-    rip = hv.vmread(vcpu, VmcsField.GUEST_RIP)
-    length = hv.vmread(vcpu, VmcsField.VM_EXIT_INSTRUCTION_LEN)
+    rip = hv.vmread(vcpu, ArchField.GUEST_RIP)
+    length = hv.vmread(vcpu, ArchField.VM_EXIT_INSTRUCTION_LEN)
     # x86 instructions are 1-15 bytes; the hardware cannot report
     # anything else.  Xen asserts on this (a fuzzer-reachable BUG).
     hv.bug_on(
         length == 0 or length > 15,
         f"update_guest_eip: bad instruction length {length}",
     )
-    hv.vmwrite(vcpu, VmcsField.GUEST_RIP, (rip + max(length, 1)))
+    hv.vmwrite(vcpu, ArchField.GUEST_RIP, (rip + max(length, 1)))
     interruptibility = hv.vmread(
-        vcpu, VmcsField.GUEST_INTERRUPTIBILITY_INFO
+        vcpu, ArchField.GUEST_INTERRUPTIBILITY_INFO
     )
     if interruptibility & 0x3:
         hv.vmwrite(
-            vcpu, VmcsField.GUEST_INTERRUPTIBILITY_INFO,
+            vcpu, ArchField.GUEST_INTERRUPTIBILITY_INFO,
             interruptibility & ~0x3,
         )
 
@@ -76,9 +76,9 @@ def inject_event(
     if error_code is not None:
         info |= 1 << 11
         hv.vmwrite(
-            vcpu, VmcsField.VM_ENTRY_EXCEPTION_ERROR_CODE, error_code
+            vcpu, ArchField.VM_ENTRY_EXCEPTION_ERROR_CODE, error_code
         )
-    hv.vmwrite(vcpu, VmcsField.VM_ENTRY_INTR_INFO, info)
+    hv.vmwrite(vcpu, ArchField.VM_ENTRY_INTR_INFO, info)
     vcpu.hvm.pending_event = (vector, event_type)
     vcpu.hvm.injected_events += 1
 

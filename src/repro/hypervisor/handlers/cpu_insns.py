@@ -15,7 +15,7 @@ from repro.hypervisor.handlers.common import (
     inject_ud,
 )
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.registers import GPR, Cr4
 
 _alloc = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=3000)
@@ -147,16 +147,16 @@ def handle_cpuid(hv, vcpu: Vcpu) -> None:
 
 def handle_rdtsc(hv, vcpu: Vcpu) -> None:
     """Reason 16: RDTSC — guest TSC = host TSC + VMCS offset."""
-    cr4 = hv.vmread(vcpu, VmcsField.GUEST_CR4)
+    cr4 = hv.vmread(vcpu, ArchField.GUEST_CR4)
     if cr4 & Cr4.TSD:
-        ss_ar = hv.vmread(vcpu, VmcsField.GUEST_SS_AR_BYTES)
+        ss_ar = hv.vmread(vcpu, ArchField.GUEST_SS_AR_BYTES)
         cpl = (ss_ar >> 5) & 0x3
         if cpl:
             hv.cov(BLK_RDTSC_TSD)
             inject_gp(hv, vcpu)
             return
     hv.cov(BLK_RDTSC)
-    offset = hv.vmread(vcpu, VmcsField.TSC_OFFSET)
+    offset = hv.vmread(vcpu, ArchField.TSC_OFFSET)
     guest_tsc = (hv.clock.now + offset) & ((1 << 64) - 1)
     vcpu.regs.write_gpr(GPR.RAX, guest_tsc & 0xFFFFFFFF)
     vcpu.regs.write_gpr(GPR.RDX, guest_tsc >> 32)
@@ -166,7 +166,7 @@ def handle_rdtsc(hv, vcpu: Vcpu) -> None:
 def handle_rdtscp(hv, vcpu: Vcpu) -> None:
     """Reason 51: RDTSCP — RDTSC plus TSC_AUX in RCX."""
     hv.cov(BLK_RDTSCP)
-    offset = hv.vmread(vcpu, VmcsField.TSC_OFFSET)
+    offset = hv.vmread(vcpu, ArchField.TSC_OFFSET)
     guest_tsc = (hv.clock.now + offset) & ((1 << 64) - 1)
     vcpu.regs.write_gpr(GPR.RAX, guest_tsc & 0xFFFFFFFF)
     vcpu.regs.write_gpr(GPR.RDX, guest_tsc >> 32)
@@ -177,7 +177,7 @@ def handle_rdtscp(hv, vcpu: Vcpu) -> None:
 def handle_hlt(hv, vcpu: Vcpu) -> None:
     """Reason 12: HLT — enter the halted activity state."""
     hv.cov(BLK_HLT)
-    rflags = hv.vmread(vcpu, VmcsField.GUEST_RFLAGS)
+    rflags = hv.vmread(vcpu, ArchField.GUEST_RFLAGS)
     interrupts_enabled = bool(rflags & (1 << 9))
     vlapic = hv.vlapic(vcpu)
     if not interrupts_enabled and not vlapic.irr:
@@ -186,7 +186,7 @@ def handle_hlt(hv, vcpu: Vcpu) -> None:
         hv.cov(BLK_HLT_DEAD)
         hv.log.warn(f"{vcpu.describe()}: HLT with IF=0 and empty IRR")
     advance_rip(hv, vcpu)
-    hv.vmwrite(vcpu, VmcsField.GUEST_ACTIVITY_STATE, 1)  # HLT state
+    hv.vmwrite(vcpu, ArchField.GUEST_ACTIVITY_STATE, 1)  # HLT state
 
 
 def handle_pause(hv, vcpu: Vcpu) -> None:
@@ -240,7 +240,7 @@ def handle_invd(hv, vcpu: Vcpu) -> None:
 def handle_invlpg(hv, vcpu: Vcpu) -> None:
     """Reason 14: INVLPG — shoot down one linear mapping."""
     hv.cov(BLK_INVLPG)
-    hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)  # the address
+    hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)  # the address
     advance_rip(hv, vcpu)
 
 

@@ -21,9 +21,9 @@ from repro.vmx.exit_qualification import (
     CrAccessQualification,
     CrAccessType,
 )
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.registers import GPR, Cr0, Cr4, CR0_RESERVED, CR4_RESERVED
-from repro.x86.cpumodes import OperatingMode, classify_cr0
+from repro.x86.cpumodes import OperatingMode
 
 _vmx = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=2000)
 _hvm = BlockAllocator("arch/x86/hvm/hvm.c", first_line=100)
@@ -71,7 +71,7 @@ def _set_cr0(hv, vcpu: Vcpu, value: int) -> None:
         inject_gp(hv, vcpu)
         return
 
-    old = hv.vmread(vcpu, VmcsField.GUEST_CR0)
+    old = hv.vmread(vcpu, ArchField.GUEST_CR0)
     changed = old ^ value
 
     if not changed:
@@ -86,7 +86,7 @@ def _set_cr0(hv, vcpu: Vcpu, value: int) -> None:
             # GDT the guest just built (guest-memory dependence — the
             # replay-divergence source).  Validation only: the guest
             # reloads CS itself with the far jump that follows.
-            cs_selector = hv.vmread(vcpu, VmcsField.GUEST_CS_SELECTOR)
+            cs_selector = hv.vmread(vcpu, ArchField.GUEST_CS_SELECTOR)
             if cs_selector:
                 load_descriptor(hv, vcpu, cs_selector)
         else:
@@ -97,12 +97,12 @@ def _set_cr0(hv, vcpu: Vcpu, value: int) -> None:
             hv.cov(BLK_CR0_PG_SET)
             # Entering paged mode with EFER.LME set activates IA-32e
             # mode: the hardware raises EFER.LMA, mirrored here.
-            efer = hv.vmread(vcpu, VmcsField.GUEST_IA32_EFER)
+            efer = hv.vmread(vcpu, ArchField.GUEST_IA32_EFER)
             if efer & (1 << 8):  # LME
                 hv.vmwrite(
-                    vcpu, VmcsField.GUEST_IA32_EFER, efer | (1 << 10)
+                    vcpu, ArchField.GUEST_IA32_EFER, efer | (1 << 10)
                 )
-            cr4 = hv.vmread(vcpu, VmcsField.GUEST_CR4)
+            cr4 = hv.vmread(vcpu, ArchField.GUEST_CR4)
             if cr4 & Cr4.PAE:
                 # PAE paging activation: the *processor* reloads the
                 # four PDPTE fields from the page CR3 points at when
@@ -110,23 +110,23 @@ def _set_cr0(hv, vcpu: Vcpu, value: int) -> None:
                 # action, so the raw VMCS write path, not Xen's
                 # instrumented vmwrite(); it never appears in the
                 # VMWRITE accuracy metric.
-                cr3 = hv.vmread(vcpu, VmcsField.GUEST_CR3)
+                cr3 = hv.vmread(vcpu, ArchField.GUEST_CR3)
                 hv.clock.charge("guest_mem_access")
                 assert vcpu.domain is not None
                 for i in range(4):
                     pdpte = vcpu.domain.memory.read_u64(
                         (cr3 & ~0x1F) + 8 * i
                     )
-                    vcpu.vmcs.write(
-                        VmcsField(int(VmcsField.GUEST_PDPTE0) + 2 * i),
+                    vcpu.write_field(
+                        ArchField(int(ArchField.GUEST_PDPTE0) + 2 * i),
                         pdpte,
                     )
         else:
             hv.cov(BLK_CR0_PG_CLEAR)
-            efer = hv.vmread(vcpu, VmcsField.GUEST_IA32_EFER)
+            efer = hv.vmread(vcpu, ArchField.GUEST_IA32_EFER)
             if efer & (1 << 10):  # leaving IA-32e mode drops LMA
                 hv.vmwrite(
-                    vcpu, VmcsField.GUEST_IA32_EFER, efer & ~(1 << 10)
+                    vcpu, ArchField.GUEST_IA32_EFER, efer & ~(1 << 10)
                 )
 
     if changed & (Cr0.CD | Cr0.NW):
@@ -139,19 +139,19 @@ def _set_cr0(hv, vcpu: Vcpu, value: int) -> None:
     # Fig. 2 steps 3-4: update internal variables, then the VMCS.
     hv.cov(BLK_UPDATE_GUEST_MODE)
     mode = vcpu.sync_mode_from_cr0(value)
-    hv.vmwrite(vcpu, VmcsField.GUEST_CR0, value)
-    hv.vmwrite(vcpu, VmcsField.CR0_READ_SHADOW, value)
+    hv.vmwrite(vcpu, ArchField.GUEST_CR0, value)
+    hv.vmwrite(vcpu, ArchField.CR0_READ_SHADOW, value)
     if mode is OperatingMode.MODE1:
         # Back to real mode: reload flat real-mode segments.
-        hv.vmwrite(vcpu, VmcsField.GUEST_CS_AR_BYTES, 0x9B)
+        hv.vmwrite(vcpu, ArchField.GUEST_CS_AR_BYTES, 0x9B)
     advance_rip(hv, vcpu)
 
 
 def _set_cr3(hv, vcpu: Vcpu, value: int) -> None:
     hv.cov(BLK_SET_CR3)
     vcpu.hvm.guest_cr3 = value
-    hv.vmwrite(vcpu, VmcsField.GUEST_CR3, value)
-    cr4 = hv.vmread(vcpu, VmcsField.GUEST_CR4)
+    hv.vmwrite(vcpu, ArchField.GUEST_CR3, value)
+    cr4 = hv.vmread(vcpu, ArchField.GUEST_CR4)
     if cr4 & Cr4.PGE:
         hv.cov(BLK_CR3_PGE_FLUSH)
     advance_rip(hv, vcpu)
@@ -168,14 +168,14 @@ def _set_cr4(hv, vcpu: Vcpu, value: int) -> None:
         hv.cov(BLK_CR4_VMXE_REJECT)
         inject_gp(hv, vcpu)
         return
-    old = hv.vmread(vcpu, VmcsField.GUEST_CR4)
+    old = hv.vmread(vcpu, ArchField.GUEST_CR4)
     if (old ^ value) & Cr4.PAE:
         hv.cov(BLK_CR4_PAE)
     if (old ^ value) & Cr4.PSE:
         hv.cov(BLK_CR4_PSE)
     vcpu.hvm.hw_cr4 = value
-    hv.vmwrite(vcpu, VmcsField.GUEST_CR4, value)
-    hv.vmwrite(vcpu, VmcsField.CR4_READ_SHADOW, value)
+    hv.vmwrite(vcpu, ArchField.GUEST_CR4, value)
+    hv.vmwrite(vcpu, ArchField.CR4_READ_SHADOW, value)
     advance_rip(hv, vcpu)
 
 
@@ -183,7 +183,7 @@ def handle_cr_access(hv, vcpu: Vcpu) -> None:
     """Reason 28: control-register access."""
     hv.cov(BLK_DECODE)
     qual = CrAccessQualification.unpack(
-        hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+        hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
     )
 
     if qual.access_type is CrAccessType.MOV_TO_CR:
@@ -209,21 +209,21 @@ def handle_cr_access(hv, vcpu: Vcpu) -> None:
         if qual.cr == 3:
             value = vcpu.hvm.guest_cr3
         elif qual.cr == 0:
-            value = hv.vmread(vcpu, VmcsField.CR0_READ_SHADOW)
+            value = hv.vmread(vcpu, ArchField.CR0_READ_SHADOW)
         else:
-            value = hv.vmread(vcpu, VmcsField.CR4_READ_SHADOW)
+            value = hv.vmread(vcpu, ArchField.CR4_READ_SHADOW)
         vcpu.regs.write_gpr(_QUAL_GPR_ORDER[qual.gpr], value)
         advance_rip(hv, vcpu)
     elif qual.access_type is CrAccessType.CLTS:
         hv.cov(BLK_CLTS)
-        cr0 = hv.vmread(vcpu, VmcsField.GUEST_CR0)
+        cr0 = hv.vmread(vcpu, ArchField.GUEST_CR0)
         new_cr0 = cr0 & ~int(Cr0.TS)
         vcpu.sync_mode_from_cr0(new_cr0)
-        hv.vmwrite(vcpu, VmcsField.GUEST_CR0, new_cr0)
-        hv.vmwrite(vcpu, VmcsField.CR0_READ_SHADOW, new_cr0)
+        hv.vmwrite(vcpu, ArchField.GUEST_CR0, new_cr0)
+        hv.vmwrite(vcpu, ArchField.CR0_READ_SHADOW, new_cr0)
         advance_rip(hv, vcpu)
     else:  # LMSW: legacy 16-bit load of CR0's low word
         hv.cov(BLK_LMSW)
-        cr0 = hv.vmread(vcpu, VmcsField.GUEST_CR0)
+        cr0 = hv.vmread(vcpu, ArchField.GUEST_CR0)
         new_cr0 = (cr0 & ~0xF) | (qual.lmsw_source & 0xF)
         _set_cr0(hv, vcpu, new_cr0)

@@ -15,7 +15,7 @@ from repro.hypervisor.handlers.common import (
     EVENT_TYPE_EXTERNAL,
 )
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 
 _alloc = BlockAllocator("arch/x86/hvm/vmx/intr.c")
 _vmx = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=5000)
@@ -56,7 +56,7 @@ def handle_external_interrupt(hv, vcpu: Vcpu) -> None:
     guest's interrupt controllers.
     """
     hv.cov(BLK_EXTINT_COMMON)
-    intr_info = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_INFO)
+    intr_info = hv.vmread(vcpu, ArchField.VM_EXIT_INTR_INFO)
     vector = intr_info & 0xFF
     if not (intr_info & (1 << 31)):
         hv.cov(BLK_EXTINT_SPURIOUS)
@@ -82,8 +82,8 @@ def handle_interrupt_window(hv, vcpu: Vcpu) -> None:
     reject an external-interrupt injection with RFLAGS.IF clear.
     """
     vlapic = hv.vlapic(vcpu)
-    controls = hv.vmread(vcpu, VmcsField.CPU_BASED_VM_EXEC_CONTROL)
-    rflags = hv.vmread(vcpu, VmcsField.GUEST_RFLAGS)
+    controls = hv.vmread(vcpu, ArchField.CPU_BASED_VM_EXEC_CONTROL)
+    rflags = hv.vmread(vcpu, ArchField.GUEST_RFLAGS)
     interruptible = bool(rflags & (1 << 9))
     vector = None
     if interruptible:
@@ -95,7 +95,7 @@ def handle_interrupt_window(hv, vcpu: Vcpu) -> None:
         hv.cov(BLK_INTR_WINDOW)
         inject_event(hv, vcpu, vector, EVENT_TYPE_EXTERNAL)
     hv.vmwrite(
-        vcpu, VmcsField.CPU_BASED_VM_EXEC_CONTROL,
+        vcpu, ArchField.CPU_BASED_VM_EXEC_CONTROL,
         controls & ~CPU_BASED_INTR_WINDOW_EXITING,
     )
 
@@ -108,7 +108,7 @@ def handle_nmi_window(hv, vcpu: Vcpu) -> None:
 def handle_exception_nmi(hv, vcpu: Vcpu) -> None:
     """Reason 0: an exception or NMI the hypervisor intercepts."""
     hv.cov(BLK_EXCEPTION_COMMON)
-    intr_info = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_INFO)
+    intr_info = hv.vmread(vcpu, ArchField.VM_EXIT_INTR_INFO)
     vector = intr_info & 0xFF
     is_nmi = ((intr_info >> 8) & 0x7) == 2
 
@@ -117,14 +117,14 @@ def handle_exception_nmi(hv, vcpu: Vcpu) -> None:
         return
     if vector == 14:  # #PF
         hv.cov(BLK_PAGE_FAULT)
-        fault_address = hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
-        error_code = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_ERROR_CODE)
+        fault_address = hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
+        error_code = hv.vmread(vcpu, ArchField.VM_EXIT_INTR_ERROR_CODE)
         vcpu.regs.cr2 = fault_address
         inject_event(hv, vcpu, 14, error_code=error_code)
         return
     if vector == 13:  # #GP
         hv.cov(BLK_GP_FAULT)
-        error_code = hv.vmread(vcpu, VmcsField.VM_EXIT_INTR_ERROR_CODE)
+        error_code = hv.vmread(vcpu, ArchField.VM_EXIT_INTR_ERROR_CODE)
         inject_event(hv, vcpu, 13, error_code=error_code)
         return
     if vector == 1:
@@ -165,6 +165,6 @@ def handle_preemption_timer(hv, vcpu: Vcpu) -> None:
 def handle_dr_access(hv, vcpu: Vcpu) -> None:
     """Reason 29: MOV DR — lazy debug-register context switch."""
     hv.cov(BLK_DR_ACCESS)
-    hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
-    hv.vmwrite(vcpu, VmcsField.GUEST_DR7, vcpu.regs.dr7)
+    hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
+    hv.vmwrite(vcpu, ArchField.GUEST_DR7, vcpu.regs.dr7)
     advance_rip(hv, vcpu)

@@ -20,7 +20,7 @@ from repro.hypervisor.emulate import (
 from repro.hypervisor.handlers.common import advance_rip, inject_gp
 from repro.hypervisor.vcpu import Vcpu
 from repro.vmx.exit_qualification import IoQualification
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.registers import GPR
 
 _alloc = BlockAllocator("arch/x86/hvm/io.c")
@@ -127,7 +127,7 @@ def handle_io_instruction(hv, vcpu: Vcpu) -> None:
     """Reason 30: IN/OUT/INS/OUTS."""
     hv.cov(BLK_HANDLE_PIO)
     qual = IoQualification.unpack(
-        hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+        hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
     )
 
     if qual.size not in (1, 2, 4):

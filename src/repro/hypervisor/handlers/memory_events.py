@@ -25,7 +25,7 @@ from repro.hypervisor.handlers.common import (
 from repro.hypervisor.vcpu import Vcpu
 from repro.vmx.ept import EptAccess
 from repro.vmx.exit_qualification import EptViolationQualification
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 
 _alloc = BlockAllocator("arch/x86/mm/p2m-ept.c")
 _vmx = BlockAllocator("arch/x86/hvm/vmx/vmx.c", first_line=4000)
@@ -57,10 +57,10 @@ def handle_ept_violation(hv, vcpu: Vcpu) -> None:
     """Reason 48: EPT violation."""
     hv.cov(BLK_EPT_COMMON)
     qual = EptViolationQualification.unpack(
-        hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+        hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
     )
-    gpa = hv.vmread(vcpu, VmcsField.GUEST_PHYSICAL_ADDRESS)
-    hv.vmread(vcpu, VmcsField.GUEST_LINEAR_ADDRESS)
+    gpa = hv.vmread(vcpu, ArchField.GUEST_PHYSICAL_ADDRESS)
+    hv.vmread(vcpu, ArchField.GUEST_LINEAR_ADDRESS)
     assert vcpu.domain is not None
     domain = vcpu.domain
 
@@ -133,14 +133,14 @@ def handle_dt_access(hv, vcpu: Vcpu) -> None:
     handler validates the new table/selector through guest memory.
     """
     hv.cov(BLK_DT_ACCESS)
-    info = hv.vmread(vcpu, VmcsField.VMX_INSTRUCTION_INFO)
+    info = hv.vmread(vcpu, ArchField.VMX_INSTRUCTION_INFO)
     is_store = bool(info & (1 << 29))
     if is_store:
         hv.cov(BLK_DT_STORE)
         advance_rip(hv, vcpu)
         return
     hv.cov(BLK_DT_LOAD)
-    selector = hv.vmread(vcpu, VmcsField.GUEST_LDTR_SELECTOR)
+    selector = hv.vmread(vcpu, ArchField.GUEST_LDTR_SELECTOR)
     if selector:
         descriptor, walked = load_descriptor(hv, vcpu, selector)
         if walked and descriptor is not None and not descriptor.present:

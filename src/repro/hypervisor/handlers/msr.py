@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.hypervisor.coverage import BlockAllocator
 from repro.hypervisor.handlers.common import advance_rip, inject_gp
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.msr import Msr, MsrAccessError
 from repro.x86.registers import GPR
 
@@ -99,10 +99,10 @@ def handle_wrmsr(hv, vcpu: Vcpu) -> None:
     hv.cov(_class_block(msr))
     if msr == int(Msr.IA32_EFER):
         # Keep the VMCS guest-EFER field coherent; LMA follows LME&PG.
-        cr0 = hv.vmread(vcpu, VmcsField.GUEST_CR0)
+        cr0 = hv.vmread(vcpu, ArchField.GUEST_CR0)
         if (value & (1 << 8)) and (cr0 & (1 << 31)):
             value |= 1 << 10
-        hv.vmwrite(vcpu, VmcsField.GUEST_IA32_EFER, value)
+        hv.vmwrite(vcpu, ArchField.GUEST_IA32_EFER, value)
     if msr == int(Msr.IA32_APIC_BASE):
         # Relocating or disabling the APIC changes MMIO routing.
         vlapic = hv.vlapic(vcpu)

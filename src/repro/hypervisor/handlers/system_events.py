@@ -17,7 +17,7 @@ from repro.hypervisor.handlers.common import (
 )
 from repro.hypervisor.memory import HvmCopyResult
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField
 from repro.x86.registers import GPR, Cr4
 
 _alloc = BlockAllocator("arch/x86/hvm/hvm.c", first_line=4000)
@@ -46,9 +46,9 @@ def handle_task_switch(hv, vcpu: Vcpu) -> None:
     behaves exactly like the descriptor loads under replay.
     """
     hv.cov(BLK_TASK_SWITCH)
-    qualification = hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    qualification = hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
     selector = qualification & 0xFFFF
-    gdtr_base = hv.vmread(vcpu, VmcsField.GUEST_GDTR_BASE)
+    gdtr_base = hv.vmread(vcpu, ArchField.GUEST_GDTR_BASE)
     tss_address = gdtr_base + (selector >> 3) * 8
 
     hv.clock.charge("guest_mem_access")
@@ -69,8 +69,8 @@ def handle_task_switch(hv, vcpu: Vcpu) -> None:
         return
     # Commit the new task register; the guest continues at the new
     # context (the VMCS TR fields are guest state -> recorded writes).
-    hv.vmwrite(vcpu, VmcsField.GUEST_TR_SELECTOR, selector)
-    hv.vmwrite(vcpu, VmcsField.GUEST_TR_AR_BYTES, 0x8B)  # busy TSS
+    hv.vmwrite(vcpu, ArchField.GUEST_TR_SELECTOR, selector)
+    hv.vmwrite(vcpu, ArchField.GUEST_TR_AR_BYTES, 0x8B)  # busy TSS
 
 
 def handle_apic_access(hv, vcpu: Vcpu) -> None:
@@ -81,7 +81,7 @@ def handle_apic_access(hv, vcpu: Vcpu) -> None:
     dependence: this path replays exactly.
     """
     hv.cov(BLK_APIC_ACCESS)
-    qualification = hv.vmread(vcpu, VmcsField.EXIT_QUALIFICATION)
+    qualification = hv.vmread(vcpu, ArchField.EXIT_QUALIFICATION)
     offset = qualification & 0xFFF
     access_type = (qualification >> 12) & 0xF
     if access_type > 3:
@@ -105,14 +105,14 @@ def handle_tpr_below_threshold(hv, vcpu: Vcpu) -> None:
     hv.cov(BLK_TPR_THRESHOLD)
     vlapic = hv.vlapic(vcpu)
     tpr = vlapic.regs.get(0x80, 0)
-    hv.vmwrite(vcpu, VmcsField.TPR_THRESHOLD, tpr & 0xF)
+    hv.vmwrite(vcpu, ArchField.TPR_THRESHOLD, tpr & 0xF)
     # No RIP advance: the exit is asynchronous to the guest.
 
 
 def handle_rdpmc(hv, vcpu: Vcpu) -> None:
     """Reason 15: RDPMC — #GP unless CR4.PCE allows user access."""
-    cr4 = hv.vmread(vcpu, VmcsField.GUEST_CR4)
-    ss_ar = hv.vmread(vcpu, VmcsField.GUEST_SS_AR_BYTES)
+    cr4 = hv.vmread(vcpu, ArchField.GUEST_CR4)
+    ss_ar = hv.vmread(vcpu, ArchField.GUEST_SS_AR_BYTES)
     cpl = (ss_ar >> 5) & 0x3
     if cpl and not (cr4 & Cr4.PCE):
         hv.cov(BLK_RDPMC_GP)

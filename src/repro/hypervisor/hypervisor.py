@@ -23,13 +23,12 @@ from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.vlapic import Vlapic
 from repro.hypervisor.vpt import VirtualPlatformTimer
 from repro.hypervisor.xenlog import XenLog
-from repro.vmx.entry_checks import check_vm_entry
+from repro.arch.backend import get_backend
+from repro.arch.fields import ArchField
 from repro.vmx.exit_reasons import (
     ExitReason,
     VM_EXIT_REASON_ENTRY_FAILURE,
 )
-from repro.vmx.vmcs import VmcsLaunchState
-from repro.vmx.vmcs_fields import VmcsField
 from repro.x86.costs import CostModel, DEFAULT_COSTS
 from repro.x86.cpumodes import OperatingMode
 
@@ -58,7 +57,11 @@ class Hypervisor:
         self,
         costs: CostModel | None = None,
         handler_table: HandlerTable | None = None,
+        arch: str = "vmx",
     ) -> None:
+        #: Which virtualization backend this host's CPUs expose.
+        self.arch = arch
+        self.backend = get_backend(arch)
         self.clock = Clock(costs=costs or DEFAULT_COSTS)
         self.log = XenLog()
         self.log.bind_clock(lambda: self.clock.now)
@@ -128,13 +131,14 @@ class Hypervisor:
                 vcpu = Vcpu(
                     vcpu_id=vcpu_id,
                     vmcs_address=self._next_vmcs_address,
+                    arch=self.arch,
                 )
                 self._next_vmcs_address += 0x1000
                 domain.add_vcpu(vcpu)
                 self._vlapics[(domid, vcpu_id)] = Vlapic(
                     vcpu_id=vcpu_id
                 )
-                self._init_vmcs(vcpu)
+                self._init_guest_state(vcpu)
             self._vpts[domid] = VirtualPlatformTimer()
             self._irqs[domid] = VirtualIrqController()
         return domain
@@ -146,44 +150,9 @@ class Hypervisor:
         for key in [k for k in self._vlapics if k[0] == domain.domid]:
             self._vlapics.pop(key)
 
-    def _init_vmcs(self, vcpu: Vcpu) -> None:
-        """Xen's construct_vmcs(): VMCLEAR, VMPTRLD, baseline fields."""
-        vcpu.vmx.vmclear(vcpu.vmcs_address)
-        vcpu.vmx.vmptrld(vcpu.vmcs_address)
-        vmcs = vcpu.vmcs
-        # Guest state: real-mode reset values that pass the §26.3 checks.
-        vmcs.write(VmcsField.GUEST_CR0, vcpu.regs.cr0)
-        vmcs.write(VmcsField.CR0_READ_SHADOW, vcpu.regs.cr0)
-        vmcs.write(VmcsField.GUEST_CR4, 0)
-        vmcs.write(VmcsField.GUEST_RFLAGS, vcpu.regs.rflags)
-        vmcs.write(VmcsField.GUEST_RIP, vcpu.regs.rip)
-        vmcs.write(VmcsField.GUEST_RSP, 0)
-        vmcs.write(VmcsField.VMCS_LINK_POINTER, (1 << 64) - 1)
-        vmcs.write(VmcsField.GUEST_ACTIVITY_STATE, 0)
-        vmcs.write(VmcsField.GUEST_CS_SELECTOR, 0xF000)
-        vmcs.write(VmcsField.GUEST_CS_BASE, 0xF0000)
-        vmcs.write(VmcsField.GUEST_CS_LIMIT, 0xFFFF)
-        vmcs.write(VmcsField.GUEST_CS_AR_BYTES, 0x9B)
-        for seg in ("ES", "SS", "DS", "FS", "GS"):
-            vmcs.write(VmcsField[f"GUEST_{seg}_SELECTOR"], 0)
-            vmcs.write(VmcsField[f"GUEST_{seg}_BASE"], 0)
-            vmcs.write(VmcsField[f"GUEST_{seg}_LIMIT"], 0xFFFF)
-            vmcs.write(VmcsField[f"GUEST_{seg}_AR_BYTES"], 0x93)
-        vmcs.write(VmcsField.GUEST_TR_SELECTOR, 0)
-        vmcs.write(VmcsField.GUEST_TR_BASE, 0)
-        vmcs.write(VmcsField.GUEST_TR_LIMIT, 0xFF)
-        vmcs.write(VmcsField.GUEST_TR_AR_BYTES, 0x8B)
-        vmcs.write(VmcsField.GUEST_LDTR_AR_BYTES, 1 << 16)  # unusable
-        vmcs.write(VmcsField.GUEST_GDTR_LIMIT, 0xFFFF)
-        vmcs.write(VmcsField.GUEST_IDTR_LIMIT, 0xFFFF)
-        vmcs.write(VmcsField.GUEST_DR7, 0x400)
-        # Controls.
-        vmcs.write(VmcsField.PIN_BASED_VM_EXEC_CONTROL, 0x16)
-        vmcs.write(VmcsField.CPU_BASED_VM_EXEC_CONTROL, 0x84006172)
-        vmcs.write(VmcsField.SECONDARY_VM_EXEC_CONTROL, 0x822)
-        vmcs.write(VmcsField.EXCEPTION_BITMAP, 1 << 18)
-        vmcs.write(VmcsField.TSC_OFFSET, 0)
-        vmcs.write(VmcsField.EPT_POINTER, 0x7000)
+    def _init_guest_state(self, vcpu: Vcpu) -> None:
+        """Xen's construct_vmcs()/construct_vmcb(), backend-routed."""
+        vcpu.backend.init_guest_state(vcpu)
 
     # ---- device accessors (used by handlers) ------------------------
 
@@ -228,20 +197,25 @@ class Hypervisor:
         for block in blocks:
             self.cov(block)
 
-    def vmread(self, vcpu: Vcpu, fld: VmcsField) -> int:
-        """Xen's ``vmread()`` wrapper: instrumented VMREAD."""
+    def vmread(self, vcpu: Vcpu, fld: ArchField) -> int:
+        """Xen's ``vmread()`` wrapper: instrumented guest-state read.
+
+        The clock charge keeps the key "vmread" on every backend so the
+        replay-accuracy cost model is arch-independent (on SVM the
+        physical access is a plain VMCB load).
+        """
         self.clock.charge("vmread")
-        value = vcpu.vmx.vmread(fld)
+        value = vcpu.backend.read(vcpu, fld)
         for hook in self.hooks:
             value = hook.on_vmread(vcpu, fld, value)
         return value
 
-    def vmwrite(self, vcpu: Vcpu, fld: VmcsField, value: int) -> None:
-        """Xen's ``vmwrite()`` wrapper: instrumented VMWRITE."""
+    def vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
+        """Xen's ``vmwrite()`` wrapper: instrumented guest-state write."""
         self.clock.charge("vmwrite")
         for hook in self.hooks:
             hook.on_vmwrite(vcpu, fld, value)
-        vcpu.vmx.vmwrite(fld, value)
+        vcpu.backend.write(vcpu, fld, value)
 
     def bug_on(self, condition: bool, reason: str) -> None:
         """Xen's BUG_ON(): panic the host when an invariant breaks."""
@@ -280,7 +254,7 @@ class Hypervisor:
             )
         start = self.clock.now
         self.current_event = event
-        vcpu.vmx.deliver_vm_exit()
+        vcpu.backend.deliver_exit_to_cpu(vcpu)
         self.clock.charge("vm_exit_context_switch")
         self.clock.charge("gpr_save")
         self.exit_coverage = CoverageMap()
@@ -289,7 +263,7 @@ class Hypervisor:
         for hook in self.hooks:
             hook.on_exit_start(vcpu)
 
-        raw_reason = self.vmread(vcpu, VmcsField.VM_EXIT_REASON)
+        raw_reason = self.vmread(vcpu, ArchField.VM_EXIT_REASON)
         if raw_reason & VM_EXIT_REASON_ENTRY_FAILURE:
             self.cov(hc.BLK_ENTRY_FAILURE_BUG)
             self.bug_on(
@@ -381,9 +355,9 @@ class Hypervisor:
         if not vlapic.irr or vcpu.hvm.pending_event is not None:
             return
         self.cov(hc.BLK_INTR_ASSIST)
-        rflags = self.vmread(vcpu, VmcsField.GUEST_RFLAGS)
-        interruptibility = vcpu.vmcs.read(
-            VmcsField.GUEST_INTERRUPTIBILITY_INFO
+        rflags = self.vmread(vcpu, ArchField.GUEST_RFLAGS)
+        interruptibility = vcpu.read_field(
+            ArchField.GUEST_INTERRUPTIBILITY_INFO
         )
         if (rflags & (1 << 9)) and not (interruptibility & 0x3):
             vector, blocks = vlapic.ack_highest()
@@ -395,10 +369,10 @@ class Hypervisor:
         else:
             self.cov(hc.BLK_OPEN_INTR_WINDOW)
             controls = self.vmread(
-                vcpu, VmcsField.CPU_BASED_VM_EXEC_CONTROL
+                vcpu, ArchField.CPU_BASED_VM_EXEC_CONTROL
             )
             self.vmwrite(
-                vcpu, VmcsField.CPU_BASED_VM_EXEC_CONTROL,
+                vcpu, ArchField.CPU_BASED_VM_EXEC_CONTROL,
                 controls | (1 << 2),
             )
 
@@ -411,8 +385,8 @@ class Hypervisor:
         performs are part of the recorded seed.
         """
         assert vcpu.domain is not None
-        rip = self.vmread(vcpu, VmcsField.GUEST_RIP)
-        cs_base = self.vmread(vcpu, VmcsField.GUEST_CS_BASE)
+        rip = self.vmread(vcpu, ArchField.GUEST_RIP)
+        cs_base = self.vmread(vcpu, ArchField.GUEST_CS_BASE)
         mode = vcpu.hvm.guest_mode
         # A non-canonical RIP can only come from VMCS corruption: the
         # VMWRITE of it would fail at the next entry, which Xen treats
@@ -441,18 +415,19 @@ class Hypervisor:
 
         # Wake a halted vCPU that has (or is being injected) an
         # interrupt: event injection clears the HLT activity state.
-        activity = vcpu.vmcs.read(VmcsField.GUEST_ACTIVITY_STATE)
+        activity = vcpu.read_field(ArchField.GUEST_ACTIVITY_STATE)
         injecting = bool(
-            vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO) & (1 << 31)
+            vcpu.read_field(ArchField.VM_ENTRY_INTR_INFO) & (1 << 31)
         )
         if activity == 1 and (self.vlapic(vcpu).irr or injecting):
-            vcpu.vmcs.write(VmcsField.GUEST_ACTIVITY_STATE, 0)
+            vcpu.write_field(ArchField.GUEST_ACTIVITY_STATE, 0)
 
-        # Hardware-side §26.3 guest-state checks.
+        # Hardware-side guest-state checks (§26.3 on VT-x, the APM
+        # §15.5 VMRUN consistency checks on SVM).
         self.clock.charge("vm_entry_checks")
         violations = (
-            check_vm_entry(vcpu.vmcs) if self.entry_checks_enabled
-            else []
+            vcpu.backend.validate_entry(vcpu)
+            if self.entry_checks_enabled else []
         )
         if violations:
             summary = "; ".join(v.check for v in violations[:4])
@@ -462,16 +437,13 @@ class Hypervisor:
             vcpu.domain.domain_crash(f"VM entry failure: {summary}")
 
         # Consume any injected event (hardware clears the valid bit).
-        intr_info = vcpu.vmcs.read(VmcsField.VM_ENTRY_INTR_INFO)
+        intr_info = vcpu.read_field(ArchField.VM_ENTRY_INTR_INFO)
         if intr_info & (1 << 31):
-            vcpu.vmcs.write(
-                VmcsField.VM_ENTRY_INTR_INFO, intr_info & ~(1 << 31)
+            vcpu.write_field(
+                ArchField.VM_ENTRY_INTR_INFO, intr_info & ~(1 << 31)
             )
             vcpu.hvm.pending_event = None
 
         self.clock.charge("gpr_load")
-        if vcpu.vmcs.launch_state is VmcsLaunchState.CLEAR:
-            vcpu.vmx.vmlaunch()
-        else:
-            vcpu.vmx.vmresume()
+        vcpu.backend.enter_guest(vcpu)
         self.clock.charge("vm_entry_context_switch")

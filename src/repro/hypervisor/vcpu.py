@@ -1,11 +1,17 @@
 """The virtual CPU abstraction (Xen's ``struct vcpu`` analogue).
 
 A vCPU bundles the architectural register state the hypervisor keeps in
-its own structures (GPRs — the paper's seed GPR area), the VMCS that
-holds the hardware-switched state, the per-vCPU VMX logical-processor
-model, and the hypervisor's *cached* abstractions of guest state (the
-"internal variables" of paper Fig. 2, most importantly the cached guest
+its own structures (GPRs — the paper's seed GPR area), the control
+structure that holds the hardware-switched state (a VMCS on VT-x, a
+VMCB on SVM), the per-vCPU logical-processor model, and the
+hypervisor's *cached* abstractions of guest state (the "internal
+variables" of paper Fig. 2, most importantly the cached guest
 operating mode that the "bad RIP for mode 0" crash check consults).
+
+All guest-state access above this layer goes through
+:meth:`Vcpu.read_field` / :meth:`Vcpu.write_field`, which route a
+symbolic :class:`~repro.arch.fields.ArchField` to wherever the bound
+backend physically keeps it.
 """
 
 from __future__ import annotations
@@ -13,15 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.arch.backend import VirtBackend, get_backend
+from repro.arch.fields import ArchField
 from repro.x86.cpumodes import OperatingMode, classify_cr0
 from repro.x86.msr import MsrFile
 from repro.x86.registers import GPR, RegisterFile
 from repro.vmx.vmcs import Vmcs
-from repro.vmx.vmcs_fields import VmcsField
 from repro.vmx.vmx_ops import VmxCpu
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.domain import Domain
+    from repro.svm.svm_ops import SvmCpu
 
 
 @dataclass
@@ -54,6 +62,7 @@ class Vcpu:
     """One virtual CPU bound 1:1 to a physical CPU (paper §VI setup)."""
 
     vcpu_id: int
+    #: Physical address of the control structure (VMCS or VMCB).
     vmcs_address: int
     regs: RegisterFile = field(default_factory=RegisterFile)
     msrs: MsrFile = field(default_factory=MsrFile)
@@ -62,15 +71,28 @@ class Vcpu:
     domain: "Domain | None" = None
     #: Set once the vCPU has been torn down by a crash.
     dead: bool = False
+    #: Which virtualization backend drives this vCPU.
+    arch: str = "vmx"
+    #: Per-vCPU SVM logical-processor state; populated by the SVM
+    #: backend's create_cpu (the VT-x twin is ``vmx`` above).
+    svm: "SvmCpu | None" = None
 
     def __post_init__(self) -> None:
-        self.vmx.vmxon(0x1000)  # per-pCPU VMXON region
-        self.vmx.allocate_vmcs(self.vmcs_address)
+        self.backend: VirtBackend = get_backend(self.arch)
+        self.backend.create_cpu(self)
 
     @property
     def vmcs(self) -> Vmcs:
         vmcs = self.vmx.regions[self.vmcs_address]
         return vmcs
+
+    def read_field(self, fld: ArchField) -> int:
+        """Raw (uninstrumented) guest-state read via the backend."""
+        return self.backend.read_raw(self, fld)
+
+    def write_field(self, fld: ArchField, value: int) -> None:
+        """Raw (uninstrumented) guest-state write via the backend."""
+        self.backend.write_raw(self, fld, value)
 
     def save_guest_gprs(self) -> dict[GPR, int]:
         """What the VM-exit assembly stub stores into ``struct vcpu``."""
@@ -83,8 +105,8 @@ class Vcpu:
         return self.hvm.guest_mode
 
     def guest_rip(self) -> int:
-        """Guest RIP as stored in the VMCS (raw read, no hooks)."""
-        return self.vmcs.read(VmcsField.GUEST_RIP)
+        """Guest RIP as stored in the control structure (raw read)."""
+        return self.read_field(ArchField.GUEST_RIP)
 
     def describe(self) -> str:
         dom = self.domain.domid if self.domain is not None else "?"

@@ -13,21 +13,33 @@ counterpart —
 * VM-exit reason    → VMCB exit code (EXITCODE);
 * exit qualification→ EXITINFO1/EXITINFO2;
 * VMLAUNCH/VMRESUME → VMRUN (the world switch);
-* preemption timer  → the SVM pause/intercept-driven equivalent.
+* preemption timer  → the zero pause-filter intercept.
 
 :mod:`repro.svm.translate` converts recorded VT-x traces into
-VMCB-addressed seeds, reporting exactly which entries have no SVM
-counterpart.
+VMCB-addressed seeds (and back), reporting exactly which entries have
+no SVM counterpart; :mod:`repro.svm.backend` runs the whole
+record/replay/fuzz loop natively on a VMCB state machine.
 """
 
 from repro.svm.vmcb import Vmcb, VmcbField, VMCB_SAVE_AREA_OFFSET
-from repro.svm.exit_codes import SvmExitCode, exit_code_for_reason
+from repro.svm.exit_codes import (
+    SvmExitCode,
+    exit_code_for_reason,
+    exit_reason_for_code,
+)
+from repro.svm.svm_ops import CpuSvmMode, SvmCpu
 from repro.svm.translate import (
+    INJECTIVE_FIELDS,
+    ROUND_TRIP_FIELDS,
+    ReverseTranslationReport,
     SvmSeed,
     SvmSeedEntry,
     TranslationReport,
     translate_seed,
+    translate_seed_back,
+    translate_seeds_back,
     translate_trace,
+    VMCB_TO_VMCS,
     VMCS_TO_VMCB,
 )
 
@@ -36,11 +48,20 @@ __all__ = [
     "VmcbField",
     "VMCB_SAVE_AREA_OFFSET",
     "SvmExitCode",
+    "CpuSvmMode",
+    "SvmCpu",
     "exit_code_for_reason",
+    "exit_reason_for_code",
     "SvmSeed",
     "SvmSeedEntry",
     "TranslationReport",
+    "ReverseTranslationReport",
     "translate_seed",
+    "translate_seed_back",
+    "translate_seeds_back",
     "translate_trace",
     "VMCS_TO_VMCB",
+    "VMCB_TO_VMCS",
+    "INJECTIVE_FIELDS",
+    "ROUND_TRIP_FIELDS",
 ]

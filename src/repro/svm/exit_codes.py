@@ -22,6 +22,8 @@ class SvmExitCode(enum.IntEnum):
     VMEXIT_CR0_WRITE = 0x010
     VMEXIT_CR3_WRITE = 0x013
     VMEXIT_CR4_WRITE = 0x014
+    VMEXIT_DR0_READ = 0x020  # + register
+    VMEXIT_DR0_WRITE = 0x030  # + register
     VMEXIT_EXCP_BASE = 0x040  # + vector
     VMEXIT_INTR = 0x060
     VMEXIT_NMI = 0x061
@@ -42,6 +44,7 @@ class SvmExitCode(enum.IntEnum):
     VMEXIT_RSM = 0x073
     VMEXIT_INVD = 0x076
     VMEXIT_RDTSCP = 0x087
+    VMEXIT_WBINVD = 0x089
     VMEXIT_MONITOR = 0x08A
     VMEXIT_MWAIT = 0x08B
     VMEXIT_XSETBV = 0x08D
@@ -76,6 +79,14 @@ _REASON_TO_CODE: dict[ExitReason, SvmExitCode] = {
     ExitReason.EPT_VIOLATION: SvmExitCode.VMEXIT_NPF,
     ExitReason.EPT_MISCONFIG: SvmExitCode.VMEXIT_NPF,
     ExitReason.XSETBV: SvmExitCode.VMEXIT_XSETBV,
+    ExitReason.WBINVD: SvmExitCode.VMEXIT_WBINVD,
+    ExitReason.DR_ACCESS: SvmExitCode.VMEXIT_DR0_WRITE,
+    ExitReason.RSM: SvmExitCode.VMEXIT_RSM,
+    ExitReason.OTHER_SMI: SvmExitCode.VMEXIT_SMI,
+    # Guest attempts at VT-x's virtualization instructions have no
+    # per-instruction EXITCODEs; an SVM guest running them takes #UD,
+    # and a guest VMRUN (the SVM twin of VMLAUNCH) has its own code.
+    ExitReason.VMLAUNCH: SvmExitCode.VMEXIT_VMRUN,
 }
 
 
@@ -98,3 +109,59 @@ def exit_code_for_reason(
         except ValueError:
             return None
     return _REASON_TO_CODE.get(reason)
+
+
+#: EXITCODE -> VT-x basic exit reason, for codes with a one-to-one
+#: correspondence.  Range-coded families (CR, DR, exceptions) and the
+#: direction-coded MSR exit are decoded in :func:`exit_reason_for_code`.
+_CODE_TO_REASON: dict[int, ExitReason] = {
+    int(SvmExitCode.VMEXIT_INTR): ExitReason.EXTERNAL_INTERRUPT,
+    int(SvmExitCode.VMEXIT_NMI): ExitReason.EXCEPTION_NMI,
+    int(SvmExitCode.VMEXIT_SMI): ExitReason.OTHER_SMI,
+    int(SvmExitCode.VMEXIT_VINTR): ExitReason.INTERRUPT_WINDOW,
+    int(SvmExitCode.VMEXIT_RDTSC): ExitReason.RDTSC,
+    int(SvmExitCode.VMEXIT_RDPMC): ExitReason.RDPMC,
+    int(SvmExitCode.VMEXIT_CPUID): ExitReason.CPUID,
+    int(SvmExitCode.VMEXIT_RSM): ExitReason.RSM,
+    int(SvmExitCode.VMEXIT_INVD): ExitReason.INVD,
+    int(SvmExitCode.VMEXIT_PAUSE): ExitReason.PAUSE,
+    int(SvmExitCode.VMEXIT_HLT): ExitReason.HLT,
+    int(SvmExitCode.VMEXIT_INVLPG): ExitReason.INVLPG,
+    int(SvmExitCode.VMEXIT_IOIO): ExitReason.IO_INSTRUCTION,
+    int(SvmExitCode.VMEXIT_TASK_SWITCH): ExitReason.TASK_SWITCH,
+    int(SvmExitCode.VMEXIT_SHUTDOWN): ExitReason.TRIPLE_FAULT,
+    int(SvmExitCode.VMEXIT_VMRUN): ExitReason.VMLAUNCH,
+    int(SvmExitCode.VMEXIT_VMMCALL): ExitReason.VMCALL,
+    int(SvmExitCode.VMEXIT_RDTSCP): ExitReason.RDTSCP,
+    int(SvmExitCode.VMEXIT_WBINVD): ExitReason.WBINVD,
+    int(SvmExitCode.VMEXIT_MONITOR): ExitReason.MONITOR,
+    int(SvmExitCode.VMEXIT_MWAIT): ExitReason.MWAIT,
+    int(SvmExitCode.VMEXIT_XSETBV): ExitReason.XSETBV,
+    int(SvmExitCode.VMEXIT_NPF): ExitReason.EPT_VIOLATION,
+}
+
+
+def exit_reason_for_code(code: int, exitinfo1: int = 0) -> int:
+    """Decode an EXITCODE into the neutral (VT-x-numbered) exit reason.
+
+    The inverse of :func:`exit_code_for_reason` for every code SVM can
+    physically deliver in this model.  MSR exits need EXITINFO1 bit 0
+    to tell RDMSR from WRMSR (APM Vol. 2, §15.11).  Unknown codes are
+    returned masked to 16 bits; since every code we leave undecoded is
+    numerically above the largest :class:`ExitReason` member, the
+    dispatcher's ``ExitReason(raw)`` lookup fails cleanly and crashes
+    the domain instead of silently misrouting the exit.
+    """
+    c = int(code)
+    if 0x000 <= c <= 0x01F:
+        return int(ExitReason.CR_ACCESS)
+    if 0x020 <= c <= 0x03F:
+        return int(ExitReason.DR_ACCESS)
+    if 0x040 <= c <= 0x05F:
+        return int(ExitReason.EXCEPTION_NMI)
+    if c == int(SvmExitCode.VMEXIT_MSR):
+        return int(ExitReason.WRMSR if exitinfo1 & 1 else ExitReason.RDMSR)
+    reason = _CODE_TO_REASON.get(c)
+    if reason is not None:
+        return int(reason)
+    return c & 0xFFFF

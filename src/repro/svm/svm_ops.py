@@ -1,0 +1,96 @@
+"""SVM instruction semantics: VMRUN / #VMEXIT (AMD APM Vol. 2, §15).
+
+:class:`SvmCpu` is the AMD-V twin of
+:class:`~repro.vmx.vmx_ops.VmxCpu`: it models one logical processor's
+SVM operation — whether SVME is enabled, which VMCBs exist, and whether
+the CPU currently runs guest or host code.  The instruction surface is
+much smaller than VT-x's: there is no "current VMCS" state machine and
+no launch/resume split — VMRUN takes the VMCB physical address every
+time, and a #VMEXIT simply hands control back to the host at the
+instruction after VMRUN.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.arch.fields import ArchField
+from repro.errors import SvmError
+from repro.svm.vmcb import Vmcb
+
+
+class CpuSvmMode(enum.Enum):
+    """Whether the logical processor runs host or guest code."""
+
+    HOST = "host"
+    GUEST = "guest"
+
+
+@dataclass
+class SvmCpu:
+    """SVM state of one logical processor.
+
+    ``vmcbs`` stands in for physical memory holding VMCB regions, like
+    ``VmxCpu.regions`` does for VMCS memory.  ``shadow`` holds the
+    software-maintained guest state an SVM hypervisor keeps *outside*
+    the VMCB — the natural home for the ArchFields that have no VMCB
+    offset (interruptibility details, the VT-x-only controls), so no
+    symbolic field is ever silently dropped.
+    """
+
+    mode: CpuSvmMode = CpuSvmMode.HOST
+    svme: bool = False  # EFER.SVME
+    vmcbs: dict[int, Vmcb] = field(default_factory=dict)
+    current_vmcb: Vmcb | None = None
+    #: Software shadow for fields without a VMCB slot.
+    shadow: dict[ArchField, int] = field(default_factory=dict)
+    #: True once the vCPU has executed VMRUN at least once (the
+    #: launch-token analogue; SVM itself has no launched/clear state).
+    has_run: bool = False
+
+    # ---- helpers ----------------------------------------------------
+
+    def _require_host(self, instruction: str) -> None:
+        if self.mode is not CpuSvmMode.HOST:
+            raise SvmError(
+                f"{instruction} requires host mode "
+                f"(cpu mode: {self.mode.value})"
+            )
+
+    def enable(self) -> None:
+        """Set EFER.SVME, enabling the SVM instruction set."""
+        self.svme = True
+
+    def allocate_vmcb(self, address: int) -> Vmcb:
+        """Allocate a VMCB region at a simulated physical address."""
+        if address in self.vmcbs:
+            raise ValueError(f"VMCB region at 0x{address:x} already exists")
+        vmcb = Vmcb(address=address)
+        self.vmcbs[address] = vmcb
+        return vmcb
+
+    # ---- SVM instructions --------------------------------------------
+
+    def vmrun(self, address: int) -> Vmcb:
+        """World-switch into the guest described by the VMCB at rAX."""
+        self._require_host("VMRUN")
+        if not self.svme:
+            raise SvmError("VMRUN with EFER.SVME clear (#UD)")
+        vmcb = self.vmcbs.get(address)
+        if vmcb is None:
+            raise SvmError(
+                f"VMRUN with invalid VMCB address 0x{address:x}"
+            )
+        self.current_vmcb = vmcb
+        self.mode = CpuSvmMode.GUEST
+        self.has_run = True
+        return vmcb
+
+    def vmexit(self) -> None:
+        """Hardware side of #VMEXIT: back to host mode."""
+        if self.mode is not CpuSvmMode.GUEST:
+            raise SvmError(
+                "#VMEXIT delivered while not in guest mode"
+            )
+        self.mode = CpuSvmMode.HOST

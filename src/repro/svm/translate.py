@@ -16,12 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.seed import SeedFlag, Trace, VMSeed
-from repro.svm.exit_codes import SvmExitCode, exit_code_for_reason
+from repro.core.seed import SeedEntry, SeedFlag, Trace, VMSeed
+from repro.svm.exit_codes import (
+    SvmExitCode,
+    exit_code_for_reason,
+    exit_reason_for_code,
+)
 from repro.svm.vmcb import VmcbField
 from repro.vmx.exit_qualification import CrAccessQualification
 from repro.vmx.exit_reasons import ExitReason
-from repro.vmx.vmcs_fields import VmcsField
+from repro.arch.fields import ArchField as VmcsField
 from repro.x86.registers import GPR
 
 #: VMCS field -> VMCB field, for everything that has a counterpart.
@@ -97,6 +101,47 @@ VMCS_TO_VMCB: dict[VmcsField, VmcbField] = {
     VmcsField.CR0_GUEST_HOST_MASK: VmcbField.INTERCEPT_CR,
     VmcsField.CR4_GUEST_HOST_MASK: VmcbField.INTERCEPT_CR,
 }
+
+#: VMCS fields whose VMCB slot is shared with another VMCS field, with
+#: the *canonical* preimage chosen for the reverse direction.  VT-x has
+#: more exit-information registers than SVM (e.g. both an exit
+#: qualification and a guest-linear-address, where SVM only has
+#: EXITINFO1), so the forward map is deliberately non-injective; going
+#: back we pick the field the handlers actually consume.
+_CANONICAL_PREIMAGE: dict[VmcbField, VmcsField] = {
+    VmcbField.EXITINFO1: VmcsField.EXIT_QUALIFICATION,
+    VmcbField.EXITINTINFO: VmcsField.VM_EXIT_INTR_INFO,
+    VmcbField.INTERCEPT_CR: VmcsField.CR0_GUEST_HOST_MASK,
+}
+
+#: VMCB field -> VMCS field: the exact inverse of ``VMCS_TO_VMCB``
+#: restricted to canonical preimages.  NEXT_RIP is excluded — it is
+#: derived state (RIP + instruction length), not a field of its own;
+#: the backend reconstructs VM_EXIT_INSTRUCTION_LEN from it instead.
+VMCB_TO_VMCS: dict[VmcbField, VmcsField] = {
+    _vmcb_fld: _vmcs_fld
+    for _vmcs_fld, _vmcb_fld in VMCS_TO_VMCB.items()
+    if _CANONICAL_PREIMAGE.get(_vmcb_fld, _vmcs_fld) is _vmcs_fld
+    and _vmcb_fld is not VmcbField.NEXT_RIP
+}
+
+#: The VMCS fields that survive a VMX->SVM->VMX round trip unchanged:
+#: their VMCB slot maps back to exactly them.
+INJECTIVE_FIELDS: frozenset[VmcsField] = frozenset(VMCB_TO_VMCS.values())
+
+#: VMCB slot -> VMCS field for *seed* entries.  Seed translation treats
+#: NEXT_RIP as a plain value slot carrying the instruction length (the
+#: backend's derived-state treatment only applies to live VMCBs), so the
+#: seed-level reverse map re-admits it.
+_SEED_VMCB_TO_VMCS: dict[VmcbField, VmcsField] = {
+    **VMCB_TO_VMCS,
+    VmcbField.NEXT_RIP: VmcsField.VM_EXIT_INSTRUCTION_LEN,
+}
+
+#: Fields whose seed entries survive VMX -> SVM -> VMX bit-for-bit.
+ROUND_TRIP_FIELDS: frozenset[VmcsField] = frozenset(
+    _SEED_VMCB_TO_VMCS.values()
+)
 
 
 @dataclass(frozen=True)
@@ -188,9 +233,18 @@ def translate_seed(
                 report.dropped_fields.get(vmcs_field, 0) + 1
             )
             continue
+        value = entry.value
+        if (vmcb_field is VmcbField.EXITINFO1
+                and vmcs_field is VmcsField.EXIT_QUALIFICATION
+                and seed.reason in (ExitReason.RDMSR,
+                                    ExitReason.WRMSR)):
+            # VT-x MSR exits carry no qualification; SVM encodes the
+            # access direction in EXITINFO1 (APM §15.11).  Apply the
+            # convention so the reverse decode recovers the reason.
+            value = 1 if seed.reason is ExitReason.WRMSR else 0
         svm_seed.entries.append(SvmSeedEntry(
             is_gpr=False, gpr=None, vmcb_field=vmcb_field,
-            value=entry.value,
+            value=value,
         ))
         report.translated_entries += 1
     return svm_seed
@@ -203,4 +257,95 @@ def translate_trace(trace: Trace) -> TranslationReport:
         svm_seed = translate_seed(record.seed, report)
         if svm_seed is not None:
             report.seeds.append(svm_seed)
+    return report
+
+
+# ---- the reverse direction (VMCB -> VMCS) -----------------------------
+
+@dataclass
+class ReverseTranslationReport:
+    """Bookkeeping for the SVM -> VMX direction.
+
+    The reverse map is *total* over everything :func:`translate_seed`
+    can emit: every VMCB slot has a canonical VMCS preimage, so nothing
+    is ever dropped going back — the lossy direction is VMX -> SVM, and
+    that loss is reported there (``dropped_fields``), never silently
+    repeated here.
+    """
+
+    seeds: list[VMSeed] = field(default_factory=list)
+    translated_entries: int = 0
+    #: VM_EXIT_REASON reads re-synthesized from the seed's exit code
+    #: (the forward direction folds them into the code).
+    regenerated_reason_entries: int = 0
+
+
+def translate_seed_back(
+    svm_seed: SvmSeed,
+    report: ReverseTranslationReport | None = None,
+) -> VMSeed:
+    """Translate one SVM seed back into VT-x terms.
+
+    Inverse of :func:`translate_seed` up to the forward direction's
+    reported drops: GPR entries carry over, each VMCB slot maps to its
+    canonical VMCS preimage, the exit code decodes back into a basic
+    exit reason (EXITINFO1 disambiguating RDMSR/WRMSR), and the
+    VM_EXIT_REASON read the recorder always emits first is
+    re-synthesized ahead of the first VMCB-field entry.
+    """
+    report = (
+        report if report is not None else ReverseTranslationReport()
+    )
+    exitinfo1 = next(
+        (e.value for e in svm_seed.entries
+         if e.vmcb_field is VmcbField.EXITINFO1),
+        0,
+    )
+    reason_raw = exit_reason_for_code(
+        int(svm_seed.exit_code), exitinfo1
+    ) & 0xFFFF
+    reason = ExitReason(reason_raw)
+    seed = VMSeed(exit_reason=reason_raw)
+
+    def emit_reason() -> None:
+        seed.entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, VmcsField.VM_EXIT_REASON, reason_raw
+        ))
+        report.regenerated_reason_entries += 1
+
+    reason_emitted = False
+    for entry in svm_seed.entries:
+        if entry.is_gpr:
+            assert entry.gpr is not None
+            seed.entries.append(
+                SeedEntry.for_gpr(entry.gpr, entry.value)
+            )
+            report.translated_entries += 1
+            continue
+        if not reason_emitted:
+            emit_reason()
+            reason_emitted = True
+        assert entry.vmcb_field is not None
+        vmcs_field = _SEED_VMCB_TO_VMCS[entry.vmcb_field]
+        value = entry.value
+        if (vmcs_field is VmcsField.EXIT_QUALIFICATION
+                and reason in (ExitReason.RDMSR, ExitReason.WRMSR)):
+            value = 0  # VT-x MSR exits read a zero qualification
+        seed.entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, vmcs_field, value
+        ))
+        report.translated_entries += 1
+    if not reason_emitted:
+        emit_reason()
+    report.seeds.append(seed)
+    return seed
+
+
+def translate_seeds_back(
+    seeds: list[SvmSeed],
+) -> ReverseTranslationReport:
+    """Translate a batch of SVM seeds back; returns the full report."""
+    report = ReverseTranslationReport()
+    for svm_seed in seeds:
+        translate_seed_back(svm_seed, report)
     return report

@@ -1,0 +1,154 @@
+"""The VT-x implementation of :class:`~repro.arch.backend.VirtBackend`.
+
+A thin adapter: all the VMX behaviour already lives in
+:class:`~repro.vmx.vmx_ops.VmxCpu`, :class:`~repro.vmx.vmcs.Vmcs`,
+:class:`~repro.vmx.preemption_timer.PreemptionTimer` and
+:func:`~repro.vmx.entry_checks.check_vm_entry`; the backend routes the
+neutral protocol onto them.  ``ArchField`` members *are* VMCS encodings
+on this backend, so field access is a direct passthrough.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.arch.backend import (
+    LAUNCH_CLEAR,
+    LAUNCH_LAUNCHED,
+    apply_reset_state,
+)
+from repro.arch.fields import ArchField, is_read_only
+from repro.vmx.entry_checks import check_vm_entry
+from repro.vmx.exit_reasons import ExitReason
+from repro.vmx.preemption_timer import PreemptionTimer
+from repro.vmx.vmcs import VmcsLaunchState
+from repro.vmx.vmx_ops import CpuVmxMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.events import ExitEvent
+    from repro.hypervisor.vcpu import Vcpu
+    from repro.vmx.entry_checks import EntryCheckViolation
+
+
+class VmxContinuousExitDriver(PreemptionTimer):
+    """The VMX-preemption timer as the dummy VM's exit generator.
+
+    Loading zero preempts the guest "before the CPU executes any
+    instructions in the guest" (paper §V-B); every forced exit arrives
+    with reason 52 (PREEMPTION_TIMER).
+    """
+
+    @property
+    def exit_reason(self) -> ExitReason:
+        return ExitReason.PREEMPTION_TIMER
+
+
+class VmxBackend:
+    """VT-x: VMCS + VMREAD/VMWRITE + §26.3 entry checks."""
+
+    name = "vmx"
+
+    # ---- CPU / control-structure lifecycle -------------------------
+
+    def create_cpu(self, vcpu: "Vcpu") -> None:
+        vcpu.vmx.vmxon(0x1000)  # per-pCPU VMXON region
+        vcpu.vmx.allocate_vmcs(vcpu.vmcs_address)
+
+    def init_guest_state(self, vcpu: "Vcpu") -> None:
+        """Xen's construct_vmcs(): VMCLEAR, VMPTRLD, baseline fields."""
+        vcpu.vmx.vmclear(vcpu.vmcs_address)
+        vcpu.vmx.vmptrld(vcpu.vmcs_address)
+        apply_reset_state(self, vcpu)
+
+    # ---- guest-state access ----------------------------------------
+
+    def read(self, vcpu: "Vcpu", fld: ArchField) -> int:
+        return vcpu.vmx.vmread(fld)
+
+    def write(self, vcpu: "Vcpu", fld: ArchField, value: int) -> None:
+        vcpu.vmx.vmwrite(fld, value)
+
+    def read_raw(self, vcpu: "Vcpu", fld: ArchField) -> int:
+        return vcpu.vmcs.read(fld)
+
+    def write_raw(self, vcpu: "Vcpu", fld: ArchField, value: int) -> None:
+        vcpu.vmcs.write(fld, value)
+
+    def field_is_read_only(self, fld: ArchField) -> bool:
+        return is_read_only(fld)
+
+    # ---- exit/entry machinery --------------------------------------
+
+    def latch_exit(self, vcpu: "Vcpu", event: "ExitEvent") -> None:
+        """Populate the read-only exit-information VMCS fields.
+
+        This models the *hardware* side of the exit, hence the direct
+        ``write_exit_info`` rather than VMWRITE.
+        """
+        vmcs = vcpu.vmcs
+        vmcs.write_exit_info(
+            ArchField.VM_EXIT_REASON, int(event.reason)
+        )
+        vmcs.write_exit_info(
+            ArchField.EXIT_QUALIFICATION, event.qualification
+        )
+        vmcs.write_exit_info(
+            ArchField.GUEST_LINEAR_ADDRESS, event.guest_linear_address
+        )
+        vmcs.write_exit_info(
+            ArchField.GUEST_PHYSICAL_ADDRESS,
+            event.guest_physical_address,
+        )
+        vmcs.write_exit_info(
+            ArchField.VM_EXIT_INSTRUCTION_LEN, event.instruction_len
+        )
+        vmcs.write_exit_info(
+            ArchField.VM_EXIT_INTR_INFO, event.intr_info
+        )
+        vmcs.write_exit_info(
+            ArchField.VMX_INSTRUCTION_INFO, event.instruction_info
+        )
+
+    def deliver_exit_to_cpu(self, vcpu: "Vcpu") -> None:
+        vcpu.vmx.deliver_vm_exit()
+
+    def validate_entry(self, vcpu: "Vcpu") -> "list[EntryCheckViolation]":
+        return check_vm_entry(vcpu.vmcs)
+
+    def enter_guest(self, vcpu: "Vcpu") -> None:
+        if vcpu.vmcs.launch_state is VmcsLaunchState.CLEAR:
+            vcpu.vmx.vmlaunch()
+        else:
+            vcpu.vmx.vmresume()
+
+    def is_in_guest(self, vcpu: "Vcpu") -> bool:
+        return vcpu.vmx.mode is CpuVmxMode.NON_ROOT
+
+    # ---- snapshot support ------------------------------------------
+
+    def export_guest_state(
+        self, vcpu: "Vcpu"
+    ) -> tuple[dict[ArchField, int], str]:
+        token = (
+            LAUNCH_LAUNCHED
+            if vcpu.vmcs.launch_state is VmcsLaunchState.LAUNCHED
+            else LAUNCH_CLEAR
+        )
+        return vcpu.vmcs.contents(), token
+
+    def import_guest_state(
+        self, vcpu: "Vcpu", fields: dict[ArchField, int],
+        launch_token: str,
+    ) -> None:
+        vcpu.vmcs.load_contents(fields)
+        vcpu.vmcs.launch_state = (
+            VmcsLaunchState.LAUNCHED if launch_token == LAUNCH_LAUNCHED
+            else VmcsLaunchState.CLEAR
+        )
+
+    # ---- replay support --------------------------------------------
+
+    def continuous_exit_driver(
+        self, vcpu: "Vcpu"
+    ) -> VmxContinuousExitDriver:
+        return VmxContinuousExitDriver(vcpu.vmcs)

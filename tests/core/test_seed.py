@@ -21,11 +21,25 @@ from repro.vmx.exit_reasons import ExitReason
 from repro.vmx.vmcs_fields import ALL_FIELDS, VmcsField
 from repro.x86.registers import GPR
 
-entries = st.builds(
-    SeedEntry,
-    flag=st.sampled_from(SeedFlag),
-    encoding=st.integers(min_value=0, max_value=len(ALL_FIELDS) - 1),
-    value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+_values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+#: Structurally valid entries only: the flag constrains the legal
+#: encoding range (hardened unpack() rejects everything else).
+entries = st.one_of(
+    st.builds(
+        SeedEntry,
+        flag=st.just(SeedFlag.GPR),
+        encoding=st.sampled_from([int(g) for g in GPR]),
+        value=_values,
+    ),
+    st.builds(
+        SeedEntry,
+        flag=st.sampled_from([SeedFlag.VMCS_READ, SeedFlag.VMCS_WRITE]),
+        encoding=st.integers(
+            min_value=0, max_value=len(ALL_FIELDS) - 1
+        ),
+        value=_values,
+    ),
 )
 
 
@@ -182,3 +196,68 @@ class TestTrace:
             ]
         )
         assert metrics.cr0_writes() == [0x11, 0x80000011]
+
+
+class TestSeedHardening:
+    """Corrupted corpus bytes fail at load with SeedFormatError —
+    never with a stray ValueError deep inside replay."""
+
+    def test_trailing_bytes_rejected(self):
+        blob = make_seed().pack() + b"\x00"
+        with pytest.raises(SeedFormatError, match="trailing"):
+            VMSeed.unpack_from(io.BytesIO(blob))
+
+    def test_out_of_range_gpr_encoding_rejected(self):
+        import struct
+
+        raw = struct.pack("<BBQ", int(SeedFlag.GPR), 200, 0)
+        with pytest.raises(SeedFormatError, match="out of range"):
+            SeedEntry.unpack(raw)
+
+    def test_out_of_range_field_index_rejected(self):
+        import struct
+
+        raw = struct.pack(
+            "<BBQ", int(SeedFlag.VMCS_READ), 255, 0
+        )
+        assert 255 >= len(ALL_FIELDS)
+        with pytest.raises(SeedFormatError, match="out of range"):
+            SeedEntry.unpack(raw)
+
+    def test_bad_entry_inside_seed_blob_rejected(self):
+        import struct
+
+        entry = struct.pack("<BBQ", int(SeedFlag.GPR), 99, 0)
+        blob = struct.pack("<HH", 16, 1) + entry
+        with pytest.raises(SeedFormatError):
+            VMSeed.unpack_from(io.BytesIO(blob))
+
+    def test_metrics_blob_missing_key_rejected(self):
+        with pytest.raises(SeedFormatError, match="metrics"):
+            Trace._unpack_metrics(b'{"vmwrites": []}')
+
+    def test_metrics_blob_bad_field_number_rejected(self):
+        blob = (
+            b'{"vmwrites": [[9999, 1]], "coverage": [],'
+            b' "handler_cycles": 0, "guest_cycles": 0}'
+        )
+        with pytest.raises(SeedFormatError, match="metrics"):
+            Trace._unpack_metrics(blob)
+
+    def test_metrics_blob_not_json_rejected(self):
+        with pytest.raises(SeedFormatError):
+            Trace._unpack_metrics(b"\xff\xfe not json")
+
+    def test_corrupt_trace_file_rejected(self, tmp_path):
+        trace = Trace(
+            workload="unit",
+            records=[VMExitRecord(seed=make_seed(),
+                                  metrics=ExitMetrics())],
+        )
+        path = tmp_path / "t.iris"
+        trace.save(path)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # corrupt inside the metrics JSON
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SeedFormatError):
+            Trace.load(path)

@@ -170,6 +170,33 @@ class TestDifferentialDeterminism:
         for result in sharded_serial.results:
             assert result.mutations_run == N_MUTATIONS
 
+    def test_svm_cell_is_also_jobs_invariant(self):
+        """One cell of the determinism matrix on the SVM backend: the
+        arch rides in the ShardTask, so the merged results must be a
+        pure function of it like every other plan ingredient."""
+        manager = IrisManager(arch="svm")
+        session = manager.record_workload(
+            "cpu-bound", n_exits=200, precondition="boot"
+        )
+        planned = plan_test_cases(
+            session.trace, [ExitReason.RDTSC],
+            n_mutations=20, rng=random.Random(5),
+        )
+        serial = ParallelCampaign(
+            session.trace, session.snapshot, planned,
+            campaign_seed=CAMPAIGN_SEED, jobs=1, arch="svm",
+        ).run()
+        pooled = ParallelCampaign(
+            session.trace, session.snapshot, planned,
+            campaign_seed=CAMPAIGN_SEED, jobs=2, arch="svm",
+        ).run()
+        assert serial.stats.healthy and pooled.stats.healthy
+        assert serial.results == pooled.results
+        assert serial.merged_corpus().entries == \
+            pooled.merged_corpus().entries
+        assert serial.merged_coverage().lines() == \
+            pooled.merged_coverage().lines()
+
     def test_campaign_seed_actually_matters(self, recorded, cases):
         a = run_campaign(recorded, cases, 1)
         b = ParallelCampaign(

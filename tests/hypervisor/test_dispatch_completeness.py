@@ -1,0 +1,113 @@
+"""Dispatch-table completeness: no exit falls through silently.
+
+Every VT-x :class:`ExitReason` and every :class:`SvmExitCode` must
+either resolve to a registered handler or appear on an *explicit*
+unhandled list below.  Adding a new reason or code without deciding its
+routing fails these tests, which is the point.
+"""
+
+from repro.hypervisor.handlers.table import build_handler_table
+from repro.svm.exit_codes import (
+    SvmExitCode,
+    exit_reason_for_code,
+)
+from repro.vmx.exit_reasons import ExitReason
+
+#: VT-x exit reasons the hypervisor deliberately does not handle: SMM
+#: transitions, VM-entry failures, and optional-feature exits the guest
+#: machine model never raises.  A reason may only live here while no
+#: handler is registered for it.
+UNHANDLED_EXIT_REASONS = frozenset({
+    ExitReason.INIT_SIGNAL,
+    ExitReason.SIPI,
+    ExitReason.IO_SMI,
+    ExitReason.OTHER_SMI,
+    ExitReason.GETSEC,
+    ExitReason.RSM,
+    ExitReason.ENTRY_FAILURE_GUEST_STATE,
+    ExitReason.ENTRY_FAILURE_MSR_LOADING,
+    ExitReason.MONITOR_TRAP_FLAG,
+    ExitReason.ENTRY_FAILURE_MACHINE_CHECK,
+    ExitReason.VIRTUALIZED_EOI,
+    ExitReason.APIC_WRITE,
+    ExitReason.RDRAND,
+    ExitReason.INVPCID,
+    ExitReason.VMFUNC,
+    ExitReason.ENCLS,
+    ExitReason.RDSEED,
+    ExitReason.PML_FULL,
+    ExitReason.XSAVES,
+    ExitReason.XRSTORS,
+    ExitReason.SPP_EVENT,
+    ExitReason.UMWAIT,
+    ExitReason.TPAUSE,
+})
+
+#: SVM exit codes that decode to an unhandled reason or are not a
+#: deliverable exit at all.
+UNHANDLED_SVM_EXIT_CODES = frozenset({
+    SvmExitCode.VMEXIT_SMI,   # -> OTHER_SMI, unhandled by design
+    SvmExitCode.VMEXIT_RSM,   # -> RSM, unhandled by design
+    SvmExitCode.VMEXIT_INVALID,  # VMRUN consistency failure, no exit
+})
+
+
+class TestVmxCompleteness:
+    def test_every_reason_is_routed_or_explicitly_unhandled(self):
+        table = build_handler_table()
+        registered = table.registered_reasons()
+        for reason in ExitReason:
+            assert (reason in registered) != (
+                reason in UNHANDLED_EXIT_REASONS
+            ), (
+                f"{reason.name} must be either handled or explicitly "
+                f"listed as unhandled (exactly one of the two)"
+            )
+
+    def test_unhandled_list_is_not_stale(self):
+        # Registering a handler for a listed reason must force the
+        # list to shrink.
+        table = build_handler_table()
+        stale = UNHANDLED_EXIT_REASONS & table.registered_reasons()
+        assert not stale, (
+            f"now handled, remove from UNHANDLED_EXIT_REASONS: "
+            f"{sorted(r.name for r in stale)}"
+        )
+
+
+class TestSvmCompleteness:
+    def test_every_code_decodes_to_a_handled_reason(self):
+        table = build_handler_table()
+        registered = table.registered_reasons()
+        for code in SvmExitCode:
+            if code in UNHANDLED_SVM_EXIT_CODES:
+                continue
+            # VMEXIT_MSR decodes by direction; check both.
+            infos = (0, 1) if code is SvmExitCode.VMEXIT_MSR else (0,)
+            for info1 in infos:
+                raw = exit_reason_for_code(int(code), info1)
+                reason = ExitReason(raw)  # raises if undecodable
+                assert reason in registered, (
+                    f"{code.name} decodes to {reason.name}, which has "
+                    f"no handler and is not listed unhandled"
+                )
+
+    def test_unhandled_code_list_is_not_stale(self):
+        table = build_handler_table()
+        registered = table.registered_reasons()
+        for code in UNHANDLED_SVM_EXIT_CODES:
+            if code is SvmExitCode.VMEXIT_INVALID:
+                continue  # not a deliverable exit, nothing to decode
+            raw = exit_reason_for_code(int(code))
+            assert ExitReason(raw) not in registered, (
+                f"{code.name} now routes to a handler, remove it from "
+                f"UNHANDLED_SVM_EXIT_CODES"
+            )
+
+    def test_msr_code_decodes_both_directions(self):
+        assert exit_reason_for_code(
+            int(SvmExitCode.VMEXIT_MSR), 0
+        ) == int(ExitReason.RDMSR)
+        assert exit_reason_for_code(
+            int(SvmExitCode.VMEXIT_MSR), 1
+        ) == int(ExitReason.WRMSR)

@@ -15,9 +15,7 @@ def deliver(
     **event_fields,
 ) -> ExitReason:
     """Launch (if needed) and deliver one exit; returns handled reason."""
-    from repro.vmx.vmx_ops import CpuVmxMode
-
-    if vcpu.vmx.mode is CpuVmxMode.ROOT:
+    if not vcpu.backend.is_in_guest(vcpu):
         hv.launch(vcpu)
     event = ExitEvent(reason=reason, **event_fields)
     event.write_to(vcpu)

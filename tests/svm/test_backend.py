@@ -1,0 +1,349 @@
+"""Unit tests for the SVM virtualization backend.
+
+The backend contract under test: the neutral layers address guest
+state by :class:`ArchField` and never see a VMCB, an EXITCODE, or a
+pause filter — this module checks that the SVM physical representation
+round-trips faithfully underneath them.
+"""
+
+import pytest
+
+from repro.arch.backend import BACKEND_NAMES, get_backend
+from repro.arch.events import ExitEvent
+from repro.arch.fields import ArchField
+from repro.errors import SvmError
+from repro.hypervisor.domain import DomainType
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.svm import (
+    SvmCpu,
+    SvmExitCode,
+    VmcbField,
+    exit_code_for_reason,
+    exit_reason_for_code,
+)
+from repro.svm.backend import (
+    GUEST_ASID_VALUE,
+    PAUSE_FILTER_TSC_SHIFT,
+    PAUSE_INTERCEPT_BIT,
+)
+from repro.svm.svm_ops import CpuSvmMode
+from repro.vmx.exit_reasons import ExitReason
+
+
+@pytest.fixture
+def svm_hv() -> Hypervisor:
+    return Hypervisor(arch="svm")
+
+
+@pytest.fixture
+def svm_vcpu(svm_hv):
+    domain = svm_hv.create_domain(DomainType.HVM, name="svm-vm")
+    domain.populate_identity_map(64)
+    return domain.vcpus[0]
+
+
+def vmcb_of(vcpu):
+    return vcpu.svm.vmcbs[vcpu.vmcs_address]
+
+
+class TestBackendRegistry:
+    def test_both_backends_are_registered(self):
+        assert BACKEND_NAMES == ("vmx", "svm")
+        assert get_backend("vmx").name == "vmx"
+        assert get_backend("svm").name == "svm"
+
+    def test_backends_are_singletons(self):
+        assert get_backend("svm") is get_backend("svm")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("tdx")
+
+    def test_svm_vcpu_carries_svm_state(self, svm_vcpu):
+        assert svm_vcpu.arch == "svm"
+        assert isinstance(svm_vcpu.svm, SvmCpu)
+        assert svm_vcpu.backend.name == "svm"
+        assert svm_vcpu.svm.svme  # EFER.SVME set by create_cpu
+
+    def test_host_owned_slots_initialized(self, svm_vcpu):
+        vmcb = vmcb_of(svm_vcpu)
+        assert vmcb.read(VmcbField.GUEST_ASID) == GUEST_ASID_VALUE
+        assert vmcb.read(VmcbField.NP_ENABLE) == 1
+
+
+class TestFieldRouting:
+    def test_mapped_field_lands_in_vmcb_slot(self, svm_vcpu):
+        svm_vcpu.write_field(ArchField.GUEST_RIP, 0x7C00)
+        assert vmcb_of(svm_vcpu).read(VmcbField.RIP) == 0x7C00
+        assert svm_vcpu.read_field(ArchField.GUEST_RIP) == 0x7C00
+
+    def test_vtx_only_field_lands_in_shadow(self, svm_vcpu):
+        svm_vcpu.write_field(ArchField.PIN_BASED_VM_EXEC_CONTROL, 0x16)
+        assert (
+            svm_vcpu.svm.shadow[ArchField.PIN_BASED_VM_EXEC_CONTROL]
+            == 0x16
+        )
+        assert (
+            svm_vcpu.read_field(ArchField.PIN_BASED_VM_EXEC_CONTROL)
+            == 0x16
+        )
+
+    def test_width_masking_matches_vmcs_semantics(self, svm_vcpu):
+        # 32-bit fields truncate on write, like Vmcs.write does.
+        svm_vcpu.write_field(
+            ArchField.GUEST_CS_LIMIT, 0x1_0000_FFFF
+        )
+        assert (
+            svm_vcpu.read_field(ArchField.GUEST_CS_LIMIT) == 0xFFFF
+        )
+
+    def test_instruction_len_is_derived_from_next_rip(self, svm_vcpu):
+        svm_vcpu.write_field(ArchField.GUEST_RIP, 0x1000)
+        svm_vcpu.write_field(ArchField.VM_EXIT_INSTRUCTION_LEN, 3)
+        assert vmcb_of(svm_vcpu).read(VmcbField.NEXT_RIP) == 0x1003
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_INSTRUCTION_LEN) == 3
+        )
+
+
+class TestExitReasonEncodeDecode:
+    #: Reasons the guest machine generates and the codes they take.
+    DELIVERABLE = [
+        ExitReason.CPUID, ExitReason.HLT, ExitReason.RDTSC,
+        ExitReason.VMCALL, ExitReason.IO_INSTRUCTION,
+        ExitReason.EPT_VIOLATION, ExitReason.EXTERNAL_INTERRUPT,
+        ExitReason.INTERRUPT_WINDOW, ExitReason.TRIPLE_FAULT,
+        ExitReason.PAUSE, ExitReason.CR_ACCESS, ExitReason.RDMSR,
+        ExitReason.WRMSR, ExitReason.EXCEPTION_NMI,
+        ExitReason.TASK_SWITCH, ExitReason.MWAIT, ExitReason.MONITOR,
+        ExitReason.XSETBV, ExitReason.WBINVD, ExitReason.INVLPG,
+        ExitReason.INVD, ExitReason.RDTSCP, ExitReason.RDPMC,
+        ExitReason.VMLAUNCH,
+    ]
+
+    @pytest.mark.parametrize("reason", DELIVERABLE)
+    def test_write_then_read_round_trips(self, svm_vcpu, reason):
+        svm_vcpu.write_field(ArchField.VM_EXIT_REASON, int(reason))
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_REASON)
+            == int(reason)
+        )
+
+    def test_reason_read_decodes_physical_exitcode(self, svm_vcpu):
+        vmcb = vmcb_of(svm_vcpu)
+        vmcb.write(VmcbField.EXITCODE, int(SvmExitCode.VMEXIT_CPUID))
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_REASON)
+            == int(ExitReason.CPUID)
+        )
+
+    def test_msr_direction_travels_through_exitinfo1(self, svm_vcpu):
+        svm_vcpu.write_field(
+            ArchField.VM_EXIT_REASON, int(ExitReason.WRMSR)
+        )
+        vmcb = vmcb_of(svm_vcpu)
+        assert vmcb.read(VmcbField.EXITCODE) == int(
+            SvmExitCode.VMEXIT_MSR
+        )
+        assert vmcb.read(VmcbField.EXITINFO1) == 1
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_REASON)
+            == int(ExitReason.WRMSR)
+        )
+
+    def test_vtx_only_reason_survives_in_shadow(self, svm_vcpu):
+        # The preemption timer has no EXITCODE; the symbolic value must
+        # survive a write/read cycle anyway (snapshot imports rely on
+        # it) instead of being silently dropped.
+        svm_vcpu.write_field(
+            ArchField.VM_EXIT_REASON, int(ExitReason.PREEMPTION_TIMER)
+        )
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_REASON)
+            == int(ExitReason.PREEMPTION_TIMER)
+        )
+
+    def test_unknown_exitcode_decodes_above_reason_range(self):
+        # Undecoded EXITCODEs must not alias a real ExitReason — the
+        # dispatcher's ExitReason() lookup has to fail cleanly.
+        raw = exit_reason_for_code(0x0FE)
+        with pytest.raises(ValueError):
+            ExitReason(raw & 0xFFFF)
+
+
+class TestLatchExit:
+    def test_latch_populates_control_area(self, svm_hv, svm_vcpu):
+        svm_vcpu.write_field(ArchField.GUEST_RIP, 0x2000)
+        event = ExitEvent(
+            reason=ExitReason.CPUID, instruction_len=2
+        )
+        event.write_to(svm_vcpu)
+        vmcb = vmcb_of(svm_vcpu)
+        assert vmcb.read(VmcbField.EXITCODE) == int(
+            SvmExitCode.VMEXIT_CPUID
+        )
+        assert vmcb.read(VmcbField.NEXT_RIP) == 0x2002
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_INSTRUCTION_LEN)
+            == 2
+        )
+
+    def test_exception_vector_refines_exitcode(self, svm_vcpu):
+        event = ExitEvent(
+            reason=ExitReason.EXCEPTION_NMI,
+            intr_info=(1 << 31) | 13,  # #GP, valid bit set
+        )
+        event.write_to(svm_vcpu)
+        assert vmcb_of(svm_vcpu).read(VmcbField.EXITCODE) == int(
+            SvmExitCode.VMEXIT_EXCP_BASE
+        ) + 13
+
+    def test_wrmsr_latch_sets_direction_bit(self, svm_vcpu):
+        event = ExitEvent(reason=ExitReason.WRMSR)
+        event.write_to(svm_vcpu)
+        vmcb = vmcb_of(svm_vcpu)
+        assert vmcb.read(VmcbField.EXITINFO1) == 1
+        assert (
+            svm_vcpu.read_field(ArchField.VM_EXIT_REASON)
+            == int(ExitReason.WRMSR)
+        )
+
+    def test_vtx_only_reason_cannot_be_latched(self, svm_vcpu):
+        event = ExitEvent(reason=ExitReason.PREEMPTION_TIMER)
+        with pytest.raises(SvmError):
+            event.write_to(svm_vcpu)
+
+    def test_linear_address_kept_in_shadow(self, svm_vcpu):
+        event = ExitEvent(
+            reason=ExitReason.EPT_VIOLATION,
+            guest_linear_address=0xDEAD000,
+            guest_physical_address=0xBEEF000,
+        )
+        event.write_to(svm_vcpu)
+        assert (
+            svm_vcpu.read_field(ArchField.GUEST_LINEAR_ADDRESS)
+            == 0xDEAD000
+        )
+        assert (
+            svm_vcpu.read_field(ArchField.GUEST_PHYSICAL_ADDRESS)
+            == 0xBEEF000
+        )
+
+
+class TestWorldSwitch:
+    def test_vmrun_and_vmexit_flip_modes(self, svm_hv, svm_vcpu):
+        backend = svm_vcpu.backend
+        assert not backend.is_in_guest(svm_vcpu)
+        svm_hv.launch(svm_vcpu)
+        assert backend.is_in_guest(svm_vcpu)
+        assert svm_vcpu.svm.mode is CpuSvmMode.GUEST
+        backend.deliver_exit_to_cpu(svm_vcpu)
+        assert not backend.is_in_guest(svm_vcpu)
+
+    def test_vmrun_requires_svme(self, svm_hv, svm_vcpu):
+        svm_vcpu.svm.svme = False
+        with pytest.raises(SvmError):
+            svm_vcpu.svm.vmrun(svm_vcpu.vmcs_address)
+
+
+class TestConsistencyChecks:
+    def test_reset_state_passes_checks(self, svm_vcpu):
+        assert svm_vcpu.backend.validate_entry(svm_vcpu) == []
+
+    def test_asid_zero_is_a_violation(self, svm_vcpu):
+        vmcb_of(svm_vcpu).write(VmcbField.GUEST_ASID, 0)
+        violations = svm_vcpu.backend.validate_entry(svm_vcpu)
+        assert any(v.check == "vmcb.asid" for v in violations)
+
+    def test_svme_clear_is_a_violation(self, svm_vcpu):
+        svm_vcpu.svm.svme = False
+        violations = svm_vcpu.backend.validate_entry(svm_vcpu)
+        assert any(v.check == "efer.svme" for v in violations)
+
+    def test_shared_guest_state_checks_apply(self, svm_vcpu):
+        # The reused VT-x §26.3 group checks: an inconsistent
+        # CR0.PG-without-PE state must be flagged on SVM too.
+        svm_vcpu.write_field(ArchField.GUEST_CR0, 1 << 31)  # PG, no PE
+        violations = svm_vcpu.backend.validate_entry(svm_vcpu)
+        assert violations
+
+
+class TestContinuousExitDriver:
+    def test_zero_filter_means_immediate_exit(self, svm_vcpu):
+        driver = svm_vcpu.backend.continuous_exit_driver(svm_vcpu)
+        driver.activate()
+        driver.load(0)
+        assert driver.active
+        assert driver.value == 0
+        assert driver.guest_cycles_until_expiry() == 0
+        assert driver.exit_reason is ExitReason.PAUSE
+
+    def test_intercept_bit_is_pause(self, svm_vcpu):
+        driver = svm_vcpu.backend.continuous_exit_driver(svm_vcpu)
+        driver.activate()
+        vec3 = vmcb_of(svm_vcpu).read(VmcbField.INTERCEPT_VECTOR3)
+        assert vec3 & PAUSE_INTERCEPT_BIT
+
+    def test_nonzero_filter_charges_guest_cycles(self, svm_vcpu):
+        # Same TSC shift as the VMX preemption timer, so the ablation
+        # experiment costs identically on both backends.
+        driver = svm_vcpu.backend.continuous_exit_driver(svm_vcpu)
+        driver.activate()
+        driver.load(4)
+        assert driver.guest_cycles_until_expiry() == (
+            4 << PAUSE_FILTER_TSC_SHIFT
+        )
+
+    def test_inactive_driver_reports_none(self, svm_vcpu):
+        driver = svm_vcpu.backend.continuous_exit_driver(svm_vcpu)
+        driver.deactivate()
+        assert driver.guest_cycles_until_expiry() is None
+
+
+class TestSnapshotRoundTrip:
+    def test_export_import_round_trips_all_field_kinds(
+        self, svm_hv, svm_vcpu
+    ):
+        # One VMCB-mapped field, one shadowed VT-x-only field, one
+        # derived field, and the encoded exit reason.
+        svm_vcpu.write_field(ArchField.GUEST_RIP, 0x9000)
+        svm_vcpu.write_field(ArchField.GUEST_RSP, 0x8000)
+        svm_vcpu.write_field(ArchField.PIN_BASED_VM_EXEC_CONTROL, 0x16)
+        svm_vcpu.write_field(ArchField.VM_EXIT_INSTRUCTION_LEN, 5)
+        svm_vcpu.write_field(
+            ArchField.VM_EXIT_REASON, int(ExitReason.CPUID)
+        )
+        fields, token = svm_vcpu.backend.export_guest_state(svm_vcpu)
+
+        domain = svm_hv.create_domain(DomainType.HVM, name="clone")
+        clone = domain.vcpus[0]
+        clone.backend.import_guest_state(clone, fields, token)
+        for fld in (
+            ArchField.GUEST_RIP,
+            ArchField.GUEST_RSP,
+            ArchField.PIN_BASED_VM_EXEC_CONTROL,
+            ArchField.VM_EXIT_INSTRUCTION_LEN,
+            ArchField.VM_EXIT_REASON,
+        ):
+            assert clone.read_field(fld) == svm_vcpu.read_field(fld), fld
+
+    def test_launch_token_round_trips(self, svm_hv, svm_vcpu):
+        svm_hv.launch(svm_vcpu)
+        svm_vcpu.backend.deliver_exit_to_cpu(svm_vcpu)
+        fields, token = svm_vcpu.backend.export_guest_state(svm_vcpu)
+        domain = svm_hv.create_domain(DomainType.HVM, name="clone2")
+        clone = domain.vcpus[0]
+        clone.backend.import_guest_state(clone, fields, token)
+        assert clone.svm.has_run
+        assert not clone.backend.is_in_guest(clone)
+
+    def test_import_reinitializes_host_owned_slots(
+        self, svm_hv, svm_vcpu
+    ):
+        fields, token = svm_vcpu.backend.export_guest_state(svm_vcpu)
+        domain = svm_hv.create_domain(DomainType.HVM, name="clone3")
+        clone = domain.vcpus[0]
+        clone.backend.import_guest_state(clone, fields, token)
+        vmcb = vmcb_of(clone)
+        assert vmcb.read(VmcbField.GUEST_ASID) == GUEST_ASID_VALUE
+        assert vmcb.read(VmcbField.NP_ENABLE) == 1

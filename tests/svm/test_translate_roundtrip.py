@@ -1,0 +1,267 @@
+"""Property tests: VMX <-> SVM seed translation round-trips losslessly.
+
+Satellite guarantee for the §IX porting argument: for every field the
+VMCB can represent, ``translate_seed`` followed by
+``translate_seed_back`` reproduces the original VT-x seed bit for bit;
+fields with no VMCB counterpart are *reported* dropped (with a count
+per field), never silently lost.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.seed import SeedEntry, SeedFlag, VMSeed
+from repro.svm.exit_codes import (
+    SvmExitCode,
+    exit_code_for_reason,
+    exit_reason_for_code,
+)
+from repro.svm.translate import (
+    ROUND_TRIP_FIELDS,
+    ReverseTranslationReport,
+    TranslationReport,
+    VMCS_TO_VMCB,
+    translate_seed,
+    translate_seed_back,
+    translate_seeds_back,
+    translate_trace,
+)
+from repro.svm.vmcb import VmcbField
+from repro.vmx.exit_qualification import (
+    CrAccessQualification,
+    CrAccessType,
+)
+from repro.vmx.exit_reasons import ExitReason
+from repro.arch.fields import ArchField as VmcsField
+from repro.x86.registers import GPR
+
+_values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+#: Reasons whose EXITCODE decodes back to exactly them without any
+#: side-channel refinement.  CR accesses need the qualification and
+#: MSR accesses need EXITINFO1; both get dedicated tests below.
+ROUND_TRIP_REASONS = sorted(
+    (
+        r
+        for r in ExitReason
+        if r not in (ExitReason.CR_ACCESS, ExitReason.RDMSR,
+                     ExitReason.WRMSR)
+        and exit_code_for_reason(r) is not None
+        and exit_reason_for_code(int(exit_code_for_reason(r)))
+        == int(r)
+    ),
+    key=int,
+)
+
+#: Fields whose seed entries survive the round trip, in enum order so
+#: Hypothesis draws deterministically.
+_MAPPABLE = sorted(ROUND_TRIP_FIELDS, key=int)
+
+#: Fields the forward direction must *report* as dropped.
+_UNMAPPABLE = sorted(
+    (
+        f
+        for f in VmcsField
+        if f not in VMCS_TO_VMCB and f is not VmcsField.VM_EXIT_REASON
+    ),
+    key=int,
+)
+
+
+def _gpr_entries(values):
+    return [
+        SeedEntry.for_gpr(g, v) for g, v in zip(GPR, values)
+    ]
+
+
+@st.composite
+def recorder_seeds(draw):
+    """Seeds shaped like the recorder emits them: all 15 GPRs, the
+    VM_EXIT_REASON read, then the handler's field reads."""
+    reason = draw(st.sampled_from(ROUND_TRIP_REASONS))
+    gprs = draw(
+        st.lists(_values, min_size=len(list(GPR)),
+                 max_size=len(list(GPR)))
+    )
+    fields = draw(
+        st.lists(
+            st.tuples(st.sampled_from(_MAPPABLE), _values),
+            max_size=8,
+        )
+    )
+    entries = _gpr_entries(gprs)
+    entries.append(SeedEntry.for_vmcs(
+        SeedFlag.VMCS_READ, VmcsField.VM_EXIT_REASON, int(reason)
+    ))
+    for fld, value in fields:
+        if (fld is VmcsField.EXIT_QUALIFICATION
+                and reason in (ExitReason.RDMSR, ExitReason.WRMSR)):
+            value = 0
+        entries.append(
+            SeedEntry.for_vmcs(SeedFlag.VMCS_READ, fld, value)
+        )
+    return VMSeed(exit_reason=int(reason), entries=entries)
+
+
+class TestRoundTrip:
+    @given(recorder_seeds())
+    @settings(max_examples=200)
+    def test_mappable_seed_round_trips_exactly(self, seed):
+        forward = TranslationReport()
+        svm_seed = translate_seed(seed, forward)
+        assert svm_seed is not None
+        assert forward.dropped_entries == 0
+
+        back = translate_seed_back(svm_seed)
+        assert back.exit_reason == seed.exit_reason
+        assert back.entries == seed.entries
+        assert back.pack() == seed.pack()
+
+    @given(recorder_seeds())
+    @settings(max_examples=100)
+    def test_batch_reverse_report_accounts_every_entry(self, seed):
+        forward = TranslationReport()
+        svm_seed = translate_seed(seed, forward)
+        report = translate_seeds_back([svm_seed])
+        assert len(report.seeds) == 1
+        assert report.regenerated_reason_entries == 1
+        # Every SVM entry came back, plus the regenerated reason read.
+        assert (
+            report.translated_entries + report.regenerated_reason_entries
+            == len(seed.entries)
+        )
+
+
+class TestNothingSilentlyLost:
+    @given(
+        reason=st.sampled_from(ROUND_TRIP_REASONS),
+        mappable=st.lists(
+            st.tuples(st.sampled_from(_MAPPABLE), _values), max_size=6
+        ),
+        unmappable=st.lists(
+            st.tuples(st.sampled_from(_UNMAPPABLE), _values),
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=150)
+    def test_drops_are_reported_per_field(
+        self, reason, mappable, unmappable
+    ):
+        entries = [SeedEntry.for_gpr(GPR.RAX, 1)]
+        entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, VmcsField.VM_EXIT_REASON, int(reason)
+        ))
+        for fld, value in mappable + unmappable:
+            entries.append(
+                SeedEntry.for_vmcs(SeedFlag.VMCS_READ, fld, value)
+            )
+        seed = VMSeed(exit_reason=int(reason), entries=entries)
+
+        report = TranslationReport()
+        svm_seed = translate_seed(seed, report)
+        assert svm_seed is not None
+
+        # The ledger balances: every entry is either translated or
+        # dropped, and the per-field histogram sums to the drop count.
+        assert (
+            report.translated_entries + report.dropped_entries
+            == len(entries)
+        )
+        assert report.dropped_entries == len(unmappable)
+        assert (
+            sum(report.dropped_fields.values())
+            == report.dropped_entries
+        )
+        for fld in report.dropped_fields:
+            assert fld not in VMCS_TO_VMCB
+
+    def test_untranslatable_exit_is_counted_not_dropped(self):
+        seed = VMSeed(
+            exit_reason=int(ExitReason.PREEMPTION_TIMER),
+            entries=[SeedEntry.for_gpr(GPR.RAX, 0)],
+        )
+        report = TranslationReport()
+        assert translate_seed(seed, report) is None
+        assert report.untranslatable_seeds == 1
+        assert report.dropped_entries == 0
+
+
+class TestRefinedReasons:
+    @given(direction=st.sampled_from([ExitReason.RDMSR,
+                                      ExitReason.WRMSR]),
+           msr=st.integers(min_value=0, max_value=0xFFFF_FFFF))
+    def test_msr_direction_survives_round_trip(self, direction, msr):
+        # VT-x MSR exits read a zero qualification; the MSR index is in
+        # RCX.  SVM encodes the direction in EXITINFO1 instead.
+        entries = [SeedEntry.for_gpr(GPR.RCX, msr)]
+        entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, VmcsField.VM_EXIT_REASON,
+            int(direction),
+        ))
+        entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, VmcsField.EXIT_QUALIFICATION, 0
+        ))
+        seed = VMSeed(exit_reason=int(direction), entries=entries)
+
+        svm_seed = translate_seed(seed)
+        assert svm_seed is not None
+        assert svm_seed.exit_code is SvmExitCode.VMEXIT_MSR
+        info1 = svm_seed.vmcb_values()[VmcbField.EXITINFO1]
+        assert (info1 & 1) == (1 if direction is ExitReason.WRMSR
+                               else 0)
+
+        back = translate_seed_back(svm_seed)
+        assert back.reason is direction
+        assert back.entries == seed.entries
+
+    @given(
+        cr=st.sampled_from([0, 3, 4]),
+        access=st.sampled_from([CrAccessType.MOV_TO_CR,
+                                CrAccessType.MOV_FROM_CR]),
+        gpr=st.integers(min_value=0, max_value=15),
+    )
+    def test_cr_access_refines_and_round_trips(self, cr, access, gpr):
+        qual = CrAccessQualification(cr=cr, access_type=access,
+                                     gpr=gpr).pack()
+        entries = [SeedEntry.for_gpr(GPR.RAX, 0)]
+        entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, VmcsField.VM_EXIT_REASON,
+            int(ExitReason.CR_ACCESS),
+        ))
+        entries.append(SeedEntry.for_vmcs(
+            SeedFlag.VMCS_READ, VmcsField.EXIT_QUALIFICATION, qual
+        ))
+        seed = VMSeed(exit_reason=int(ExitReason.CR_ACCESS),
+                      entries=entries)
+
+        svm_seed = translate_seed(seed)
+        assert svm_seed is not None
+        base = (
+            SvmExitCode.VMEXIT_CR0_READ
+            if access is CrAccessType.MOV_FROM_CR
+            else SvmExitCode.VMEXIT_CR0_WRITE
+        )
+        assert int(svm_seed.exit_code) == int(base) + cr
+
+        back = translate_seed_back(svm_seed)
+        assert back.reason is ExitReason.CR_ACCESS
+        assert back.entries == seed.entries
+
+
+class TestTraceLevel:
+    def test_translate_trace_ledger(self, cpu_session):
+        _, session = cpu_session
+        trace = session.trace
+        report = translate_trace(trace)
+        total_entries = sum(
+            len(record.seed.entries) for record in trace.records
+        )
+        assert (
+            report.translated_entries + report.dropped_entries
+            == total_entries
+        )
+        assert report.untranslatable_seeds + len(report.seeds) == len(
+            trace
+        )
+        reverse = translate_seeds_back(report.seeds)
+        assert len(reverse.seeds) == len(report.seeds)
+        assert isinstance(reverse, ReverseTranslationReport)
