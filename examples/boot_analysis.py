@@ -14,6 +14,7 @@ trace), replays it, and walks through the §VI-B analyses:
 Run:  python examples/boot_analysis.py
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -30,13 +31,17 @@ from repro.analysis import (
 )
 
 
+#: Overridable so the test suite can smoke-run with a tiny budget.
+N_EXITS = int(os.environ.get("IRIS_EXAMPLE_EXITS", "3000"))
+
+
 def main() -> None:
     manager = IrisManager()
 
-    print("recording 3000 OS BOOT exits (BIOS excluded, as in the "
-          "paper)...")
+    print(f"recording {N_EXITS} OS BOOT exits (BIOS excluded, as in "
+          "the paper)...")
     session = manager.record_workload(
-        "os-boot", n_exits=3000, precondition="bios"
+        "os-boot", n_exits=N_EXITS, precondition="bios"
     )
     trace = session.trace
 

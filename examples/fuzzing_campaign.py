@@ -11,6 +11,7 @@
 Run:  python examples/fuzzing_campaign.py
 """
 
+import os
 import random
 from collections import Counter
 
@@ -19,14 +20,20 @@ from repro.analysis import render_table
 from repro.fuzz.testcase import plan_test_cases
 from repro.vmx import ExitReason
 
-MUTATIONS_PER_CASE = 250  # the paper uses 10000 per cell
+# The paper uses 10000 mutations per cell; overridable (with the trace
+# length) so the test suite can smoke-run with a tiny budget.
+MUTATIONS_PER_CASE = int(
+    os.environ.get("IRIS_EXAMPLE_MUTATIONS", "250")
+)
+N_EXITS = int(os.environ.get("IRIS_EXAMPLE_EXITS", "1000"))
 
 
 def main() -> None:
     manager = IrisManager()
-    print("recording 1000 CPU-bound exits for the seed corpus...")
+    print(f"recording {N_EXITS} CPU-bound exits for the seed "
+          "corpus...")
     session = manager.record_workload(
-        "cpu-bound", n_exits=1000, precondition="boot"
+        "cpu-bound", n_exits=N_EXITS, precondition="boot"
     )
 
     cases = plan_test_cases(

@@ -15,6 +15,8 @@ Runs the core IRIS loop of the paper in a few lines:
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import IrisManager
 from repro.analysis import (
     compare_timing,
@@ -23,14 +25,17 @@ from repro.analysis import (
     vmwrite_fitting,
 )
 
+#: Overridable so the test suite can smoke-run with a tiny budget.
+N_EXITS = int(os.environ.get("IRIS_EXAMPLE_EXITS", "1000"))
+
 
 def main() -> None:
     manager = IrisManager()
 
-    print("recording 1000 CPU-bound exits (booting the guest "
+    print(f"recording {N_EXITS} CPU-bound exits (booting the guest "
           "first)...")
     session = manager.record_workload(
-        "cpu-bound", n_exits=1000, precondition="boot"
+        "cpu-bound", n_exits=N_EXITS, precondition="boot"
     )
     trace = session.trace
     sizes = [seed.size_bytes() for seed in trace.seeds()]

@@ -11,6 +11,7 @@
 Run:  python examples/smp_and_portability.py
 """
 
+import os
 import random
 
 from repro import Hypervisor, DomainType, Recorder, Replayer
@@ -19,6 +20,9 @@ from repro.core.replay import ReplayOutcome
 from repro.guest.smp import SmpMachine
 from repro.guest.workloads import build_workload
 from repro.svm import translate_trace
+
+#: Overridable so the test suite can smoke-run with a tiny budget.
+N_EXITS = int(os.environ.get("IRIS_EXAMPLE_EXITS", "400"))
 
 
 def main() -> None:
@@ -38,7 +42,7 @@ def main() -> None:
     stats = smp.run(
         [build_workload("cpu-bound", seed=0).ops(),
          build_workload("mem-bound", seed=1).ops()],
-        max_exits_per_vcpu=400,
+        max_exits_per_vcpu=N_EXITS,
     )
     for recorder in recorders:
         recorder.stop()

@@ -24,6 +24,7 @@ from repro.arch.backend import BACKEND_NAMES
 from repro.core.manager import IrisManager
 from repro.core.seed import Trace
 from repro.guest.workloads import WorkloadName
+from repro.obs.cliobs import add_obs_options, cli_observability
 
 
 def _add_record_options(parser: argparse.ArgumentParser) -> None:
@@ -69,12 +70,13 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_record(args) -> int:
-    manager = IrisManager(arch=args.arch)
-    session = manager.record_workload(
-        args.workload, n_exits=args.exits,
-        precondition=_resolve_precondition(args),
-        workload_seed=args.seed,
-    )
+    with cli_observability(args):
+        manager = IrisManager(arch=args.arch)
+        session = manager.record_workload(
+            args.workload, n_exits=args.exits,
+            precondition=_resolve_precondition(args),
+            workload_seed=args.seed,
+        )
     session.trace.save(args.output)
     print(f"recorded {len(session.trace)} exits "
           f"({session.wall_seconds:.3f} simulated s) -> {args.output}")
@@ -164,8 +166,9 @@ def _cmd_svm_export(args) -> int:
 
 def _cmd_replay(args) -> int:
     trace = Trace.load(args.trace)
-    manager = IrisManager(arch=args.arch)
-    session = manager.replay_trace(trace)
+    with cli_observability(args):
+        manager = IrisManager(arch=args.arch)
+        session = manager.replay_trace(trace)
     print(f"replayed {session.completed}/{len(session.results)} seeds "
           f"in {session.wall_seconds:.3f} simulated s "
           f"({session.throughput_exits_per_second():.0f} exits/s)")
@@ -178,15 +181,16 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    manager = IrisManager(arch=args.arch)
-    session = manager.record_workload(
-        args.workload, n_exits=args.exits,
-        precondition=_resolve_precondition(args),
-        workload_seed=args.seed,
-    )
-    replay = manager.replay_trace(
-        session.trace, from_snapshot=session.snapshot
-    )
+    with cli_observability(args):
+        manager = IrisManager(arch=args.arch)
+        session = manager.record_workload(
+            args.workload, n_exits=args.exits,
+            precondition=_resolve_precondition(args),
+            workload_seed=args.seed,
+        )
+        replay = manager.replay_trace(
+            session.trace, from_snapshot=session.snapshot
+        )
     fitting = coverage_fitting(session.trace, replay.results)
     writes = vmwrite_fitting(session.trace, replay.results)
     rows = [
@@ -205,6 +209,45 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Inspect observability artifacts (DESIGN.md §7).
+
+    Auto-detects the file kind: a metrics-snapshot JSON (one object
+    with ``counters``/``histograms``) renders the campaign flight
+    recorder; a JSONL event trace renders event tallies and span
+    durations.
+    """
+    import json
+
+    from repro.obs import (
+        MetricsSnapshot,
+        flight_summary,
+        load_trace_events,
+        summarize_trace_events,
+    )
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        first = fh.readline().strip()
+    if not first:
+        print(f"{args.file}: empty observability file", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(first)
+    except json.JSONDecodeError:
+        print(f"{args.file}: not an observability JSON/JSONL file",
+              file=sys.stderr)
+        return 1
+    if isinstance(payload, dict) and (
+        "counters" in payload or "histograms" in payload
+    ):
+        snapshot = MetricsSnapshot.from_json(first)
+        print(flight_summary(snapshot, top_n=args.top))
+    else:
+        events = load_trace_events(args.file)
+        print(summarize_trace_events(events, top_n=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="iris",
@@ -218,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_record_options(record)
     record.add_argument("-o", "--output", required=True,
                         help="trace file to write")
+    add_obs_options(record)
 
     inspect = sub.add_parser("inspect", help="summarize a trace file")
     inspect.add_argument("trace")
@@ -238,11 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="replay a trace file")
     replay.add_argument("trace")
     _add_arch_option(replay)
+    add_obs_options(replay)
 
     evaluate = sub.add_parser(
         "evaluate", help="record + replay + accuracy report"
     )
     _add_record_options(evaluate)
+    add_obs_options(evaluate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize an observability trace (JSONL) or metrics "
+             "snapshot (JSON) written by --trace/--metrics",
+    )
+    trace.add_argument("file", help="JSONL event trace or metrics JSON")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows per summary table")
     return parser
 
 
@@ -255,6 +310,7 @@ _COMMANDS = {
     "svm-export": _cmd_svm_export,
     "replay": _cmd_replay,
     "evaluate": _cmd_evaluate,
+    "trace": _cmd_trace,
 }
 
 

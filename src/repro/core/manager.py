@@ -33,6 +33,7 @@ from repro.hypervisor.hypercalls import (
     XC_VMCS_FUZZING_NR,
     XcVmcsFuzzingOp,
 )
+from repro.obs import OBS
 
 
 class IrisMode(enum.Flag):
@@ -186,6 +187,26 @@ class IrisManager:
         """
         if isinstance(workload, str):
             workload = build_workload(workload, seed=workload_seed)
+        with OBS.tracer.span(
+            "iris.record", workload=workload.name, arch=self.arch,
+            n_exits=n_exits,
+        ):
+            session = self._record_workload(
+                workload, n_exits=n_exits, precondition=precondition,
+                store_seeds=store_seeds, store_metrics=store_metrics,
+            )
+        if OBS.metrics.enabled:
+            OBS.metrics.inc("sessions", kind="record", arch=self.arch)
+        return session
+
+    def _record_workload(
+        self,
+        workload: Workload,
+        n_exits: int,
+        precondition: str | None,
+        store_seeds: bool,
+        store_metrics: bool,
+    ) -> RecordingSession:
         machine = self.test_machine or self.create_test_vm()
         machine.launch()
 
@@ -259,6 +280,27 @@ class IrisManager:
         metrics while replaying", §IV-C); its per-seed coverage and
         VMWRITE observations are attached to the returned results.
         """
+        with OBS.tracer.span(
+            "iris.replay", workload=trace.workload, arch=self.arch,
+            seeds=len(trace),
+        ):
+            session = self._replay_trace(
+                trace, from_snapshot=from_snapshot,
+                record_metrics=record_metrics,
+                fresh_dummy=fresh_dummy, stop_on_crash=stop_on_crash,
+            )
+        if OBS.metrics.enabled:
+            OBS.metrics.inc("sessions", kind="replay", arch=self.arch)
+        return session
+
+    def _replay_trace(
+        self,
+        trace: Trace,
+        from_snapshot: VmSnapshot | None,
+        record_metrics: bool,
+        fresh_dummy: bool,
+        stop_on_crash: bool,
+    ) -> ReplaySession:
         if fresh_dummy or self.replayer is None:
             self.create_dummy_vm(from_snapshot=from_snapshot)
         assert self.replayer is not None

@@ -30,6 +30,7 @@ from repro.core.seed import (
 from repro.hypervisor.dispatch import NullHooks
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
+from repro.obs import OBS
 from repro.vmx.exit_reasons import ExitReason
 from repro.arch.fields import ArchField
 from repro.x86.registers import GPR
@@ -145,6 +146,8 @@ class Recorder(NullHooks):
                     self.stats.entries_buffered += 1
                 else:
                     self.stats.vmcs_ops_dropped += 1
+                    if OBS.metrics.enabled:
+                        OBS.metrics.inc("vmcs_ops_dropped", op="read")
         return value
 
     def on_vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
@@ -156,6 +159,8 @@ class Recorder(NullHooks):
                     self.stats.entries_buffered += 1
                 else:
                     self.stats.vmcs_ops_dropped += 1
+                    if OBS.metrics.enabled:
+                        OBS.metrics.inc("vmcs_ops_dropped", op="write")
 
     def on_exit_end(self, vcpu: Vcpu, reason: ExitReason) -> None:
         if not self._recording_exit or not self._is_target(vcpu):
@@ -183,6 +188,10 @@ class Recorder(NullHooks):
             VMExitRecord(seed=seed, metrics=metrics)
         )
         self.stats.exits_recorded += 1
+        if OBS.metrics.enabled:
+            OBS.metrics.inc("exits_recorded", reason=reason.name)
+            OBS.metrics.inc("seed_bytes", value=seed.size_bytes())
+            OBS.metrics.observe("seed_size_bytes", seed.size_bytes())
         self._exit_reason = 0
         if self.done:
             self.enabled = False

@@ -30,7 +30,8 @@ from repro.errors import GuestCrash, HypervisorCrash, VirtError
 from repro.hypervisor.dispatch import ExitEvent, NullHooks
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
-from repro.vmx.exit_reasons import ExitReason
+from repro.obs import OBS
+from repro.vmx.exit_reasons import ExitReason, reason_name
 
 #: Sanitization masks applied when the replay echo-writes a seed value
 #: back into a guest-state field.  IRIS's injection callback goes
@@ -132,6 +133,8 @@ class Replayer(NullHooks):
         self.hv.clock.charge("inject_entry", times=max(len(reads), 1))
         self._vmwrites = []
         self._capture_writes = True
+        if OBS.metrics.enabled:
+            OBS.metrics.observe("override_queue_depth", len(reads))
 
     def on_vmread(self, vcpu: Vcpu, fld: ArchField, value: int) -> int:
         if vcpu is not self.vcpu:
@@ -140,6 +143,8 @@ class Replayer(NullHooks):
         if not queue:
             return value
         recorded = queue.popleft()
+        if OBS.metrics.enabled:
+            OBS.metrics.inc("vmread_overrides")
         if not is_read_only(fld):
             # Rewrite the architectural state with the seed value, as
             # the paper's replay does for writable fields; bypasses the
@@ -151,6 +156,10 @@ class Replayer(NullHooks):
             if masks is not None:
                 and_mask, or_mask = masks
                 value_to_write = (recorded & and_mask) | or_mask
+                if OBS.metrics.enabled and value_to_write != recorded:
+                    OBS.metrics.inc(
+                        "echo_write_masked", field=fld.name
+                    )
             vcpu.write_field(fld, value_to_write)
         return recorded
 
@@ -160,6 +169,17 @@ class Replayer(NullHooks):
 
     def on_exit_end(self, vcpu: Vcpu, reason: ExitReason) -> None:
         if vcpu is self.vcpu:
+            if OBS.metrics.enabled:
+                # Unconsumed override entries are divergence sites: the
+                # replayed handler read fewer values than the recorded
+                # one buffered — the first thing to look at when a
+                # replay's coverage fitting drops.
+                for fld, queue in self._overrides.items():
+                    if queue:
+                        OBS.metrics.inc(
+                            "replay_divergence",
+                            value=len(queue), field=fld.name,
+                        )
             self._pending = None
             self._capture_writes = False
 
@@ -168,6 +188,29 @@ class Replayer(NullHooks):
     def submit(self, seed: VMSeed) -> SeedReplayResult:
         """Submit one seed: trigger a preemption-timer exit and let the
         override machinery replay the recorded exit over it."""
+        if not OBS.metrics.enabled:
+            return self._submit(seed)
+        import time
+
+        wall_start = time.perf_counter_ns()
+        result = self._submit(seed)
+        metrics = OBS.metrics
+        metrics.inc("seeds_replayed", outcome=result.outcome.value)
+        metrics.observe("replay_handler_cycles",
+                        result.handler_cycles)
+        metrics.observe_wall(
+            "replay_step_wall_ns",
+            time.perf_counter_ns() - wall_start,
+        )
+        if result.outcome is not ReplayOutcome.OK:
+            metrics.inc(
+                "crashes",
+                kind=result.outcome.value,
+                reason=reason_name(seed.exit_reason),
+            )
+        return result
+
+    def _submit(self, seed: VMSeed) -> SeedReplayResult:
         self.attach()
         if self.vcpu.dead:
             return SeedReplayResult(

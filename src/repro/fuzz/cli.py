@@ -19,6 +19,7 @@ from repro.fuzz.fuzzer import IrisFuzzer
 from repro.fuzz.mutations import MUTATION_RULES, MutationArea
 from repro.fuzz.testcase import plan_test_cases
 from repro.guest.workloads import WorkloadName
+from repro.obs.cliobs import add_obs_options, cli_observability
 from repro.vmx.exit_reasons import ExitReason
 
 #: Default exit-reason grid: the rows of Table I.
@@ -70,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="split each cell's mutation budget across this many "
              "shards (more pool parallelism for few-cell campaigns)",
     )
+    add_obs_options(parser)
     return parser
 
 
@@ -108,66 +110,87 @@ def main(argv: list[str] | None = None) -> int:
         "both": (MutationArea.VMCS, MutationArea.GPR),
     }[args.area]
 
-    manager = IrisManager(arch=args.arch)
-    precondition = (
-        "bios" if args.workload in ("os-boot", "full-boot") else "boot"
-    )
-    print(f"recording {args.exits} exits of {args.workload}...")
-    session = manager.record_workload(
-        args.workload, n_exits=args.exits, precondition=precondition,
-    )
-    cases = plan_test_cases(
-        session.trace, reasons, areas=areas,
-        n_mutations=args.mutations, rng=rng,
-    )
-    if not cases:
-        print("no seeds with the requested exit reasons in the trace")
-        return 1
-    for case in cases:
-        if case.mutation_rule != args.rule:
-            object.__setattr__(case, "mutation_rule", args.rule)
-
-    campaign_stats = None
-    if args.jobs > 1 or args.shards_per_cell > 1:
-        from repro.fuzz.parallel import ParallelCampaign
-
-        def report(event):
-            kind, payload = event
-            if kind == "shard-completed":
-                case = cases[payload.cell_index]
-                print(
-                    f"  [{payload.cell_index + 1}/{len(cases)}] "
-                    f"{case.exit_reason.name}/{case.area.value} "
-                    f"shard {payload.shard_index}: "
-                    f"{payload.mutations_run} mutations in "
-                    f"{payload.duration_seconds:.2f}s "
-                    f"({payload.mutations_per_second:.0f} mut/s)"
-                )
-            else:
-                print(f"  !! {kind}: {payload.describe()}")
-
-        campaign = ParallelCampaign(
-            session.trace, session.snapshot, cases,
-            campaign_seed=args.seed, jobs=args.jobs,
-            shards_per_cell=args.shards_per_cell, on_event=report,
-            arch=args.arch,
+    with cli_observability(args) as obs:
+        manager = IrisManager(arch=args.arch)
+        precondition = (
+            "bios" if args.workload in ("os-boot", "full-boot")
+            else "boot"
         )
-        outcome = campaign.run()
-        campaign_stats = outcome.stats
-        results = outcome.results
-        for cell_index in outcome.abandoned_cells:
-            case = cases[cell_index]
+        print(f"recording {args.exits} exits of {args.workload}...")
+        session = manager.record_workload(
+            args.workload, n_exits=args.exits,
+            precondition=precondition,
+        )
+        cases = plan_test_cases(
+            session.trace, reasons, areas=areas,
+            n_mutations=args.mutations, rng=rng,
+        )
+        if not cases:
             print(
-                f"cell {case.exit_reason.name}/{case.area.value} "
-                "abandoned after retry — excluded from the table",
-                file=sys.stderr,
+                "no seeds with the requested exit reasons in the trace"
             )
-    else:
-        fuzzer = IrisFuzzer(manager, rng=rng)
-        results = [
-            fuzzer.run_test_case(case, from_snapshot=session.snapshot)
-            for case in cases
-        ]
+            return 1
+        for case in cases:
+            if case.mutation_rule != args.rule:
+                object.__setattr__(case, "mutation_rule", args.rule)
+
+        campaign_stats = None
+        campaign_metrics = None
+        # Observability always goes through the campaign engine, even
+        # at --jobs 1: shards run hermetically there, so the merged
+        # metrics snapshot is identical for every worker count (the
+        # jobs-invariance the golden tests pin).  Without obs, jobs=1
+        # keeps the classic serial path.
+        use_campaign = (
+            args.jobs > 1 or args.shards_per_cell > 1
+            or obs is not None
+        )
+        if use_campaign:
+            from repro.fuzz.parallel import ParallelCampaign
+
+            def report(event):
+                kind, payload = event
+                if kind == "shard-completed":
+                    case = cases[payload.cell_index]
+                    print(
+                        f"  [{payload.cell_index + 1}/{len(cases)}] "
+                        f"{case.exit_reason.name}/{case.area.value} "
+                        f"shard {payload.shard_index}: "
+                        f"{payload.mutations_run} mutations in "
+                        f"{payload.duration_seconds:.2f}s "
+                        f"({payload.mutations_per_second:.0f} mut/s)"
+                    )
+                else:
+                    print(f"  !! {kind}: {payload.describe()}")
+
+            campaign = ParallelCampaign(
+                session.trace, session.snapshot, cases,
+                campaign_seed=args.seed, jobs=args.jobs,
+                shards_per_cell=args.shards_per_cell, on_event=report,
+                arch=args.arch,
+                collect_metrics=obs is not None and obs.wants_metrics,
+            )
+            outcome = campaign.run()
+            campaign_stats = outcome.stats
+            campaign_metrics = outcome.metrics
+            results = outcome.results
+            if obs is not None:
+                obs.add_snapshot(outcome.metrics)
+            for cell_index in outcome.abandoned_cells:
+                case = cases[cell_index]
+                print(
+                    f"cell {case.exit_reason.name}/{case.area.value} "
+                    "abandoned after retry — excluded from the table",
+                    file=sys.stderr,
+                )
+        else:
+            fuzzer = IrisFuzzer(manager, rng=rng)
+            results = [
+                fuzzer.run_test_case(
+                    case, from_snapshot=session.snapshot
+                )
+                for case in cases
+            ]
 
     rows = []
     total_crashes = 0
@@ -193,6 +216,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"total failures observed: {total_crashes}")
     if campaign_stats is not None:
         print(f"campaign stats: {campaign_stats.describe()}")
+    if campaign_metrics is not None:
+        from repro.obs import flight_summary
+
+        print()
+        print(flight_summary(campaign_metrics))
+    if obs is not None:
+        if obs.metrics_path:
+            print(f"metrics snapshot -> {obs.metrics_path}")
+        if obs.trace_path:
+            print(f"trace events -> {obs.trace_path}")
     if all_failures:
         from repro.fuzz.triage import triage
 

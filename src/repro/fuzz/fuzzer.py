@@ -26,6 +26,7 @@ from repro.fuzz.failures import (
 )
 from repro.fuzz.mutations import MUTATION_RULES, MutationArea
 from repro.fuzz.testcase import FuzzTestCase
+from repro.obs import OBS
 from repro.vmx.exit_reasons import ExitReason
 
 
@@ -159,6 +160,31 @@ class IrisFuzzer:
         from_snapshot: VmSnapshot | None = None,
     ) -> FuzzResult:
         """Execute one test case end-to-end."""
+        with OBS.tracer.span(
+            "iris.fuzz.case", reason=case.exit_reason.name,
+            area=case.area.value, mutations=case.n_mutations,
+        ):
+            result = self._run_test_case(case, from_snapshot)
+        if OBS.metrics.enabled:
+            OBS.metrics.inc(
+                "fuzz_cases", reason=case.exit_reason.name,
+                area=case.area.value,
+            )
+            OBS.metrics.inc(
+                "fuzz_mutations", value=result.mutations_run,
+                reason=case.exit_reason.name, area=case.area.value,
+            )
+            OBS.metrics.inc(
+                "fuzz_new_lines", value=result.new_loc,
+                reason=case.exit_reason.name, area=case.area.value,
+            )
+        return result
+
+    def _run_test_case(
+        self,
+        case: FuzzTestCase,
+        from_snapshot: VmSnapshot | None = None,
+    ) -> FuzzResult:
         manager = self.manager
         hv = manager.hv
         self._reach_target_state(case, from_snapshot)

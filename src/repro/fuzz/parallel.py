@@ -54,6 +54,7 @@ from repro.fuzz.fuzzer import FuzzResult, IrisFuzzer
 from repro.fuzz.mutations import MutationArea
 from repro.fuzz.testcase import FuzzTestCase
 from repro.hypervisor.coverage import CoverageMap
+from repro.obs import MetricsRegistry, MetricsSnapshot, observability
 
 
 # ---- deterministic seeding -------------------------------------------
@@ -109,6 +110,11 @@ class ShardTask:
     #: Fault-injection hook (tests / chaos drills): ``"raise"`` makes
     #: the worker raise, ``"hang"`` makes it sleep past any timeout.
     fault_kind: str | None = None
+    #: Capture a hermetic per-shard :class:`MetricsSnapshot` (a fresh
+    #: wall-clock-free registry installed around the shard, so the
+    #: snapshot is a pure function of the task — mergeable across any
+    #: ``jobs`` value without changing totals).
+    collect_metrics: bool = False
 
 
 @dataclass(frozen=True)
@@ -123,6 +129,8 @@ class ShardOutcome:
     error_traceback: str | None = None
     duration_seconds: float = 0.0
     worker_pid: int = 0
+    #: Hermetic per-shard metrics (None unless the task asked).
+    metrics: MetricsSnapshot | None = None
 
     @property
     def ok(self) -> bool:
@@ -225,6 +233,10 @@ class CampaignResult:
     results: list[FuzzResult]
     stats: CampaignStats
     abandoned_cells: list[int] = field(default_factory=list)
+    #: Deterministic merge of the per-shard metrics snapshots (shards
+    #: of abandoned cells excluded, mirroring ``results``).  ``None``
+    #: unless the campaign ran with ``collect_metrics=True``.
+    metrics: MetricsSnapshot | None = None
 
     def merged_coverage(self) -> CoverageMap:
         """Union of every cell's newly discovered lines."""
@@ -274,6 +286,15 @@ _WORKER_CONTEXT: tuple[Trace, VmSnapshot | None] | None = None
 def _worker_init(trace: Trace, snapshot: VmSnapshot | None) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = (trace, snapshot)
+    # A forked worker inherits the parent's process-wide observability
+    # state — including a Tracer whose sink fd is shared with the
+    # parent and every sibling.  Interleaved writes would corrupt the
+    # trace and make it scheduling-dependent, so workers always start
+    # from the null (disabled) state; per-shard metrics come back on
+    # the stats channel instead (``ShardTask.collect_metrics``).
+    from repro.obs import uninstall
+
+    uninstall()
 
 
 def run_shard(
@@ -324,7 +345,20 @@ def _execute_task(
             )
         if task.fault_kind == "hang":
             time.sleep(3600)
-        result = run_shard(task, trace, snapshot)
+        metrics_snapshot = None
+        if task.collect_metrics:
+            # Hermetic capture: a fresh wall-clock-free registry (and a
+            # null tracer) scoped to this shard only, so the snapshot
+            # is a pure function of the task and merges identically
+            # for any ``jobs`` value.
+            from repro.obs import NULL_TRACER
+
+            registry = MetricsRegistry(record_wall=False)
+            with observability(tracer=NULL_TRACER, metrics=registry):
+                result = run_shard(task, trace, snapshot)
+            metrics_snapshot = registry.snapshot()
+        else:
+            result = run_shard(task, trace, snapshot)
         return ShardOutcome(
             cell_index=task.cell_index,
             shard_index=task.shard_index,
@@ -332,6 +366,7 @@ def _execute_task(
             result=result,
             duration_seconds=time.perf_counter() - start,
             worker_pid=os.getpid(),
+            metrics=metrics_snapshot,
         )
     except Exception as exc:
         return ShardOutcome(
@@ -376,6 +411,7 @@ class ParallelCampaign:
         on_event: Callable[[object], None] | None = None,
         fault_plan: Mapping[int, tuple[str, int]] | None = None,
         arch: str = "vmx",
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -394,6 +430,7 @@ class ParallelCampaign:
         #: cell_index -> (fault kind, number of attempts to sabotage);
         #: the chaos hook the fault-isolation tests drive.
         self.fault_plan = dict(fault_plan or {})
+        self.collect_metrics = collect_metrics
 
     # -- planning ------------------------------------------------------
 
@@ -417,6 +454,7 @@ class ParallelCampaign:
                     ),
                     fault_kind=self._fault_for(cell_index, attempt=0),
                     arch=self.arch,
+                    collect_metrics=self.collect_metrics,
                 ))
         return tasks
 
@@ -442,12 +480,13 @@ class ParallelCampaign:
             shard_stats[(t.cell_index, t.shard_index)] for t in tasks
         ]
         shard_results: dict[tuple[int, int], FuzzResult] = {}
+        shard_metrics: dict[tuple[int, int], MetricsSnapshot] = {}
 
         outcomes = self._run_batch(tasks)
         retries = []
         for task, outcome in zip(tasks, outcomes):
-            self._account(shard_stats, shard_results, stats, task,
-                          outcome)
+            self._account(shard_stats, shard_results, shard_metrics,
+                          stats, task, outcome)
             if not outcome.ok:
                 retries.append(self._retry_task(task))
 
@@ -456,13 +495,14 @@ class ParallelCampaign:
             # is never re-run on the worker that just failed it.
             for task, outcome in zip(retries,
                                      self._run_batch(retries)):
-                self._account(shard_stats, shard_results, stats, task,
-                              outcome)
+                self._account(shard_stats, shard_results, shard_metrics,
+                              stats, task, outcome)
 
         results, abandoned = self._merge_cells(shard_results)
         stats.wall_seconds = time.perf_counter() - started
         return CampaignResult(
-            results=results, stats=stats, abandoned_cells=abandoned
+            results=results, stats=stats, abandoned_cells=abandoned,
+            metrics=self._merge_metrics(shard_metrics, abandoned),
         )
 
     def _retry_task(self, task: ShardTask) -> ShardTask:
@@ -478,6 +518,7 @@ class ParallelCampaign:
             attempt=attempt,
             fault_kind=self._fault_for(task.cell_index, attempt),
             arch=task.arch,
+            collect_metrics=task.collect_metrics,
         )
 
     def _run_batch(
@@ -534,6 +575,7 @@ class ParallelCampaign:
         self,
         shard_stats: dict[tuple[int, int], ShardStats],
         shard_results: dict[tuple[int, int], FuzzResult],
+        shard_metrics: dict[tuple[int, int], MetricsSnapshot],
         stats: CampaignStats,
         task: ShardTask,
         outcome: ShardOutcome,
@@ -549,6 +591,8 @@ class ParallelCampaign:
             record.status = "retried" if task.attempt else "ok"
             record.error = None
             shard_results[key] = outcome.result
+            if outcome.metrics is not None:
+                shard_metrics[key] = outcome.metrics
             self._emit(("shard-completed", record))
         else:
             record.error = outcome.error
@@ -588,6 +632,27 @@ class ParallelCampaign:
                 continue
             results.append(reduce(FuzzResult.merge, cell_shards))
         return results, abandoned
+
+    def _merge_metrics(
+        self,
+        shard_metrics: dict[tuple[int, int], MetricsSnapshot],
+        abandoned: list[int],
+    ) -> MetricsSnapshot | None:
+        """Merge the per-shard snapshots in canonical key order.
+
+        The merge is commutative/associative, so the ordering is only
+        cosmetic — but excluding abandoned cells mirrors ``results``:
+        the snapshot accounts exactly the work the merged result
+        reflects, keeping totals identical for any ``jobs`` value.
+        """
+        if not self.collect_metrics:
+            return None
+        abandoned_cells = set(abandoned)
+        return MetricsSnapshot.merge_all(
+            shard_metrics[key]
+            for key in sorted(shard_metrics)
+            if key[0] not in abandoned_cells
+        )
 
 
 def run_parallel_campaign(

@@ -25,6 +25,7 @@ from repro.hypervisor.vpt import VirtualPlatformTimer
 from repro.hypervisor.xenlog import XenLog
 from repro.arch.backend import get_backend
 from repro.arch.fields import ArchField
+from repro.obs import OBS
 from repro.vmx.exit_reasons import (
     ExitReason,
     VM_EXIT_REASON_ENTRY_FAILURE,
@@ -65,6 +66,9 @@ class Hypervisor:
         self.clock = Clock(costs=costs or DEFAULT_COSTS)
         self.log = XenLog()
         self.log.bind_clock(lambda: self.clock.now)
+        if OBS.tracer.enabled:
+            # Trace timestamps are this host's simulated TSC.
+            OBS.tracer.bind_clock(lambda: self.clock.now)
         self.handler_table = handler_table or build_handler_table()
         self.hypercalls = HypercallRouter()
         self.domains: dict[int, Domain] = {}
@@ -323,6 +327,19 @@ class Hypervisor:
         )
         if self.stats.keep_history:
             self.stats.history.append((reason, self.stats.last_cycles))
+        if OBS.metrics.enabled:
+            OBS.metrics.inc(
+                "exits_handled", reason=reason.name, arch=self.arch
+            )
+            OBS.metrics.observe(
+                "exit_cycles", self.stats.last_cycles,
+                reason=reason.name,
+            )
+        if OBS.tracer.enabled:
+            OBS.tracer.event(
+                "vmexit", reason=reason.name, arch=self.arch,
+                cycles=self.stats.last_cycles,
+            )
         self.current_event = None
         return reason
 

@@ -1,0 +1,133 @@
+"""``repro.obs`` — structured tracing, metrics and profiling.
+
+The observability substrate the rest of the stack reports into
+(DESIGN.md §7).  Process-wide state lives in :data:`OBS`, a single
+holder whose ``tracer`` and ``metrics`` attributes default to null
+implementations — so every instrumentation point in the hot path pays
+one attribute check (``OBS.metrics.enabled`` / ``OBS.tracer.enabled``)
+when observability is off, and nothing else.
+
+Usage::
+
+    from repro.obs import MetricsRegistry, Tracer, observability
+
+    with observability(tracer=Tracer(), metrics=MetricsRegistry()) as o:
+        manager.record_workload("idle", n_exits=100)
+    print(o.metrics.snapshot().counter_total("exits_handled"))
+
+:func:`observability` installs on entry and restores the previous state
+on exit, so nested scopes (a campaign shard inside an instrumented CLI
+run) compose.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from repro.obs.flight import (
+    FlightReport,
+    flight_report,
+    flight_summary,
+    summarize_trace_events,
+)
+from repro.obs.metrics import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NullMetrics,
+    bucket_of,
+    labels_key,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    load_trace_events,
+)
+
+__all__ = [
+    "FlightReport",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "OBS",
+    "ObsState",
+    "TraceEvent",
+    "Tracer",
+    "bucket_of",
+    "flight_report",
+    "flight_summary",
+    "install",
+    "labels_key",
+    "load_trace_events",
+    "observability",
+    "summarize_trace_events",
+    "uninstall",
+]
+
+AnyTracer = Union[Tracer, NullTracer]
+AnyMetrics = Union[MetricsRegistry, NullMetrics]
+
+
+class ObsState:
+    """The process-wide observability switchboard."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.tracer: AnyTracer = NULL_TRACER
+        self.metrics: AnyMetrics = NULL_METRICS
+
+
+#: The singleton every instrumentation site reads.
+OBS = ObsState()
+
+
+def install(
+    tracer: AnyTracer | None = None,
+    metrics: AnyMetrics | None = None,
+) -> tuple[AnyTracer, AnyMetrics]:
+    """Swap in a tracer and/or metrics registry; returns the previous
+    pair so callers can restore it."""
+    previous = (OBS.tracer, OBS.metrics)
+    if tracer is not None:
+        OBS.tracer = tracer
+    if metrics is not None:
+        OBS.metrics = metrics
+    return previous
+
+
+def uninstall() -> None:
+    """Reset to the null (disabled) defaults."""
+    OBS.tracer = NULL_TRACER
+    OBS.metrics = NULL_METRICS
+
+
+class ObsScope:
+    """What :func:`observability` yields: the active pair."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: AnyTracer, metrics: AnyMetrics) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+
+@contextmanager
+def observability(
+    tracer: AnyTracer | None = None,
+    metrics: AnyMetrics | None = None,
+) -> Iterator[ObsScope]:
+    """Scoped install: swap in, yield the active pair, restore."""
+    previous = install(tracer=tracer, metrics=metrics)
+    try:
+        yield ObsScope(OBS.tracer, OBS.metrics)
+    finally:
+        OBS.tracer, OBS.metrics = previous

@@ -1,0 +1,167 @@
+"""The campaign flight recorder: a text post-mortem of a run.
+
+Renders what an operator asks first when a replay diverges or a shard
+runs slow: which exits were slowest, where replay diverged from the
+recording, and where the crashes cluster — the ``rr ps``-style summary
+the observability layer exists to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.tracer import TraceEvent
+
+
+def _render_table(headers: list[str], rows: list[tuple]) -> str:
+    """Minimal table renderer (no dependency on repro.analysis, which
+    sits above obs in the import graph)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max([len(h)] + [len(r[i]) for r in cells])
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class FlightReport:
+    """Structured form of the flight-recorder summary."""
+
+    slowest_exits: list[tuple[str, int, float, int]]
+    divergences: list[tuple[str, int]]
+    crash_hot_spots: list[tuple[str, int]]
+    exits_handled: int = 0
+    seeds_replayed: int = 0
+    exits_recorded: int = 0
+
+    def render(self) -> str:
+        sections = [
+            "== campaign flight recorder ==",
+            f"exits handled: {self.exits_handled}  "
+            f"recorded: {self.exits_recorded}  "
+            f"seeds replayed: {self.seeds_replayed}",
+        ]
+        if self.slowest_exits:
+            sections.append("")
+            sections.append("slowest exits (simulated cycles):")
+            sections.append(_render_table(
+                ["reason", "count", "mean", "max"],
+                [(r, c, f"{m:.0f}", x)
+                 for r, c, m, x in self.slowest_exits],
+            ))
+        if self.divergences:
+            sections.append("")
+            sections.append("replay divergence sites (unconsumed "
+                            "override entries):")
+            sections.append(_render_table(
+                ["field", "leftover"], self.divergences,
+            ))
+        if self.crash_hot_spots:
+            sections.append("")
+            sections.append("crash hot spots:")
+            sections.append(_render_table(
+                ["site", "crashes"], self.crash_hot_spots,
+            ))
+        return "\n".join(sections)
+
+
+def flight_report(
+    snapshot: MetricsSnapshot, top_n: int = 5
+) -> FlightReport:
+    """Distill a metrics snapshot into the flight-recorder summary."""
+    by_reason = []
+    for labels, hist in snapshot.histograms_named("exit_cycles"):
+        reason = dict(labels).get("reason", "?")
+        by_reason.append(
+            (reason, hist.count, hist.mean, hist.max or 0)
+        )
+    by_reason.sort(key=lambda row: -row[3])
+
+    divergences = sorted(
+        snapshot.counters_by_label("replay_divergence",
+                                   "field").items(),
+        key=lambda kv: -kv[1],
+    )
+
+    crashes: dict[str, int] = {}
+    for (name, labels), value in snapshot.counters:
+        if name != "crashes":
+            continue
+        labelmap = dict(labels)
+        site = (
+            f"{labelmap.get('kind', '?')}@"
+            f"{labelmap.get('reason', '?')}"
+        )
+        crashes[site] = crashes.get(site, 0) + value
+    hot_spots = sorted(crashes.items(), key=lambda kv: -kv[1])
+
+    return FlightReport(
+        slowest_exits=by_reason[:top_n],
+        divergences=divergences[:top_n],
+        crash_hot_spots=hot_spots[:top_n],
+        exits_handled=snapshot.counter_total("exits_handled"),
+        seeds_replayed=snapshot.counter_total("seeds_replayed"),
+        exits_recorded=snapshot.counter_total("exits_recorded"),
+    )
+
+
+def flight_summary(snapshot: MetricsSnapshot, top_n: int = 5) -> str:
+    """The one-call text summary the CLIs print."""
+    return flight_report(snapshot, top_n=top_n).render()
+
+
+def summarize_trace_events(
+    events: list[TraceEvent], top_n: int = 10
+) -> str:
+    """Summarize a trace event stream (the ``iris trace`` command).
+
+    Reports event tallies by name and span durations in simulated
+    cycles (matching span-start/span-end pairs via the ``span`` field).
+    """
+    tallies: dict[tuple[str, str], int] = {}
+    starts: dict[int, TraceEvent] = {}
+    spans: dict[str, list[int]] = {}
+    for event in events:
+        key = (event.kind, event.name)
+        tallies[key] = tallies.get(key, 0) + 1
+        if event.kind == "span-start":
+            starts[event.seq] = event
+        elif event.kind == "span-end":
+            span_id = event.field("span")
+            start = starts.pop(int(span_id), None) \
+                if span_id is not None else None
+            if start is not None:
+                spans.setdefault(event.name, []).append(
+                    event.tsc - start.tsc
+                )
+
+    sections = [f"{len(events)} trace events"]
+    rows = sorted(tallies.items(), key=lambda kv: (-kv[1], kv[0]))
+    sections.append(_render_table(
+        ["kind", "name", "count"],
+        [(kind, name, count)
+         for (kind, name), count in rows[:top_n]],
+    ))
+    if spans:
+        sections.append("")
+        sections.append("span durations (simulated cycles):")
+        sections.append(_render_table(
+            ["span", "count", "mean", "max"],
+            [
+                (name, len(durations),
+                 f"{sum(durations) / len(durations):.0f}",
+                 max(durations))
+                for name, durations in sorted(spans.items())
+            ],
+        ))
+    return "\n".join(sections)

@@ -1,0 +1,204 @@
+"""Structured tracing: spans and events over the record/replay stack.
+
+The rr lesson ("Engineering Record And Replay For Deployability"): a
+record-and-replay system lives or dies by its introspection tooling.
+This tracer is the IRIS equivalent of ``rr ps``/``rr dump`` — every
+layer emits structured records (``span-start``/``span-end``/``event``)
+into an in-memory ring buffer and, optionally, a JSONL sink.
+
+Determinism: event timestamps are the *simulated* TSC (via a bound
+clock callable), plus a per-tracer sequence number.  Wall-clock
+timestamps are opt-in (``wall_clock=True``) precisely so the default
+event stream is byte-stable run to run — the property the golden-trace
+suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TextIO
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    seq: int
+    kind: str  # "span-start" | "span-end" | "event"
+    name: str
+    tsc: int
+    fields: tuple[tuple[str, object], ...] = ()
+    wall: float | None = None
+
+    def to_json(self) -> str:
+        payload: dict[str, object] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "tsc": self.tsc,
+        }
+        if self.fields:
+            payload["fields"] = dict(self.fields)
+        if self.wall is not None:
+            payload["wall"] = self.wall
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        data = json.loads(line)
+        return cls(
+            seq=int(data["seq"]),
+            kind=data["kind"],
+            name=data["name"],
+            tsc=int(data["tsc"]),
+            fields=tuple(sorted(data.get("fields", {}).items())),
+            wall=data.get("wall"),
+        )
+
+    def field(self, key: str, default: object = None) -> object:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+
+def load_trace_events(path: str) -> list[TraceEvent]:
+    """Read a JSONL trace file back into events (the ``iris trace``
+    inspection path)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events
+
+
+@dataclass
+class Tracer:
+    """Enabled tracer: ring buffer plus optional JSONL sink.
+
+    * ``ring_size`` bounds memory: the buffer keeps the newest events
+      (a flight recorder, not an unbounded log);
+    * ``sink`` (any text stream) receives every event as one JSON line,
+      regardless of ring eviction;
+    * ``wall_clock`` adds nondeterministic wall timestamps — off by
+      default so traces compare bytewise.
+    """
+
+    ring_size: int = 4096
+    sink: TextIO | None = None
+    wall_clock: bool = False
+    enabled: bool = field(default=True, init=False)
+    _clock: Callable[[], int] | None = field(default=None, init=False,
+                                             repr=False)
+    _seq: int = field(default=0, init=False, repr=False)
+    _ring: list[TraceEvent] = field(default_factory=list, init=False,
+                                    repr=False)
+    _dropped: int = field(default=0, init=False, repr=False)
+
+    # ---- clock binding ----------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Bind the simulated TSC source (the hypervisor's clock)."""
+        self._clock = clock
+
+    def _now(self) -> int:
+        return self._clock() if self._clock is not None else 0
+
+    # ---- emission ----------------------------------------------------
+
+    def _emit(self, kind: str, name: str,
+              fields: dict[str, object]) -> None:
+        wall = None
+        if self.wall_clock:
+            import time
+
+            wall = time.time()
+        event = TraceEvent(
+            seq=self._seq, kind=kind, name=name, tsc=self._now(),
+            fields=tuple(sorted(fields.items())), wall=wall,
+        )
+        self._seq += 1
+        self._ring.append(event)
+        if len(self._ring) > self.ring_size:
+            del self._ring[0]
+            self._dropped += 1
+        if self.sink is not None:
+            self.sink.write(event.to_json() + "\n")
+
+    def event(self, name: str, **fields: object) -> None:
+        self._emit("event", name, fields)
+
+    @contextmanager
+    def span(self, name: str, **fields: object) -> Iterator[None]:
+        """Emit ``span-start``/``span-end`` around a block.
+
+        The end record repeats the start's sequence number in
+        ``fields["span"]`` so nested spans reconstruct into a tree.
+        """
+        span_id = self._seq
+        self._emit("span-start", name, fields)
+        try:
+            yield
+        finally:
+            self._emit("span-end", name, {"span": span_id})
+
+    # ---- inspection --------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """The ring buffer's current contents (newest-biased)."""
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (still in the sink, if any)."""
+        return self._dropped
+
+    def to_jsonl(self) -> str:
+        return "".join(e.to_json() + "\n" for e in self._ring)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+class NullTracer:
+    """The disabled default: one attribute check, no work.
+
+    ``span`` returns a shared no-op context manager (no allocation on
+    the hot path); ``event`` and ``bind_clock`` do nothing.
+    """
+
+    enabled = False
+
+    class _NullSpan:
+        def __enter__(self) -> None:
+            return None
+
+        def __exit__(self, *exc: object) -> bool:
+            return False
+
+    _SPAN = _NullSpan()
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        return None
+
+    def event(self, name: str, **fields: object) -> None:
+        return None
+
+    def span(self, name: str, **fields: object) -> "_NullSpan":
+        return self._SPAN
+
+    def events(self) -> list[TraceEvent]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+#: Process-wide disabled singleton.
+NULL_TRACER = NullTracer()

@@ -40,6 +40,7 @@ from repro.arch.backend import (
 )
 from repro.arch.fields import ArchField, field_width
 from repro.errors import SvmError
+from repro.obs import OBS
 from repro.svm.consistency_checks import check_vmrun
 from repro.svm.exit_codes import (
     SvmExitCode,
@@ -297,6 +298,10 @@ class SvmBackend:
         )
 
     def deliver_exit_to_cpu(self, vcpu: "Vcpu") -> None:
+        if OBS.metrics.enabled:
+            OBS.metrics.inc(
+                "world_switches", arch=self.name, direction="exit"
+            )
         vcpu.svm.vmexit()
 
     def validate_entry(self, vcpu: "Vcpu") -> "list[EntryCheckViolation]":
@@ -308,6 +313,10 @@ class SvmBackend:
         )
 
     def enter_guest(self, vcpu: "Vcpu") -> None:
+        if OBS.metrics.enabled:
+            OBS.metrics.inc(
+                "world_switches", arch=self.name, direction="entry"
+            )
         vcpu.svm.vmrun(vcpu.vmcs_address)
 
     def is_in_guest(self, vcpu: "Vcpu") -> bool:

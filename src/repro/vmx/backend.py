@@ -18,6 +18,7 @@ from repro.arch.backend import (
     apply_reset_state,
 )
 from repro.arch.fields import ArchField, is_read_only
+from repro.obs import OBS
 from repro.vmx.entry_checks import check_vm_entry
 from repro.vmx.exit_reasons import ExitReason
 from repro.vmx.preemption_timer import PreemptionTimer
@@ -110,12 +111,20 @@ class VmxBackend:
         )
 
     def deliver_exit_to_cpu(self, vcpu: "Vcpu") -> None:
+        if OBS.metrics.enabled:
+            OBS.metrics.inc(
+                "world_switches", arch=self.name, direction="exit"
+            )
         vcpu.vmx.deliver_vm_exit()
 
     def validate_entry(self, vcpu: "Vcpu") -> "list[EntryCheckViolation]":
         return check_vm_entry(vcpu.vmcs)
 
     def enter_guest(self, vcpu: "Vcpu") -> None:
+        if OBS.metrics.enabled:
+            OBS.metrics.inc(
+                "world_switches", arch=self.name, direction="entry"
+            )
         if vcpu.vmcs.launch_state is VmcsLaunchState.CLEAR:
             vcpu.vmx.vmlaunch()
         else:

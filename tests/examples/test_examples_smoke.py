@@ -1,0 +1,54 @@
+"""Smoke tests: every ``examples/*.py`` runs end to end (satellite d).
+
+Each example honors the ``IRIS_EXAMPLE_EXITS`` / ``IRIS_EXAMPLE_MUTATIONS``
+environment knobs so the suite can run them with tiny budgets; the
+assertions only check that the script completes and prints its headline
+sections — the numerical claims are covered by the real test suite.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> (env knobs, an output marker proving it got to the end)
+EXAMPLES = {
+    "quickstart.py": (
+        {"IRIS_EXAMPLE_EXITS": "60"}, "coverage fitting"
+    ),
+    "boot_analysis.py": (
+        {"IRIS_EXAMPLE_EXITS": "120"}, "operating-mode ladder"
+    ),
+    "fuzzing_campaign.py": (
+        {"IRIS_EXAMPLE_EXITS": "150", "IRIS_EXAMPLE_MUTATIONS": "8"},
+        "mutations",
+    ),
+    "smp_and_portability.py": (
+        {"IRIS_EXAMPLE_EXITS": "60"}, "VMCB"
+    ),
+    "crafted_seeds.py": ({}, "protected RDTSC"),
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples/ changed; update the smoke-test table"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs(script, capsys, monkeypatch):
+    env, marker = EXAMPLES[script]
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert marker.lower() in out.lower(), (
+        f"{script} did not reach its final section "
+        f"(looking for {marker!r})"
+    )

@@ -1,0 +1,19 @@
+"""Observability-suite fixtures.
+
+The obs layer is process-global state (the ``OBS`` switchboard), so
+every test here runs inside a guard that restores the null defaults —
+a leaked install would silently change other tests' behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import uninstall
+
+
+@pytest.fixture(autouse=True)
+def _obs_hygiene():
+    uninstall()
+    yield
+    uninstall()
