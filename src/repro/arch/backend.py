@@ -141,6 +141,27 @@ class VirtBackend(Protocol):
         backend) onto this vCPU's control structure."""
         ...
 
+    def import_guest_state_delta(
+        self, vcpu: "Vcpu", fields: dict[ArchField, int],
+        launch_token: str,
+    ) -> None:
+        """Delta restore: rewind only the fields dirtied since the last
+        :meth:`clear_dirty`, leaving the untouched majority alone.  The
+        end state must be indistinguishable from a full
+        :meth:`import_guest_state` of the same map — the fast-reset
+        differential tests pin that equivalence."""
+        ...
+
+    def clear_dirty(self, vcpu: "Vcpu") -> None:
+        """Reset the control-structure write sets; the state as of this
+        call becomes the baseline the next delta restore rewinds to."""
+        ...
+
+    def park_cpu(self, vcpu: "Vcpu") -> None:
+        """Force the logical CPU into host context without delivering
+        an exit (used when a dummy vCPU is reset in place)."""
+        ...
+
     # ---- replay support --------------------------------------------
 
     def continuous_exit_driver(self, vcpu: "Vcpu") -> ContinuousExitDriver:

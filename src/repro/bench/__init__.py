@@ -1,0 +1,45 @@
+"""Deterministic micro-benchmark harness (the repo's perf tripwire).
+
+The simulation gives this repo something real perf suites rarely have:
+a *deterministic* cost axis.  Every benchmarked scenario reports
+
+* **simulated-TSC cycles** — advanced only by the cost model, a pure
+  function of the scenario, identical on every machine and every run.
+  A cycle change means the modelled behavior changed (a handler grew a
+  charge, a restore stopped being timeline-invariant), so the compare
+  gate fails *hard* on any cycle drift.
+* **wall-clock seconds** — how long the Python simulation itself takes,
+  which is what the fast-reset work actually optimizes.  Wall time is
+  machine-dependent, so the compare gate only bounds *regressions*
+  within a configurable tolerance.
+
+Results are schema-versioned ``BENCH_<scenario>.json`` documents;
+committed baselines live in ``benchmarks/baselines/``.  Entry points::
+
+    python -m repro.bench run --out OUTDIR       # run all scenarios
+    python -m repro.bench.compare \
+        --baseline benchmarks/baselines --candidate OUTDIR
+
+See DESIGN.md §8 for the baseline-update workflow.
+"""
+
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    BenchDeterminismError,
+    BenchResult,
+    IterationOutcome,
+    WallStats,
+    run_scenario,
+)
+from repro.bench.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchDeterminismError",
+    "BenchResult",
+    "IterationOutcome",
+    "WallStats",
+    "run_scenario",
+    "SCENARIOS",
+    "Scenario",
+]

@@ -1,0 +1,80 @@
+"""``python -m repro.bench``: run the benchmark harness.
+
+Subcommands::
+
+    run   --out DIR [--scenario NAME]... [--repeat N] [--warmup N]
+    list
+
+``run`` writes one schema-versioned ``BENCH_<scenario>.json`` per
+scenario into ``--out`` and prints a one-line summary each.  Compare a
+fresh run against the committed baselines with
+``python -m repro.bench.compare``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.runner import run_scenario
+from repro.bench.scenarios import SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="IRIS-reproduction micro-benchmark harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run scenarios, write BENCH_*.json")
+    run.add_argument(
+        "--out", type=Path, required=True,
+        help="directory to write BENCH_<scenario>.json files into",
+    )
+    run.add_argument(
+        "--scenario", action="append", dest="scenarios",
+        metavar="NAME", choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    run.add_argument("--repeat", type=int, default=3,
+                     help="measured repeats per scenario (median wins)")
+    run.add_argument("--warmup", type=int, default=1,
+                     help="unmeasured warmup runs per scenario")
+
+    sub.add_parser("list", help="list scenarios and their parameters")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            print(f"{name}: {scenario.description} "
+                  f"(params {scenario.params})")
+        return 0
+
+    names = args.scenarios or sorted(SCENARIOS)
+    for name in names:
+        scenario = SCENARIOS[name]
+        result = run_scenario(
+            name, scenario.fn, scenario.params,
+            warmup=args.warmup, repeat=args.repeat,
+        )
+        path = result.write(args.out)
+        extras = " ".join(
+            f"{key}={value:.1f}" for key, value in
+            sorted(result.info.items())
+        )
+        print(
+            f"{name}: {result.cycles} cycles, "
+            f"{result.wall.median:.3f}s median wall "
+            f"({extras}) -> {path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

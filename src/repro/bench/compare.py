@@ -1,0 +1,174 @@
+"""``python -m repro.bench.compare``: the perf-regression gate.
+
+Compares a candidate benchmark run against committed baselines::
+
+    python -m repro.bench.compare \
+        --baseline benchmarks/baselines --candidate bench-out \
+        --tolerance 1.0
+
+Two classes of comparison, matching the two cost axes:
+
+* **Hard failures** (never tolerated): schema-version or parameter
+  mismatches, any simulated-cycle difference, any ``checks``
+  fingerprint difference, and baselines with no candidate counterpart.
+  These are all machine-independent, so a mismatch means behavior
+  changed — update the baselines deliberately (see DESIGN.md §8), don't
+  loosen the gate.
+* **Wall regressions** (tolerance-bounded): the candidate's median wall
+  time may exceed the baseline's by at most ``--tolerance`` (a ratio:
+  0.5 allows 1.5x).  Wall time is machine- and load-dependent, so CI
+  runs with a generous tolerance; the cycle checks are the real gate.
+  ``--no-wall`` skips wall comparison entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.runner import BenchResult
+
+
+@dataclass
+class Finding:
+    """One comparison outcome for one scenario."""
+
+    scenario: str
+    kind: str  # "hard" | "wall" | "ok"
+    message: str
+
+    @property
+    def failed(self) -> bool:
+        return self.kind != "ok"
+
+
+def compare_results(
+    baseline: BenchResult,
+    candidate: BenchResult,
+    tolerance: float,
+    check_wall: bool = True,
+) -> list[Finding]:
+    """Compare one scenario's candidate result against its baseline."""
+    name = baseline.scenario
+    findings: list[Finding] = []
+    if candidate.schema_version != baseline.schema_version:
+        findings.append(Finding(name, "hard", (
+            f"schema version {candidate.schema_version} != baseline "
+            f"{baseline.schema_version}"
+        )))
+        return findings
+    if candidate.params != baseline.params:
+        findings.append(Finding(name, "hard", (
+            f"parameters {candidate.params} != baseline "
+            f"{baseline.params} — not comparable"
+        )))
+        return findings
+    if candidate.cycles != baseline.cycles:
+        findings.append(Finding(name, "hard", (
+            f"simulated cycles changed: {candidate.cycles} vs baseline "
+            f"{baseline.cycles} ({candidate.cycles - baseline.cycles:+d})"
+        )))
+    for key in sorted(set(baseline.checks) | set(candidate.checks)):
+        have = candidate.checks.get(key)
+        want = baseline.checks.get(key)
+        if have != want:
+            findings.append(Finding(name, "hard", (
+                f"deterministic check {key!r} changed: "
+                f"{have!r} vs baseline {want!r}"
+            )))
+    if check_wall and baseline.wall.median > 0:
+        ratio = candidate.wall.median / baseline.wall.median
+        if ratio > 1.0 + tolerance:
+            findings.append(Finding(name, "wall", (
+                f"wall time regressed {ratio:.2f}x "
+                f"({candidate.wall.median:.3f}s vs baseline "
+                f"{baseline.wall.median:.3f}s; tolerance allows "
+                f"{1.0 + tolerance:.2f}x)"
+            )))
+    if not findings:
+        findings.append(Finding(name, "ok", (
+            f"cycles {candidate.cycles} exact, wall "
+            f"{candidate.wall.median:.3f}s vs {baseline.wall.median:.3f}s"
+        )))
+    return findings
+
+
+def compare_dirs(
+    baseline_dir: Path,
+    candidate_dir: Path,
+    tolerance: float,
+    check_wall: bool = True,
+) -> list[Finding]:
+    """Compare every baseline BENCH_*.json against the candidate dir."""
+    findings: list[Finding] = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        findings.append(Finding("<none>", "hard", (
+            f"no BENCH_*.json baselines found in {baseline_dir}"
+        )))
+        return findings
+    for path in baselines:
+        baseline = BenchResult.from_path(path)
+        candidate_path = candidate_dir / path.name
+        if not candidate_path.exists():
+            findings.append(Finding(baseline.scenario, "hard", (
+                f"candidate run produced no {path.name}"
+            )))
+            continue
+        candidate = BenchResult.from_path(candidate_path)
+        findings.extend(compare_results(
+            baseline, candidate, tolerance, check_wall=check_wall,
+        ))
+    return findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="compare a benchmark run against committed baselines",
+    )
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding baseline BENCH_*.json")
+    parser.add_argument("--candidate", type=Path, required=True,
+                        help="directory holding the fresh run's output")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed wall-time regression ratio (0.5 allows 1.5x; "
+             "simulated cycles always compare exactly)",
+    )
+    parser.add_argument(
+        "--no-wall", dest="check_wall", action="store_false",
+        help="skip wall-time comparison (cycles/checks only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.tolerance < 0:
+        print("--tolerance must be >= 0", file=sys.stderr)
+        return 2
+    findings = compare_dirs(
+        args.baseline, args.candidate, args.tolerance,
+        check_wall=args.check_wall,
+    )
+    failed = False
+    for finding in findings:
+        tag = {"ok": "OK  ", "wall": "WALL", "hard": "FAIL"}[finding.kind]
+        print(f"[{tag}] {finding.scenario}: {finding.message}")
+        failed = failed or finding.failed
+    if failed:
+        print(
+            "\nbenchmark comparison FAILED — if the change is "
+            "intentional, refresh the baselines per DESIGN.md §8",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(findings)} scenario(s) within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

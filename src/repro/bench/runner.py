@@ -1,0 +1,169 @@
+"""The benchmark runner: warmup, repeats, determinism self-checks.
+
+A scenario is a callable taking a parameter dict and returning an
+:class:`IterationOutcome`.  The runner executes it ``warmup`` times
+unmeasured, then ``repeat`` measured times, and insists that the
+deterministic outputs (simulated cycles and the ``checks`` fingerprint)
+are identical across every repeat — a scenario that fails that is
+broken, not slow, and raising beats publishing garbage baselines.
+
+Wall time is the median over repeats.  Scenarios whose setup cost would
+drown the region of interest measure their own hot-loop wall time and
+return it in :attr:`IterationOutcome.wall`; otherwise the runner times
+the whole call.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+#: Bump on any incompatible change to the BENCH_*.json layout; the
+#: compare gate refuses to diff documents of different versions.
+SCHEMA_VERSION = 1
+
+
+class BenchDeterminismError(RuntimeError):
+    """A scenario produced different deterministic outputs across
+    repeats — its cycles/checks cannot be trusted as a baseline."""
+
+
+@dataclass
+class IterationOutcome:
+    """What one scenario iteration reports back to the runner."""
+
+    #: Simulated-TSC cycles consumed by the region of interest.  Must
+    #: be identical on every repeat (and every machine).
+    cycles: int
+    #: Deterministic fingerprint of the scenario's *behavior* (counts,
+    #: final state digests, parity flags).  Compared exactly, both
+    #: across repeats and against the committed baseline.
+    checks: dict[str, object] = field(default_factory=dict)
+    #: Informational wall-derived numbers (exec/s, speedups): medianed
+    #: across repeats, recorded, never gated on.
+    info: dict[str, float] = field(default_factory=dict)
+    #: Scenario-measured wall seconds for the hot region; when None the
+    #: runner's whole-call timing is used instead.
+    wall: float | None = None
+
+
+ScenarioFn = Callable[[dict[str, int]], IterationOutcome]
+
+
+@dataclass
+class WallStats:
+    """Wall-clock statistics over the measured repeats."""
+
+    median: float
+    best: float
+    worst: float
+    samples: list[float]
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "WallStats":
+        return cls(
+            median=statistics.median(samples),
+            best=min(samples),
+            worst=max(samples),
+            samples=list(samples),
+        )
+
+
+@dataclass
+class BenchResult:
+    """One scenario's result document (serialized as BENCH_<name>.json)."""
+
+    schema_version: int
+    scenario: str
+    params: dict[str, int]
+    warmup: int
+    repeat: int
+    cycles: int
+    wall: WallStats
+    checks: dict[str, object]
+    info: dict[str, float]
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.scenario}.json"
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    def write(self, out_dir: Path) -> Path:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / self.filename
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchResult":
+        data = json.loads(text)
+        wall = WallStats(**data.pop("wall"))
+        return cls(wall=wall, **data)
+
+    @classmethod
+    def from_path(cls, path: Path) -> "BenchResult":
+        return cls.from_json(path.read_text())
+
+
+def run_scenario(
+    name: str,
+    fn: ScenarioFn,
+    params: dict[str, int],
+    warmup: int = 1,
+    repeat: int = 3,
+) -> BenchResult:
+    """Run one scenario: warmups, measured repeats, self-checks."""
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    for _ in range(warmup):
+        fn(dict(params))
+
+    outcomes: list[IterationOutcome] = []
+    samples: list[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        outcome = fn(dict(params))
+        elapsed = time.perf_counter() - start
+        outcomes.append(outcome)
+        samples.append(
+            outcome.wall if outcome.wall is not None else elapsed
+        )
+
+    first = outcomes[0]
+    for index, outcome in enumerate(outcomes[1:], start=2):
+        if outcome.cycles != first.cycles:
+            raise BenchDeterminismError(
+                f"scenario {name!r}: repeat {index} consumed "
+                f"{outcome.cycles} simulated cycles, repeat 1 consumed "
+                f"{first.cycles} — the scenario is not deterministic"
+            )
+        if outcome.checks != first.checks:
+            raise BenchDeterminismError(
+                f"scenario {name!r}: repeat {index} produced a "
+                f"different deterministic fingerprint: "
+                f"{outcome.checks!r} != {first.checks!r}"
+            )
+
+    info: dict[str, float] = {}
+    for key in first.info:
+        info[key] = statistics.median(
+            outcome.info[key] for outcome in outcomes
+        )
+
+    return BenchResult(
+        schema_version=SCHEMA_VERSION,
+        scenario=name,
+        params=dict(params),
+        warmup=warmup,
+        repeat=repeat,
+        cycles=first.cycles,
+        wall=WallStats.from_samples(samples),
+        checks=dict(first.checks),
+        info=info,
+    )

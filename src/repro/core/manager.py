@@ -28,12 +28,16 @@ from repro.guest.minios import kernel_boot_ops
 from repro.guest.workloads import Workload, build_workload
 from repro.hypervisor.domain import Domain, DomainType
 from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.vcpu import Vcpu
 from repro.hypervisor.hypercalls import (
     EINVAL,
     XC_VMCS_FUZZING_NR,
     XcVmcsFuzzingOp,
 )
 from repro.obs import OBS
+from repro.vmx.ept import EptTables
+from repro.x86.msr import MsrFile
+from repro.x86.registers import RegisterFile
 
 
 class IrisMode(enum.Flag):
@@ -84,13 +88,19 @@ class IrisManager:
     """Front-end for recording and replaying VM behaviors."""
 
     def __init__(
-        self, hv: Hypervisor | None = None, arch: str = "vmx"
+        self, hv: Hypervisor | None = None, arch: str = "vmx",
+        fast_reset: bool = True,
     ) -> None:
         """``arch`` picks the virtualization backend ("vmx"/"svm") when
         no pre-built hypervisor is supplied; with ``hv`` given, the
-        hypervisor's own backend wins."""
+        hypervisor's own backend wins.  ``fast_reset`` lets
+        :meth:`create_dummy_vm` reset an existing dummy VM in place
+        instead of destroying and re-creating a domain per test case
+        (the §VI-C throughput lever); ``False`` forces the original
+        full-rebuild behavior."""
         self.hv = hv or Hypervisor(arch=arch)
         self.arch = self.hv.arch
+        self.fast_reset = fast_reset
         self.dom0 = self.hv.create_domain(
             DomainType.DOM0, name="Domain-0"
         )
@@ -150,21 +160,59 @@ class IrisManager:
         self, from_snapshot: VmSnapshot | None = None,
         name: str = "dummy-vm",
     ) -> Replayer:
-        """Create (or re-create) the dummy VM used for replay."""
-        if self.dummy_vm is not None:
-            self.hv.destroy_domain(self.dummy_vm)
-        self.dummy_vm = self.hv.create_domain(
-            DomainType.HVM, name=name, is_dummy=True
-        )
-        vcpu = self.dummy_vm.vcpus[0]
-        if from_snapshot is not None:
-            vcpu = restore_snapshot(
-                self.hv, self.dummy_vm, from_snapshot
-            )
+        """Create (or fast-reset) the dummy VM used for replay.
+
+        With :attr:`fast_reset` on, an existing dummy VM is reset in
+        place rather than destroyed and re-created — the domain, its
+        vCPU and its device models survive, only their state is rewound
+        to ``from_snapshot``.  Either way the old replayer is detached
+        *before* the old domain goes away, so its exit hook never
+        outlives the vCPU it observes.
+        """
         if self.replayer is not None:
             self.replayer.detach()
+            self.replayer = None
+        if (
+            self.fast_reset
+            and self.dummy_vm is not None
+            and from_snapshot is not None
+            and self.dummy_vm.name == name
+        ):
+            vcpu = self._reset_dummy_vm(from_snapshot)
+        else:
+            if self.dummy_vm is not None:
+                self.hv.destroy_domain(self.dummy_vm)
+            self.dummy_vm = self.hv.create_domain(
+                DomainType.HVM, name=name, is_dummy=True
+            )
+            vcpu = self.dummy_vm.vcpus[0]
+            if from_snapshot is not None:
+                vcpu = restore_snapshot(
+                    self.hv, self.dummy_vm, from_snapshot
+                )
         self.replayer = Replayer(self.hv, vcpu)
         return self.replayer
+
+    def _reset_dummy_vm(self, from_snapshot: VmSnapshot) -> Vcpu:
+        """Rewind the existing dummy VM to ``from_snapshot`` in place.
+
+        The scrub below reproduces what a freshly created domain hands
+        to ``restore_snapshot``: pristine register/MSR files (the
+        restore deliberately leaves segments and DR7 alone), empty
+        guest memory and EPT, and a logical CPU parked in host context.
+        The stamp is dropped because the scrub happens behind the
+        write sets' back — the restore must run its full path.
+        """
+        domain = self.dummy_vm
+        assert domain is not None
+        vcpu = domain.vcpus[0]
+        vcpu.regs = RegisterFile()
+        vcpu.msrs = MsrFile()
+        domain.memory.drop_all()
+        domain.ept = EptTables(eptp=0x7000 + domain.domid)
+        vcpu.backend.park_cpu(vcpu)
+        domain.restore_stamp = None
+        return restore_snapshot(self.hv, domain, from_snapshot)
 
     # ---- record mode --------------------------------------------------
 

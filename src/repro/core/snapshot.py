@@ -46,13 +46,31 @@ class VmSnapshot:
     clock_tsc: int = 0
 
 
+def _mark_clean(hv: Hypervisor, domain: Domain, vcpu: Vcpu) -> None:
+    """Reset every write set: the domain now *is* the stamped snapshot.
+
+    From here on the dirty-tracking layers (VMCS/VMCB fields, GPRs,
+    MSRs, device models, EPT, guest memory) record exactly how the
+    domain drifts away from that snapshot, which is what the delta
+    restore rewinds.
+    """
+    vcpu.backend.clear_dirty(vcpu)
+    vcpu.regs.mark_clean()
+    vcpu.msrs.mark_clean()
+    hv.vlapic(vcpu).mark_clean()
+    hv.platform_timer(domain).mark_clean()
+    hv.irq_controller(domain).mark_clean()
+    domain.ept.mark_clean()
+    domain.memory.mark_clean()
+
+
 def take_snapshot(
     hv: Hypervisor, domain: Domain, include_memory: bool = False
 ) -> VmSnapshot:
     """Capture the hypervisor-visible state of ``domain``'s vCPU 0."""
     vcpu = domain.vcpus[0]
     fields, launch_token = vcpu.backend.export_guest_state(vcpu)
-    return VmSnapshot(
+    snapshot = VmSnapshot(
         vmcs_fields=fields,
         launch_state=launch_token,
         gprs=dict(vcpu.regs.gprs),
@@ -80,10 +98,17 @@ def take_snapshot(
         ept_gfns=tuple(sorted(domain.ept.mapped_gfns())),
         clock_tsc=hv.clock.now,
     )
+    # The domain is, by construction, in exactly the captured state:
+    # stamp it so a later restore of this snapshot can take the delta
+    # path (the fuzzer's crash-revert loop, paper Fig. 11).
+    domain.restore_stamp = snapshot
+    _mark_clean(hv, domain, vcpu)
+    return snapshot
 
 
 def restore_snapshot(
-    hv: Hypervisor, domain: Domain, snapshot: VmSnapshot
+    hv: Hypervisor, domain: Domain, snapshot: VmSnapshot,
+    fast: bool = False,
 ) -> Vcpu:
     """Restore a snapshot onto ``domain`` (the revert operation).
 
@@ -91,12 +116,33 @@ def restore_snapshot(
     that is exactly how the dummy VM starts "from a particular VM
     state" (paper §IV-C): same VMCS/vCPU/device state, its own (empty,
     unless the snapshot carried memory) guest memory.
+
+    When ``fast`` is true and the domain is stamped with this very
+    snapshot, only the state dirtied since the stamp is rewound (the
+    write sets the storage layers track); otherwise the whole state is
+    rebuilt.  Both paths leave identical observable state — the
+    fast-reset differential tests pin that equivalence.  ``fast`` is
+    opt-in because the write sets only see *tracked* mutation (the
+    backend/handler/device entry points): callers that poke domain
+    state or the snapshot directly — tests, interactive use — must
+    stay on the full path.  The fuzzer's crash-revert loop (paper
+    Fig. 11), where every mutation goes through tracked paths, is the
+    intended fast caller.
     """
     vcpu = domain.vcpus[0]
-    vcpu.backend.import_guest_state(
-        vcpu, snapshot.vmcs_fields, snapshot.launch_state
-    )
-    vcpu.regs.load_gprs(snapshot.gprs)
+    delta = fast and domain.restore_stamp is snapshot
+    if delta:
+        vcpu.backend.import_guest_state_delta(
+            vcpu, snapshot.vmcs_fields, snapshot.launch_state
+        )
+        for reg in vcpu.regs.dirty_gprs:
+            if reg in snapshot.gprs:
+                vcpu.regs.gprs[reg] = snapshot.gprs[reg]
+    else:
+        vcpu.backend.import_guest_state(
+            vcpu, snapshot.vmcs_fields, snapshot.launch_state
+        )
+        vcpu.regs.load_gprs(snapshot.gprs)
     vcpu.regs.rip = snapshot.rip
     vcpu.regs.rsp = snapshot.rsp
     vcpu.regs.rflags = snapshot.rflags
@@ -104,7 +150,14 @@ def restore_snapshot(
     vcpu.regs.cr2 = snapshot.cr2
     vcpu.regs.cr3 = snapshot.cr3
     vcpu.regs.cr4 = snapshot.cr4
-    vcpu.msrs.values = dict(snapshot.msr_values)
+    if delta:
+        for msr in vcpu.msrs.dirty:
+            if msr in snapshot.msr_values:
+                vcpu.msrs.values[msr] = snapshot.msr_values[msr]
+            else:
+                vcpu.msrs.values.pop(msr, None)
+    else:
+        vcpu.msrs.values = dict(snapshot.msr_values)
     vcpu.hvm = HvmVcpuState(
         guest_mode=OperatingMode(snapshot.hvm["guest_mode"]),
         hw_cr0=snapshot.hvm["hw_cr0"],
@@ -112,13 +165,24 @@ def restore_snapshot(
         guest_cr3=snapshot.hvm["guest_cr3"],
         exit_count=snapshot.hvm["exit_count"],
     )
-    hv.vlapic(vcpu).restore(snapshot.vlapic)
-    hv.platform_timer(domain).restore(snapshot.vpt)
-    hv.irq_controller(domain).restore(snapshot.irq)
-    if snapshot.memory_pages is not None:
+    vlapic = hv.vlapic(vcpu)
+    vpt = hv.platform_timer(domain)
+    irq = hv.irq_controller(domain)
+    if not delta or vlapic.dirty:
+        vlapic.restore(snapshot.vlapic)
+    if not delta or vpt.dirty:
+        vpt.restore(snapshot.vpt)
+    if not delta or irq.dirty:
+        irq.restore(snapshot.irq)
+    if snapshot.memory_pages is not None and (
+        not delta or domain.memory.dirty
+    ):
         domain.memory.restore(snapshot.memory_pages)
-    for gfn in snapshot.ept_gfns:
-        if domain.ept.lookup(gfn) is None:
-            domain.ept.map_page(gfn, mfn=0x100000 + gfn)
+    if not delta or domain.ept.dirty:
+        for gfn in snapshot.ept_gfns:
+            if domain.ept.lookup(gfn) is None:
+                domain.ept.map_page(gfn, mfn=0x100000 + gfn)
     domain.revive()
+    domain.restore_stamp = snapshot
+    _mark_clean(hv, domain, vcpu)
     return vcpu

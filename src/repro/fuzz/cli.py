@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="split each cell's mutation budget across this many "
              "shards (more pool parallelism for few-cell campaigns)",
     )
+    parser.add_argument(
+        "--no-fast-reset", dest="fast_reset", action="store_false",
+        help="disable the in-place dummy-VM reset and delta snapshot "
+             "restore; every test case rebuilds the dummy VM from "
+             "scratch (the pre-fast-reset behavior, kept as an escape "
+             "hatch and for A/B measurements — results are identical "
+             "either way, only slower)",
+    )
     add_obs_options(parser)
     return parser
 
@@ -111,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
     }[args.area]
 
     with cli_observability(args) as obs:
-        manager = IrisManager(arch=args.arch)
+        manager = IrisManager(arch=args.arch, fast_reset=args.fast_reset)
         precondition = (
             "bios" if args.workload in ("os-boot", "full-boot")
             else "boot"
@@ -169,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
                 shards_per_cell=args.shards_per_cell, on_event=report,
                 arch=args.arch,
                 collect_metrics=obs is not None and obs.wants_metrics,
+                fast_reset=args.fast_reset,
             )
             outcome = campaign.run()
             campaign_stats = outcome.stats
@@ -184,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
         else:
-            fuzzer = IrisFuzzer(manager, rng=rng)
+            fuzzer = IrisFuzzer(manager, rng=rng,
+                                fast_reset=args.fast_reset)
             results = [
                 fuzzer.run_test_case(
                     case, from_snapshot=session.snapshot

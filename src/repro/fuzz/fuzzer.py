@@ -124,6 +124,39 @@ class FuzzResult:
 MAX_FAILURES_KEPT = 64
 
 
+@dataclass
+class _TargetState:
+    """Cached Fig.-11 target state (fast-reset reuse across cases).
+
+    When consecutive test cases share the same replayed prefix —
+    identical trace, seed index and starting snapshot — re-reaching
+    ``VMseed_R`` is a snapshot revert, not a re-replay: restore
+    ``state_r``, advance the clock by the cycles the original replay
+    charged (so timing metrics still account the reach cost), and go
+    straight to mutating.  Crash and mutation outcomes are unaffected;
+    coverage accounting for the repeated case reuses the cached
+    baseline instead of re-measuring it at the current TSC phase.
+    """
+
+    trace: object
+    seed_index: int
+    from_snapshot: VmSnapshot | None
+    state_r: VmSnapshot
+    baseline_lines: set[tuple[str, int]]
+    reach_cycles: int
+
+    def matches(
+        self,
+        case: FuzzTestCase,
+        from_snapshot: VmSnapshot | None,
+    ) -> bool:
+        return (
+            self.trace is case.trace
+            and self.seed_index == case.seed_index
+            and self.from_snapshot is from_snapshot
+        )
+
+
 class IrisFuzzer:
     """Drives fuzzing campaigns through an :class:`IrisManager`."""
 
@@ -131,9 +164,18 @@ class IrisFuzzer:
         self,
         manager: IrisManager,
         rng: random.Random | None = None,
+        fast_reset: bool = True,
     ) -> None:
+        """``fast_reset`` enables the delta-restore path in the
+        crash-revert loop (every mutation there goes through tracked
+        state paths, the precondition ``restore_snapshot(fast=True)``
+        documents); ``False`` rebuilds the full state on every revert,
+        the pre-fast-reset behavior the differential tests compare
+        against."""
         self.manager = manager
         self.rng = rng or random.Random(0xF022)
+        self.fast_reset = fast_reset
+        self._target_state: _TargetState | None = None
 
     # ---- single test case ---------------------------------------------
 
@@ -187,23 +229,57 @@ class IrisFuzzer:
     ) -> FuzzResult:
         manager = self.manager
         hv = manager.hv
-        self._reach_target_state(case, from_snapshot)
-        assert manager.replayer is not None and manager.dummy_vm
-        replayer = manager.replayer
-        dummy = manager.dummy_vm
+        cached = self._target_state if self.fast_reset else None
+        if (
+            cached is not None
+            and cached.matches(case, from_snapshot)
+            and manager.replayer is not None
+            and manager.dummy_vm is not None
+            and manager.dummy_vm.restore_stamp is cached.state_r
+        ):
+            # Fast-reset reuse: the dummy VM is stamped with this very
+            # target state, so re-reaching it is one delta restore.
+            replayer = manager.replayer
+            dummy = manager.dummy_vm
+            restore_snapshot(hv, dummy, cached.state_r, fast=True)
+            # Charge the skipped prefix+baseline replay's cycles in one
+            # step, so timing metrics keep accounting the Fig.-11 reach
+            # cost.  (The rebuild path's re-replay would charge *about*
+            # this much — catch-up timer work varies with TSC phase —
+            # which is why repeated-case coverage accounting is only
+            # guaranteed identical where replay actually re-runs, e.g.
+            # campaign shards.)
+            hv.clock.advance(cached.reach_cycles)
+            baseline_lines = cached.baseline_lines
+            state_r = cached.state_r
+        else:
+            cycles_before = hv.clock.now
+            self._reach_target_state(case, from_snapshot)
+            assert manager.replayer is not None and manager.dummy_vm
+            replayer = manager.replayer
+            dummy = manager.dummy_vm
 
-        # Baseline: the unmutated target seed's coverage.  The
-        # asynchronous components' lines are filtered out of the whole
-        # campaign's accounting — their firing depends on TSC phase,
-        # not on the mutations (the same noise the paper's §VI-B
-        # filters and MundoFuzz removes by differential learning).
-        baseline = replayer.submit(case.target_seed)
-        if baseline.outcome is not ReplayOutcome.OK:
-            raise RuntimeError(
-                f"baseline seed crashed: {baseline.crash_reason}"
-            )
-        baseline_lines = self._denoise(baseline.coverage_lines)
-        state_r = take_snapshot(hv, dummy)
+            # Baseline: the unmutated target seed's coverage.  The
+            # asynchronous components' lines are filtered out of the
+            # whole campaign's accounting — their firing depends on TSC
+            # phase, not on the mutations (the same noise the paper's
+            # §VI-B filters and MundoFuzz removes by differential
+            # learning).
+            baseline = replayer.submit(case.target_seed)
+            if baseline.outcome is not ReplayOutcome.OK:
+                raise RuntimeError(
+                    f"baseline seed crashed: {baseline.crash_reason}"
+                )
+            baseline_lines = self._denoise(baseline.coverage_lines)
+            state_r = take_snapshot(hv, dummy)
+            self._target_state = _TargetState(
+                trace=case.trace,
+                seed_index=case.seed_index,
+                from_snapshot=from_snapshot,
+                state_r=state_r,
+                baseline_lines=baseline_lines,
+                reach_cycles=hv.clock.now - cycles_before,
+            ) if self.fast_reset else None
 
         mutate = MUTATION_RULES[case.mutation_rule]
         result = FuzzResult(
@@ -236,7 +312,9 @@ class IrisFuzzer:
                 )
                 # Reset to the target VM state (the host "reboots" /
                 # the dummy VM is reverted, paper Fig. 11).
-                restore_snapshot(hv, dummy, state_r)
+                restore_snapshot(
+                    hv, dummy, state_r, fast=self.fast_reset
+                )
             elif fresh:
                 result.corpus.consider(
                     mutated, frozenset(lines), len(fresh)

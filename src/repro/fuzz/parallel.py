@@ -23,8 +23,11 @@ The determinism contract
   :meth:`CoverageMap.union`.
 
 Together these make the merged campaign result a pure function of
-``(trace, snapshot, cases, campaign_seed, shards_per_cell, arch)``: the
-``jobs`` worker count never changes results, only wall-clock time.
+``(trace, snapshot, cases, campaign_seed, shards_per_cell, arch,
+fast_reset)``: the ``jobs`` worker count never changes results, only
+wall-clock time.  ``fast_reset`` appears in the tuple for honesty's
+sake only — the fast-reset differential tests pin that flipping it
+does not change the merged result either.
 
 Fault isolation
 ---------------
@@ -115,6 +118,11 @@ class ShardTask:
     #: snapshot is a pure function of the task — mergeable across any
     #: ``jobs`` value without changing totals).
     collect_metrics: bool = False
+    #: Whether the shard's manager/fuzzer run with the fast-reset
+    #: (delta-restore) paths.  Part of the task so the determinism
+    #: contract covers it — the fast-reset differential tests compare
+    #: whole campaigns across this flag.
+    fast_reset: bool = True
 
 
 @dataclass(frozen=True)
@@ -308,7 +316,7 @@ def run_shard(
     """
     from repro.core.manager import IrisManager
 
-    manager = IrisManager(arch=task.arch)
+    manager = IrisManager(arch=task.arch, fast_reset=task.fast_reset)
     if snapshot is not None and snapshot.clock_tsc > manager.hv.clock.now:
         # Timer deadlines in the snapshot (vpt.next_due, vlapic) are
         # absolute TSC values on the recording host's clock.  A fresh
@@ -318,7 +326,10 @@ def run_shard(
         # Fast-forward into the snapshot's clock domain — a pure
         # function of the snapshot, so shards stay deterministic.
         manager.hv.clock.advance(snapshot.clock_tsc - manager.hv.clock.now)
-    fuzzer = IrisFuzzer(manager, rng=random.Random(task.rng_seed))
+    fuzzer = IrisFuzzer(
+        manager, rng=random.Random(task.rng_seed),
+        fast_reset=task.fast_reset,
+    )
     case = FuzzTestCase(
         trace=trace,
         seed_index=task.seed_index,
@@ -412,6 +423,7 @@ class ParallelCampaign:
         fault_plan: Mapping[int, tuple[str, int]] | None = None,
         arch: str = "vmx",
         collect_metrics: bool = False,
+        fast_reset: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -431,6 +443,7 @@ class ParallelCampaign:
         #: the chaos hook the fault-isolation tests drive.
         self.fault_plan = dict(fault_plan or {})
         self.collect_metrics = collect_metrics
+        self.fast_reset = fast_reset
 
     # -- planning ------------------------------------------------------
 
@@ -455,6 +468,7 @@ class ParallelCampaign:
                     fault_kind=self._fault_for(cell_index, attempt=0),
                     arch=self.arch,
                     collect_metrics=self.collect_metrics,
+                    fast_reset=self.fast_reset,
                 ))
         return tasks
 
@@ -519,6 +533,7 @@ class ParallelCampaign:
             fault_kind=self._fault_for(task.cell_index, attempt),
             arch=task.arch,
             collect_metrics=task.collect_metrics,
+            fast_reset=task.fast_reset,
         )
 
     def _run_batch(

@@ -44,6 +44,11 @@ class Domain:
     #: The dummy VM is a live DomU with its own memory image, so its
     #: pages read back as *something* — just not what was recorded.
     background_pattern: bytes | None = None
+    #: The snapshot this domain's state was last taken from or restored
+    #: to (identity, not equality).  While the stamp matches, the
+    #: dirty-tracking write sets describe exactly how the domain has
+    #: drifted from that snapshot, enabling the delta restore path.
+    restore_stamp: object | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self.memory = GuestMemory(

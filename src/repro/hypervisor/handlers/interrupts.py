@@ -67,8 +67,7 @@ def handle_external_interrupt(hv, vcpu: Vcpu) -> None:
         irq = hv.irq_controller(vcpu.domain)
         hv.cov_all(irq.assert_line(0))
         vlapic = hv.vlapic(vcpu)
-        if 0x30 not in vlapic.irr:
-            vlapic.irr.append(0x30)  # guest timer vector via IOAPIC
+        vlapic.post_interrupt(0x30)  # guest timer vector via IOAPIC
     else:
         hv.cov(BLK_EXTINT_DEVICE)
     # No RIP advance: the interrupt is asynchronous to the guest.

@@ -363,8 +363,7 @@ class Hypervisor:
             self.cov_all(blocks)
             irq = self.irq_controller(vcpu.domain)
             self.cov_all(irq.assert_line(0))
-            if 0x30 not in vlapic.irr:
-                vlapic.irr.append(0x30)
+            vlapic.post_interrupt(0x30)
 
     def _intr_assist(self, vcpu: Vcpu) -> None:
         """``vmx_intr_assist``: inject or request an interrupt window."""

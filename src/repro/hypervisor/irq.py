@@ -34,10 +34,14 @@ class VirtualIrqController:
     #: ISA IRQ lines currently asserted.
     asserted: set[int] = field(default_factory=set)
     assert_count: int = 0
+    #: True when any state changed since :meth:`mark_clean` — lets the
+    #: delta-aware snapshot restore skip an untouched controller.
+    dirty: bool = False
 
     def pic_write(self, port: int, value: int) -> list[SourceBlock]:
         """Guest programming a PIC register via OUT."""
         self.pic_regs[port] = value & 0xFF
+        self.dirty = True
         blocks = [BLK_PIC_PROGRAM]
         if port in (0x21, 0xA1):  # data port writes are mask updates
             blocks.append(BLK_PIC_MASK)
@@ -49,6 +53,7 @@ class VirtualIrqController:
     def assert_line(self, irq: int) -> list[SourceBlock]:
         """Assert an ISA IRQ and route it towards the vlapic."""
         self.assert_count += 1
+        self.dirty = True
         blocks = [BLK_ASSERT_IRQ]
         if irq in self.asserted:
             blocks.append(BLK_SPURIOUS)
@@ -59,11 +64,17 @@ class VirtualIrqController:
 
     def deassert_line(self, irq: int) -> list[SourceBlock]:
         self.asserted.discard(irq)
+        self.dirty = True
         return [BLK_DEASSERT]
 
     def eoi(self, irq: int) -> list[SourceBlock]:
         self.asserted.discard(irq)
+        self.dirty = True
         return [BLK_EOI_PROPAGATE]
+
+    def mark_clean(self) -> None:
+        """Reset the dirty flag (snapshot taken/restored here)."""
+        self.dirty = False
 
     def snapshot(self) -> dict:
         return {
@@ -76,3 +87,4 @@ class VirtualIrqController:
         self.pic_regs = dict(state["pic_regs"])
         self.asserted = set(state["asserted"])
         self.assert_count = state["assert_count"]
+        self.dirty = True

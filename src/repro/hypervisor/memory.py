@@ -48,6 +48,10 @@ class GuestMemory:
         self.size_bytes = size_bytes
         self.background_pattern = background_pattern
         self._pages: dict[int, bytearray] = {}
+        # True when page contents may have changed since mark_clean()
+        # (every mutation funnels through populate/drop_all/restore);
+        # lets the delta-aware snapshot restore skip untouched memory.
+        self.dirty = False
 
     # ---- page management ------------------------------------------
 
@@ -57,6 +61,8 @@ class GuestMemory:
         if page is None:
             page = bytearray(PAGE_SIZE)
             self._pages[gfn] = page
+        # Callers populate in order to write; be conservative.
+        self.dirty = True
         return page
 
     def is_populated(self, gfn: int) -> bool:
@@ -68,6 +74,11 @@ class GuestMemory:
     def drop_all(self) -> None:
         """Release every page (the dummy VM starts with empty memory)."""
         self._pages.clear()
+        self.dirty = True
+
+    def mark_clean(self) -> None:
+        """Reset the dirty flag (snapshot taken/restored here)."""
+        self.dirty = False
 
     # ---- byte-level access ------------------------------------------
 
@@ -162,7 +173,10 @@ class GuestMemory:
         return {gfn: bytes(page) for gfn, page in self._pages.items()}
 
     def restore(self, pages: dict[int, bytes]) -> None:
-        self._pages = {gfn: bytearray(data) for gfn, data in pages.items()}
+        self._pages = {
+            gfn: bytearray(data) for gfn, data in pages.items()
+        }
+        self.dirty = True
 
 
 @dataclass

@@ -80,6 +80,9 @@ class Vlapic:
     period: int = VLAPIC_TIMER_PERIOD
     next_timer_due: int = VLAPIC_TIMER_PERIOD
     timer_fires: int = 0
+    #: True when any state changed since :meth:`mark_clean` — lets the
+    #: delta-aware snapshot restore skip an untouched vlapic.
+    dirty: bool = False
 
     def contains(self, gpa: int) -> bool:
         """True when a guest-physical address falls in the APIC page."""
@@ -102,6 +105,7 @@ class Vlapic:
         blocks.append(reg_block)
         if is_write:
             self.regs[offset & ~0xF] = value
+            self.dirty = True
             if (offset & ~0xF) == 0x0B0:  # EOI completes the highest ISR
                 blocks.append(BLK_UPDATE_PPR)
             if (offset & ~0xF) == 0x300:  # ICR may raise an IPI
@@ -118,6 +122,7 @@ class Vlapic:
         """
         if now < self.next_timer_due:
             return []
+        self.dirty = True
         self.timer_fires += 1
         vector = (self.regs.get(0x320, 0xEF)) & 0xFF
         if vector not in self.irr:
@@ -126,13 +131,24 @@ class Vlapic:
             self.next_timer_due += self.period
         return [BLK_TIMER_FIRE, BLK_SET_IRQ, BLK_UPDATE_PPR]
 
+    def post_interrupt(self, vector: int) -> None:
+        """Queue a vector for injection (IOAPIC/IPI delivery path)."""
+        if vector not in self.irr:
+            self.irr.append(vector)
+            self.dirty = True
+
     def ack_highest(self) -> tuple[int | None, list[SourceBlock]]:
         """Deliver the highest-priority pending vector (for injection)."""
         if not self.irr:
             return None, []
         vector = max(self.irr)
         self.irr.remove(vector)
+        self.dirty = True
         return vector, [BLK_UPDATE_PPR]
+
+    def mark_clean(self) -> None:
+        """Reset the dirty flag (snapshot taken/restored here)."""
+        self.dirty = False
 
     def snapshot(self) -> dict:
         return {
@@ -153,3 +169,4 @@ class Vlapic:
         self.period = state.get("period", VLAPIC_TIMER_PERIOD)
         self.next_timer_due = state["next_timer_due"]
         self.timer_fires = state["timer_fires"]
+        self.dirty = True

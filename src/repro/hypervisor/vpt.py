@@ -42,11 +42,15 @@ class VirtualPlatformTimer:
     #: lobyte/hibyte latch state per channel (the counter ports are
     #: 8-bit; a 16-bit reload is two consecutive writes).
     _latch: dict[int, int | None] = field(default_factory=dict)
+    #: True when any state changed since :meth:`mark_clean` — lets the
+    #: delta-aware snapshot restore skip an untouched timer.
+    dirty: bool = False
 
     def write_control(self, value: int) -> list[SourceBlock]:
         """Port 0x43: mode/command word — resets the byte latch."""
         channel = (value >> 6) & 0x3
         self._latch[channel] = None
+        self.dirty = True
         return [BLK_PIT_PROGRAM]
 
     def write_counter_byte(
@@ -57,6 +61,7 @@ class VirtualPlatformTimer:
         pending = self._latch.get(channel)
         if pending is None:
             self._latch[channel] = value
+            self.dirty = True
             return [BLK_PIT_PROGRAM]
         self._latch[channel] = None
         return self.program_channel(channel, pending | (value << 8))
@@ -65,6 +70,7 @@ class VirtualPlatformTimer:
         self, channel: int, counter: int
     ) -> list[SourceBlock]:
         """Guest programmed a PIT channel (port 0x40+channel)."""
+        self.dirty = True
         blocks = [BLK_PIT_PROGRAM]
         if counter <= 0:
             counter = 0x10000  # architectural wrap: 0 means 65536
@@ -86,6 +92,7 @@ class VirtualPlatformTimer:
         """Fire the periodic timer if due; coalesce missed ticks."""
         if now < self.next_due:
             return []
+        self.dirty = True
         blocks = [BLK_PT_INTR]
         missed = 0
         while self.next_due <= now:
@@ -115,3 +122,8 @@ class VirtualPlatformTimer:
         self.fires = state["fires"]
         self.channels = dict(state["channels"])
         self._latch = dict(state.get("latch", {}))
+        self.dirty = True
+
+    def mark_clean(self) -> None:
+        """Reset the dirty flag (snapshot taken/restored here)."""
+        self.dirty = False

@@ -146,6 +146,7 @@ class SvmBackend:
     def init_guest_state(self, vcpu: "Vcpu") -> None:
         """Xen's construct_vmcb(): host-owned slots, then the baseline."""
         vmcb = self._vmcb(vcpu)
+        vcpu.svm.shadow_dirty.update(vcpu.svm.shadow)
         vcpu.svm.shadow.clear()
         vmcb.write(VmcbField.GUEST_ASID, GUEST_ASID_VALUE)
         vmcb.write(VmcbField.NP_ENABLE, 1)  # nested paging (EPT twin)
@@ -201,6 +202,7 @@ class SvmBackend:
             vmcb.write(slot, value)
         else:
             vcpu.svm.shadow[fld] = value
+            vcpu.svm.shadow_dirty.add(fld)
 
     def field_is_read_only(self, fld: ArchField) -> bool:
         # Unlike the VMCS, every VMCB byte is writable by the host;
@@ -225,6 +227,7 @@ class SvmBackend:
         self, vcpu: "Vcpu", vmcb: Vmcb, value: int
     ) -> None:
         vcpu.svm.shadow.pop(ArchField.VM_EXIT_REASON, None)
+        vcpu.svm.shadow_dirty.add(ArchField.VM_EXIT_REASON)
         try:
             reason = ExitReason(value & 0xFFFF)
         except ValueError:
@@ -281,6 +284,7 @@ class SvmBackend:
         elif reason is ExitReason.WRMSR:
             exitinfo1 = 1
         svm.shadow.pop(ArchField.VM_EXIT_REASON, None)
+        svm.shadow_dirty.add(ArchField.VM_EXIT_REASON)
         vmcb.write(VmcbField.EXITCODE, code_val)
         vmcb.write(VmcbField.EXITINFO1, exitinfo1)
         vmcb.write(VmcbField.EXITINFO2, event.guest_physical_address)
@@ -296,6 +300,8 @@ class SvmBackend:
         svm.shadow[ArchField.VMX_INSTRUCTION_INFO] = (
             event.instruction_info
         )
+        svm.shadow_dirty.add(ArchField.GUEST_LINEAR_ADDRESS)
+        svm.shadow_dirty.add(ArchField.VMX_INSTRUCTION_INFO)
 
     def deliver_exit_to_cpu(self, vcpu: "Vcpu") -> None:
         if OBS.metrics.enabled:
@@ -360,6 +366,7 @@ class SvmBackend:
         vmcb = self._vmcb(vcpu)
         svm = vcpu.svm
         vmcb.load_contents({})
+        svm.shadow_dirty.update(svm.shadow)
         svm.shadow.clear()
         vmcb.write(VmcbField.GUEST_ASID, GUEST_ASID_VALUE)
         vmcb.write(VmcbField.NP_ENABLE, 1)
@@ -387,6 +394,106 @@ class SvmBackend:
             )
         svm.has_run = launch_token == LAUNCH_LAUNCHED
         svm.mode = CpuSvmMode.HOST
+
+    def import_guest_state_delta(
+        self, vcpu: "Vcpu", fields: dict[ArchField, int],
+        launch_token: str,
+    ) -> None:
+        """Rewind only the state written since :meth:`clear_dirty`.
+
+        Dirty VMCB slots are folded back into ArchField space (via the
+        canonical slot map plus the NEXT_RIP / EXITCODE derivations)
+        and each affected field is then set to its snapshot value or
+        erased, in the same plain-then-derived order as the full
+        import, so the end state is indistinguishable from
+        :meth:`import_guest_state` of the same map.
+        """
+        vmcb = self._vmcb(vcpu)
+        svm = vcpu.svm
+        dirty: set[ArchField] = set(svm.shadow_dirty)
+        for slot in vmcb.dirty:
+            if slot is VmcbField.GUEST_ASID:
+                # Host-owned baseline the full import always rewrites.
+                vmcb.restore_slot(slot, GUEST_ASID_VALUE)
+                continue
+            if slot is VmcbField.NP_ENABLE:
+                vmcb.restore_slot(slot, 1)
+                continue
+            if slot is VmcbField.NEXT_RIP:
+                dirty.add(ArchField.VM_EXIT_INSTRUCTION_LEN)
+                continue
+            if slot is VmcbField.EXITCODE:
+                dirty.add(ArchField.VM_EXIT_REASON)
+                continue
+            fld = VMCB_TO_VMCS.get(slot)
+            if fld is None:
+                # No neutral name (e.g. PAUSE_FILTER_COUNT): the full
+                # import's load_contents({}) would forget it.
+                vmcb.erase_slot(slot)
+                continue
+            dirty.add(fld)
+            if slot is VmcbField.RIP:
+                # NEXT_RIP is derived from RIP: moving RIP back also
+                # re-materializes the stored instruction length.
+                dirty.add(ArchField.VM_EXIT_INSTRUCTION_LEN)
+            elif slot is VmcbField.EXITINFO1:
+                # EXITINFO1 carries the MSR direction the exit-reason
+                # decode consumes.
+                dirty.add(ArchField.VM_EXIT_REASON)
+        # Plain fields first, then the derived ones, mirroring the
+        # deferred-application order of the full import.
+        derived = (
+            ArchField.VM_EXIT_INSTRUCTION_LEN,
+            ArchField.VM_EXIT_REASON,
+        )
+        for fld in dirty:
+            if fld not in derived:
+                self._delta_apply(vcpu, vmcb, svm, fields, fld)
+        for fld in derived:
+            if fld in dirty:
+                self._delta_apply(vcpu, vmcb, svm, fields, fld)
+        vmcb.mark_clean()
+        svm.shadow_dirty.clear()
+        svm.has_run = launch_token == LAUNCH_LAUNCHED
+        svm.mode = CpuSvmMode.HOST
+
+    def _delta_apply(
+        self, vcpu: "Vcpu", vmcb: Vmcb, svm: SvmCpu,
+        fields: dict[ArchField, int], fld: ArchField,
+    ) -> None:
+        """Set one field to its snapshot value, or erase it as the full
+        import's empty-structure baseline would."""
+        value = fields.get(fld)
+        if value is not None:
+            slot = FIELD_TO_VMCB.get(fld)
+            if slot is VmcbField.INTERCEPT_VECTOR3:
+                # The full import writes this slot against an empty
+                # VMCB, so its pause-preservation sees bit 23 clear;
+                # reproduce that baseline before going through
+                # write_raw's preservation logic.
+                vmcb.restore_slot(
+                    slot, vmcb.read(slot) & ~PAUSE_INTERCEPT_BIT
+                )
+            self.write_raw(vcpu, fld, value)
+            return
+        if fld is ArchField.VM_EXIT_INSTRUCTION_LEN:
+            vmcb.erase_slot(VmcbField.NEXT_RIP)
+        elif fld is ArchField.VM_EXIT_REASON:
+            vmcb.erase_slot(VmcbField.EXITCODE)
+            svm.shadow.pop(fld, None)
+        else:
+            slot = FIELD_TO_VMCB.get(fld)
+            if slot is not None:
+                vmcb.erase_slot(slot)
+            else:
+                svm.shadow.pop(fld, None)
+
+    def clear_dirty(self, vcpu: "Vcpu") -> None:
+        self._vmcb(vcpu).mark_clean()
+        vcpu.svm.shadow_dirty.clear()
+
+    def park_cpu(self, vcpu: "Vcpu") -> None:
+        vcpu.svm.mode = CpuSvmMode.HOST
 
     # ---- replay support --------------------------------------------
 

@@ -45,6 +45,9 @@ class SvmCpu:
     current_vmcb: Vmcb | None = None
     #: Software shadow for fields without a VMCB slot.
     shadow: dict[ArchField, int] = field(default_factory=dict)
+    #: Shadow entries touched (written or popped) since the backend's
+    #: ``clear_dirty`` — tracked for the delta-aware snapshot restore.
+    shadow_dirty: set[ArchField] = field(default_factory=set)
     #: True once the vCPU has executed VMRUN at least once (the
     #: launch-token analogue; SVM itself has no launched/clear state).
     has_run: bool = False

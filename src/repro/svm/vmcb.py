@@ -133,24 +133,44 @@ class Vmcb:
 
     address: int
     _fields: dict[VmcbField, int] = field(default_factory=dict)
+    #: Slots written since :meth:`mark_clean` — the write set the
+    #: delta-aware snapshot restore undoes (mirrors ``Vmcs.dirty``).
+    dirty: set[VmcbField] = field(default_factory=set)
 
     def read(self, fld: VmcbField) -> int:
         return self._fields.get(VmcbField(fld), 0)
 
     def write(self, fld: VmcbField, value: int) -> None:
+        fld = VmcbField(fld)
+        self._fields[fld] = value & MASK64
+        self.dirty.add(fld)
+
+    def restore_slot(self, fld: VmcbField, value: int) -> None:
+        """Snapshot-side write: no dirty marking."""
         self._fields[VmcbField(fld)] = value & MASK64
+
+    def erase_slot(self, fld: VmcbField) -> None:
+        """Forget a slot, as a full :meth:`load_contents` would."""
+        self._fields.pop(VmcbField(fld), None)
+
+    def mark_clean(self) -> None:
+        """Reset the write set (snapshot taken/restored here)."""
+        self.dirty.clear()
 
     def contents(self) -> dict[VmcbField, int]:
         return dict(self._fields)
 
     def load_contents(self, values: dict[VmcbField, int]) -> None:
+        self.dirty.update(self._fields)
         self._fields = {
             VmcbField(f): v & MASK64 for f, v in values.items()
         }
+        self.dirty.update(self._fields)
 
     def copy(self, address: int | None = None) -> "Vmcb":
         clone = Vmcb(
             address=self.address if address is None else address
         )
         clone._fields = dict(self._fields)
+        clone.dirty = set(self.dirty)
         return clone

@@ -155,6 +155,35 @@ class VmxBackend:
             else VmcsLaunchState.CLEAR
         )
 
+    def import_guest_state_delta(
+        self, vcpu: "Vcpu", fields: dict[ArchField, int],
+        launch_token: str,
+    ) -> None:
+        """Rewind only the fields written since :meth:`clear_dirty`.
+
+        Per dirty field this mirrors what a full ``load_contents`` of
+        ``fields`` would leave behind: the snapshot value when the
+        snapshot holds the field, oblivion when it does not.
+        """
+        vmcs = vcpu.vmcs
+        for fld in vmcs.dirty:
+            value = fields.get(fld)
+            if value is None:
+                vmcs.erase_field(fld)
+            else:
+                vmcs.restore_field(fld, value)
+        vmcs.mark_clean()
+        vmcs.launch_state = (
+            VmcsLaunchState.LAUNCHED if launch_token == LAUNCH_LAUNCHED
+            else VmcsLaunchState.CLEAR
+        )
+
+    def clear_dirty(self, vcpu: "Vcpu") -> None:
+        vcpu.vmcs.mark_clean()
+
+    def park_cpu(self, vcpu: "Vcpu") -> None:
+        vcpu.vmx.mode = CpuVmxMode.ROOT
+
     # ---- replay support --------------------------------------------
 
     def continuous_exit_driver(

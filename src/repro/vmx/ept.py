@@ -88,15 +88,20 @@ class EptTables:
     _entries: dict[int, EptEntry] = field(default_factory=dict)
     #: violations recorded for introspection/tests
     violation_count: int = 0
+    #: True when mappings changed since ``mark_clean`` — lets the
+    #: delta-aware snapshot restore skip the re-mapping walk entirely.
+    dirty: bool = False
 
     def map_page(
         self, gfn: int, mfn: int, access: EptAccess = EptAccess.rwx()
     ) -> None:
         """Install a 4 KiB mapping."""
         self._entries[gfn] = EptEntry(mfn=mfn, access=access)
+        self.dirty = True
 
     def unmap_page(self, gfn: int) -> None:
         self._entries.pop(gfn, None)
+        self.dirty = True
 
     def protect_page(self, gfn: int, access: EptAccess) -> None:
         """Change the permissions of an existing mapping."""
@@ -106,6 +111,11 @@ class EptTables:
         self._entries[gfn] = EptEntry(
             mfn=entry.mfn, access=access, memory_type=entry.memory_type
         )
+        self.dirty = True
+
+    def mark_clean(self) -> None:
+        """Reset the dirty flag (snapshot taken/restored here)."""
+        self.dirty = False
 
     def lookup(self, gfn: int) -> EptEntry | None:
         return self._entries.get(gfn)

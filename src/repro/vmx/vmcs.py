@@ -50,6 +50,10 @@ class Vmcs:
     abort_indicator: int = 0
     launch_state: VmcsLaunchState = VmcsLaunchState.CLEAR
     _fields: dict[VmcsField, int] = field(default_factory=dict)
+    #: Fields written since :meth:`mark_clean` — the write set a
+    #: delta-aware snapshot restore has to undo (paper §IV-B: revert
+    #: cost scales with the dirtied state, not the full VMCS).
+    dirty: set[VmcsField] = field(default_factory=set)
 
     def read(self, fld: VmcsField) -> int:
         """Raw field read (the VMREAD data path).
@@ -75,11 +79,30 @@ class Vmcs:
                 "write_exit_info() for hardware-side population"
             )
         self._fields[fld] = value & field_width(fld).mask
+        self.dirty.add(fld)
 
     def write_exit_info(self, fld: VmcsField, value: int) -> None:
         """Hardware-side write used while delivering a VM exit."""
         fld = VmcsField(fld)
         self._fields[fld] = value & field_width(fld).mask
+        self.dirty.add(fld)
+
+    def restore_field(self, fld: VmcsField, value: int) -> None:
+        """Snapshot-side write: no read-only gate, no dirty marking.
+
+        Per-field analogue of :meth:`load_contents` for the delta
+        restore path.
+        """
+        fld = VmcsField(fld)
+        self._fields[fld] = value & field_width(fld).mask
+
+    def erase_field(self, fld: VmcsField) -> None:
+        """Forget a field, as a full :meth:`load_contents` would."""
+        self._fields.pop(VmcsField(fld), None)
+
+    def mark_clean(self) -> None:
+        """Reset the write set (snapshot taken/restored here)."""
+        self.dirty.clear()
 
     def clear(self) -> None:
         """VMCLEAR semantics: launch state back to *Clear*.
@@ -95,10 +118,15 @@ class Vmcs:
 
     def load_contents(self, values: dict[VmcsField, int]) -> None:
         """Bulk-restore fields (snapshot revert path, not VMWRITE)."""
+        # Everything that existed or now exists may have changed; the
+        # snapshot layer calls mark_clean() right after when this load
+        # re-establishes a known-clean point.
+        self.dirty.update(self._fields)
         self._fields = {
             VmcsField(f): v & field_width(VmcsField(f)).mask
             for f, v in values.items()
         }
+        self.dirty.update(self._fields)
 
     def populated_fields(self) -> frozenset[VmcsField]:
         return frozenset(self._fields)
@@ -112,4 +140,5 @@ class Vmcs:
             launch_state=self.launch_state,
         )
         clone._fields = dict(self._fields)
+        clone.dirty = set(self.dirty)
         return clone

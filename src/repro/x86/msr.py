@@ -140,6 +140,9 @@ class MsrFile:
     """The MSR state of one virtual CPU."""
 
     values: dict[int, int] = field(default_factory=_default_values)
+    #: MSRs written since :meth:`mark_clean` — the write set the
+    #: delta-aware snapshot restore touches instead of the whole file.
+    dirty: set[int] = field(default_factory=set)
 
     def read(self, msr: int) -> int:
         """RDMSR semantics: unknown MSR -> #GP."""
@@ -161,6 +164,11 @@ class MsrFile:
                 reason=f"reserved bits set: 0x{value & ~writable & MASK64:x}",
             )
         self.values[msr] = value
+        self.dirty.add(msr)
+
+    def mark_clean(self) -> None:
+        """Reset the write set (snapshot taken/restored here)."""
+        self.dirty.clear()
 
     def copy(self) -> "MsrFile":
-        return MsrFile(values=dict(self.values))
+        return MsrFile(values=dict(self.values), dirty=set(self.dirty))

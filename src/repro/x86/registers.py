@@ -201,12 +201,21 @@ class RegisterFile:
     segments: dict[SegmentRegister, SegmentCache] = field(
         default_factory=_reset_segments
     )
+    #: GPRs written since :meth:`mark_clean` — the write set the
+    #: delta-aware snapshot restore touches instead of all sixteen.
+    dirty_gprs: set[GPR] = field(default_factory=set)
 
     def read_gpr(self, reg: GPR) -> int:
         return self.gprs[reg]
 
     def write_gpr(self, reg: GPR, value: int) -> None:
+        reg = GPR(reg)
         self.gprs[reg] = value & MASK64
+        self.dirty_gprs.add(reg)
+
+    def mark_clean(self) -> None:
+        """Reset the GPR write set (snapshot taken/restored here)."""
+        self.dirty_gprs.clear()
 
     def snapshot_gprs(self) -> dict[GPR, int]:
         """Return a copy of the GPR set (what Xen saves on VM exit)."""
@@ -220,6 +229,7 @@ class RegisterFile:
     def copy(self) -> "RegisterFile":
         return RegisterFile(
             gprs=dict(self.gprs),
+            dirty_gprs=set(self.dirty_gprs),
             rip=self.rip,
             rsp=self.rsp,
             rflags=self.rflags,

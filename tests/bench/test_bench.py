@@ -1,0 +1,334 @@
+"""Tests for the benchmark harness and the perf-regression gate.
+
+Includes the acceptance demo the CI gate rests on: perturbing a
+committed baseline's deterministic outputs makes
+``python -m repro.bench.compare`` fail.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.compare import compare_dirs, compare_results
+from repro.bench.compare import main as compare_main
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    BenchDeterminismError,
+    BenchResult,
+    IterationOutcome,
+    WallStats,
+    run_scenario,
+)
+from repro.bench.scenarios import SCENARIOS, snapshot_roundtrip
+from repro.bench.__main__ import main as bench_main
+
+BASELINE_DIR = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+)
+
+
+def _result(
+    scenario="toy",
+    cycles=1000,
+    wall=0.5,
+    checks=None,
+    params=None,
+    schema_version=SCHEMA_VERSION,
+):
+    return BenchResult(
+        schema_version=schema_version,
+        scenario=scenario,
+        params=params if params is not None else {"n": 4},
+        warmup=1,
+        repeat=2,
+        cycles=cycles,
+        wall=WallStats.from_samples([wall, wall]),
+        checks=checks if checks is not None else {"count": 7},
+        info={"rate": 2.0},
+    )
+
+
+# ---- runner ----------------------------------------------------------
+
+class TestRunner:
+    def test_warmup_and_repeats(self):
+        calls = []
+
+        def fn(params):
+            calls.append(dict(params))
+            return IterationOutcome(
+                cycles=123, checks={"k": 1},
+                info={"rate": float(len(calls))},
+            )
+
+        result = run_scenario("toy", fn, {"n": 4}, warmup=2, repeat=3)
+        assert len(calls) == 5  # 2 warmups + 3 measured
+        assert all(call == {"n": 4} for call in calls)
+        assert result.cycles == 123
+        assert result.checks == {"k": 1}
+        # info is the median over the *measured* repeats (calls 3-5).
+        assert result.info == {"rate": 4.0}
+        assert result.schema_version == SCHEMA_VERSION
+        assert result.filename == "BENCH_toy.json"
+
+    def test_scenario_wall_overrides_runner_timing(self):
+        def fn(params):
+            return IterationOutcome(cycles=1, wall=42.0)
+
+        result = run_scenario("toy", fn, {}, warmup=0, repeat=3)
+        assert result.wall.median == 42.0
+        assert result.wall.samples == [42.0, 42.0, 42.0]
+
+    def test_nondeterministic_cycles_raise(self):
+        cycles = iter([10, 11, 10])
+
+        def fn(params):
+            return IterationOutcome(cycles=next(cycles))
+
+        with pytest.raises(BenchDeterminismError, match="cycles"):
+            run_scenario("toy", fn, {}, warmup=0, repeat=3)
+
+    def test_nondeterministic_checks_raise(self):
+        outcomes = iter([{"k": 1}, {"k": 2}])
+
+        def fn(params):
+            return IterationOutcome(cycles=5, checks=next(outcomes))
+
+        with pytest.raises(BenchDeterminismError, match="fingerprint"):
+            run_scenario("toy", fn, {}, warmup=0, repeat=2)
+
+    def test_json_roundtrip(self, tmp_path):
+        result = _result(checks={"parity": True, "count": 9})
+        path = result.write(tmp_path)
+        assert path == tmp_path / "BENCH_toy.json"
+        assert BenchResult.from_path(path) == result
+        # The document is plain sorted JSON (diffable baselines).
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["checks"] == {"parity": True, "count": 9}
+
+
+# ---- real scenarios --------------------------------------------------
+
+class TestScenarios:
+    def test_registry_is_consistent(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert callable(scenario.fn)
+            assert scenario.params
+            assert scenario.description
+
+    def test_snapshot_roundtrip_smoke(self):
+        """A downsized real scenario passes the determinism gate."""
+        result = run_scenario(
+            "snapshot_roundtrip", snapshot_roundtrip,
+            {"exits": 60, "iters": 8}, warmup=0, repeat=2,
+        )
+        assert result.cycles > 0
+        assert result.checks["cycles_per_iter"] > 0
+        # The fast/full cycle delta is pinned (repeat=2 proved it
+        # deterministic); its value is phase-dependent, not zero.
+        assert isinstance(
+            result.checks["cycles_full_minus_fast"], int
+        )
+        assert result.info["restore_speedup"] > 0
+
+
+# ---- compare ---------------------------------------------------------
+
+class TestCompare:
+    def test_identical_results_are_ok(self):
+        findings = compare_results(_result(), _result(), tolerance=0.5)
+        assert [f.kind for f in findings] == ["ok"]
+        assert not findings[0].failed
+
+    def test_cycle_change_is_hard_failure(self):
+        findings = compare_results(
+            _result(cycles=1000), _result(cycles=1001), tolerance=0.5,
+        )
+        assert any(
+            f.kind == "hard" and "cycles" in f.message
+            for f in findings
+        )
+
+    def test_checks_change_is_hard_failure(self):
+        findings = compare_results(
+            _result(checks={"count": 7}),
+            _result(checks={"count": 8}),
+            tolerance=0.5,
+        )
+        assert any(
+            f.kind == "hard" and "count" in f.message
+            for f in findings
+        )
+
+    def test_missing_check_key_is_hard_failure(self):
+        findings = compare_results(
+            _result(checks={"count": 7, "parity": True}),
+            _result(checks={"count": 7}),
+            tolerance=0.5,
+        )
+        assert any(f.kind == "hard" for f in findings)
+
+    def test_params_mismatch_is_hard_failure(self):
+        findings = compare_results(
+            _result(params={"n": 4}), _result(params={"n": 8}),
+            tolerance=0.5,
+        )
+        assert [f.kind for f in findings] == ["hard"]
+
+    def test_schema_mismatch_is_hard_failure(self):
+        findings = compare_results(
+            _result(), _result(schema_version=SCHEMA_VERSION + 1),
+            tolerance=0.5,
+        )
+        assert [f.kind for f in findings] == ["hard"]
+
+    def test_wall_regression_beyond_tolerance(self):
+        findings = compare_results(
+            _result(wall=1.0), _result(wall=1.6), tolerance=0.5,
+        )
+        assert [f.kind for f in findings] == ["wall"]
+
+    def test_wall_regression_within_tolerance_is_ok(self):
+        findings = compare_results(
+            _result(wall=1.0), _result(wall=1.4), tolerance=0.5,
+        )
+        assert [f.kind for f in findings] == ["ok"]
+
+    def test_wall_improvement_is_ok(self):
+        findings = compare_results(
+            _result(wall=1.0), _result(wall=0.1), tolerance=0.0,
+        )
+        assert [f.kind for f in findings] == ["ok"]
+
+    def test_no_wall_skips_wall_comparison(self):
+        findings = compare_results(
+            _result(wall=1.0), _result(wall=99.0),
+            tolerance=0.0, check_wall=False,
+        )
+        assert [f.kind for f in findings] == ["ok"]
+
+    def test_missing_candidate_file(self, tmp_path):
+        baseline_dir = tmp_path / "base"
+        candidate_dir = tmp_path / "cand"
+        candidate_dir.mkdir()
+        _result().write(baseline_dir)
+        findings = compare_dirs(
+            baseline_dir, candidate_dir, tolerance=0.5,
+        )
+        assert [f.kind for f in findings] == ["hard"]
+
+    def test_empty_baseline_dir(self, tmp_path):
+        empty = tmp_path / "base"
+        empty.mkdir()
+        findings = compare_dirs(empty, tmp_path, tolerance=0.5)
+        assert [f.kind for f in findings] == ["hard"]
+
+
+class TestCompareCli:
+    def _dirs(self, tmp_path, candidate_result):
+        baseline_dir = tmp_path / "base"
+        candidate_dir = tmp_path / "cand"
+        _result().write(baseline_dir)
+        candidate_result.write(candidate_dir)
+        return baseline_dir, candidate_dir
+
+    def test_exit_zero_when_within_bounds(self, tmp_path, capsys):
+        base, cand = self._dirs(tmp_path, _result())
+        assert compare_main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 0
+        assert "[OK  ]" in capsys.readouterr().out
+
+    def test_exit_one_on_hard_failure(self, tmp_path, capsys):
+        base, cand = self._dirs(tmp_path, _result(cycles=999))
+        assert compare_main(
+            ["--baseline", str(base), "--candidate", str(cand)]
+        ) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_exit_two_on_negative_tolerance(self, tmp_path):
+        base, cand = self._dirs(tmp_path, _result())
+        assert compare_main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--tolerance", "-1",
+        ]) == 2
+
+
+# ---- the committed baselines -----------------------------------------
+
+class TestCommittedBaselines:
+    """The acceptance demo: the real gate over the real baselines."""
+
+    def _require_baselines(self):
+        if not list(BASELINE_DIR.glob("BENCH_*.json")):
+            pytest.skip("no committed baselines (pre-baseline build)")
+
+    def test_baselines_compare_clean_against_themselves(self):
+        self._require_baselines()
+        assert compare_main([
+            "--baseline", str(BASELINE_DIR),
+            "--candidate", str(BASELINE_DIR),
+        ]) == 0
+
+    def test_perturbed_baseline_fails_compare(self, tmp_path, capsys):
+        """Perturb one committed baseline's simulated cycles and watch
+        the gate fail it — the regression the CI bench job exists to
+        catch."""
+        self._require_baselines()
+        candidate_dir = tmp_path / "cand"
+        candidate_dir.mkdir()
+        for path in BASELINE_DIR.glob("BENCH_*.json"):
+            candidate_dir.joinpath(path.name).write_text(
+                path.read_text()
+            )
+        victim = candidate_dir / "BENCH_fuzz_exec.json"
+        data = json.loads(victim.read_text())
+        data["cycles"] += 1
+        victim.write_text(json.dumps(data))
+
+        assert compare_main([
+            "--baseline", str(BASELINE_DIR),
+            "--candidate", str(candidate_dir),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] fuzz_exec" in out
+        assert "simulated cycles changed" in out
+
+    def test_fuzz_exec_baseline_records_required_speedup(self):
+        """The committed headline baseline demonstrates the >= 2x
+        fast-reset throughput gain the change was made for."""
+        self._require_baselines()
+        result = BenchResult.from_path(
+            BASELINE_DIR / "BENCH_fuzz_exec.json"
+        )
+        assert result.info["speedup"] >= 2.0
+        assert result.checks["crashes_match_full"] is True
+
+
+# ---- python -m repro.bench -------------------------------------------
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert bench_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_writes_comparable_documents(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert bench_main([
+            "run", "--out", str(out_dir),
+            "--scenario", "snapshot_roundtrip",
+            "--repeat", "1", "--warmup", "0",
+        ]) == 0
+        written = list(out_dir.glob("BENCH_*.json"))
+        assert [p.name for p in written] == ["BENCH_snapshot_roundtrip.json"]
+        # A run compares clean against itself.
+        assert compare_main([
+            "--baseline", str(out_dir), "--candidate", str(out_dir),
+        ]) == 0

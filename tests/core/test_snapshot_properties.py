@@ -1,0 +1,143 @@
+"""Property tests for snapshot take/restore (Hypothesis).
+
+Two properties pin the §IV-B snapshot machinery under arbitrary
+*tracked* mutation (the backend/device entry points the write sets
+watch — the same vocabulary the fuzzer's crash-revert loop speaks):
+
+* **Round-trip**: restoring a snapshot onto a fresh dummy VM and
+  re-snapshotting it reproduces the original document exactly —
+  VMCS/VMCB fields, GPRs, MSRs, device state, ``ept_gfns`` and (when
+  carried) ``memory_pages`` included.  Both arches.
+* **Delta = full**: two identical worlds drift identically from a
+  stamped snapshot; one reverts via the delta path, the other via the
+  full rebuild.  Their follow-up snapshots must be equal — the
+  equivalence the fast-reset loop rests on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.fields import ArchField
+from repro.core.snapshot import restore_snapshot, take_snapshot
+from repro.hypervisor.domain import DomainType
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.x86.registers import GPR
+
+#: Writable guest-state/control fields exercised through the raw
+#: backend accessors.  CPU_BASED hits SVM's PAUSE-bit preservation;
+#: the base/bitmap/offset fields hit plain VMCS<->VMCB slot mapping.
+FIELDS = (
+    ArchField.GUEST_RSP,
+    ArchField.GUEST_CS_BASE,
+    ArchField.GUEST_DR7,
+    ArchField.EXCEPTION_BITMAP,
+    ArchField.TSC_OFFSET,
+    ArchField.CPU_BASED_VM_EXEC_CONTROL,
+    ArchField.GUEST_SYSENTER_CS,
+)
+
+#: Plain-storage MSR indices (SYSENTER bank, EFER-neighborhood).
+MSRS = (0x174, 0x175, 0x176, 0xC0000081, 0xC0000082)
+
+VALUES = st.integers(min_value=0, max_value=2**64 - 1)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("gpr"), st.sampled_from(sorted(GPR)), VALUES),
+        st.tuples(st.just("field"), st.sampled_from(FIELDS), VALUES),
+        st.tuples(st.just("msr"), st.sampled_from(MSRS), VALUES),
+        st.tuples(st.just("irr"),
+                  st.integers(min_value=32, max_value=255)),
+        st.tuples(st.just("vpt"),
+                  st.integers(min_value=1, max_value=0xFFFF)),
+        st.tuples(st.just("irq"),
+                  st.integers(min_value=0, max_value=15)),
+        st.tuples(st.just("ept"),
+                  st.integers(min_value=20, max_value=40)),
+        st.tuples(st.just("mem"),
+                  st.integers(min_value=0, max_value=15),
+                  st.binary(min_size=1, max_size=8)),
+    ),
+    max_size=12,
+)
+
+
+def _apply(hv, domain, vcpu, op):
+    kind = op[0]
+    if kind == "gpr":
+        vcpu.regs.write_gpr(op[1], op[2])
+    elif kind == "field":
+        vcpu.backend.write_raw(vcpu, op[1], op[2])
+    elif kind == "msr":
+        vcpu.msrs.write(op[1], op[2])
+    elif kind == "irr":
+        hv.vlapic(vcpu).post_interrupt(op[1])
+    elif kind == "vpt":
+        hv.platform_timer(domain).program_channel(0, op[1])
+    elif kind == "irq":
+        hv.irq_controller(domain).assert_line(op[1])
+    elif kind == "ept":
+        if domain.ept.lookup(op[1]) is None:
+            domain.ept.map_page(op[1], mfn=0x100000 + op[1])
+    elif kind == "mem":
+        domain.memory.write(op[1] * 0x1000, op[2])
+
+
+def _world(arch):
+    hv = Hypervisor(arch=arch)
+    domain = hv.create_domain(DomainType.HVM, name="prop-vm")
+    domain.populate_identity_map(16)
+    return hv, domain, domain.vcpus[0]
+
+
+def _fields(snapshot) -> dict:
+    """Snapshot as a comparable dict (clock excluded: untracked ops
+    are free, but the property must not depend on cost-model zeros)."""
+    data = dataclasses.asdict(snapshot)
+    data.pop("clock_tsc")
+    return data
+
+
+@pytest.mark.parametrize("arch", ["vmx", "svm"])
+@settings(max_examples=25, deadline=None)
+@given(ops=OPS, include_memory=st.booleans())
+def test_take_of_restore_reproduces_snapshot(arch, ops, include_memory):
+    hv, domain, vcpu = _world(arch)
+    for op in ops:
+        _apply(hv, domain, vcpu, op)
+    snapshot = take_snapshot(hv, domain, include_memory=include_memory)
+
+    dummy = hv.create_domain(
+        DomainType.HVM, name="prop-dummy", is_dummy=True
+    )
+    restore_snapshot(hv, dummy, snapshot)
+    again = take_snapshot(hv, dummy, include_memory=include_memory)
+
+    assert _fields(again) == _fields(snapshot)
+    assert again.ept_gfns == snapshot.ept_gfns
+    assert again.memory_pages == snapshot.memory_pages
+
+
+@pytest.mark.parametrize("arch", ["vmx", "svm"])
+@settings(max_examples=25, deadline=None)
+@given(setup=OPS, drift=OPS)
+def test_delta_restore_equals_full_restore(arch, setup, drift):
+    snapshots = []
+    for fast in (True, False):
+        hv, domain, vcpu = _world(arch)
+        for op in setup:
+            _apply(hv, domain, vcpu, op)
+        snapshot = take_snapshot(hv, domain)
+        for op in drift:
+            _apply(hv, domain, vcpu, op)
+        # The stamp survived the (tracked) drift, so fast=True takes
+        # the delta path rather than silently falling back to full.
+        assert domain.restore_stamp is snapshot
+        restore_snapshot(hv, domain, snapshot, fast=fast)
+        snapshots.append(take_snapshot(hv, domain))
+    assert _fields(snapshots[0]) == _fields(snapshots[1])
