@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.seed import VMSeed
 from repro.fuzz.failures import FailureKind
@@ -97,6 +98,28 @@ class Corpus:
             seen.setdefault(entry_identity(entry), entry)
         merged = Corpus()
         merged.entries = sorted(seen.values(), key=entry_identity)
+        merged._fingerprints = {
+            e.coverage_fingerprint for e in merged.entries
+            if e.reason_kept == "new-coverage"
+        }
+        return merged
+
+    @classmethod
+    def merge_all(cls, corpora: Iterable["Corpus"]) -> "Corpus":
+        """n-way :meth:`merge` in one pass.
+
+        Identical result to ``reduce(Corpus.merge, corpora, Corpus())``
+        (merge is associative with the empty corpus as identity), but
+        each entry's :func:`entry_identity` — which packs the seed — is
+        computed once, and the canonical sort happens once instead of
+        once per pairwise merge.
+        """
+        seen: dict[tuple, CorpusEntry] = {}
+        for corpus in corpora:
+            for entry in corpus.entries:
+                seen.setdefault(entry_identity(entry), entry)
+        merged = cls()
+        merged.entries = [seen[key] for key in sorted(seen)]
         merged._fingerprints = {
             e.coverage_fingerprint for e in merged.entries
             if e.reason_kept == "new-coverage"

@@ -308,7 +308,7 @@ class IrisFuzzer:
                 if len(result.failures) < MAX_FAILURES_KEPT:
                     result.failures.append(failure)
                 result.corpus.consider(
-                    mutated, frozenset(lines), len(fresh), failure.kind
+                    mutated, lines, len(fresh), failure.kind
                 )
                 # Reset to the target VM state (the host "reboots" /
                 # the dummy VM is reverted, paper Fig. 11).
@@ -316,9 +316,7 @@ class IrisFuzzer:
                     hv, dummy, state_r, fast=self.fast_reset
                 )
             elif fresh:
-                result.corpus.consider(
-                    mutated, frozenset(lines), len(fresh)
-                )
+                result.corpus.consider(mutated, lines, len(fresh))
 
         result.new_loc = len(discovered)
         result.new_lines = frozenset(discovered)
@@ -327,11 +325,16 @@ class IrisFuzzer:
     @staticmethod
     def _denoise(
         lines: frozenset[tuple[str, int]]
-    ) -> set[tuple[str, int]]:
-        """Drop asynchronous-component lines from a coverage set."""
-        return {
-            (f, l) for f, l in lines if f not in NOISE_FILES
-        }
+    ) -> frozenset[tuple[str, int]]:
+        """Drop asynchronous-component lines from a coverage set.
+
+        Returns a frozenset so the per-mutation loop can hand the
+        result straight to :meth:`Corpus.consider` without another
+        copy.
+        """
+        return frozenset(
+            t for t in lines if t[0] not in NOISE_FILES
+        )
 
     # ---- campaigns -------------------------------------------------------
 

@@ -34,16 +34,38 @@ Fault isolation
 
 A worker that dies mid-shard (hypervisor panic escaping the harness, a
 pickling error, a timeout) is reported on the stats channel, its shard
-is retried exactly once on a fresh worker, and a shard that fails its
-retry is *abandoned* — logged, surfaced in
+is retried exactly once, and a shard that fails its retry is
+*abandoned* — logged, surfaced in
 :attr:`CampaignResult.abandoned_cells`, and excluded from the merge —
 so the campaign degrades gracefully instead of aborting.
+
+Pool lifecycle
+--------------
+
+One worker pool is created lazily per :meth:`ParallelCampaign.run` and
+stays **warm** across the first wave and the retry wave: the (large)
+trace and snapshot are shipped exactly once per worker through the
+pool initializer, and retries reuse the already-primed workers.
+Worker identity cannot leak into results — every shard builds a fresh
+:class:`IrisManager` from the initializer's context — so re-running a
+retry on the worker that reported the original fault is safe.  The
+pool is torn down (``terminate()``, never a blocking ``close()``)
+in exactly two cases: the campaign is finished, or a shard overran its
+deadline — a hung worker cannot be reclaimed, and recreating the pool
+is also what guarantees a timed-out shard retries on a fresh worker.
+
+Each task's deadline is **absolute** — ``shard_timeout`` seconds from
+the moment the wave is submitted — rather than a per-``get`` timeout
+that restarts whenever the previous result arrives, so a wave of N
+queued shards can no longer grant its last shard N x ``shard_timeout``
+of cumulative slack.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import multiprocessing.pool
 import random
 import time
 from dataclasses import dataclass, field
@@ -254,10 +276,8 @@ class CampaignResult:
 
     def merged_corpus(self) -> Corpus:
         """Canonical union of every cell's corpus."""
-        return reduce(
-            Corpus.merge,
-            (result.corpus for result in self.results),
-            Corpus(),
+        return Corpus.merge_all(
+            result.corpus for result in self.results
         )
 
     def crash_tallies(self) -> dict[str, int]:
@@ -444,6 +464,9 @@ class ParallelCampaign:
         self.fault_plan = dict(fault_plan or {})
         self.collect_metrics = collect_metrics
         self.fast_reset = fast_reset
+        #: The warm worker pool (jobs > 1 only), created lazily by the
+        #: first parallel wave and torn down on campaign exit or hang.
+        self._pool: multiprocessing.pool.Pool | None = None
 
     # -- planning ------------------------------------------------------
 
@@ -496,21 +519,25 @@ class ParallelCampaign:
         shard_results: dict[tuple[int, int], FuzzResult] = {}
         shard_metrics: dict[tuple[int, int], MetricsSnapshot] = {}
 
-        outcomes = self._run_batch(tasks)
-        retries = []
-        for task, outcome in zip(tasks, outcomes):
-            self._account(shard_stats, shard_results, shard_metrics,
-                          stats, task, outcome)
-            if not outcome.ok:
-                retries.append(self._retry_task(task))
+        try:
+            outcomes = self._run_tasks(tasks)
+            retries = []
+            for task, outcome in zip(tasks, outcomes):
+                self._account(shard_stats, shard_results,
+                              shard_metrics, stats, task, outcome)
+                if not outcome.ok:
+                    retries.append(self._retry_task(task))
 
-        if retries:
-            # A fresh pool (fresh workers) for the retry pass: a shard
-            # is never re-run on the worker that just failed it.
-            for task, outcome in zip(retries,
-                                     self._run_batch(retries)):
-                self._account(shard_stats, shard_results, shard_metrics,
-                              stats, task, outcome)
+            if retries:
+                # Same warm pool (unless a hang already forced its
+                # replacement): shards are hermetic, so worker reuse
+                # cannot leak the failed attempt into the retry.
+                for task, outcome in zip(retries,
+                                         self._run_tasks(retries)):
+                    self._account(shard_stats, shard_results,
+                                  shard_metrics, stats, task, outcome)
+        finally:
+            self._discard_pool()
 
         results, abandoned = self._merge_cells(shard_results)
         stats.wall_seconds = time.perf_counter() - started
@@ -536,7 +563,34 @@ class ParallelCampaign:
             fast_reset=task.fast_reset,
         )
 
-    def _run_batch(
+    def _ensure_pool(self, n_tasks: int) -> multiprocessing.pool.Pool:
+        """The campaign's warm pool, created on first parallel wave.
+
+        The initializer ships the (large) trace and snapshot exactly
+        once per worker; subsequent waves and retries reuse the primed
+        workers instead of re-pickling the context.
+        """
+        if self._pool is None:
+            context = multiprocessing.get_context(self._start_method())
+            self._pool = context.Pool(
+                processes=min(self.jobs, n_tasks),
+                initializer=_worker_init,
+                initargs=(self.trace, self.snapshot),
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down: campaign exit, or a shard hang.
+
+        ``terminate()``, not ``close()``: a hung worker must not wedge
+        the campaign during the join.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _run_tasks(
         self, tasks: list[ShardTask]
     ) -> list[ShardOutcome]:
         if not tasks:
@@ -546,36 +600,44 @@ class ParallelCampaign:
                 _execute_task(task, self.trace, self.snapshot)
                 for task in tasks
             ]
-        context = multiprocessing.get_context(self._start_method())
-        pool = context.Pool(
-            processes=min(self.jobs, len(tasks)),
-            initializer=_worker_init,
-            initargs=(self.trace, self.snapshot),
+        pool = self._ensure_pool(len(tasks))
+        pending = [
+            (task, pool.apply_async(_pool_run_shard, (task,)))
+            for task in tasks
+        ]
+        # Every task's deadline is absolute — measured from wave
+        # submission, not from when the previous result happened to be
+        # collected — so queue position no longer grants slack.
+        deadline = (
+            time.monotonic() + self.shard_timeout
+            if self.shard_timeout is not None else None
         )
         outcomes: list[ShardOutcome] = []
-        try:
-            pending = [
-                (task, pool.apply_async(_pool_run_shard, (task,)))
-                for task in tasks
-            ]
-            for task, handle in pending:
-                try:
-                    outcomes.append(handle.get(self.shard_timeout))
-                except multiprocessing.TimeoutError:
-                    outcomes.append(ShardOutcome(
-                        cell_index=task.cell_index,
-                        shard_index=task.shard_index,
-                        attempt=task.attempt,
-                        error=(
-                            "TimeoutError: shard exceeded "
-                            f"{self.shard_timeout}s"
-                        ),
+        hung = False
+        for task, handle in pending:
+            try:
+                if deadline is None:
+                    outcomes.append(handle.get())
+                else:
+                    outcomes.append(handle.get(
+                        max(deadline - time.monotonic(), 0.0)
                     ))
-        finally:
-            # terminate(), not close(): a hung worker must not wedge
-            # the campaign during the join.
-            pool.terminate()
-            pool.join()
+            except multiprocessing.TimeoutError:
+                hung = True
+                outcomes.append(ShardOutcome(
+                    cell_index=task.cell_index,
+                    shard_index=task.shard_index,
+                    attempt=task.attempt,
+                    error=(
+                        "TimeoutError: shard exceeded "
+                        f"{self.shard_timeout}s"
+                    ),
+                ))
+        if hung:
+            # A worker past its deadline cannot be reclaimed and is
+            # still squatting on a pool slot; replacing the pool also
+            # guarantees the timed-out shard retries on a fresh worker.
+            self._discard_pool()
         return outcomes
 
     def _start_method(self) -> str:

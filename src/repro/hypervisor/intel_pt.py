@@ -19,14 +19,19 @@ via ``coverage_backend`` ("gcov" — the paper's implementation — or
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.hypervisor.clock import Clock
 from repro.hypervisor.coverage import CoverageMap, SourceBlock
 
 
-@dataclass
-class PtPacket:
-    """One trace packet: the block a branch landed in, plus the TSC."""
+class PtPacket(NamedTuple):
+    """One trace packet: the block a branch landed in, plus the TSC.
+
+    Tuple-backed because packet emission sits on the inline coverage
+    path — one packet per executed block — where construction cost is
+    the whole point of the PT backend being cheap.
+    """
 
     block: SourceBlock
     tsc: int

@@ -185,6 +185,15 @@ class TestCorpusAlgebra:
         assert canon.canonical() == canon
 
     @settings(max_examples=40, deadline=None)
+    @given(cs=st.lists(canonical_corpora, max_size=5))
+    def test_merge_all_is_the_pairwise_fold(self, cs):
+        folded = Corpus()
+        for corpus in cs:
+            folded = folded.merge(corpus)
+        assert Corpus.merge_all(cs) == folded
+        assert Corpus.merge_all([]) == Corpus()
+
+    @settings(max_examples=40, deadline=None)
     @given(a=canonical_corpora, b=canonical_corpora)
     def test_merge_does_not_mutate_operands(self, a, b):
         a_entries = list(a.entries)

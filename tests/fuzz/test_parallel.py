@@ -302,6 +302,72 @@ class TestFaultIsolation:
                    for f in outcome.stats.faults)
 
 
+# ---- the persistent worker pool --------------------------------------
+
+class TestPoolLifecycle:
+    def test_pool_is_reused_until_discarded(self, recorded, cases):
+        campaign = ParallelCampaign(
+            recorded.trace, recorded.snapshot, cases,
+            campaign_seed=CAMPAIGN_SEED, jobs=2,
+        )
+        try:
+            pool = campaign._ensure_pool(4)
+            assert campaign._ensure_pool(4) is pool
+        finally:
+            campaign._discard_pool()
+        assert campaign._pool is None
+        # Discard is idempotent (run() calls it again in its finally).
+        campaign._discard_pool()
+
+    def test_retry_runs_on_the_warm_pool(self, recorded, cases):
+        """A raise-fault retry reuses the campaign's workers instead of
+        paying for a fresh pool: the retried shard's pid is one of the
+        pids the first wave already used."""
+        outcome = run_campaign(
+            recorded, cases, 2, fault_plan={1: ("raise", 1)},
+        )
+        assert outcome.abandoned_cells == []
+        first_wave_pids = {
+            s.worker_pid for s in outcome.stats.shards
+            if s.attempts == 1
+        }
+        retried = outcome.stats.shards[1]
+        assert retried.attempts == 2
+        assert retried.worker_pid in first_wave_pids
+
+    def test_wave_deadline_is_absolute_not_per_shard(
+        self, recorded, cases
+    ):
+        """Timeout-skew regression: with the old per-``get`` timeout, a
+        wave of N hung shards took N x ``shard_timeout`` to drain
+        (each collection restarted the clock).  The deadline is now
+        fixed at wave submission, so even four simultaneous hangs
+        resolve in ~one timeout."""
+        timeout = 1.0
+        campaign = ParallelCampaign(
+            recorded.trace, recorded.snapshot, cases,
+            campaign_seed=CAMPAIGN_SEED, jobs=4,
+            shard_timeout=timeout,
+            fault_plan={cell: ("hang", 1) for cell in range(4)},
+        )
+        tasks = campaign.plan()
+        assert len(tasks) == 4
+        assert all(t.fault_kind == "hang" for t in tasks)
+        import time
+        started = time.monotonic()
+        try:
+            outcomes = campaign._run_tasks(tasks)
+        finally:
+            campaign._discard_pool()
+        elapsed = time.monotonic() - started
+        assert all("Timeout" in (o.error or "") for o in outcomes)
+        # One absolute deadline (plus pool startup + teardown slack),
+        # strictly below the 4 x timeout the per-shard clock allowed.
+        assert elapsed < 4 * timeout - 0.5
+        # The hang forced the pool's replacement.
+        assert campaign._pool is None
+
+
 # ---- the stats channel -----------------------------------------------
 
 class TestStatsChannel:

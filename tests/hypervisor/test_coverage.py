@@ -1,5 +1,7 @@
 """Unit tests for the coverage instrumentation."""
 
+import pickle
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -105,6 +107,140 @@ class TestCoverageMap:
     def test_equality(self):
         assert CoverageMap({("a.c", 1)}) == CoverageMap({("a.c", 1)})
         assert CoverageMap() != CoverageMap({("a.c", 1)})
+
+
+_line_sets = st.sets(
+    st.tuples(
+        st.sampled_from(["a.c", "b.c", "c.c", IRIS_FILE]),
+        st.integers(min_value=1, max_value=300),
+    ),
+    max_size=40,
+)
+
+
+class TestBitmapAlgebra:
+    """The merge algebra the parallel campaign relies on, pinned on the
+    bitmap representation."""
+
+    def test_or_operator_is_pure_union(self):
+        a = CoverageMap({("a.c", 1)})
+        b = CoverageMap({("b.c", 2)})
+        merged = a | b
+        assert merged.lines() == frozenset({("a.c", 1), ("b.c", 2)})
+        # Purity: neither operand moved.
+        assert a.lines() == frozenset({("a.c", 1)})
+        assert b.lines() == frozenset({("b.c", 2)})
+
+    @given(_line_sets, _line_sets, _line_sets)
+    def test_union_commutative_associative_idempotent(self, x, y, z):
+        a, b, c = CoverageMap(x), CoverageMap(y), CoverageMap(z)
+        assert a | b == b | a
+        assert (a | b) | c == a | (b | c)
+        assert a | a == a
+        assert CoverageMap.union_all([a, b, c]) == a | b | c
+
+    @given(_line_sets, _line_sets)
+    def test_merge_equals_union(self, x, y):
+        merged = CoverageMap(x)
+        merged.merge(CoverageMap(y))
+        assert merged == CoverageMap(x) | CoverageMap(y)
+        assert merged.lines() == frozenset(x | y)
+
+    def test_union_keeps_iris_lines(self):
+        # Pinned asymmetry: union is the merge primitive and must not
+        # lose information, so IRIS's own lines survive it.
+        merged = CoverageMap({(IRIS_FILE, 7)}) | CoverageMap({("a.c", 1)})
+        assert (IRIS_FILE, 7) in merged
+        assert merged.loc == 1  # ...but the metric still filters them.
+
+    def test_difference_drops_iris_lines(self):
+        cov = CoverageMap({(IRIS_FILE, 7), ("a.c", 1)})
+        assert (IRIS_FILE, 7) not in cov.difference(CoverageMap())
+        assert cov.difference(CoverageMap()).lines() == \
+            frozenset({("a.c", 1)})
+
+    def test_symmetric_difference_drops_iris_lines(self):
+        a = CoverageMap({(IRIS_FILE, 7), ("a.c", 1)})
+        b = CoverageMap({(IRIS_FILE, 9)})
+        assert a.symmetric_difference(b).lines() == \
+            frozenset({("a.c", 1)})
+
+
+class TestInterningIsPrivate:
+    """Maps built with different intern orders (e.g. in different
+    worker processes) must compare and combine by file name."""
+
+    @staticmethod
+    def _map_hitting(files):
+        cov = CoverageMap()
+        for file in files:
+            cov.hit(SourceBlock(file, 10, 12))
+        return cov
+
+    def test_intern_order_does_not_affect_equality(self):
+        forward = self._map_hitting(["a.c", "b.c", "c.c"])
+        backward = self._map_hitting(["c.c", "b.c", "a.c"])
+        assert forward == backward
+
+    def test_intern_order_does_not_affect_union(self):
+        forward = self._map_hitting(["a.c", "b.c"])
+        backward = self._map_hitting(["b.c", "a.c"])
+        extra = CoverageMap({("b.c", 1), ("d.c", 2)})
+        assert forward | extra == backward | extra
+        assert (forward | extra).lines() == (backward | extra).lines()
+
+    def test_empty_bitmaps_are_invisible(self):
+        # reset() keeps interned files around with zeroed bitmaps;
+        # equality and serialization must not see them.
+        warm = self._map_hitting(["a.c", "b.c"])
+        warm.reset()
+        assert warm == CoverageMap()
+        assert warm.to_json() == CoverageMap().to_json()
+        assert len(warm) == 0
+
+
+class TestSerialization:
+    @given(_line_sets)
+    def test_json_roundtrip(self, lines):
+        cov = CoverageMap(lines)
+        assert CoverageMap.from_json(cov.to_json()) == cov
+
+    def test_json_is_canonical_across_intern_orders(self):
+        a = CoverageMap([("b.c", 2), ("a.c", 1)])
+        b = CoverageMap([("a.c", 1), ("b.c", 2)])
+        assert a.to_json() == b.to_json()
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            CoverageMap.from_json("[1, 2]")
+
+    @given(_line_sets)
+    def test_pickle_roundtrip(self, lines):
+        cov = CoverageMap(lines)
+        clone = pickle.loads(pickle.dumps(cov))
+        assert clone == cov
+        assert clone.lines() == cov.lines()
+        # The clone is a live map, not a frozen snapshot.
+        clone.hit(SourceBlock("z.c", 1, 3))
+        assert clone != cov
+
+
+class TestResetSemantics:
+    def test_reset_is_observably_clear(self):
+        cov = CoverageMap()
+        cov.hit(SourceBlock("a.c", 1, 5))
+        cov.reset()
+        assert cov.loc == 0
+        assert cov.lines() == frozenset()
+        assert cov.by_file() == {}
+        assert ("a.c", 1) not in cov
+
+    def test_reset_map_accumulates_again(self):
+        cov = CoverageMap()
+        cov.hit(SourceBlock("a.c", 1, 5))
+        cov.reset()
+        cov.hit(SourceBlock("a.c", 3, 4))
+        assert cov.lines() == frozenset({("a.c", 3), ("a.c", 4)})
 
 
 class TestFitting:
