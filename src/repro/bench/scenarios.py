@@ -268,6 +268,101 @@ def campaign_merge(params: dict[str, int]) -> IterationOutcome:
     )
 
 
+# ---- campaign checkpointing ------------------------------------------
+
+def campaign_checkpoint(params: dict[str, int]) -> IterationOutcome:
+    """Store-backed campaign control plane vs the bare engine.
+
+    Three arms over the same campaign: the plain engine (no store),
+    the controller checkpointing every wave to SQLite (the measured
+    arm — its wall is gated, so checkpoint overhead regressions fail
+    CI), and an interrupted-then-resumed run.  The checks pin both
+    equivalences — store-backed output matches the bare engine, and
+    the resumed campaign matches the uninterrupted one — so the gate
+    catches correctness drift as well as cost drift.
+    """
+    import os
+    import tempfile
+
+    from repro.campaign import (
+        CampaignController,
+        CampaignInterrupted,
+        CampaignStore,
+    )
+    from repro.fuzz.parallel import ParallelCampaign
+
+    manager = IrisManager(arch="vmx")
+    session = _record(manager, params["exits"])
+    cases = plan_test_cases(
+        session.trace, list(_REASONS), areas=(MutationArea.VMCS,),
+        n_mutations=params["mutations"], rng=random.Random(0),
+    )
+
+    def engine() -> ParallelCampaign:
+        return ParallelCampaign(
+            session.trace, session.snapshot, cases,
+            campaign_seed=0, jobs=1,
+        )
+
+    start = time.perf_counter()
+    plain = engine().run()
+    plain_wall = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "bench.db")
+        start = time.perf_counter()
+        with CampaignStore(db) as store:
+            full = CampaignController(
+                engine(), store, wave_size=1
+            ).run()
+        store_wall = time.perf_counter() - start
+
+        db2 = os.path.join(tmp, "interrupted.db")
+        with CampaignStore(db2) as store:
+            try:
+                CampaignController(
+                    engine(), store, wave_size=1, crash_after_wave=0,
+                ).run()
+            except CampaignInterrupted:
+                pass
+        start = time.perf_counter()
+        with CampaignStore(db2) as store:
+            resumed = CampaignController(
+                engine(), store, wave_size=1
+            ).run(resume=True)
+        resume_wall = time.perf_counter() - start
+
+    def same(a, b) -> bool:
+        return (
+            a.results == b.results
+            and a.merged_corpus() == b.merged_corpus()
+            and a.merged_coverage().lines()
+            == b.merged_coverage().lines()
+        )
+
+    tallies = full.crash_tallies()
+    checks: dict[str, object] = {
+        "cells": len(full.results),
+        "waves": full.waves_total,
+        "new_loc": full.merged_coverage().loc,
+        "vm_crashes": tallies["vm-crash"],
+        "hypervisor_crashes": tallies["hypervisor-crash"],
+        "corpus": len(full.merged_corpus()),
+        "store_matches_plain": same(full, plain),
+        "resume_identical": same(resumed, full),
+        "waves_resumed": resumed.waves_resumed,
+    }
+    info = {
+        "checkpoint_overhead": store_wall / plain_wall,
+        "resume_wall_seconds": resume_wall,
+    }
+    # Hermetic per-shard hypervisor clocks are not observable here;
+    # zero is the (deterministic) outer-clock cost, as campaign_merge.
+    return IterationOutcome(
+        cycles=0, checks=checks, info=info, wall=store_wall,
+    )
+
+
 # ---- data-plane microbenchmarks --------------------------------------
 #
 # Both scenarios race the current data-plane implementation against a
@@ -593,6 +688,12 @@ SCENARIOS: dict[str, Scenario] = {
             "campaign_merge", campaign_merge,
             {"exits": 160, "mutations": 12, "shards": 4},
             "sharded campaign + deterministic merge (jobs=1 inline)",
+        ),
+        Scenario(
+            "campaign_checkpoint", campaign_checkpoint,
+            {"exits": 160, "mutations": 12},
+            "store-backed checkpoint/resume control plane vs bare "
+            "engine",
         ),
         Scenario(
             "coverage_union", coverage_union,

@@ -1,0 +1,35 @@
+"""Persistent, resumable campaign control plane (DESIGN.md §10).
+
+Public surface:
+
+* :class:`CampaignStore` — SQLite-backed, schema-versioned persistence
+  with transactional per-wave checkpoints.
+* :class:`CampaignController` — wave scheduling over the warm
+  :class:`repro.fuzz.parallel.ParallelCampaign` pool, with exact
+  resume from a store.
+* :class:`CampaignConfig` — the campaign's deterministic identity.
+"""
+
+from repro.campaign.controller import (
+    CampaignController,
+    CampaignInterrupted,
+    ControlledCampaignResult,
+    plan_waves,
+)
+from repro.campaign.store import (
+    SCHEMA_VERSION,
+    CampaignConfig,
+    CampaignStore,
+    StoredWave,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CampaignConfig",
+    "CampaignController",
+    "CampaignInterrupted",
+    "CampaignStore",
+    "ControlledCampaignResult",
+    "StoredWave",
+    "plan_waves",
+]

@@ -108,3 +108,35 @@ class IrisError(ReproError):
 
 class SeedFormatError(IrisError):
     """A serialized VM seed or trace could not be decoded."""
+
+
+class CampaignStoreError(IrisError):
+    """Base class for persistent campaign-store failures.
+
+    The campaign control plane (``repro.campaign``) refuses to guess:
+    any doubt about the store's integrity surfaces as one of the
+    subclasses below instead of silently resuming from partial state.
+    """
+
+
+class StoreSchemaError(CampaignStoreError):
+    """The store's schema version is not one this build can read."""
+
+
+class CorruptStoreError(CampaignStoreError):
+    """The store failed an integrity or consistency check.
+
+    Raised when the SQLite file is unreadable, truncated, or when its
+    checkpoint bookkeeping is internally inconsistent (e.g. a wave row
+    whose cell results are missing).  Resume must never proceed past
+    this — partial state would silently fork the campaign's timeline.
+    """
+
+
+class StoreMismatchError(CampaignStoreError):
+    """The store holds a campaign incompatible with the request.
+
+    Either the store already holds a campaign and ``resume`` was not
+    requested, or the resuming campaign's deterministic identity
+    (seed, shard plan, arch, ...) disagrees with the stored one.
+    """

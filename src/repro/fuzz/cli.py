@@ -28,6 +28,16 @@ DEFAULT_REASONS = (
     "VMCALL", "CR_ACCESS", "IO_INSTRUCTION", "EPT_VIOLATION",
 )
 
+#: Pinned exit-code contract (tests/fuzz/test_fuzz_cli.py).  A campaign
+#: that *finds crashes* and one that *aborts mid-way* used to both be
+#: indistinguishable from a clean run (everything returned 0); scripts
+#: driving long campaigns need the distinction.
+EXIT_OK = 0              # campaign finished, no crashes found
+EXIT_NO_SEEDS = 1        # nothing to fuzz (no matching seeds)
+EXIT_USAGE = 2           # bad arguments / store misuse
+EXIT_CRASHES_FOUND = 3   # campaign finished and found crashes
+EXIT_ABORTED = 4         # campaign stopped before completing its plan
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -71,6 +81,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="split each cell's mutation budget across this many "
              "shards (more pool parallelism for few-cell campaigns)",
     )
+    group = parser.add_argument_group(
+        "resumable campaigns",
+        "persist per-wave checkpoints to a SQLite store and continue "
+        "an interrupted campaign exactly where it left off",
+    )
+    group.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="SQLite campaign store; every completed wave is "
+             "checkpointed transactionally, so an interrupted "
+             "campaign loses at most the wave in flight",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="continue the campaign held in --store from its last "
+             "completed wave (recording parameters are restored from "
+             "the store; the final output is byte-identical to an "
+             "uninterrupted run)",
+    )
+    group.add_argument(
+        "--wave-size", type=int, default=1,
+        help="cells per checkpointed wave (default 1); purely a "
+             "checkpoint-granularity knob — results are identical "
+             "for any value",
+    )
+    group.add_argument(
+        # Fault-injection hook for the crash-recovery test suite:
+        # abort (after checkpointing) once wave N commits.
+        "--crash-after-wave", type=int, default=None,
+        help=argparse.SUPPRESS,
+    )
     parser.add_argument(
         "--no-fast-reset", dest="fast_reset", action="store_false",
         help="disable the in-place dummy-VM reset and delta snapshot "
@@ -83,24 +123,81 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _restore_stored_args(args: argparse.Namespace) -> bool | None:
+    """Overwrite the request with the stored campaign's parameters.
+
+    Resume must re-record the *identical* trace and re-plan the
+    identical cells, so the stored config — not whatever flags this
+    invocation happened to pass — is authoritative for everything in
+    the campaign's deterministic identity.  Returns the stored
+    ``collect_metrics`` flag.
+    """
+    from repro.campaign import CampaignStore
+
+    with CampaignStore(args.store) as probe:
+        if not probe.initialized:
+            from repro.errors import StoreMismatchError
+
+            raise StoreMismatchError(
+                f"campaign store {args.store!r} holds no campaign "
+                "to resume"
+            )
+        stored = probe.config()
+    extra = dict(stored.extra)
+    args.workload = extra["workload"]
+    args.exits = int(extra["exits"])
+    args.mutations = int(extra["mutations"])
+    args.reasons = extra["reasons"]
+    args.area = extra["area"]
+    args.rule = extra["rule"]
+    args.seed = int(extra["seed"])
+    args.arch = stored.arch
+    args.fast_reset = stored.fast_reset
+    args.shards_per_cell = stored.shards_per_cell
+    args.wave_size = stored.wave_size
+    return stored.collect_metrics
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.shards_per_cell < 1:
         print(
             f"--shards-per-cell must be >= 1, got "
             f"{args.shards_per_cell}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if args.mutations < 1:
         print(
             f"--mutations must be >= 1, got {args.mutations}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
+    if args.wave_size < 1:
+        print(
+            f"--wave-size must be >= 1, got {args.wave_size}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.resume and args.store is None:
+        print("--resume requires --store", file=sys.stderr)
+        return EXIT_USAGE
+
+    stored_collect_metrics: bool | None = None
+    if args.resume:
+        from repro.errors import CampaignStoreError, StoreMismatchError
+
+        try:
+            stored_collect_metrics = _restore_stored_args(args)
+        except StoreMismatchError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
+        except CampaignStoreError as exc:
+            print(f"campaign status: aborted — {exc}", file=sys.stderr)
+            return EXIT_ABORTED
     rng = random.Random(args.seed)
 
     reasons = []
@@ -110,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             reasons.append(ExitReason[name])
         except KeyError:
             print(f"unknown exit reason: {name}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
 
     areas = {
         "vmcs": (MutationArea.VMCS,),
@@ -137,23 +234,34 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "no seeds with the requested exit reasons in the trace"
             )
-            return 1
+            return EXIT_NO_SEEDS
         for case in cases:
             if case.mutation_rule != args.rule:
                 object.__setattr__(case, "mutation_rule", args.rule)
 
         campaign_stats = None
         campaign_metrics = None
-        # Observability always goes through the campaign engine, even
-        # at --jobs 1: shards run hermetically there, so the merged
-        # metrics snapshot is identical for every worker count (the
-        # jobs-invariance the golden tests pin).  Without obs, jobs=1
+        # Observability and persistence always go through the campaign
+        # engine, even at --jobs 1: shards run hermetically there, so
+        # the merged metrics snapshot is identical for every worker
+        # count (the jobs-invariance the golden tests pin) and wave
+        # checkpoints are well-defined.  Without obs or a store, jobs=1
         # keeps the classic serial path.
         use_campaign = (
             args.jobs > 1 or args.shards_per_cell > 1
-            or obs is not None
+            or obs is not None or args.store is not None
+            or args.wave_size > 1
         )
         if use_campaign:
+            from repro.campaign import (
+                CampaignController,
+                CampaignInterrupted,
+                CampaignStore,
+            )
+            from repro.errors import (
+                CampaignStoreError,
+                StoreMismatchError,
+            )
             from repro.fuzz.parallel import ParallelCampaign
 
             def report(event):
@@ -171,15 +279,64 @@ def main(argv: list[str] | None = None) -> int:
                 else:
                     print(f"  !! {kind}: {payload.describe()}")
 
-            campaign = ParallelCampaign(
+            collect_metrics = (
+                stored_collect_metrics
+                if stored_collect_metrics is not None
+                else obs is not None and obs.wants_metrics
+            )
+            engine = ParallelCampaign(
                 session.trace, session.snapshot, cases,
                 campaign_seed=args.seed, jobs=args.jobs,
                 shards_per_cell=args.shards_per_cell, on_event=report,
                 arch=args.arch,
-                collect_metrics=obs is not None and obs.wants_metrics,
+                collect_metrics=collect_metrics,
                 fast_reset=args.fast_reset,
             )
-            outcome = campaign.run()
+            store = (
+                CampaignStore(args.store)
+                if args.store is not None else None
+            )
+            controller = CampaignController(
+                engine, store,
+                wave_size=args.wave_size,
+                config_extra=(
+                    ("area", args.area),
+                    ("exits", str(args.exits)),
+                    ("mutations", str(args.mutations)),
+                    ("reasons", ",".join(r.name for r in reasons)),
+                    ("rule", args.rule),
+                    ("seed", str(args.seed)),
+                    ("workload", args.workload),
+                ),
+                crash_after_wave=args.crash_after_wave,
+            )
+            try:
+                outcome = controller.run(resume=args.resume)
+            except CampaignInterrupted as exc:
+                print(
+                    f"campaign status: aborted — {exc}; completed "
+                    f"waves are saved, continue with "
+                    f"--store {args.store} --resume"
+                )
+                return EXIT_ABORTED
+            except StoreMismatchError as exc:
+                print(str(exc), file=sys.stderr)
+                return EXIT_USAGE
+            except CampaignStoreError as exc:
+                print(
+                    f"campaign status: aborted — {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_ABORTED
+            finally:
+                if store is not None:
+                    store.close()
+            if outcome.waves_resumed:
+                print(
+                    f"resumed: {outcome.waves_resumed}/"
+                    f"{outcome.waves_total} wave(s) restored from "
+                    f"{args.store}"
+                )
             campaign_stats = outcome.stats
             campaign_metrics = outcome.metrics
             results = outcome.results
@@ -248,7 +405,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"crashes from {report.total_failures} retained "
                   "failures",
         ))
-    return 0
+    if total_crashes:
+        print(
+            f"campaign status: finished — {total_crashes} "
+            "crash(es) found"
+        )
+        return EXIT_CRASHES_FOUND
+    print("campaign status: finished — no crashes found")
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

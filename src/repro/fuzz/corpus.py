@@ -105,6 +105,27 @@ class Corpus:
         return merged
 
     @classmethod
+    def from_entries(
+        cls, entries: Iterable[CorpusEntry]
+    ) -> "Corpus":
+        """Rebuild a corpus from stored entries, order preserved.
+
+        The inverse of persisting :attr:`entries` row by row (the
+        campaign store's corpus table): the fingerprint index is
+        reconstituted exactly as :meth:`consider` would have built it —
+        only ``"new-coverage"`` entries claim their fingerprint — so a
+        loaded corpus is structurally equal to the one that was saved,
+        including discovery order.
+        """
+        corpus = cls()
+        corpus.entries = list(entries)
+        corpus._fingerprints = {
+            e.coverage_fingerprint for e in corpus.entries
+            if e.reason_kept == "new-coverage"
+        }
+        return corpus
+
+    @classmethod
     def merge_all(cls, corpora: Iterable["Corpus"]) -> "Corpus":
         """n-way :meth:`merge` in one pass.
 

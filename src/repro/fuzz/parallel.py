@@ -42,10 +42,12 @@ so the campaign degrades gracefully instead of aborting.
 Pool lifecycle
 --------------
 
-One worker pool is created lazily per :meth:`ParallelCampaign.run` and
-stays **warm** across the first wave and the retry wave: the (large)
-trace and snapshot are shipped exactly once per worker through the
-pool initializer, and retries reuse the already-primed workers.
+One worker pool is created lazily per :class:`ParallelCampaign` and
+stays **warm** across waves and retry waves: the (large) trace and
+snapshot are shipped exactly once per worker through the pool
+initializer, and both retries and later :meth:`ParallelCampaign.run_wave`
+calls (the campaign controller's scheduling unit) reuse the
+already-primed workers.
 Worker identity cannot leak into results — every shard builds a fresh
 :class:`IrisManager` from the initializer's context — so re-running a
 retry on the worker that reported the original fault is safe.  The
@@ -70,7 +72,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from functools import reduce
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from repro.core.seed import Trace
 from repro.core.snapshot import VmSnapshot
@@ -300,6 +302,30 @@ class CampaignResult:
         )
 
 
+@dataclass
+class WaveOutcome:
+    """Merged outcome of one *wave* — a subset of the campaign's cells.
+
+    The campaign controller's checkpoint unit: everything the
+    persistent store needs to record the wave transactionally, and
+    everything a resumed campaign needs to splice the wave back in.
+    Cell results are keyed by cell index (never positional) so waves
+    compose into a full campaign in any order.
+    """
+
+    #: Completed cells of this wave, keyed by cell index.
+    results: dict[int, FuzzResult] = field(default_factory=dict)
+    #: Cells of this wave abandoned after their retry.
+    abandoned: list[int] = field(default_factory=list)
+    #: Per-shard progress records, in task (plan) order.
+    shard_stats: list[ShardStats] = field(default_factory=list)
+    #: Worker deaths observed during the wave (recovered ones too).
+    faults: list[WorkerFault] = field(default_factory=list)
+    #: Deterministic merge of the wave's per-shard metrics snapshots
+    #: (``None`` unless the campaign collects metrics).
+    metrics: MetricsSnapshot | None = None
+
+
 # ---- worker side ------------------------------------------------------
 
 class InjectedWorkerFault(RuntimeError):
@@ -505,46 +531,89 @@ class ParallelCampaign:
 
     def run(self) -> CampaignResult:
         started = time.perf_counter()
-        tasks = self.plan()
         stats = CampaignStats(jobs=self.jobs)
+        try:
+            wave = self.run_wave(range(len(self.cases)))
+        finally:
+            self.close()
+        stats.shards = wave.shard_stats
+        stats.faults = wave.faults
+        stats.wall_seconds = time.perf_counter() - started
+        return CampaignResult(
+            results=[
+                wave.results[i] for i in sorted(wave.results)
+            ],
+            stats=stats,
+            abandoned_cells=wave.abandoned,
+            metrics=wave.metrics,
+        )
+
+    def run_wave(self, cell_indices: Sequence[int]) -> WaveOutcome:
+        """Run one wave — a subset of the campaign's cells — and merge it.
+
+        The campaign controller's scheduling unit.  Shard RNG seeds are
+        derived from *campaign* coordinates (:meth:`plan` filtered by
+        cell index), never from wave membership, so partitioning the
+        same cells into different waves — or resuming a stored campaign
+        mid-way — cannot change any shard's work.  The worker pool
+        stays warm across calls; the caller owns teardown via
+        :meth:`close` (:meth:`run` does this itself).
+        """
+        wanted = set(cell_indices)
+        unknown = wanted.difference(range(len(self.cases)))
+        if unknown:
+            raise ValueError(
+                f"unknown cell indices in wave: {sorted(unknown)}"
+            )
+        tasks = [t for t in self.plan() if t.cell_index in wanted]
         shard_stats = {
             (t.cell_index, t.shard_index): ShardStats(
                 cell_index=t.cell_index, shard_index=t.shard_index
             )
             for t in tasks
         }
-        stats.shards = [
-            shard_stats[(t.cell_index, t.shard_index)] for t in tasks
-        ]
+        faults: list[WorkerFault] = []
         shard_results: dict[tuple[int, int], FuzzResult] = {}
         shard_metrics: dict[tuple[int, int], MetricsSnapshot] = {}
 
-        try:
-            outcomes = self._run_tasks(tasks)
-            retries = []
-            for task, outcome in zip(tasks, outcomes):
+        outcomes = self._run_tasks(tasks)
+        retries = []
+        for task, outcome in zip(tasks, outcomes):
+            self._account(shard_stats, shard_results,
+                          shard_metrics, faults, task, outcome)
+            if not outcome.ok:
+                retries.append(self._retry_task(task))
+
+        if retries:
+            # Same warm pool (unless a hang already forced its
+            # replacement): shards are hermetic, so worker reuse
+            # cannot leak the failed attempt into the retry.
+            for task, outcome in zip(retries,
+                                     self._run_tasks(retries)):
                 self._account(shard_stats, shard_results,
-                              shard_metrics, stats, task, outcome)
-                if not outcome.ok:
-                    retries.append(self._retry_task(task))
+                              shard_metrics, faults, task, outcome)
 
-            if retries:
-                # Same warm pool (unless a hang already forced its
-                # replacement): shards are hermetic, so worker reuse
-                # cannot leak the failed attempt into the retry.
-                for task, outcome in zip(retries,
-                                         self._run_tasks(retries)):
-                    self._account(shard_stats, shard_results,
-                                  shard_metrics, stats, task, outcome)
-        finally:
-            self._discard_pool()
-
-        results, abandoned = self._merge_cells(shard_results)
-        stats.wall_seconds = time.perf_counter() - started
-        return CampaignResult(
-            results=results, stats=stats, abandoned_cells=abandoned,
+        results, abandoned = self._merge_cells(
+            shard_results, sorted(wanted)
+        )
+        return WaveOutcome(
+            results=results,
+            abandoned=abandoned,
+            shard_stats=[
+                shard_stats[(t.cell_index, t.shard_index)]
+                for t in tasks
+            ],
+            faults=faults,
             metrics=self._merge_metrics(shard_metrics, abandoned),
         )
+
+    def close(self) -> None:
+        """Tear down the warm worker pool (idempotent).
+
+        Callers driving the campaign wave-by-wave via :meth:`run_wave`
+        must call this when done; :meth:`run` handles it internally.
+        """
+        self._discard_pool()
 
     def _retry_task(self, task: ShardTask) -> ShardTask:
         attempt = task.attempt + 1
@@ -653,7 +722,7 @@ class ParallelCampaign:
         shard_stats: dict[tuple[int, int], ShardStats],
         shard_results: dict[tuple[int, int], FuzzResult],
         shard_metrics: dict[tuple[int, int], MetricsSnapshot],
-        stats: CampaignStats,
+        faults: list[WorkerFault],
         task: ShardTask,
         outcome: ShardOutcome,
     ) -> None:
@@ -680,7 +749,7 @@ class ParallelCampaign:
                 error=outcome.error or "unknown",
                 traceback=outcome.error_traceback,
             )
-            stats.faults.append(fault)
+            faults.append(fault)
             if task.attempt == 0:
                 self._emit(("worker-fault", fault))
             else:
@@ -692,11 +761,14 @@ class ParallelCampaign:
             self.on_event(event)
 
     def _merge_cells(
-        self, shard_results: dict[tuple[int, int], FuzzResult]
-    ) -> tuple[list[FuzzResult], list[int]]:
-        results: list[FuzzResult] = []
+        self,
+        shard_results: dict[tuple[int, int], FuzzResult],
+        cell_indices: Sequence[int],
+    ) -> tuple[dict[int, FuzzResult], list[int]]:
+        results: dict[int, FuzzResult] = {}
         abandoned: list[int] = []
-        for cell_index, case in enumerate(self.cases):
+        for cell_index in cell_indices:
+            case = self.cases[cell_index]
             n_shards = len(split_mutations(
                 case.n_mutations, self.shards_per_cell
             ))
@@ -707,7 +779,7 @@ class ParallelCampaign:
             if any(r is None for r in cell_shards):
                 abandoned.append(cell_index)
                 continue
-            results.append(reduce(FuzzResult.merge, cell_shards))
+            results[cell_index] = reduce(FuzzResult.merge, cell_shards)
         return results, abandoned
 
     def _merge_metrics(

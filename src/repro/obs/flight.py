@@ -43,6 +43,13 @@ class FlightReport:
     exits_handled: int = 0
     seeds_replayed: int = 0
     exits_recorded: int = 0
+    #: Control-plane counters (zero unless the run used a persistent
+    #: campaign store): waves checkpointed and waves reloaded instead
+    #: of executed.  An aborted campaign shows fewer checkpoints than
+    #: its plan; a resumed one shows a nonzero resume count — the
+    #: distinction the flight recorder previously could not surface.
+    checkpoints_written: int = 0
+    waves_resumed: int = 0
 
     def render(self) -> str:
         sections = [
@@ -51,6 +58,12 @@ class FlightReport:
             f"recorded: {self.exits_recorded}  "
             f"seeds replayed: {self.seeds_replayed}",
         ]
+        if self.checkpoints_written or self.waves_resumed:
+            sections.append(
+                "campaign control plane: "
+                f"{self.checkpoints_written} checkpoint(s) written, "
+                f"{self.waves_resumed} wave(s) resumed"
+            )
         if self.slowest_exits:
             sections.append("")
             sections.append("slowest exits (simulated cycles):")
@@ -112,6 +125,12 @@ def flight_report(
         exits_handled=snapshot.counter_total("exits_handled"),
         seeds_replayed=snapshot.counter_total("seeds_replayed"),
         exits_recorded=snapshot.counter_total("exits_recorded"),
+        checkpoints_written=snapshot.counter_total(
+            "campaign_checkpoints"
+        ),
+        waves_resumed=snapshot.counter_total(
+            "campaign_waves_resumed"
+        ),
     )
 
 

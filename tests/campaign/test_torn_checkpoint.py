@@ -1,0 +1,179 @@
+"""Fault injection against the checkpoint path: torn writes.
+
+The store's contract is all-or-nothing per wave: a death *inside* the
+checkpoint transaction must roll back to the previous wave boundary,
+and a store damaged on disk must fail loudly — resume never silently
+continues from partial state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignController,
+    CampaignInterrupted,
+    CampaignStore,
+)
+from repro.core.manager import IrisManager
+from repro.errors import CampaignStoreError, CorruptStoreError
+from repro.fuzz.parallel import ParallelCampaign
+from repro.fuzz.testcase import plan_test_cases
+from repro.vmx.exit_reasons import ExitReason
+
+CAMPAIGN_SEED = 0xC0FFEE
+
+#: Every named fault point inside the checkpoint transaction.
+TORN_POINTS = ("wave-row", "cell-rows", "frontier", "before-commit")
+
+
+class TornWrite(RuntimeError):
+    """Stand-in for a process death mid-transaction."""
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    manager = IrisManager()
+    return manager.record_workload(
+        "cpu-bound", n_exits=220, precondition="boot"
+    )
+
+
+@pytest.fixture(scope="module")
+def cases(recorded):
+    planned = plan_test_cases(
+        recorded.trace, [ExitReason.RDTSC, ExitReason.CPUID],
+        n_mutations=18, rng=random.Random(2),
+    )
+    assert len(planned) == 4
+    return planned
+
+
+def make_engine(recorded, cases):
+    return ParallelCampaign(
+        recorded.trace, recorded.snapshot, cases,
+        campaign_seed=CAMPAIGN_SEED, jobs=1, collect_metrics=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(recorded, cases):
+    return CampaignController(
+        make_engine(recorded, cases), wave_size=1
+    ).run()
+
+
+@pytest.mark.parametrize("point", TORN_POINTS)
+def test_death_inside_checkpoint_rolls_back(
+    tmp_path, recorded, cases, reference, point
+):
+    """A fault at any point inside the wave-2 transaction leaves the
+    store at wave 1, and resume from there is byte-identical."""
+    db = str(tmp_path / f"torn-{point}.db")
+
+    def tear(at: str) -> None:
+        # Inside the transaction the in-flight wave row is already
+        # visible on the store's own connection, so the hook sees
+        # wave 2 *while* wave 2 is being written.
+        if at == point and store.last_completed_wave() == 2:
+            raise TornWrite(f"torn at {at}")
+
+    engine = make_engine(recorded, cases)
+    with CampaignStore(db) as store:
+        store.fault_hook = tear
+        with pytest.raises(TornWrite):
+            CampaignController(engine, store, wave_size=1).run()
+        # the transaction rolled back: wave 2 left no trace at all
+        store.fault_hook = None
+        assert store.last_completed_wave() == 1
+        store.validate()
+
+    with CampaignStore(db) as store:
+        resumed = CampaignController(
+            make_engine(recorded, cases), store, wave_size=1
+        ).run(resume=True)
+    assert resumed.waves_resumed == 2
+    assert resumed.results == reference.results
+    assert resumed.merged_corpus() == reference.merged_corpus()
+    assert resumed.metrics is not None
+    assert reference.metrics is not None
+    assert resumed.metrics.to_json() == reference.metrics.to_json()
+
+
+def _interrupted_store(tmp_path, recorded, cases, name):
+    """A store holding two committed waves of a four-wave campaign."""
+    db = str(tmp_path / name)
+    with CampaignStore(db) as store:
+        with pytest.raises(CampaignInterrupted):
+            CampaignController(
+                make_engine(recorded, cases), store,
+                wave_size=1, crash_after_wave=1,
+            ).run()
+    return db
+
+
+def test_truncated_store_fails_loudly(tmp_path, recorded, cases):
+    db = _interrupted_store(tmp_path, recorded, cases, "trunc.db")
+    data = open(db, "rb").read()
+    with open(db, "wb") as fh:
+        fh.write(data[: len(data) // 2])
+    with CampaignStore(db) as store:
+        with pytest.raises(CorruptStoreError):
+            store.validate()
+        with pytest.raises(CampaignStoreError):
+            CampaignController(
+                make_engine(recorded, cases), store, wave_size=1,
+            ).run(resume=True)
+
+
+def test_garbage_store_fails_loudly(tmp_path, recorded, cases):
+    db = str(tmp_path / "garbage.db")
+    with open(db, "wb") as fh:
+        fh.write(b"this is not a sqlite database at all\x00" * 40)
+    with CampaignStore(db) as store:
+        with pytest.raises(CorruptStoreError):
+            _ = store.initialized
+        with pytest.raises(CampaignStoreError):
+            CampaignController(
+                make_engine(recorded, cases), store, wave_size=1,
+            ).run(resume=True)
+
+
+def test_missing_cell_row_detected(tmp_path, recorded, cases):
+    """Structural damage below SQLite's radar: a deleted result row
+    disagrees with the wave log and must refuse resume."""
+    db = _interrupted_store(tmp_path, recorded, cases, "nocell.db")
+    with CampaignStore(db) as store:
+        with store._conn:
+            store._conn.execute("DELETE FROM cells WHERE cell_index=0")
+        with pytest.raises(CorruptStoreError, match="disagree"):
+            store.validate()
+        with pytest.raises(CorruptStoreError):
+            CampaignController(
+                make_engine(recorded, cases), store, wave_size=1,
+            ).run(resume=True)
+
+
+def test_tampered_frontier_detected(tmp_path, recorded, cases):
+    db = _interrupted_store(tmp_path, recorded, cases, "frontier.db")
+    with CampaignStore(db) as store:
+        with store._conn:
+            store._conn.execute(
+                "UPDATE coverage_frontier SET coverage='{}' "
+                "WHERE wave_index=1"
+            )
+        with pytest.raises(CorruptStoreError, match="frontier"):
+            store.validate()
+
+
+def test_missing_schema_version_detected(tmp_path, recorded, cases):
+    db = _interrupted_store(tmp_path, recorded, cases, "nover.db")
+    with CampaignStore(db) as store:
+        with store._conn:
+            store._conn.execute(
+                "DELETE FROM meta WHERE key='schema_version'"
+            )
+        with pytest.raises(CorruptStoreError, match="schema version"):
+            _ = store.initialized

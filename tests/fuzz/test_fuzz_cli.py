@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.fuzz.cli import build_parser, main
+from repro.fuzz.cli import (
+    EXIT_ABORTED,
+    EXIT_CRASHES_FOUND,
+    EXIT_NO_SEEDS,
+    EXIT_OK,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -44,13 +52,61 @@ class TestParser:
             capsys.readouterr().err
 
 
+class TestExitCodeContract:
+    """The pinned exit-code contract: scripts driving long campaigns
+    must be able to tell 'finished clean', 'finished with findings',
+    and 'aborted mid-way' apart (they used to all return 0)."""
+
+    def test_codes_are_pinned(self):
+        assert EXIT_OK == 0
+        assert EXIT_NO_SEEDS == 1
+        assert EXIT_USAGE == 2
+        assert EXIT_CRASHES_FOUND == 3
+        assert EXIT_ABORTED == 4
+
+    def test_crashes_found_returns_distinct_code(self, capsys):
+        # this deterministic barrage is known to find crashes
+        code = main([
+            "-w", "cpu-bound", "-n", "200", "--mutations", "40",
+            "--reasons", "RDTSC,CPUID",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_CRASHES_FOUND
+        assert "campaign status: finished" in out
+        assert "crash(es) found" in out
+
+    def test_clean_finish_returns_zero(self, capsys):
+        # a single mutation on a short trace: deterministic, no crash
+        code = main([
+            "-w", "idle", "-n", "60", "--mutations", "1",
+            "--reasons", "HLT", "--area", "gpr", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        if "no crashes" in out:
+            assert code == EXIT_OK
+        else:  # the one mutation happened to crash: still pinned
+            assert code == EXIT_CRASHES_FOUND
+
+    def test_abort_returns_distinct_code(self, tmp_path, capsys):
+        db = str(tmp_path / "abort.db")
+        code = main([
+            "-w", "cpu-bound", "-n", "150", "--mutations", "10",
+            "--reasons", "RDTSC,CPUID", "--store", db,
+            "--crash-after-wave", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_ABORTED
+        assert "campaign status: aborted" in out
+        assert "--resume" in out  # tells the operator how to continue
+
+
 class TestSmallCampaign:
     def test_end_to_end_run(self, capsys):
         code = main([
             "-w", "cpu-bound", "-n", "200", "--mutations", "40",
             "--reasons", "RDTSC,CPUID", "--area", "both",
         ])
-        assert code == 0
+        assert code == EXIT_CRASHES_FOUND
         out = capsys.readouterr().out
         assert "RDTSC" in out
         assert "VMCS" in out and "GPR" in out
@@ -61,7 +117,7 @@ class TestSmallCampaign:
             "-w", "cpu-bound", "-n", "200", "--mutations", "30",
             "--reasons", "RDTSC,CPUID", "--jobs", "2",
         ])
-        assert code == 0
+        assert code in (EXIT_OK, EXIT_CRASHES_FOUND)
         out = capsys.readouterr().out
         assert "RDTSC" in out and "CPUID" in out
         assert "campaign stats" in out
@@ -73,5 +129,79 @@ class TestSmallCampaign:
             "-w", "cpu-bound", "-n", "100", "--mutations", "10",
             "--reasons", "HLT",  # absent from CPU-bound traces
         ])
-        assert code == 1
+        assert code == EXIT_NO_SEEDS
         assert "no seeds" in capsys.readouterr().out
+
+
+class TestResumableCampaignCli:
+    ARGS = [
+        "-w", "cpu-bound", "-n", "150", "--mutations", "10",
+        "--reasons", "RDTSC,CPUID",
+    ]
+
+    def _table_of(self, out: str) -> str:
+        """The deterministic part of the output (drop wall-clock and
+        progress lines)."""
+        return "\n".join(
+            line for line in out.splitlines()
+            if "mut/s" not in line and "recording" not in line
+            and "campaign stats" not in line
+            and not line.startswith("resumed:")
+        )
+
+    def test_interrupt_then_resume_matches_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        full = main(self.ARGS + ["--store", str(tmp_path / "a.db")])
+        full_out = capsys.readouterr().out
+        assert full in (EXIT_OK, EXIT_CRASHES_FOUND)
+
+        db = str(tmp_path / "b.db")
+        assert main(
+            self.ARGS + ["--store", db, "--crash-after-wave", "1"]
+        ) == EXIT_ABORTED
+        capsys.readouterr()
+
+        # resume restores every parameter from the store: no
+        # recording flags needed (or trusted) on the resume side
+        resumed = main(["--store", db, "--resume"])
+        resumed_out = capsys.readouterr().out
+        assert resumed == full
+        assert "wave(s) restored" in resumed_out
+        assert self._table_of(resumed_out) == self._table_of(full_out)
+
+    def test_store_reuse_without_resume_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        db = str(tmp_path / "c.db")
+        assert main(
+            self.ARGS + ["--store", db, "--crash-after-wave", "0"]
+        ) == EXIT_ABORTED
+        capsys.readouterr()
+        assert main(self.ARGS + ["--store", db]) == EXIT_USAGE
+        assert "already holds" in capsys.readouterr().err
+
+    def test_resume_without_store_is_usage_error(self, capsys):
+        assert main(["--resume"]) == EXIT_USAGE
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_resume_of_missing_store_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        db = str(tmp_path / "missing.db")
+        assert main(["--store", db, "--resume"]) == EXIT_USAGE
+        assert "no campaign" in capsys.readouterr().err
+
+    def test_corrupt_store_aborts_with_diagnostic(
+        self, tmp_path, capsys
+    ):
+        db = str(tmp_path / "garbage.db")
+        with open(db, "wb") as fh:
+            fh.write(b"not sqlite\x00" * 64)
+        assert main(["--store", db, "--resume"]) == EXIT_ABORTED
+        err = capsys.readouterr().err
+        assert "campaign status: aborted" in err
+
+    def test_bad_wave_size_is_usage_error(self, capsys):
+        assert main(["--wave-size", "0"]) == EXIT_USAGE
+        assert "--wave-size must be >= 1" in capsys.readouterr().err

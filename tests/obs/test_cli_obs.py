@@ -90,7 +90,7 @@ def test_fuzz_cli_metrics_are_jobs_invariant(tmp_path, capsys, jobs):
         "--reasons", "RDTSC", "-j", jobs,
         "--metrics", str(metrics_file),
     ])
-    assert rc == 0
+    assert rc in (0, 3)  # EXIT_OK / EXIT_CRASHES_FOUND
     out = capsys.readouterr().out
     assert "campaign flight recorder" in out
     snap = MetricsSnapshot.from_json(metrics_file.read_text())
