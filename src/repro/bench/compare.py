@@ -24,6 +24,7 @@ Two classes of comparison, matching the two cost axes:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -124,6 +125,72 @@ def compare_dirs(
     return findings
 
 
+_STATUS_RANK = {"ok": 0, "wall": 1, "hard": 2}
+_STATUS_LABEL = {"ok": "✅ ok", "wall": "⚠️ wall", "hard": "❌ fail"}
+
+
+def render_summary(
+    findings: list[Finding],
+    baseline_dir: Path,
+    candidate_dir: Path,
+) -> str:
+    """Markdown per-scenario delta table for the CI job summary.
+
+    One row per committed baseline: median wall times of both runs,
+    the relative delta, and the worst finding the gate recorded for
+    that scenario.  Wall deltas are informational context for the
+    (hard) cycle/checks verdicts — the table makes a slow creep
+    visible long before it trips the tolerance.
+    """
+    status: dict[str, str] = {}
+    for finding in findings:
+        worst = status.get(finding.scenario, "ok")
+        if _STATUS_RANK[finding.kind] >= _STATUS_RANK[worst]:
+            status[finding.scenario] = finding.kind
+    lines = [
+        "## Benchmark comparison",
+        "",
+        "| scenario | baseline wall | candidate wall | delta "
+        "| status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for path in sorted(baseline_dir.glob("BENCH_*.json")):
+        baseline = BenchResult.from_path(path)
+        name = baseline.scenario
+        verdict = _STATUS_LABEL[status.get(name, "ok")]
+        candidate_path = candidate_dir / path.name
+        if not candidate_path.exists():
+            lines.append(
+                f"| {name} | {baseline.wall.median:.3f}s | — | — "
+                f"| {verdict} |"
+            )
+            continue
+        candidate = BenchResult.from_path(candidate_path)
+        if baseline.wall.median > 0:
+            delta = (
+                candidate.wall.median / baseline.wall.median - 1.0
+            ) * 100.0
+            delta_text = f"{delta:+.1f}%"
+        else:
+            delta_text = "—"
+        lines.append(
+            f"| {name} | {baseline.wall.median:.3f}s "
+            f"| {candidate.wall.median:.3f}s | {delta_text} "
+            f"| {verdict} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_job_summary(markdown: str) -> bool:
+    """Append to the GitHub Actions job summary, if one is open."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return False
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write(markdown)
+    return True
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.compare",
@@ -159,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
         tag = {"ok": "OK  ", "wall": "WALL", "hard": "FAIL"}[finding.kind]
         print(f"[{tag}] {finding.scenario}: {finding.message}")
         failed = failed or finding.failed
+    write_job_summary(render_summary(
+        findings, args.baseline, args.candidate,
+    ))
     if failed:
         print(
             "\nbenchmark comparison FAILED — if the change is "

@@ -363,6 +363,87 @@ def campaign_checkpoint(params: dict[str, int]) -> IterationOutcome:
     )
 
 
+# ---- remote wave (socket transport) ----------------------------------
+
+def remote_wave(params: dict[str, int]) -> IterationOutcome:
+    """Campaign over the socket worker transport vs the local path.
+
+    Two arms over the same campaign: the inline (jobs=1) local
+    transport, then the identical engine shipping every shard to an
+    in-process socket worker through the full wire protocol —
+    HELLO/ACK handshake, task/result codecs, heartbeats.  The checks
+    pin transport byte-identity (the tentpole differential, gated on
+    every CI run) plus zero liveness machinery on a healthy link; the
+    info records the wire volume and the transport's wall overhead.
+    """
+    from repro.campaign import (
+        SocketTransport,
+        WorkerServer,
+        WorkerTransport,
+    )
+    from repro.fuzz.parallel import ParallelCampaign
+
+    manager = IrisManager(arch="vmx")
+    session = _record(manager, params["exits"])
+    cases = plan_test_cases(
+        session.trace, list(_REASONS), areas=(MutationArea.VMCS,),
+        n_mutations=params["mutations"], rng=random.Random(0),
+    )
+
+    def engine(
+        transport: WorkerTransport | None = None,
+    ) -> ParallelCampaign:
+        return ParallelCampaign(
+            session.trace, session.snapshot, cases,
+            campaign_seed=0, jobs=1,
+            shards_per_cell=params["shards"], transport=transport,
+        )
+
+    start = time.perf_counter()
+    local = engine().run()
+    local_wall = time.perf_counter() - start
+
+    with WorkerServer(heartbeat_interval=0.2) as server:
+        transport = SocketTransport(
+            [server.address], backoff_base=0.01,
+        )
+        start = time.perf_counter()
+        remote = engine(transport).run()
+        remote_wall = time.perf_counter() - start
+
+    tallies = remote.crash_tallies()
+    checks: dict[str, object] = {
+        "cells": len(remote.results),
+        "new_loc": remote.merged_coverage().loc,
+        "vm_crashes": tallies["vm-crash"],
+        "hypervisor_crashes": tallies["hypervisor-crash"],
+        "corpus": len(remote.merged_corpus()),
+        "matches_local": (
+            remote.results == local.results
+            and remote.merged_corpus() == local.merged_corpus()
+            and remote.merged_coverage().lines()
+            == local.merged_coverage().lines()
+        ),
+        # A healthy link needs none of the liveness machinery.
+        "reassignments": transport.stats.reassignments,
+        "retries": transport.stats.retries,
+    }
+    info = {
+        "mutations_per_second": remote.stats.total_mutations
+        / remote_wall,
+        "transport_overhead": remote_wall / local_wall,
+        # Frame/byte counts include heartbeats, whose number depends
+        # on wall time — informational, never gated.
+        "wire_frames": float(transport.stats.frames),
+        "wire_bytes": float(transport.stats.bytes),
+    }
+    # Shards run on hermetic per-shard hypervisors; zero is the
+    # (deterministic) outer-clock cost, as in campaign_merge.
+    return IterationOutcome(
+        cycles=0, checks=checks, info=info, wall=remote_wall,
+    )
+
+
 # ---- data-plane microbenchmarks --------------------------------------
 #
 # Both scenarios race the current data-plane implementation against a
@@ -694,6 +775,12 @@ SCENARIOS: dict[str, Scenario] = {
             {"exits": 160, "mutations": 12},
             "store-backed checkpoint/resume control plane vs bare "
             "engine",
+        ),
+        Scenario(
+            "remote_wave", remote_wave,
+            {"exits": 160, "mutations": 12, "shards": 2},
+            "campaign wave over the socket worker transport vs "
+            "local (byte-identity + overhead)",
         ),
         Scenario(
             "coverage_union", coverage_union,

@@ -8,6 +8,11 @@ Public surface:
   :class:`repro.fuzz.parallel.ParallelCampaign` pool, with exact
   resume from a store.
 * :class:`CampaignConfig` — the campaign's deterministic identity.
+* :class:`WorkerTransport` and its implementations
+  (:class:`LocalPoolTransport`, :class:`SocketTransport`) — *where*
+  the engine's shards run (DESIGN.md §11).
+* :class:`WorkerServer` — the ``iris-worker`` side of the socket
+  transport.
 """
 
 from repro.campaign.controller import (
@@ -22,6 +27,15 @@ from repro.campaign.store import (
     CampaignStore,
     StoredWave,
 )
+from repro.campaign.transport import (
+    LocalPoolTransport,
+    SocketTransport,
+    TransportContext,
+    TransportStats,
+    WorkerTransport,
+    parse_worker_address,
+)
+from repro.campaign.worker import ChaosSpec, WorkerServer
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -29,7 +43,15 @@ __all__ = [
     "CampaignController",
     "CampaignInterrupted",
     "CampaignStore",
+    "ChaosSpec",
     "ControlledCampaignResult",
+    "LocalPoolTransport",
+    "SocketTransport",
     "StoredWave",
+    "TransportContext",
+    "TransportStats",
+    "WorkerServer",
+    "WorkerTransport",
+    "parse_worker_address",
     "plan_waves",
 ]

@@ -134,6 +134,13 @@ class CampaignController:
         started = time.perf_counter()
         waves = plan_waves(len(self.engine.cases), self.wave_size)
         start_wave = self._prepare_store(resume, len(waves))
+        # Results are transport-independent (the differential suite
+        # pins byte-identity local vs socket), so the transport is
+        # pure observability here: say where the waves will run.
+        transport = self.engine.transport()
+        OBS.tracer.event(
+            "iris.campaign.transport", transport=transport.describe(),
+        )
 
         results: dict[int, FuzzResult] = {}
         abandoned: list[int] = []
@@ -175,6 +182,11 @@ class CampaignController:
                     raise CampaignInterrupted(wave_index)
         finally:
             self.engine.close()
+            OBS.tracer.event(
+                "iris.campaign.transport-stats",
+                transport=transport.describe(),
+                **vars(transport.stats),
+            )
 
         stats.wall_seconds = time.perf_counter() - started
         return ControlledCampaignResult(

@@ -140,3 +140,33 @@ class StoreMismatchError(CampaignStoreError):
     requested, or the resuming campaign's deterministic identity
     (seed, shard plan, arch, ...) disagrees with the stored one.
     """
+
+
+class TransportError(IrisError):
+    """Base class for worker-transport failures.
+
+    The transport layer (``repro.campaign.transport``) moves shard
+    tasks to workers and per-shard results back.  Anything that goes
+    wrong on that path — a malformed frame, a dead worker, an
+    exhausted reconnect budget — surfaces as one of the subclasses
+    below so the engine can reassign work instead of aborting.
+    """
+
+
+class TransportProtocolError(TransportError):
+    """A wire frame was malformed, truncated, or version-incompatible.
+
+    Raised when a peer speaks a different wire version, when a frame's
+    magic bytes are wrong (the socket is not an iris-worker link), or
+    when a connection dies mid-frame.  The controller treats the link
+    as dead: the in-flight shard is reassigned, never half-decoded.
+    """
+
+
+class WorkerUnavailableError(TransportError):
+    """No remote worker could be (re)connected within the retry budget.
+
+    Carries the last underlying failure in its message.  Shards left
+    without a live worker come back as error outcomes, so the engine's
+    retry/abandon machinery — not the transport — decides their fate.
+    """

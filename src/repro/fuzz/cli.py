@@ -81,6 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="split each cell's mutation budget across this many "
              "shards (more pool parallelism for few-cell campaigns)",
     )
+    remote = parser.add_argument_group(
+        "remote workers",
+        "ship waves to socket-attached iris-worker processes instead "
+        "of the local worker pool; shards are hermetic, so the "
+        "campaign output is byte-identical either way",
+    )
+    remote.add_argument(
+        "--workers", metavar="HOST:PORT[,HOST:PORT,...]", default=None,
+        help="comma-separated iris-worker addresses (start each with "
+             "`iris-worker --port 0` and read the assigned port from "
+             "its banner); --jobs is ignored while remote workers "
+             "are attached",
+    )
     group = parser.add_argument_group(
         "resumable campaigns",
         "persist per-wave checkpoints to a SQLite store and continue "
@@ -133,15 +146,26 @@ def _restore_stored_args(args: argparse.Namespace) -> bool | None:
     ``collect_metrics`` flag.
     """
     from repro.campaign import CampaignStore
+    from repro.errors import CorruptStoreError, StoreMismatchError
 
     with CampaignStore(args.store) as probe:
         if not probe.initialized:
-            from repro.errors import StoreMismatchError
-
             raise StoreMismatchError(
                 f"campaign store {args.store!r} holds no campaign "
                 "to resume"
             )
+        # Validate *up front*, before the expensive re-record: a torn
+        # store used to sail through this probe and only explode
+        # mid-wave, after minutes of recording.  Fail in the first
+        # second instead, and say what to do about it.
+        try:
+            probe.validate()
+        except CorruptStoreError as exc:
+            raise CorruptStoreError(
+                f"{exc} — resume refused before any work was done; "
+                "restore the store file from a backup, or start a "
+                "fresh campaign with a new --store path"
+            ) from exc
         stored = probe.config()
     extra = dict(stored.extra)
     args.workload = extra["workload"]
@@ -185,6 +209,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.store is None:
         print("--resume requires --store", file=sys.stderr)
         return EXIT_USAGE
+    worker_addresses: list[str] = []
+    if args.workers:
+        from repro.campaign import parse_worker_address
+
+        worker_addresses = [
+            spec.strip()
+            for spec in args.workers.split(",") if spec.strip()
+        ]
+        if not worker_addresses:
+            print("--workers got no addresses", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            for spec in worker_addresses:
+                parse_worker_address(spec)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return EXIT_USAGE
 
     stored_collect_metrics: bool | None = None
     if args.resume:
@@ -250,7 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         use_campaign = (
             args.jobs > 1 or args.shards_per_cell > 1
             or obs is not None or args.store is not None
-            or args.wave_size > 1
+            or args.wave_size > 1 or bool(worker_addresses)
         )
         if use_campaign:
             from repro.campaign import (
@@ -284,6 +325,15 @@ def main(argv: list[str] | None = None) -> int:
                 if stored_collect_metrics is not None
                 else obs is not None and obs.wants_metrics
             )
+            transport = None
+            if worker_addresses:
+                from repro.campaign import SocketTransport
+
+                transport = SocketTransport(worker_addresses)
+                print(
+                    f"waves run on {transport.describe()} "
+                    "(results identical to a local run)"
+                )
             engine = ParallelCampaign(
                 session.trace, session.snapshot, cases,
                 campaign_seed=args.seed, jobs=args.jobs,
@@ -291,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
                 arch=args.arch,
                 collect_metrics=collect_metrics,
                 fast_reset=args.fast_reset,
+                transport=transport,
             )
             store = (
                 CampaignStore(args.store)

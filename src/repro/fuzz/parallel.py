@@ -39,40 +39,39 @@ is retried exactly once, and a shard that fails its retry is
 :attr:`CampaignResult.abandoned_cells`, and excluded from the merge —
 so the campaign degrades gracefully instead of aborting.
 
-Pool lifecycle
---------------
+Transports
+----------
 
-One worker pool is created lazily per :class:`ParallelCampaign` and
-stays **warm** across waves and retry waves: the (large) trace and
-snapshot are shipped exactly once per worker through the pool
-initializer, and both retries and later :meth:`ParallelCampaign.run_wave`
-calls (the campaign controller's scheduling unit) reuse the
-already-primed workers.
+*Where* shards run is delegated to a
+:class:`repro.campaign.transport.WorkerTransport`.  The default is the
+:class:`~repro.campaign.transport.LocalPoolTransport` — one warm
+``multiprocessing`` pool per campaign, created lazily, primed once
+with the (large) trace and snapshot, reused across waves and retries,
+and torn down only on campaign exit or a shard hang.  Passing
+``transport=`` (e.g. a
+:class:`~repro.campaign.transport.SocketTransport` attached to
+``iris-worker`` processes) moves execution elsewhere without touching
+the engine: shards are hermetic, so the merged result is byte-identical
+across transports — the property the transport differential tests pin.
+
 Worker identity cannot leak into results — every shard builds a fresh
-:class:`IrisManager` from the initializer's context — so re-running a
-retry on the worker that reported the original fault is safe.  The
-pool is torn down (``terminate()``, never a blocking ``close()``)
-in exactly two cases: the campaign is finished, or a shard overran its
-deadline — a hung worker cannot be reclaimed, and recreating the pool
-is also what guarantees a timed-out shard retries on a fresh worker.
-
-Each task's deadline is **absolute** — ``shard_timeout`` seconds from
-the moment the wave is submitted — rather than a per-``get`` timeout
-that restarts whenever the previous result arrives, so a wave of N
-queued shards can no longer grant its last shard N x ``shard_timeout``
-of cumulative slack.
+:class:`IrisManager` from the shipped context — so re-running a retry
+on the worker that reported the original fault is safe, as is
+reassigning a shard from a dead remote worker to a surviving one.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import multiprocessing.pool
 import random
 import time
 from dataclasses import dataclass, field
 from functools import reduce
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: transport imports this module
+    from repro.campaign.transport import WorkerTransport
 
 from repro.core.seed import Trace
 from repro.core.snapshot import VmSnapshot
@@ -332,25 +331,6 @@ class InjectedWorkerFault(RuntimeError):
     """Raised by the fault-injection hook to simulate a worker death."""
 
 
-#: Per-worker campaign context, installed once by the pool initializer
-#: so the (large) trace is pickled once per worker, not once per task.
-_WORKER_CONTEXT: tuple[Trace, VmSnapshot | None] | None = None
-
-
-def _worker_init(trace: Trace, snapshot: VmSnapshot | None) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (trace, snapshot)
-    # A forked worker inherits the parent's process-wide observability
-    # state — including a Tracer whose sink fd is shared with the
-    # parent and every sibling.  Interleaved writes would corrupt the
-    # trace and make it scheduling-dependent, so workers always start
-    # from the null (disabled) state; per-shard metrics come back on
-    # the stats channel instead (``ShardTask.collect_metrics``).
-    from repro.obs import uninstall
-
-    uninstall()
-
-
 def run_shard(
     task: ShardTask, trace: Trace, snapshot: VmSnapshot | None
 ) -> FuzzResult:
@@ -407,11 +387,23 @@ def _execute_task(
             # Hermetic capture: a fresh wall-clock-free registry (and a
             # null tracer) scoped to this shard only, so the snapshot
             # is a pure function of the task and merges identically
-            # for any ``jobs`` value.
-            from repro.obs import NULL_TRACER
+            # for any ``jobs`` value.  Confined to this thread: when
+            # the shard runs inside an in-process worker server, the
+            # controller's own threads (transport counters, ambient
+            # tracing) must neither leak into this snapshot nor lose
+            # their events to it.
+            from repro.obs import (
+                NULL_TRACER,
+                OBS,
+                ThreadConfinedMetrics,
+                ThreadConfinedTracer,
+            )
 
             registry = MetricsRegistry(record_wall=False)
-            with observability(tracer=NULL_TRACER, metrics=registry):
+            with observability(
+                tracer=ThreadConfinedTracer(NULL_TRACER, OBS.tracer),
+                metrics=ThreadConfinedMetrics(registry, OBS.metrics),
+            ):
                 result = run_shard(task, trace, snapshot)
             metrics_snapshot = registry.snapshot()
         else:
@@ -435,13 +427,6 @@ def _execute_task(
             duration_seconds=time.perf_counter() - start,
             worker_pid=os.getpid(),
         )
-
-
-def _pool_run_shard(task: ShardTask) -> ShardOutcome:
-    """Pool entry point: pull the per-worker context and execute."""
-    assert _WORKER_CONTEXT is not None, "worker not initialized"
-    trace, snapshot = _WORKER_CONTEXT
-    return _execute_task(task, trace, snapshot)
 
 
 # ---- the engine -------------------------------------------------------
@@ -470,6 +455,7 @@ class ParallelCampaign:
         arch: str = "vmx",
         collect_metrics: bool = False,
         fast_reset: bool = True,
+        transport: WorkerTransport | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -490,9 +476,11 @@ class ParallelCampaign:
         self.fault_plan = dict(fault_plan or {})
         self.collect_metrics = collect_metrics
         self.fast_reset = fast_reset
-        #: The warm worker pool (jobs > 1 only), created lazily by the
-        #: first parallel wave and torn down on campaign exit or hang.
-        self._pool: multiprocessing.pool.Pool | None = None
+        #: Where shards run.  ``None`` means the default local warm
+        #: pool, created lazily by the first wave; an explicit
+        #: transport (e.g. ``SocketTransport``) moves execution off
+        #: this host without changing any result byte.
+        self._transport: WorkerTransport | None = transport
 
     # -- planning ------------------------------------------------------
 
@@ -608,12 +596,13 @@ class ParallelCampaign:
         )
 
     def close(self) -> None:
-        """Tear down the warm worker pool (idempotent).
+        """Release the transport's workers (idempotent).
 
         Callers driving the campaign wave-by-wave via :meth:`run_wave`
         must call this when done; :meth:`run` handles it internally.
         """
-        self._discard_pool()
+        if self._transport is not None:
+            self._transport.close()
 
     def _retry_task(self, task: ShardTask) -> ShardTask:
         attempt = task.attempt + 1
@@ -632,88 +621,79 @@ class ParallelCampaign:
             fast_reset=task.fast_reset,
         )
 
-    def _ensure_pool(self, n_tasks: int) -> multiprocessing.pool.Pool:
-        """The campaign's warm pool, created on first parallel wave.
+    # -- transport plumbing -------------------------------------------
 
-        The initializer ships the (large) trace and snapshot exactly
-        once per worker; subsequent waves and retries reuse the primed
-        workers instead of re-pickling the context.
+    def identity(self) -> tuple[tuple[str, str], ...]:
+        """The campaign's deterministic coordinates, for worker logs.
+
+        Shipped in the HELLO frame so an operator can tell whose wave
+        a remote worker is serving; informational only — results never
+        depend on it.
         """
-        if self._pool is None:
-            context = multiprocessing.get_context(self._start_method())
-            self._pool = context.Pool(
-                processes=min(self.jobs, n_tasks),
-                initializer=_worker_init,
-                initargs=(self.trace, self.snapshot),
+        return (
+            ("campaign_seed", str(self.campaign_seed)),
+            ("cells", str(len(self.cases))),
+            ("shards_per_cell", str(self.shards_per_cell)),
+            ("arch", self.arch),
+            ("fast_reset", str(self.fast_reset)),
+        )
+
+    def transport(self) -> WorkerTransport:
+        """The campaign's (primed) transport, default local pool."""
+        from repro.campaign.transport import (
+            LocalPoolTransport,
+            TransportContext,
+        )
+
+        if self._transport is None:
+            self._transport = LocalPoolTransport(
+                jobs=self.jobs,
+                start_method=self.start_method,
+                shard_timeout=self.shard_timeout,
             )
-        return self._pool
-
-    def _discard_pool(self) -> None:
-        """Tear the pool down: campaign exit, or a shard hang.
-
-        ``terminate()``, not ``close()``: a hung worker must not wedge
-        the campaign during the join.
-        """
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        # Idempotent: the first prime wins, later calls are no-ops.
+        self._transport.prime(TransportContext(
+            trace=self.trace,
+            snapshot=self.snapshot,
+            identity=self.identity(),
+        ))
+        return self._transport
 
     def _run_tasks(
         self, tasks: list[ShardTask]
     ) -> list[ShardOutcome]:
         if not tasks:
             return []
-        if self.jobs == 1:
-            return [
-                _execute_task(task, self.trace, self.snapshot)
-                for task in tasks
-            ]
-        pool = self._ensure_pool(len(tasks))
-        pending = [
-            (task, pool.apply_async(_pool_run_shard, (task,)))
-            for task in tasks
-        ]
-        # Every task's deadline is absolute — measured from wave
-        # submission, not from when the previous result happened to be
-        # collected — so queue position no longer grants slack.
-        deadline = (
-            time.monotonic() + self.shard_timeout
-            if self.shard_timeout is not None else None
-        )
-        outcomes: list[ShardOutcome] = []
-        hung = False
-        for task, handle in pending:
-            try:
-                if deadline is None:
-                    outcomes.append(handle.get())
-                else:
-                    outcomes.append(handle.get(
-                        max(deadline - time.monotonic(), 0.0)
-                    ))
-            except multiprocessing.TimeoutError:
-                hung = True
-                outcomes.append(ShardOutcome(
-                    cell_index=task.cell_index,
-                    shard_index=task.shard_index,
-                    attempt=task.attempt,
-                    error=(
-                        "TimeoutError: shard exceeded "
-                        f"{self.shard_timeout}s"
-                    ),
-                ))
-        if hung:
-            # A worker past its deadline cannot be reclaimed and is
-            # still squatting on a pool slot; replacing the pool also
-            # guarantees the timed-out shard retries on a fresh worker.
-            self._discard_pool()
-        return outcomes
+        return self.transport().run_tasks(tasks)
 
-    def _start_method(self) -> str:
-        if self.start_method is not None:
-            return self.start_method
-        methods = multiprocessing.get_all_start_methods()
-        return "fork" if "fork" in methods else methods[0]
+    # The pool-lifecycle surface below predates the transport layer;
+    # it remains as a thin view onto the default local transport (the
+    # lifecycle tests pin its warm/teardown semantics through it).
+
+    @property
+    def _pool(self) -> multiprocessing.pool.Pool | None:
+        from repro.campaign.transport import LocalPoolTransport
+
+        if isinstance(self._transport, LocalPoolTransport):
+            return self._transport._pool
+        return None
+
+    def _ensure_pool(self, n_tasks: int) -> multiprocessing.pool.Pool:
+        from repro.campaign.transport import LocalPoolTransport
+
+        transport = self.transport()
+        if not isinstance(transport, LocalPoolTransport):
+            raise TypeError(
+                "campaign runs on "
+                f"{transport.describe()}, which has no local pool"
+            )
+        return transport._ensure_pool(n_tasks)
+
+    def _discard_pool(self) -> None:
+        from repro.campaign.transport import LocalPoolTransport
+
+        if isinstance(self._transport, LocalPoolTransport):
+            self._transport._discard_pool()
 
     # -- bookkeeping / merging ----------------------------------------
 

@@ -25,6 +25,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Union
 
+from repro.obs.confine import (
+    ThreadConfinedMetrics,
+    ThreadConfinedTracer,
+)
 from repro.obs.flight import (
     FlightReport,
     flight_report,
@@ -59,6 +63,8 @@ __all__ = [
     "NullTracer",
     "OBS",
     "ObsState",
+    "ThreadConfinedMetrics",
+    "ThreadConfinedTracer",
     "TraceEvent",
     "Tracer",
     "bucket_of",
@@ -72,8 +78,8 @@ __all__ = [
     "uninstall",
 ]
 
-AnyTracer = Union[Tracer, NullTracer]
-AnyMetrics = Union[MetricsRegistry, NullMetrics]
+AnyTracer = Union[Tracer, NullTracer, ThreadConfinedTracer]
+AnyMetrics = Union[MetricsRegistry, NullMetrics, ThreadConfinedMetrics]
 
 
 class ObsState:

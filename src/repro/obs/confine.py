@@ -1,0 +1,112 @@
+"""Thread-confined observability: hermetic capture amid other threads.
+
+The hermetic per-shard metrics capture
+(:func:`repro.fuzz.parallel._execute_task`) swaps a fresh registry
+into the process-wide :data:`repro.obs.OBS` switchboard.  That is safe
+in a single-threaded process and in a dedicated pool worker — but an
+in-process worker server runs shards on *threads*, sharing the
+switchboard with whatever else the process is doing (a socket
+transport incrementing ambient ``transport_*`` counters, an
+instrumented CLI's tracer).  A plain global install would leak those
+foreign increments into the shard's hermetic snapshot and break the
+transport byte-identity contract.
+
+The wrappers here confine an installed tracer/metrics pair to the
+**installing thread**: calls from that thread reach the hermetic
+instances; calls from any other thread fall through to whatever was
+installed before, exactly as if the hermetic scope did not exist.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable, ContextManager
+
+from repro.obs.metrics import MetricsSnapshot
+
+if TYPE_CHECKING:
+    from repro.obs import AnyMetrics, AnyTracer
+    from repro.obs.tracer import TraceEvent
+
+
+class ThreadConfinedMetrics:
+    """Route same-thread metric calls to ``inner``, others to ``fallback``.
+
+    ``enabled`` is statically true: the installing thread needs its
+    increments recorded, and a foreign thread's calls degrade to the
+    fallback's own behavior (a no-op when the fallback is the null
+    registry) — one extra dispatch, no wrong counts.
+    """
+
+    __slots__ = ("_inner", "_fallback", "_thread")
+
+    enabled = True
+
+    def __init__(
+        self, inner: "AnyMetrics", fallback: "AnyMetrics"
+    ) -> None:
+        self._inner = inner
+        self._fallback = fallback
+        self._thread = threading.get_ident()
+
+    def _route(self) -> "AnyMetrics":
+        if threading.get_ident() == self._thread:
+            return self._inner
+        return self._fallback
+
+    @property
+    def record_wall(self) -> bool:
+        return self._route().record_wall
+
+    def inc(self, name: str, value: int = 1, **labels: object) -> None:
+        self._route().inc(name, value=value, **labels)
+
+    def observe(self, name: str, value: int, **labels: object) -> None:
+        self._route().observe(name, value, **labels)
+
+    def observe_wall(
+        self, name: str, value: int, **labels: object
+    ) -> None:
+        self._route().observe_wall(name, value, **labels)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self._inner.snapshot()
+
+    def clear(self) -> None:
+        self._inner.clear()
+
+
+class ThreadConfinedTracer:
+    """Route same-thread trace calls to ``inner``, others to ``fallback``.
+
+    Keeps a hermetic (usually null) tracer from swallowing ambient
+    events other threads emit while a shard runs in this one.
+    """
+
+    __slots__ = ("_inner", "_fallback", "_thread")
+
+    enabled = True
+
+    def __init__(
+        self, inner: "AnyTracer", fallback: "AnyTracer"
+    ) -> None:
+        self._inner = inner
+        self._fallback = fallback
+        self._thread = threading.get_ident()
+
+    def _route(self) -> "AnyTracer":
+        if threading.get_ident() == self._thread:
+            return self._inner
+        return self._fallback
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        self._route().bind_clock(clock)
+
+    def event(self, name: str, **fields: object) -> None:
+        self._route().event(name, **fields)
+
+    def span(self, name: str, **fields: object) -> ContextManager[None]:
+        return self._route().span(name, **fields)
+
+    def events(self) -> "list[TraceEvent]":
+        return self._inner.events()

@@ -50,6 +50,15 @@ class FlightReport:
     #: distinction the flight recorder previously could not surface.
     checkpoints_written: int = 0
     waves_resumed: int = 0
+    #: Worker-transport counters (zero unless waves ran on a remote
+    #: transport): frames and bytes on the wire, reconnect attempts,
+    #: and shards reassigned from a dead worker.  A healthy run shows
+    #: zero retries and reassignments; anything else is the first clue
+    #: a remote worker is flapping.
+    transport_frames: int = 0
+    transport_bytes: int = 0
+    transport_retries: int = 0
+    transport_reassignments: int = 0
 
     def render(self) -> str:
         sections = [
@@ -63,6 +72,14 @@ class FlightReport:
                 "campaign control plane: "
                 f"{self.checkpoints_written} checkpoint(s) written, "
                 f"{self.waves_resumed} wave(s) resumed"
+            )
+        if self.transport_frames:
+            sections.append(
+                "worker transport: "
+                f"{self.transport_frames} frame(s), "
+                f"{self.transport_bytes} byte(s), "
+                f"{self.transport_retries} reconnect(s), "
+                f"{self.transport_reassignments} reassignment(s)"
             )
         if self.slowest_exits:
             sections.append("")
@@ -130,6 +147,12 @@ def flight_report(
         ),
         waves_resumed=snapshot.counter_total(
             "campaign_waves_resumed"
+        ),
+        transport_frames=snapshot.counter_total("transport_frames"),
+        transport_bytes=snapshot.counter_total("transport_bytes"),
+        transport_retries=snapshot.counter_total("transport_retries"),
+        transport_reassignments=snapshot.counter_total(
+            "transport_reassignments"
         ),
     )
 

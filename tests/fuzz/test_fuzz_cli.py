@@ -202,6 +202,39 @@ class TestResumableCampaignCli:
         err = capsys.readouterr().err
         assert "campaign status: aborted" in err
 
+    def test_tampered_store_is_refused_before_any_work(
+        self, tmp_path, capsys
+    ):
+        """Damage below SQLite's radar (a deleted cell row) is caught
+        by the automatic validate() *before* the expensive re-record,
+        with an actionable message."""
+        import sqlite3
+
+        db = str(tmp_path / "tampered.db")
+        assert main(
+            self.ARGS + ["--store", db, "--crash-after-wave", "1"]
+        ) == EXIT_ABORTED
+        capsys.readouterr()
+        conn = sqlite3.connect(db)
+        with conn:
+            conn.execute(
+                "DELETE FROM cells WHERE rowid = "
+                "(SELECT MIN(rowid) FROM cells)"
+            )
+        conn.close()
+        assert main(["--store", db, "--resume"]) == EXIT_ABORTED
+        err = capsys.readouterr().err
+        assert "resume refused before any work was done" in err
+        assert "fresh campaign with a new --store path" in err
+
     def test_bad_wave_size_is_usage_error(self, capsys):
         assert main(["--wave-size", "0"]) == EXIT_USAGE
         assert "--wave-size must be >= 1" in capsys.readouterr().err
+
+    def test_bad_worker_address_is_usage_error(self, capsys):
+        assert main(["--workers", "nope"]) == EXIT_USAGE
+        assert "host:port" in capsys.readouterr().err
+
+    def test_empty_workers_list_is_usage_error(self, capsys):
+        assert main(["--workers", ","]) == EXIT_USAGE
+        assert "no addresses" in capsys.readouterr().err

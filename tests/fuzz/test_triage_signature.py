@@ -1,0 +1,160 @@
+"""Property tests for the crash-signature normalizer (triage dedup).
+
+``crash_signature`` is the identity of "the same bug": volatile
+details — hex addresses, multi-digit magnitudes, the digit of a
+``mode N`` phrase — must collapse, so a 10000-mutation barrage of one
+bug lands in one bucket; while distinct kinds, causes, and reason
+skeletons must *never* merge, so two different bugs are never
+mistaken for one.  Hypothesis explores the reason space far beyond
+the handful of crash strings the simulated hypervisor emits today.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.seed import VMSeed
+from repro.fuzz.failures import FailureKind, FailureRecord
+from repro.fuzz.triage import crash_signature, triage
+from repro.vmx.exit_reasons import ExitReason
+
+# Letters that cannot spell a normalizer keyword ("mode") or a hex/
+# digit token, so generated words never collide with volatile syntax.
+_WORDS = st.text(alphabet="bcfghjkqvwxz", min_size=1, max_size=8)
+_KINDS = st.sampled_from(
+    [FailureKind.VM_CRASH, FailureKind.HYPERVISOR_CRASH]
+)
+_ADDRS = st.integers(min_value=0, max_value=(1 << 64) - 1).map(
+    lambda v: f"0x{v:x}"
+)
+_NUMS = st.integers(min_value=10, max_value=10**12).map(str)
+_MODE_DIGITS = st.integers(min_value=0, max_value=9)
+
+
+def _record(
+    kind: FailureKind, cause: str, reason: str
+) -> FailureRecord:
+    return FailureRecord(
+        kind=kind, cause=cause, crash_reason=reason,
+        mutation_index=0,
+        seed=VMSeed(
+            exit_reason=int(ExitReason.CPUID), entries=[]
+        ),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    kind=_KINDS, cause=_WORDS, site=_WORDS,
+    addr_a=_ADDRS, addr_b=_ADDRS,
+    num_a=_NUMS, num_b=_NUMS,
+    mode_a=_MODE_DIGITS, mode_b=_MODE_DIGITS,
+)
+def test_volatile_details_collapse(
+    kind, cause, site, addr_a, addr_b, num_a, num_b, mode_a, mode_b
+):
+    """Addresses, lengths, and mode digits never split a bucket."""
+    template = "fault in {site} at {addr} len {num} mode {mode}"
+    one = _record(kind, cause, template.format(
+        site=site, addr=addr_a, num=num_a, mode=mode_a,
+    ))
+    two = _record(kind, cause, template.format(
+        site=site, addr=addr_b, num=num_b, mode=mode_b,
+    ))
+    assert crash_signature(one) == crash_signature(two)
+    report = triage([one, two])
+    assert report.unique_crashes == 1
+    assert report.buckets[0].count == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(kind=_KINDS, cause=_WORDS, reason=_WORDS, addr=_ADDRS,
+       num=_NUMS)
+def test_normalization_is_idempotent(kind, cause, reason, addr, num):
+    """A signature is a fixed point: normalizing the normalized
+    reason changes nothing, so re-triaging a bucket's example record
+    can never move it to a new bucket."""
+    record = _record(
+        kind, cause, f"{reason} at {addr} len {num} mode 3"
+    )
+    signature = crash_signature(record)
+    normalized_reason = signature.split("|", 2)[2]
+    renormalized = _record(kind, cause, normalized_reason)
+    assert crash_signature(renormalized) == signature
+
+
+@settings(max_examples=200, deadline=None)
+@given(kind=_KINDS, cause_a=_WORDS, cause_b=_WORDS, reason=_WORDS)
+def test_distinct_causes_never_merge(kind, cause_a, cause_b, reason):
+    one = _record(kind, cause_a, reason)
+    two = _record(kind, cause_b, reason)
+    if cause_a == cause_b:
+        assert crash_signature(one) == crash_signature(two)
+    else:
+        assert crash_signature(one) != crash_signature(two)
+
+
+@settings(max_examples=100, deadline=None)
+@given(cause=_WORDS, reason=_WORDS)
+def test_distinct_kinds_never_merge(cause, reason):
+    vm = _record(FailureKind.VM_CRASH, cause, reason)
+    hv = _record(FailureKind.HYPERVISOR_CRASH, cause, reason)
+    assert crash_signature(vm) != crash_signature(hv)
+
+
+@settings(max_examples=200, deadline=None)
+@given(kind=_KINDS, cause=_WORDS, skeleton_a=_WORDS,
+       skeleton_b=_WORDS, addr=_ADDRS)
+def test_distinct_skeletons_never_merge(
+    kind, cause, skeleton_a, skeleton_b, addr
+):
+    """Different reason *text* (not volatile detail) means a
+    different bug, whatever volatile noise surrounds it."""
+    one = _record(kind, cause, f"{skeleton_a} at {addr}")
+    two = _record(kind, cause, f"{skeleton_b} at {addr}")
+    if skeleton_a == skeleton_b:
+        assert crash_signature(one) == crash_signature(two)
+    else:
+        assert crash_signature(one) != crash_signature(two)
+
+
+@settings(max_examples=100, deadline=None)
+@given(kind=_KINDS, cause=_WORDS, digit_a=_MODE_DIGITS,
+       digit_b=_MODE_DIGITS)
+def test_single_digits_outside_mode_distinguish(
+    kind, cause, digit_a, digit_b
+):
+    """Only *multi*-digit numbers and ``mode N`` digits are volatile;
+    a lone digit elsewhere (a vCPU index, a ring level) is identity."""
+    one = _record(kind, cause, f"ring {digit_a} fault")
+    two = _record(kind, cause, f"ring {digit_b} fault")
+    if digit_a == digit_b:
+        assert crash_signature(one) == crash_signature(two)
+    else:
+        assert crash_signature(one) != crash_signature(two)
+
+
+@settings(max_examples=100, deadline=None)
+@given(records=st.lists(
+    st.builds(
+        _record,
+        kind=_KINDS,
+        cause=st.sampled_from(["kq", "vz"]),
+        reason=st.sampled_from(
+            ["bad x at 0x10", "bad x at 0xff", "panic b 42",
+             "panic b 99", "halt mode 1", "halt mode 7"]
+        ),
+    ),
+    max_size=30,
+))
+def test_triage_partitions_by_signature(records):
+    """Triage is exactly the partition induced by the signature:
+    counts sum to the input, buckets appear in first-seen order."""
+    report = triage(records)
+    signatures = [crash_signature(r) for r in records]
+    assert report.total_failures == len(records)
+    assert sum(b.count for b in report.buckets) == len(records)
+    assert report.unique_crashes == len(set(signatures))
+    assert [b.signature for b in report.buckets] == \
+        list(dict.fromkeys(signatures))
