@@ -363,6 +363,96 @@ def campaign_checkpoint(params: dict[str, int]) -> IterationOutcome:
     )
 
 
+# ---- differential fuzzing (cross-arch oracle) ------------------------
+
+def differential_fuzz(params: dict[str, int]) -> IterationOutcome:
+    """Cross-arch differential campaign: oracle cost + jobs invariance.
+
+    Two arms over the same differential campaign (every mutant
+    replayed on vmx natively and on svm via seed translation): serial
+    (jobs=1, the measured arm) and pooled (jobs=2).  The checks pin
+    the oracle's headline contract — the divergence set, the rendered
+    report bytes, and the comparison tallies are jobs-invariant — plus
+    the exact divergence and crash counts, so both correctness drift
+    and silent oracle decay (zero seeds compared) fail CI.  The info
+    records the oracle's wall overhead against a non-differential run
+    of the identical campaign.
+    """
+    from repro.fuzz.differential import (
+        iter_divergences,
+        render_divergence_report,
+    )
+    from repro.fuzz.parallel import ParallelCampaign
+
+    manager = IrisManager(arch="vmx")
+    session = _record(manager, params["exits"])
+    cases = plan_test_cases(
+        session.trace, list(_REASONS), areas=(MutationArea.VMCS,),
+        n_mutations=params["mutations"], rng=random.Random(0),
+    )
+
+    def engine(jobs: int, differential: bool) -> ParallelCampaign:
+        return ParallelCampaign(
+            session.trace, session.snapshot, cases,
+            campaign_seed=0, jobs=jobs, arch="vmx",
+            differential=differential,
+        )
+
+    start = time.perf_counter()
+    plain = engine(1, False).run()
+    plain_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial = engine(1, True).run()
+    serial_wall = time.perf_counter() - start
+    pooled = engine(2, True).run()
+
+    def report(outcome) -> str:
+        return render_divergence_report(
+            list(iter_divergences(outcome.results)),
+            seeds_compared=sum(
+                r.seeds_compared for r in outcome.results
+            ),
+            untranslatable_seeds=sum(
+                r.untranslatable_seeds for r in outcome.results
+            ),
+        )
+
+    seeds_compared = sum(r.seeds_compared for r in serial.results)
+    divergences = sum(len(r.divergences) for r in serial.results)
+    tallies = serial.crash_tallies()
+    checks: dict[str, object] = {
+        "cells": len(serial.results),
+        "divergences": divergences,
+        "seeds_compared": seeds_compared,
+        "untranslatable_seeds": sum(
+            r.untranslatable_seeds for r in serial.results
+        ),
+        "vm_crashes": tallies["vm-crash"],
+        "hypervisor_crashes": tallies["hypervisor-crash"],
+        "reports_jobs_invariant": (
+            serial.results == pooled.results
+            and [r.divergences for r in serial.results]
+            == [r.divergences for r in pooled.results]
+            and report(serial) == report(pooled)
+        ),
+        # The oracle must have actually compared something: a silent
+        # translation regression would zero this out while every other
+        # check still passes.
+        "oracle_engaged": seeds_compared > 0 and divergences > 0,
+    }
+    info = {
+        "mutations_per_second": serial.stats.total_mutations
+        / serial_wall,
+        "oracle_overhead": serial_wall / plain_wall,
+    }
+    # Hermetic per-shard hypervisor clocks are not observable here;
+    # zero is the (deterministic) outer-clock cost, as campaign_merge.
+    return IterationOutcome(
+        cycles=0, checks=checks, info=info, wall=serial_wall,
+    )
+
+
 # ---- remote wave (socket transport) ----------------------------------
 
 def remote_wave(params: dict[str, int]) -> IterationOutcome:
@@ -775,6 +865,12 @@ SCENARIOS: dict[str, Scenario] = {
             {"exits": 160, "mutations": 12},
             "store-backed checkpoint/resume control plane vs bare "
             "engine",
+        ),
+        Scenario(
+            "differential_fuzz", differential_fuzz,
+            {"exits": 160, "mutations": 12},
+            "cross-arch differential campaign: oracle overhead + "
+            "jobs-invariant divergence reports",
         ),
         Scenario(
             "remote_wave", remote_wave,

@@ -127,6 +127,7 @@ class CampaignController:
             arch=self.engine.arch,
             fast_reset=self.engine.fast_reset,
             collect_metrics=self.engine.collect_metrics,
+            differential=self.engine.differential,
             extra=self.config_extra,
         )
 

@@ -39,6 +39,11 @@ from repro.errors import (
 )
 from repro.core.seed import VMSeed, pack_entries, unpack_entries
 from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.differential import (
+    DivergenceKind,
+    DivergenceRecord,
+    divergence_signature,
+)
 from repro.fuzz.failures import FailureKind, FailureRecord
 from repro.fuzz.fuzzer import FuzzResult
 from repro.fuzz.mutations import MutationArea
@@ -51,11 +56,13 @@ from repro.vmx.exit_reasons import ExitReason, reason_name
 #: Bump on any incompatible schema change.  A store written by a
 #: different version refuses to load with a :class:`StoreSchemaError`
 #: whose message is pinned by the campaign test suite.
-SCHEMA_VERSION = 1
+#: v2: differential mode — cells carry comparison tallies, divergence
+#: records persist in their own table with recomputable signatures.
+SCHEMA_VERSION = 2
 
 _TABLES = (
     "meta", "waves", "cells", "corpus_entries", "failures",
-    "coverage_frontier", "crash_buckets",
+    "coverage_frontier", "crash_buckets", "divergences",
 )
 
 _SCHEMA = """
@@ -80,7 +87,9 @@ CREATE TABLE cells (
     new_loc INTEGER NOT NULL,
     vm_crashes INTEGER NOT NULL,
     hypervisor_crashes INTEGER NOT NULL,
-    new_lines TEXT NOT NULL
+    new_lines TEXT NOT NULL,
+    seeds_compared INTEGER NOT NULL DEFAULT 0,
+    untranslatable_seeds INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE corpus_entries (
     cell_index INTEGER NOT NULL,
@@ -118,6 +127,20 @@ CREATE TABLE crash_buckets (
     count INTEGER NOT NULL,
     seed_reasons TEXT NOT NULL
 );
+CREATE TABLE divergences (
+    cell_index INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    mutation_index INTEGER NOT NULL,
+    vmx_outcome TEXT NOT NULL,
+    svm_outcome TEXT NOT NULL,
+    detail TEXT NOT NULL,
+    exit_reason INTEGER NOT NULL,
+    entry_count INTEGER NOT NULL,
+    entries BLOB NOT NULL,
+    signature TEXT NOT NULL,
+    PRIMARY KEY (cell_index, position)
+);
 """
 
 
@@ -146,6 +169,7 @@ class CampaignConfig:
     arch: str = "vmx"
     fast_reset: bool = True
     collect_metrics: bool = False
+    differential: bool = False
     extra: tuple[tuple[str, str], ...] = ()
 
     def to_json(self) -> str:
@@ -361,8 +385,9 @@ class CampaignStore:
         self._conn.execute(
             "INSERT INTO cells (cell_index, wave_index, workload, "
             "exit_reason, area, mutations_run, baseline_loc, new_loc, "
-            "vm_crashes, hypervisor_crashes, new_lines) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "vm_crashes, hypervisor_crashes, new_lines, "
+            "seeds_compared, untranslatable_seeds) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 cell_index,
                 wave_index,
@@ -375,6 +400,8 @@ class CampaignStore:
                 result.vm_crashes,
                 result.hypervisor_crashes,
                 CoverageMap(result.new_lines).to_json(),
+                result.seeds_compared,
+                result.untranslatable_seeds,
             ),
         )
         self._conn.executemany(
@@ -407,6 +434,24 @@ class CampaignStore:
                     crash_signature(record),
                 )
                 for position, record in enumerate(result.failures)
+            ],
+        )
+        self._conn.executemany(
+            "INSERT INTO divergences (cell_index, position, kind, "
+            "mutation_index, vmx_outcome, svm_outcome, detail, "
+            "exit_reason, entry_count, entries, signature) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    cell_index, position, record.kind.value,
+                    record.mutation_index, record.vmx_outcome,
+                    record.svm_outcome, record.detail,
+                    record.seed.exit_reason,
+                    len(record.seed.entries),
+                    pack_entries(record.seed.entries),
+                    divergence_signature(record),
+                )
+                for position, record in enumerate(result.divergences)
             ],
         )
 
@@ -491,11 +536,28 @@ class CampaignStore:
                 seed=self._decode_seed(row[5], row[7], row[6]),
                 log_tail=tuple(json.loads(row[8])),
             ))
+        divergence_rows: dict[int, list[DivergenceRecord]] = {}
+        for row in self._query(
+            "SELECT cell_index, kind, mutation_index, vmx_outcome, "
+            "svm_outcome, detail, exit_reason, entry_count, entries "
+            "FROM divergences ORDER BY cell_index, position"
+        ):
+            divergence_rows.setdefault(row[0], []).append(
+                DivergenceRecord(
+                    kind=DivergenceKind(row[1]),
+                    mutation_index=row[2],
+                    vmx_outcome=row[3],
+                    svm_outcome=row[4],
+                    detail=row[5],
+                    seed=self._decode_seed(row[6], row[8], row[7]),
+                )
+            )
         results: dict[int, FuzzResult] = {}
         for row in self._query(
             "SELECT cell_index, workload, exit_reason, area, "
             "mutations_run, baseline_loc, new_loc, vm_crashes, "
-            "hypervisor_crashes, new_lines FROM cells "
+            "hypervisor_crashes, new_lines, seeds_compared, "
+            "untranslatable_seeds FROM cells "
             "ORDER BY cell_index"
         ):
             cell_index = row[0]
@@ -513,6 +575,11 @@ class CampaignStore:
                     corpus_rows.get(cell_index, [])
                 ),
                 new_lines=self._decode_coverage(row[9]).lines(),
+                divergences=tuple(
+                    divergence_rows.get(cell_index, [])
+                ),
+                seeds_compared=row[10],
+                untranslatable_seeds=row[11],
             )
         return results
 
@@ -585,15 +652,37 @@ class CampaignStore:
             result.corpus for result in self.load_results().values()
         )
 
+    def divergence_records(self) -> list[DivergenceRecord]:
+        """Every stored divergence, in (cell, position) order."""
+        return [
+            DivergenceRecord(
+                kind=DivergenceKind(row[1]),
+                mutation_index=row[2],
+                vmx_outcome=row[3],
+                svm_outcome=row[4],
+                detail=row[5],
+                seed=self._decode_seed(row[6], row[8], row[7]),
+            )
+            for row in self._query(
+                "SELECT cell_index, kind, mutation_index, "
+                "vmx_outcome, svm_outcome, detail, exit_reason, "
+                "entry_count, entries FROM divergences "
+                "ORDER BY cell_index, position"
+            )
+        ]
+
     # -- integrity -----------------------------------------------------
 
     def validate(self) -> None:
         """Fail loudly on any structural damage; never guess.
 
         Checks, in order: SQLite page-level integrity, schema
-        completeness, wave contiguity, cell/wave cross-references, and
+        completeness, wave contiguity, cell/wave cross-references,
         frontier consistency (the last frontier must equal the union
-        of every stored cell's coverage).
+        of every stored cell's coverage), and divergence-row
+        authenticity (each stored signature must match one recomputed
+        from the row's own fields — a tampered row cannot keep its
+        signature honest).
         """
         rows = self._query("PRAGMA integrity_check")
         verdict = rows[0][0] if rows else "missing"
@@ -659,4 +748,34 @@ class CampaignStore:
                 raise CorruptStoreError(
                     f"campaign store {self.path!r} coverage frontier "
                     "does not match the union of its cell coverage"
+                )
+        for row in self._query(
+            "SELECT cell_index, position, kind, mutation_index, "
+            "vmx_outcome, svm_outcome, detail, exit_reason, "
+            "entry_count, entries, signature FROM divergences "
+            "ORDER BY cell_index, position"
+        ):
+            try:
+                record = DivergenceRecord(
+                    kind=DivergenceKind(row[2]),
+                    mutation_index=row[3],
+                    vmx_outcome=row[4],
+                    svm_outcome=row[5],
+                    detail=row[6],
+                    seed=self._decode_seed(row[7], row[9], row[8]),
+                )
+            except CorruptStoreError:
+                raise
+            except Exception as exc:
+                raise CorruptStoreError(
+                    f"campaign store {self.path!r} divergence row "
+                    f"(cell {row[0]}, position {row[1]}) is "
+                    f"undecodable: {exc}"
+                ) from exc
+            if divergence_signature(record) != row[10]:
+                raise CorruptStoreError(
+                    f"campaign store {self.path!r} divergence row "
+                    f"(cell {row[0]}, position {row[1]}) does not "
+                    "match its stored signature: the row was altered "
+                    "after checkpoint"
                 )

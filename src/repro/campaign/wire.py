@@ -40,6 +40,7 @@ from repro.core.seed import Trace, VMSeed, pack_entries, unpack_entries
 from repro.core.snapshot import VmSnapshot
 from repro.errors import TransportProtocolError
 from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.differential import DivergenceKind, DivergenceRecord
 from repro.fuzz.failures import FailureKind, FailureRecord
 from repro.fuzz.fuzzer import FuzzResult
 from repro.fuzz.mutations import MutationArea
@@ -49,7 +50,9 @@ from repro.vmx.exit_reasons import ExitReason
 
 #: Bump on any incompatible frame or payload change.  Carried in every
 #: frame header; a mismatch is refused before the payload is touched.
-WIRE_VERSION = 1
+#: v2: differential mode — tasks carry the ``differential`` flag,
+#: results carry divergence records and comparison tallies.
+WIRE_VERSION = 2
 
 #: First bytes of every frame; a link that does not start with them is
 #: not an iris worker link.
@@ -238,6 +241,7 @@ def encode_task(task: ShardTask) -> bytes:
         "fault_kind": task.fault_kind,
         "collect_metrics": task.collect_metrics,
         "fast_reset": task.fast_reset,
+        "differential": task.differential,
     })
 
 
@@ -257,6 +261,7 @@ def decode_task(payload: bytes) -> ShardTask:
             fault_kind=data["fault_kind"],
             collect_metrics=data["collect_metrics"],
             fast_reset=data["fast_reset"],
+            differential=data["differential"],
         )
     except (KeyError, ValueError) as exc:
         raise TransportProtocolError(
@@ -297,6 +302,19 @@ def _encode_result(result: FuzzResult) -> dict[str, Any]:
             }
             for record in result.failures
         ],
+        "seeds_compared": result.seeds_compared,
+        "untranslatable_seeds": result.untranslatable_seeds,
+        "divergences": [
+            {
+                "kind": record.kind.value,
+                "mutation_index": record.mutation_index,
+                "vmx_outcome": record.vmx_outcome,
+                "svm_outcome": record.svm_outcome,
+                "detail": record.detail,
+                "seed": _encode_seed(record.seed),
+            }
+            for record in result.divergences
+        ],
     }
 
 
@@ -333,6 +351,19 @@ def _decode_result(data: dict[str, Any]) -> FuzzResult:
             )
             for record in data["failures"]
         ],
+        seeds_compared=data["seeds_compared"],
+        untranslatable_seeds=data["untranslatable_seeds"],
+        divergences=tuple(
+            DivergenceRecord(
+                kind=DivergenceKind(record["kind"]),
+                mutation_index=record["mutation_index"],
+                vmx_outcome=record["vmx_outcome"],
+                svm_outcome=record["svm_outcome"],
+                detail=record["detail"],
+                seed=_decode_seed(record["seed"]),
+            )
+            for record in data["divergences"]
+        ),
     )
 
 

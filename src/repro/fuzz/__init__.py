@@ -21,6 +21,19 @@ from repro.fuzz.failures import (
     classify_result,
 )
 from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.differential import (
+    MAX_DIVERGENCES_KEPT,
+    DifferentialOracle,
+    DivergenceKind,
+    DivergenceRecord,
+    DivergenceReport,
+    divergence_identity,
+    divergence_signature,
+    iter_divergences,
+    merge_divergences,
+    render_divergence_report,
+    triage_divergences,
+)
 from repro.fuzz.fuzzer import IrisFuzzer, FuzzResult
 from repro.fuzz.coverage_guided import (
     CoverageGuidedFuzzer,
@@ -83,4 +96,15 @@ __all__ = [
     "CorpusEntry",
     "IrisFuzzer",
     "FuzzResult",
+    "MAX_DIVERGENCES_KEPT",
+    "DifferentialOracle",
+    "DivergenceKind",
+    "DivergenceRecord",
+    "DivergenceReport",
+    "divergence_identity",
+    "divergence_signature",
+    "iter_divergences",
+    "merge_divergences",
+    "render_divergence_report",
+    "triage_divergences",
 ]

@@ -37,6 +37,8 @@ EXIT_NO_SEEDS = 1        # nothing to fuzz (no matching seeds)
 EXIT_USAGE = 2           # bad arguments / store misuse
 EXIT_CRASHES_FOUND = 3   # campaign finished and found crashes
 EXIT_ABORTED = 4         # campaign stopped before completing its plan
+EXIT_DIVERGENCES_FOUND = 5  # no crashes, but cross-arch divergences
+#                             (crashes take precedence when both occur)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--arch", choices=list(BACKEND_NAMES), default="vmx",
         help="virtualization backend to fuzz on (paper §IX)",
+    )
+    parser.add_argument(
+        "--differential", action="store_true",
+        help="cross-arch differential oracle: replay every mutant on "
+             "both backends (vmx natively, svm through the seed "
+             "translation) and report behavioral divergences — "
+             "disagreeing crash outcomes, echo-write sets, or "
+             "noise-filtered coverage deltas.  Requires --arch vmx; "
+             "exits 5 when divergences (and no crashes) are found.",
     )
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
@@ -179,6 +190,7 @@ def _restore_stored_args(args: argparse.Namespace) -> bool | None:
     args.fast_reset = stored.fast_reset
     args.shards_per_cell = stored.shards_per_cell
     args.wave_size = stored.wave_size
+    args.differential = stored.differential
     return stored.collect_metrics
 
 
@@ -239,6 +251,16 @@ def main(argv: list[str] | None = None) -> int:
         except CampaignStoreError as exc:
             print(f"campaign status: aborted — {exc}", file=sys.stderr)
             return EXIT_ABORTED
+    # After the resume restore: a resumed differential campaign gets
+    # its mode (and arch) from the store, not from this invocation.
+    if args.differential and args.arch != "vmx":
+        print(
+            "--differential fuzzes the vmx backend natively and "
+            "mirrors it on svm via the seed translation; it requires "
+            f"--arch vmx (got --arch {args.arch})",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     rng = random.Random(args.seed)
 
     reasons = []
@@ -292,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
             args.jobs > 1 or args.shards_per_cell > 1
             or obs is not None or args.store is not None
             or args.wave_size > 1 or bool(worker_addresses)
+            or args.differential
         )
         if use_campaign:
             from repro.campaign import (
@@ -341,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
                 arch=args.arch,
                 collect_metrics=collect_metrics,
                 fast_reset=args.fast_reset,
+                differential=args.differential,
                 transport=transport,
             )
             store = (
@@ -456,12 +480,42 @@ def main(argv: list[str] | None = None) -> int:
                   f"crashes from {report.total_failures} retained "
                   "failures",
         ))
+    total_divergences = 0
+    if args.differential:
+        from repro.fuzz.differential import (
+            iter_divergences,
+            render_divergence_report,
+        )
+
+        all_divergences = list(iter_divergences(results))
+        total_divergences = len(all_divergences)
+        seeds_compared = sum(r.seeds_compared for r in results)
+        untranslatable = sum(
+            r.untranslatable_seeds for r in results
+        )
+        print()
+        print(render_divergence_report(
+            all_divergences,
+            seeds_compared=seeds_compared,
+            untranslatable_seeds=untranslatable,
+        ))
+        print(
+            f"differential oracle: {total_divergences} divergence(s) "
+            f"retained from {seeds_compared} seeds compared "
+            f"({untranslatable} untranslatable)"
+        )
     if total_crashes:
         print(
             f"campaign status: finished — {total_crashes} "
             "crash(es) found"
         )
         return EXIT_CRASHES_FOUND
+    if total_divergences:
+        print(
+            f"campaign status: finished — {total_divergences} "
+            "divergence(s) found"
+        )
+        return EXIT_DIVERGENCES_FOUND
     print("campaign status: finished — no crashes found")
     return EXIT_OK
 

@@ -23,6 +23,11 @@ from repro.core.manager import IrisManager
 from repro.core.replay import ReplayOutcome
 from repro.core.seed import VMSeed
 from repro.core.snapshot import VmSnapshot, restore_snapshot, take_snapshot
+from repro.fuzz.differential import (
+    MAX_DIVERGENCES_KEPT,
+    DifferentialOracle,
+    DivergenceRecord,
+)
 from repro.fuzz.failures import FailureKind, FailureRecord, classify_result
 from repro.fuzz.fuzzer import IrisFuzzer
 from repro.fuzz.mutations import (
@@ -57,6 +62,10 @@ class GuidedCampaignReport:
     vm_crashes: int = 0
     hypervisor_crashes: int = 0
     failures: list[FailureRecord] = field(default_factory=list)
+    #: Differential-mode observations (empty without an oracle).
+    divergences: tuple[DivergenceRecord, ...] = ()
+    seeds_compared: int = 0
+    untranslatable_seeds: int = 0
 
 
 class CoverageGuidedFuzzer:
@@ -68,11 +77,13 @@ class CoverageGuidedFuzzer:
         rng: random.Random | None = None,
         max_mutation_stack: int = 3,
         max_failures_kept: int = 64,
+        oracle: DifferentialOracle | None = None,
     ) -> None:
         self.manager = manager
         self.rng = rng or random.Random(0xC0F)
         self.max_mutation_stack = max_mutation_stack
         self.max_failures_kept = max_failures_kept
+        self.oracle = oracle
 
     def _mutate(self, seed: VMSeed, area: MutationArea) -> VMSeed:
         """Apply a random stack of 1..N mutations."""
@@ -116,12 +127,27 @@ class CoverageGuidedFuzzer:
 
         queue = [QueueEntry(seed=case.target_seed, new_loc=0, depth=0)]
         report = GuidedCampaignReport()
+        divergences: list[DivergenceRecord] = []
+        if self.oracle is not None:
+            baseline_divergence = self.oracle.begin_case(
+                case, from_snapshot, known
+            )
+            if baseline_divergence is not None:
+                divergences.append(baseline_divergence)
 
-        for _ in range(iterations):
+        for index in range(iterations):
             entry = self._pick(queue)
             mutant = self._mutate(entry.seed, case.area)
             outcome = replayer.submit(mutant)
             report.executions += 1
+
+            if self.oracle is not None:
+                record = self.oracle.observe(index, mutant, outcome)
+                if (
+                    record is not None
+                    and len(divergences) < MAX_DIVERGENCES_KEPT
+                ):
+                    divergences.append(record)
 
             failure = classify_result(
                 outcome, mutant, report.executions, hv.log
@@ -151,4 +177,10 @@ class CoverageGuidedFuzzer:
             report.coverage_curve.append(report.total_new_loc)
 
         report.queue_size = len(queue)
+        if self.oracle is not None:
+            report.divergences = tuple(divergences)
+            report.seeds_compared = self.oracle.seeds_compared
+            report.untranslatable_seeds = (
+                self.oracle.untranslatable_seeds
+            )
         return report

@@ -18,6 +18,12 @@ from repro.core.replay import ReplayOutcome
 from repro.core.snapshot import VmSnapshot, restore_snapshot, take_snapshot
 from repro.hypervisor.coverage import NOISE_FILES
 from repro.fuzz.corpus import Corpus
+from repro.fuzz.differential import (
+    MAX_DIVERGENCES_KEPT,
+    DifferentialOracle,
+    DivergenceRecord,
+    merge_divergences,
+)
 from repro.fuzz.failures import (
     FailureKind,
     FailureRecord,
@@ -47,6 +53,11 @@ class FuzzResult:
     #: The discovered lines themselves (not just the count), so shard
     #: results can be merged without double-counting overlap.
     new_lines: frozenset[tuple[str, int]] = frozenset()
+    #: Differential-mode observations (empty unless the fuzzer ran
+    #: with a :class:`repro.fuzz.differential.DifferentialOracle`).
+    divergences: tuple[DivergenceRecord, ...] = ()
+    seeds_compared: int = 0
+    untranslatable_seeds: int = 0
 
     @property
     def cell_key(self) -> tuple:
@@ -86,7 +97,9 @@ class FuzzResult:
         lowest :func:`failure_identity` keys — taking the K smallest is
         associative, so chained merges land on the same retained set as
         one flat merge, and merged shards can never silently exceed the
-        per-cell cap.
+        per-cell cap.  Divergence records combine through the same
+        algebra (:func:`repro.fuzz.differential.merge_divergences`),
+        keeping differential reports jobs- and wave-invariant.
         """
         if self.cell_key != other.cell_key:
             raise ValueError(
@@ -117,6 +130,15 @@ class FuzzResult:
             failures=failures,
             corpus=self.corpus.merge(other.corpus),
             new_lines=lines,
+            divergences=merge_divergences(
+                self.divergences, other.divergences
+            ),
+            seeds_compared=(
+                self.seeds_compared + other.seeds_compared
+            ),
+            untranslatable_seeds=(
+                self.untranslatable_seeds + other.untranslatable_seeds
+            ),
         )
 
 
@@ -165,16 +187,20 @@ class IrisFuzzer:
         manager: IrisManager,
         rng: random.Random | None = None,
         fast_reset: bool = True,
+        oracle: DifferentialOracle | None = None,
     ) -> None:
         """``fast_reset`` enables the delta-restore path in the
         crash-revert loop (every mutation there goes through tracked
         state paths, the precondition ``restore_snapshot(fast=True)``
         documents); ``False`` rebuilds the full state on every revert,
         the pre-fast-reset behavior the differential tests compare
-        against."""
+        against.  ``oracle`` arms differential mode: every mutant is
+        also replayed on a secondary SVM backend and the observable
+        behavior diffed into the result's ``divergences``."""
         self.manager = manager
         self.rng = rng or random.Random(0xF022)
         self.fast_reset = fast_reset
+        self.oracle = oracle
         self._target_state: _TargetState | None = None
 
     # ---- single test case ---------------------------------------------
@@ -220,6 +246,22 @@ class IrisFuzzer:
                 "fuzz_new_lines", value=result.new_loc,
                 reason=case.exit_reason.name, area=case.area.value,
             )
+            if self.oracle is not None:
+                OBS.metrics.inc(
+                    "differential_seeds_compared",
+                    value=result.seeds_compared,
+                    reason=case.exit_reason.name, area=case.area.value,
+                )
+                OBS.metrics.inc(
+                    "differential_untranslatable_seeds",
+                    value=result.untranslatable_seeds,
+                    reason=case.exit_reason.name, area=case.area.value,
+                )
+                OBS.metrics.inc(
+                    "differential_divergences",
+                    value=len(result.divergences),
+                    reason=case.exit_reason.name, area=case.area.value,
+                )
         return result
 
     def _run_test_case(
@@ -281,6 +323,17 @@ class IrisFuzzer:
                 reach_cycles=hv.clock.now - cycles_before,
             ) if self.fast_reset else None
 
+        divergences: list[DivergenceRecord] = []
+        if self.oracle is not None:
+            # Arm the secondary (SVM) backend at the same target state
+            # — after both the cached and rebuild paths, so fast-reset
+            # reuse on the primary never skips the oracle's own setup.
+            baseline_divergence = self.oracle.begin_case(
+                case, from_snapshot, frozenset(baseline_lines)
+            )
+            if baseline_divergence is not None:
+                divergences.append(baseline_divergence)
+
         mutate = MUTATION_RULES[case.mutation_rule]
         result = FuzzResult(
             workload=case.trace.workload,
@@ -294,6 +347,18 @@ class IrisFuzzer:
             mutated = mutate(case.target_seed, case.area, self.rng)
             outcome = replayer.submit(mutated)
             result.mutations_run += 1
+
+            if self.oracle is not None:
+                # Generated in increasing mutation order (at most one
+                # record per mutant), so the list is already sorted by
+                # divergence identity: truncating here retains exactly
+                # the records merge_divergences would keep.
+                record = self.oracle.observe(index, mutated, outcome)
+                if (
+                    record is not None
+                    and len(divergences) < MAX_DIVERGENCES_KEPT
+                ):
+                    divergences.append(record)
 
             lines = self._denoise(outcome.coverage_lines)
             fresh = lines - baseline_lines - discovered
@@ -320,6 +385,12 @@ class IrisFuzzer:
 
         result.new_loc = len(discovered)
         result.new_lines = frozenset(discovered)
+        if self.oracle is not None:
+            result.divergences = tuple(divergences)
+            result.seeds_compared = self.oracle.seeds_compared
+            result.untranslatable_seeds = (
+                self.oracle.untranslatable_seeds
+            )
         return result
 
     @staticmethod

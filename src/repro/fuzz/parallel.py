@@ -24,10 +24,13 @@ The determinism contract
 
 Together these make the merged campaign result a pure function of
 ``(trace, snapshot, cases, campaign_seed, shards_per_cell, arch,
-fast_reset)``: the ``jobs`` worker count never changes results, only
-wall-clock time.  ``fast_reset`` appears in the tuple for honesty's
-sake only — the fast-reset differential tests pin that flipping it
-does not change the merged result either.
+fast_reset, differential)``: the ``jobs`` worker count never changes
+results, only wall-clock time.  ``fast_reset`` appears in the tuple for
+honesty's sake only — the fast-reset differential tests pin that
+flipping it does not change the merged result either (in differential
+mode too: the cross-arch oracle always resets its secondary backend on
+the full-restore path, so the flag only touches the primary side,
+whose fast/full equivalence the same tests already pin).
 
 Fault isolation
 ---------------
@@ -146,6 +149,11 @@ class ShardTask:
     #: contract covers it — the fast-reset differential tests compare
     #: whole campaigns across this flag.
     fast_reset: bool = True
+    #: Differential mode: the shard also replays every mutant on a
+    #: secondary SVM backend (through the seed translation) and records
+    #: cross-backend divergences in its result.  Part of the task so
+    #: the mode rides the same determinism contract as ``arch``.
+    differential: bool = False
 
 
 @dataclass(frozen=True)
@@ -352,9 +360,14 @@ def run_shard(
         # Fast-forward into the snapshot's clock domain — a pure
         # function of the snapshot, so shards stay deterministic.
         manager.hv.clock.advance(snapshot.clock_tsc - manager.hv.clock.now)
+    oracle = None
+    if task.differential:
+        from repro.fuzz.differential import DifferentialOracle
+
+        oracle = DifferentialOracle()
     fuzzer = IrisFuzzer(
         manager, rng=random.Random(task.rng_seed),
-        fast_reset=task.fast_reset,
+        fast_reset=task.fast_reset, oracle=oracle,
     )
     case = FuzzTestCase(
         trace=trace,
@@ -455,13 +468,21 @@ class ParallelCampaign:
         arch: str = "vmx",
         collect_metrics: bool = False,
         fast_reset: bool = True,
+        differential: bool = False,
         transport: WorkerTransport | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if shards_per_cell < 1:
             raise ValueError("shards_per_cell must be >= 1")
+        if differential and arch != "vmx":
+            raise ValueError(
+                "differential mode fuzzes the vmx backend natively and "
+                "mirrors it on svm via the seed translation; "
+                f"--arch {arch} has no secondary backend to diff against"
+            )
         self.arch = arch
+        self.differential = differential
         self.trace = trace
         self.snapshot = snapshot
         self.cases = list(cases)
@@ -506,6 +527,7 @@ class ParallelCampaign:
                     arch=self.arch,
                     collect_metrics=self.collect_metrics,
                     fast_reset=self.fast_reset,
+                    differential=self.differential,
                 ))
         return tasks
 
@@ -619,6 +641,7 @@ class ParallelCampaign:
             arch=task.arch,
             collect_metrics=task.collect_metrics,
             fast_reset=task.fast_reset,
+            differential=task.differential,
         )
 
     # -- transport plumbing -------------------------------------------
@@ -636,6 +659,7 @@ class ParallelCampaign:
             ("shards_per_cell", str(self.shards_per_cell)),
             ("arch", self.arch),
             ("fast_reset", str(self.fast_reset)),
+            ("differential", str(self.differential)),
         )
 
     def transport(self) -> WorkerTransport:

@@ -59,6 +59,14 @@ class FlightReport:
     transport_bytes: int = 0
     transport_retries: int = 0
     transport_reassignments: int = 0
+    #: Differential-oracle counters (zero unless the campaign ran with
+    #: ``--differential``): mutants compared across both backends,
+    #: mutants skipped as untranslatable, and divergences recorded.  A
+    #: high untranslatable share says the cell mix leans on VT-x-only
+    #: exits the SVM translation cannot express.
+    differential_seeds_compared: int = 0
+    differential_untranslatable: int = 0
+    differential_divergences: int = 0
 
     def render(self) -> str:
         sections = [
@@ -80,6 +88,14 @@ class FlightReport:
                 f"{self.transport_bytes} byte(s), "
                 f"{self.transport_retries} reconnect(s), "
                 f"{self.transport_reassignments} reassignment(s)"
+            )
+        if self.differential_seeds_compared or \
+                self.differential_untranslatable:
+            sections.append(
+                "differential oracle: "
+                f"{self.differential_divergences} divergence(s) from "
+                f"{self.differential_seeds_compared} seed(s) compared "
+                f"({self.differential_untranslatable} untranslatable)"
             )
         if self.slowest_exits:
             sections.append("")
@@ -153,6 +169,15 @@ def flight_report(
         transport_retries=snapshot.counter_total("transport_retries"),
         transport_reassignments=snapshot.counter_total(
             "transport_reassignments"
+        ),
+        differential_seeds_compared=snapshot.counter_total(
+            "differential_seeds_compared"
+        ),
+        differential_untranslatable=snapshot.counter_total(
+            "differential_untranslatable_seeds"
+        ),
+        differential_divergences=snapshot.counter_total(
+            "differential_divergences"
         ),
     )
 

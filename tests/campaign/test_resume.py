@@ -150,6 +150,60 @@ def test_kill_after_every_wave(tmp_path, recordings, cases, references):
         assert_byte_identical(resumed, reference)
 
 
+def _differential_engine(recordings, cases, jobs):
+    """Same fixtures, differential oracle armed (vmx primary only)."""
+    session = recordings["vmx"]
+    return ParallelCampaign(
+        session.trace, session.snapshot, cases["vmx"],
+        campaign_seed=CAMPAIGN_SEED, jobs=jobs, arch="vmx",
+        fast_reset=True, collect_metrics=True, differential=True,
+    )
+
+
+def test_differential_kill_after_every_wave(
+    tmp_path, recordings, cases
+):
+    """Divergence records and comparison tallies survive interrupt +
+    resume byte-identically no matter which wave the death hits, and
+    the reloaded store itself holds the exact divergence rows."""
+    reference = CampaignController(
+        _differential_engine(recordings, cases, jobs=1), wave_size=1,
+    ).run()
+    ref_divergences = [r.divergences for r in reference.results]
+    assert sum(len(d) for d in ref_divergences) > 0  # payload exists
+    assert sum(r.seeds_compared for r in reference.results) > 0
+
+    n_waves = len(plan_waves(len(cases["vmx"]), 1))
+    for k in range(n_waves - 1):
+        db = str(tmp_path / f"diff-kill-{k}.db")
+        engine = _differential_engine(recordings, cases, jobs=1)
+        with CampaignStore(db) as store:
+            with pytest.raises(CampaignInterrupted):
+                CampaignController(
+                    engine, store, wave_size=1, crash_after_wave=k,
+                ).run()
+        engine2 = _differential_engine(recordings, cases, jobs=4)
+        with CampaignStore(db) as store:
+            resumed = CampaignController(
+                engine2, store, wave_size=1
+            ).run(resume=True)
+            stored = store.divergence_records()
+        assert resumed.waves_resumed == k + 1
+        assert_byte_identical(resumed, reference)
+        assert [r.divergences for r in resumed.results] == \
+            ref_divergences
+        assert [
+            (r.seeds_compared, r.untranslatable_seeds)
+            for r in resumed.results
+        ] == [
+            (r.seeds_compared, r.untranslatable_seeds)
+            for r in reference.results
+        ]
+        assert stored == [
+            d for divergences in ref_divergences for d in divergences
+        ]
+
+
 def test_controller_equals_plain_engine(recordings, cases, references):
     """Without a store, the controller is a pure re-chunking of
     ``ParallelCampaign.run`` — results, corpus, coverage, and metrics

@@ -25,6 +25,7 @@ from repro.errors import (
     StoreSchemaError,
 )
 from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.differential import DivergenceKind, DivergenceRecord
 from repro.fuzz.failures import FailureKind, FailureRecord
 from repro.fuzz.fuzzer import FuzzResult
 from repro.fuzz.mutations import MutationArea
@@ -85,6 +86,20 @@ _corpus_entries = st.builds(
     ),
 )
 
+_divergence_records = st.builds(
+    DivergenceRecord,
+    kind=st.sampled_from(list(DivergenceKind)),
+    mutation_index=st.integers(min_value=-1, max_value=400),
+    seed=_seeds,
+    vmx_outcome=st.sampled_from(["ok", "vm-crash"]),
+    svm_outcome=st.sampled_from(["ok", "hypervisor-crash"]),
+    detail=st.sampled_from([
+        "echo-writes disagree: only-vmx [GUEST_RIP=0x7c00]",
+        "coverage deltas disagree: only-svm [hvm.c:140]",
+        "vmx vm-crash vs svm ok",
+    ]),
+)
+
 _failures = st.builds(
     FailureRecord,
     kind=st.sampled_from(
@@ -119,6 +134,13 @@ def fuzz_results(draw) -> FuzzResult:
             draw(st.lists(_corpus_entries, max_size=5))
         ),
         new_lines=lines,
+        divergences=tuple(
+            draw(st.lists(_divergence_records, max_size=4))
+        ),
+        seeds_compared=draw(st.integers(min_value=0, max_value=500)),
+        untranslatable_seeds=draw(
+            st.integers(min_value=0, max_value=50)
+        ),
     )
 
 
@@ -210,7 +232,7 @@ class TestRoundTrip:
         config = CampaignConfig(
             campaign_seed=0xC0FFEE, n_cells=4, shards_per_cell=2,
             wave_size=3, arch="svm", fast_reset=False,
-            collect_metrics=True,
+            collect_metrics=True, differential=True,
             extra=(("exits", "200"), ("workload", "cpu-bound")),
         )
         assert CampaignConfig.from_json(config.to_json()) == config
@@ -233,6 +255,108 @@ class TestRoundTrip:
         assert stored.metrics is not None
         assert wave.metrics is not None
         assert stored.metrics.to_json() == wave.metrics.to_json()
+        store.close()
+
+
+# ---- divergence persistence and authenticity -------------------------
+
+def _differential_store(
+    records: list[DivergenceRecord],
+) -> CampaignStore:
+    result = FuzzResult(
+        workload="w", exit_reason=ExitReason.RDTSC,
+        area=MutationArea.VMCS, mutations_run=len(records) or 1,
+        divergences=tuple(records), seeds_compared=len(records),
+    )
+    store = CampaignStore(":memory:")
+    store.initialize(_config(1))
+    store.checkpoint_wave(0, [0], WaveOutcome(results={0: result}))
+    return store
+
+
+class TestDivergenceIntegrity:
+    @settings(max_examples=40, deadline=None)
+    @given(records=st.lists(_divergence_records, max_size=6))
+    def test_divergences_round_trip(self, records):
+        store = _differential_store(records)
+        reloaded = store.load_results()[0]
+        assert reloaded.divergences == tuple(records)  # order kept
+        assert reloaded.seeds_compared == len(records)
+        assert store.divergence_records() == records
+        store.validate()
+        store.close()
+
+    def test_tampered_divergence_row_fails_validation(self):
+        """An edited row cannot keep its stored signature honest —
+        ``validate()`` recomputes it from the row's own fields."""
+        store = _differential_store([
+            DivergenceRecord(
+                kind=DivergenceKind.ECHO_WRITE, mutation_index=4,
+                seed=VMSeed(
+                    exit_reason=int(ExitReason.RDTSC),
+                    entries=[SeedEntry.for_gpr(GPR.RAX, 0x42)],
+                ),
+                vmx_outcome="ok", svm_outcome="ok",
+                detail="echo-writes disagree: only-vmx [RAX=0x1]",
+            ),
+        ])
+        store.validate()  # honest store passes
+        with store._conn:
+            store._conn.execute(
+                "UPDATE divergences SET detail = "
+                "'echo-writes disagree: only-svm [RAX=0x1]'"
+            )
+        with pytest.raises(
+            CorruptStoreError,
+            match="does not match its stored signature",
+        ):
+            store.validate()
+        store.close()
+
+    def test_undecodable_divergence_row_fails_validation(self):
+        store = _differential_store([
+            DivergenceRecord(
+                kind=DivergenceKind.OUTCOME, mutation_index=0,
+                seed=VMSeed(
+                    exit_reason=int(ExitReason.CPUID),
+                    entries=[SeedEntry.for_gpr(GPR.RBX, 1)],
+                ),
+                vmx_outcome="vm-crash", svm_outcome="ok",
+                detail="vmx vm-crash vs svm ok",
+            ),
+        ])
+        with store._conn:
+            store._conn.execute(
+                "UPDATE divergences SET kind = 'no-such-kind'"
+            )
+        with pytest.raises(CorruptStoreError, match="undecodable"):
+            store.validate()
+        store.close()
+
+    def test_resigning_a_tampered_row_still_fails(self):
+        """Re-signing with a bogus signature string doesn't help: the
+        signature is recomputed, never trusted."""
+        store = _differential_store([
+            DivergenceRecord(
+                kind=DivergenceKind.COVERAGE, mutation_index=2,
+                seed=VMSeed(
+                    exit_reason=int(ExitReason.RDTSC),
+                    entries=[SeedEntry.for_gpr(GPR.RSI, 9)],
+                ),
+                vmx_outcome="ok", svm_outcome="ok",
+                detail="coverage deltas disagree",
+            ),
+        ])
+        with store._conn:
+            store._conn.execute(
+                "UPDATE divergences SET vmx_outcome = 'vm-crash', "
+                "signature = 'deadbeef'"
+            )
+        with pytest.raises(
+            CorruptStoreError,
+            match="altered after checkpoint",
+        ):
+            store.validate()
         store.close()
 
 

@@ -81,13 +81,14 @@ def cases(recordings):
     return planned
 
 
-def make_engine(recordings, cases, arch, *, jobs=1, transport=None):
+def make_engine(recordings, cases, arch, *, jobs=1, transport=None,
+                differential=False):
     session = recordings[arch]
     return ParallelCampaign(
         session.trace, session.snapshot, cases[arch],
         campaign_seed=CAMPAIGN_SEED, jobs=jobs, arch=arch,
         shards_per_cell=SHARDS_PER_CELL, collect_metrics=True,
-        transport=transport,
+        transport=transport, differential=differential,
     )
 
 
@@ -208,6 +209,59 @@ def test_resume_over_socket_transport_is_exact(
     assert resumed.waves_resumed == 1
     assert_identical(resumed, reference)
     assert store_dump(db) == reference_dump
+
+
+def test_differential_over_socket_matches_local_bytes(
+    tmp_path, recordings, cases, servers
+):
+    """The differential oracle is transport-blind: a socket-run
+    differential campaign lands on the same divergences, the same
+    rendered report, and the same store bytes as the local pool."""
+    from repro.fuzz.differential import (
+        iter_divergences,
+        render_divergence_report,
+    )
+
+    def render(outcome) -> str:
+        return render_divergence_report(
+            list(iter_divergences(outcome.results)),
+            seeds_compared=sum(
+                r.seeds_compared for r in outcome.results
+            ),
+            untranslatable_seeds=sum(
+                r.untranslatable_seeds for r in outcome.results
+            ),
+        )
+
+    local_db = str(tmp_path / "diff-local.db")
+    engine = make_engine(
+        recordings, cases, "vmx", differential=True
+    )
+    with CampaignStore(local_db) as store:
+        local = CampaignController(
+            engine, store, wave_size=WAVE_SIZE
+        ).run()
+    assert sum(len(r.divergences) for r in local.results) > 0
+
+    socket_db = str(tmp_path / "diff-socket.db")
+    transport = SocketTransport(
+        [server.address for server in servers], backoff_base=0.01,
+    )
+    engine2 = make_engine(
+        recordings, cases, "vmx", transport=transport,
+        differential=True,
+    )
+    with CampaignStore(socket_db) as store:
+        remote = CampaignController(
+            engine2, store, wave_size=WAVE_SIZE
+        ).run()
+
+    assert_identical(remote, local)
+    assert [r.divergences for r in remote.results] == \
+        [r.divergences for r in local.results]
+    assert render(remote) == render(local)
+    assert store_dump(socket_db) == store_dump(local_db)
+    assert transport.stats.reassignments == 0
 
 
 # ---- fault injection --------------------------------------------------

@@ -1,0 +1,120 @@
+"""Golden byte-stability test for the rendered divergence report.
+
+The differential matrix proves the report identical *across runs of
+the same build*; this pin proves it identical *across builds*: any
+drift in the table renderer, the bucket ordering, the signature
+normalization, or the headline phrasing shows up as a byte diff
+against the committed fixture — a deliberate decision, not an
+accident.
+
+To regenerate after an intentional format change::
+
+    PYTHONPATH=src python tests/fuzz/test_divergence_report_golden.py
+
+then commit the updated ``golden_divergence_report.txt`` alongside
+the change that motivated it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.seed import SeedEntry, VMSeed
+from repro.fuzz.differential import (
+    DivergenceKind,
+    DivergenceRecord,
+    render_divergence_report,
+)
+from repro.vmx.exit_reasons import ExitReason
+from repro.x86.registers import GPR
+
+GOLDEN = Path(__file__).parent / "golden_divergence_report.txt"
+
+
+def _seed(reason: ExitReason, value: int) -> VMSeed:
+    return VMSeed(
+        exit_reason=int(reason),
+        entries=[SeedEntry.for_gpr(GPR.RAX, value)],
+    )
+
+
+def fixture_records() -> list[DivergenceRecord]:
+    """A fixed synthetic divergence set exercising every column: all
+    four kinds, repeated signatures (bucketing), multi-reason buckets,
+    crash outcomes, and a detail long enough to be truncated."""
+    return [
+        DivergenceRecord(
+            kind=DivergenceKind.ECHO_WRITE, mutation_index=3,
+            seed=_seed(ExitReason.RDTSC, 0x1001),
+            vmx_outcome="ok", svm_outcome="ok",
+            detail="echo-writes disagree: only-vmx "
+                   "[VM_ENTRY_INTR_INFO=0x80000b0e] only-svm [none]",
+        ),
+        DivergenceRecord(
+            kind=DivergenceKind.ECHO_WRITE, mutation_index=11,
+            seed=_seed(ExitReason.CPUID, 0x1002),
+            vmx_outcome="ok", svm_outcome="ok",
+            detail="echo-writes disagree: only-vmx "
+                   "[VM_ENTRY_INTR_INFO=0x80000306] only-svm [none]",
+        ),
+        DivergenceRecord(
+            kind=DivergenceKind.ECHO_WRITE, mutation_index=20,
+            seed=_seed(ExitReason.RDTSC, 0x1003),
+            vmx_outcome="ok", svm_outcome="ok",
+            detail="echo-writes disagree: only-vmx "
+                   "[VM_ENTRY_INTR_INFO=0x80000d21] only-svm [none]",
+        ),
+        DivergenceRecord(
+            kind=DivergenceKind.OUTCOME, mutation_index=7,
+            seed=_seed(ExitReason.RDTSC, 0x2001),
+            vmx_outcome="vm-crash", svm_outcome="ok",
+            detail="vmx vm-crash (corrupt exit-reason field) vs "
+                   "svm ok (healthy)",
+        ),
+        DivergenceRecord(
+            kind=DivergenceKind.COVERAGE, mutation_index=15,
+            seed=_seed(ExitReason.CPUID, 0x3001),
+            vmx_outcome="ok", svm_outcome="ok",
+            detail="coverage deltas disagree: only-vmx "
+                   "[arch/x86/hvm/vmx/vmx.c:131, "
+                   "arch/x86/hvm/vmx/vmx.c:132, +2 more] "
+                   "only-svm [none]",
+        ),
+        DivergenceRecord(
+            kind=DivergenceKind.BASELINE, mutation_index=-1,
+            seed=_seed(ExitReason.VMCALL, 0x4001),
+            vmx_outcome="ok", svm_outcome="hypervisor-crash",
+            detail="translated baseline seed crashed on svm: "
+                   "unhandled exit",
+        ),
+    ]
+
+
+def render_fixture() -> str:
+    return render_divergence_report(
+        fixture_records(), seeds_compared=240, untranslatable_seeds=12,
+    ) + "\n"
+
+
+def test_rendered_report_matches_golden_bytes():
+    assert GOLDEN.exists(), (
+        f"missing fixture {GOLDEN}; regenerate with "
+        "PYTHONPATH=src python "
+        "tests/fuzz/test_divergence_report_golden.py"
+    )
+    assert render_fixture() == GOLDEN.read_text()
+
+
+def test_fixture_is_shuffle_stable():
+    """The fixture renders the same bytes from any record order, so
+    the golden file never depends on how this module lists them."""
+    records = fixture_records()
+    rotated = records[3:] + records[:3]
+    assert render_divergence_report(
+        rotated, seeds_compared=240, untranslatable_seeds=12,
+    ) + "\n" == render_fixture()
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(render_fixture())
+    print(f"regenerated {GOLDEN}")

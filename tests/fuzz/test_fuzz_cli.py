@@ -5,6 +5,7 @@ import pytest
 from repro.fuzz.cli import (
     EXIT_ABORTED,
     EXIT_CRASHES_FOUND,
+    EXIT_DIVERGENCES_FOUND,
     EXIT_NO_SEEDS,
     EXIT_OK,
     EXIT_USAGE,
@@ -63,6 +64,7 @@ class TestExitCodeContract:
         assert EXIT_USAGE == 2
         assert EXIT_CRASHES_FOUND == 3
         assert EXIT_ABORTED == 4
+        assert EXIT_DIVERGENCES_FOUND == 5
 
     def test_crashes_found_returns_distinct_code(self, capsys):
         # this deterministic barrage is known to find crashes
@@ -86,6 +88,41 @@ class TestExitCodeContract:
             assert code == EXIT_OK
         else:  # the one mutation happened to crash: still pinned
             assert code == EXIT_CRASHES_FOUND
+
+    def test_divergences_found_returns_distinct_code(self, capsys):
+        """This pinned configuration is known to find exactly one
+        cross-arch divergence and zero crashes — the one scenario
+        where exit 5 (not 0, not 3) is the contract."""
+        code = main([
+            "-w", "cpu-bound", "-n", "200", "--mutations", "2",
+            "--reasons", "RDTSC", "--area", "vmcs",
+            "--differential", "--seed", "42",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_DIVERGENCES_FOUND
+        assert "campaign status: finished" in out
+        assert "divergence(s) found" in out
+        assert "Differential oracle:" in out
+        assert "echo-write-divergence" in out
+
+    def test_crashes_take_precedence_over_divergences(self, capsys):
+        """When the same campaign finds crashes *and* divergences, the
+        exit code reports the crashes; the divergence report still
+        prints."""
+        code = main([
+            "-w", "cpu-bound", "-n", "200", "--mutations", "30",
+            "--reasons", "RDTSC,CPUID", "--differential",
+            "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_CRASHES_FOUND
+        assert "crash(es) found" in out
+        assert "Differential oracle:" in out
+
+    def test_differential_requires_vmx_primary(self, capsys):
+        assert main(["--differential", "--arch", "svm"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "--differential fuzzes the vmx backend natively" in err
 
     def test_abort_returns_distinct_code(self, tmp_path, capsys):
         db = str(tmp_path / "abort.db")

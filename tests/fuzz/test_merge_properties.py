@@ -16,6 +16,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.seed import SeedEntry, VMSeed
 from repro.fuzz.corpus import Corpus, entry_identity
+from repro.fuzz.differential import (
+    MAX_DIVERGENCES_KEPT,
+    DivergenceKind,
+    DivergenceRecord,
+    divergence_identity,
+    merge_divergences,
+)
 from repro.fuzz.failures import FailureKind, FailureRecord
 from repro.fuzz.fuzzer import MAX_FAILURES_KEPT, FuzzResult
 from repro.fuzz.mutations import MutationArea
@@ -88,6 +95,26 @@ _failures = st.builds(
 )
 
 
+_divergences = st.builds(
+    DivergenceRecord,
+    kind=st.sampled_from(list(DivergenceKind)),
+    mutation_index=st.integers(min_value=-1, max_value=120),
+    seed=_seeds,
+    vmx_outcome=st.sampled_from(["ok", "vm-crash"]),
+    svm_outcome=st.sampled_from(["ok", "hypervisor-crash"]),
+    detail=st.sampled_from([
+        "echo-writes disagree: only-vmx [GUEST_RIP=0x7c00]",
+        "coverage deltas disagree: only-svm [vmx.c:120]",
+        "vmx ok (healthy) vs svm vm-crash (triple fault)",
+    ]),
+)
+divergence_collections = st.lists(_divergences, max_size=40)
+#: Canonical (merged) collections — what shard merging operates on.
+merged_collections = divergence_collections.map(
+    lambda records: merge_divergences(records)
+)
+
+
 @st.composite
 def shard_results(draw):
     """One cell shard's FuzzResult (fixed cell key and baseline)."""
@@ -109,6 +136,11 @@ def shard_results(draw):
         failures=failures,
         corpus=draw(canonical_corpora),
         new_lines=draw(_line_sets),
+        divergences=draw(merged_collections),
+        seeds_compared=draw(st.integers(min_value=0, max_value=500)),
+        untranslatable_seeds=draw(
+            st.integers(min_value=0, max_value=50)
+        ),
     )
 
 
@@ -233,3 +265,71 @@ class TestFuzzResultShardAlgebra:
     def test_merge_respects_failure_cap(self, a, b):
         merged = a.merge(b)
         assert len(merged.failures) <= MAX_FAILURES_KEPT
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=shard_results(), b=shard_results())
+    def test_merge_conserves_differential_tallies(self, a, b):
+        merged = a.merge(b)
+        assert merged.seeds_compared == \
+            a.seeds_compared + b.seeds_compared
+        assert merged.untranslatable_seeds == \
+            a.untranslatable_seeds + b.untranslatable_seeds
+        assert merged.divergences == \
+            merge_divergences(a.divergences, b.divergences)
+
+
+# ---- divergence-record merge algebra ---------------------------------
+
+class TestDivergenceMergeAlgebra:
+    """``merge_divergences`` is the union the differential report's
+    byte-identity stands on: keyed by the total identity order, it
+    must be commutative, associative (even through the retention
+    cap — K-smallest-of-union composes), and idempotent."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=divergence_collections, b=divergence_collections)
+    def test_merge_commutative(self, a, b):
+        assert merge_divergences(a, b) == merge_divergences(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=divergence_collections, b=divergence_collections,
+           c=divergence_collections)
+    def test_merge_associative_through_the_cap(self, a, b, c):
+        left = merge_divergences(merge_divergences(a, b), c)
+        right = merge_divergences(a, merge_divergences(b, c))
+        assert left == right
+        assert left == merge_divergences(a, b, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=merged_collections)
+    def test_merge_idempotent_on_canonical_collections(self, a):
+        assert merge_divergences(a, a) == a
+        assert merge_divergences(a, ()) == a
+        assert merge_divergences(a) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=divergence_collections)
+    def test_merge_is_order_insensitive(self, a):
+        assert merge_divergences(a) == \
+            merge_divergences(list(reversed(a)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=divergence_collections, b=divergence_collections)
+    def test_merge_output_is_sorted_capped_and_deduped(self, a, b):
+        merged = merge_divergences(a, b)
+        keys = [divergence_identity(r) for r in merged]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+        assert len(merged) <= MAX_DIVERGENCES_KEPT
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=divergence_collections, b=divergence_collections)
+    def test_merge_keeps_the_smallest_identities(self, a, b):
+        """The retained set is exactly the K smallest distinct keys of
+        the union — the property that makes capping associative."""
+        merged = merge_divergences(a, b)
+        union_keys = sorted({
+            divergence_identity(r) for r in list(a) + list(b)
+        })
+        assert [divergence_identity(r) for r in merged] == \
+            union_keys[:MAX_DIVERGENCES_KEPT]

@@ -218,6 +218,114 @@ class TestDifferentialDeterminism:
         assert first == second
 
 
+# ---- the cross-arch differential oracle matrix -----------------------
+
+class TestDifferentialOracleMatrix:
+    """The tentpole determinism contract for ``--differential``: the
+    divergence records — and the *rendered report*, byte for byte —
+    are a pure function of the campaign coordinates.  Worker count and
+    the primary's fast-reset mode must never change a divergence byte
+    (the oracle's own resets always take the full-restore path)."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self, recorded, cases):
+        outcomes = {}
+        for jobs in (1, 4):
+            for fast in (True, False):
+                outcomes[(jobs, fast)] = run_campaign(
+                    recorded, cases, jobs,
+                    differential=True, fast_reset=fast,
+                )
+        return outcomes
+
+    @staticmethod
+    def _report(outcome) -> str:
+        from repro.fuzz.differential import (
+            iter_divergences,
+            render_divergence_report,
+        )
+
+        return render_divergence_report(
+            list(iter_divergences(outcome.results)),
+            seeds_compared=sum(
+                r.seeds_compared for r in outcome.results
+            ),
+            untranslatable_seeds=sum(
+                r.untranslatable_seeds for r in outcome.results
+            ),
+        )
+
+    def test_oracle_actually_fires(self, matrix):
+        reference = matrix[(1, True)]
+        assert sum(
+            len(r.divergences) for r in reference.results
+        ) > 0
+        assert sum(
+            r.seeds_compared for r in reference.results
+        ) > 0
+
+    def test_divergences_identical_across_the_matrix(self, matrix):
+        """Structural identity of the records themselves (dataclass
+        equality covers kind, mutant seed bytes, outcomes, detail)."""
+        reference = [r.divergences for r in matrix[(1, True)].results]
+        for key, outcome in matrix.items():
+            assert [
+                r.divergences for r in outcome.results
+            ] == reference, key
+
+    def test_rendered_reports_byte_identical(self, matrix):
+        reference = self._report(matrix[(1, True)])
+        for key, outcome in matrix.items():
+            assert self._report(outcome) == reference, key
+
+    def test_comparison_tallies_identical(self, matrix):
+        reference = [
+            (r.seeds_compared, r.untranslatable_seeds)
+            for r in matrix[(1, True)].results
+        ]
+        for outcome in matrix.values():
+            assert [
+                (r.seeds_compared, r.untranslatable_seeds)
+                for r in outcome.results
+            ] == reference
+
+    def test_sub_cell_sharding_is_jobs_invariant_too(
+        self, recorded, cases
+    ):
+        """Splitting a cell across shards draws each shard's mutants
+        from its own derived seed (a different stream than the
+        single-shard plan), so the invariant here is the engine's:
+        the order-insensitive merge makes the sharded campaign's
+        divergences identical for any worker count."""
+        serial = run_campaign(
+            recorded, cases, 1, differential=True, shards_per_cell=2,
+        )
+        pooled = run_campaign(
+            recorded, cases, 3, differential=True, shards_per_cell=2,
+        )
+        assert [r.divergences for r in serial.results] == \
+            [r.divergences for r in pooled.results]
+        assert self._report(serial) == self._report(pooled)
+
+    def test_differential_rides_in_the_shard_task(
+        self, recorded, cases
+    ):
+        campaign = ParallelCampaign(
+            recorded.trace, recorded.snapshot, cases,
+            campaign_seed=CAMPAIGN_SEED, differential=True,
+        )
+        assert all(task.differential for task in campaign.plan())
+        assert ("differential", "True") in campaign.identity()
+
+    def test_differential_requires_a_vmx_primary(self, recorded, cases):
+        with pytest.raises(ValueError, match="secondary backend"):
+            ParallelCampaign(
+                recorded.trace, recorded.snapshot, cases,
+                campaign_seed=CAMPAIGN_SEED, arch="svm",
+                differential=True,
+            )
+
+
 # ---- fault isolation -------------------------------------------------
 
 class TestFaultIsolation:

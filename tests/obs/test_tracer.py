@@ -169,6 +169,27 @@ def test_flight_summary_renders_sections():
     assert "vm-crash@RDTSC" in text
 
 
+def test_flight_report_surfaces_differential_counters():
+    registry = MetricsRegistry(record_wall=False)
+    registry.inc("differential_seeds_compared", value=48)
+    registry.inc("differential_untranslatable_seeds", value=6)
+    registry.inc("differential_divergences", value=2)
+    report = flight_report(registry.snapshot())
+    assert report.differential_seeds_compared == 48
+    assert report.differential_untranslatable == 6
+    assert report.differential_divergences == 2
+    text = report.render()
+    assert (
+        "differential oracle: 2 divergence(s) from 48 seed(s) "
+        "compared (6 untranslatable)" in text
+    )
+
+
+def test_flight_report_hides_differential_line_when_unused():
+    text = flight_summary(_busy_snapshot())
+    assert "differential oracle" not in text
+
+
 def test_summarize_trace_events_tallies_and_spans():
     tracer = Tracer()
     now = {"tsc": 0}
