@@ -534,6 +534,140 @@ def remote_wave(params: dict[str, int]) -> IterationOutcome:
     )
 
 
+# ---- smart mutation engine -------------------------------------------
+
+def smart_mutation(params: dict[str, int]) -> IterationOutcome:
+    """Smart engine vs PoC stack at equal budget + determinism matrix.
+
+    The acceptance gate for the structure-aware mutation engine.  One
+    campaign plan, run twice at the identical execution budget — the
+    PoC flat stack and the smart staged pipeline — with the check
+    pinning that smart covers *strictly more* lines.  The remaining
+    arms walk the smart engine through the determinism matrix the PoC
+    stack already honors: jobs 1 vs 2, vmx vs svm, local vs socket
+    transport, and interrupted-then-resumed via the campaign store —
+    every pairing gated byte-identical.
+    """
+    import os
+    import tempfile
+
+    from repro.campaign import (
+        CampaignController,
+        CampaignInterrupted,
+        CampaignStore,
+        SocketTransport,
+        WorkerServer,
+    )
+    from repro.campaign.transport import WorkerTransport
+    from repro.fuzz.parallel import ParallelCampaign
+    from repro.fuzz.testcase import FuzzTestCase
+
+    manager = IrisManager(arch="vmx")
+    session = _record(manager, params["exits"])
+    svm_manager = IrisManager(arch="svm")
+    svm_session = _record(svm_manager, params["exits"])
+
+    def plan(sess: RecordingSession,
+             engine_name: str) -> list[FuzzTestCase]:
+        return plan_test_cases(
+            sess.trace, list(_REASONS), areas=(MutationArea.VMCS,),
+            n_mutations=params["mutations"], rng=random.Random(0),
+            engine=engine_name,
+        )
+
+    def campaign(
+        sess: RecordingSession,
+        cases: list[FuzzTestCase],
+        *,
+        jobs: int = 1,
+        arch: str = "vmx",
+        transport: WorkerTransport | None = None,
+    ) -> ParallelCampaign:
+        return ParallelCampaign(
+            sess.trace, sess.snapshot, cases,
+            campaign_seed=0, jobs=jobs, arch=arch,
+            transport=transport,
+        )
+
+    poc = campaign(session, plan(session, "poc")).run()
+    smart_cases = plan(session, "smart")
+    start = time.perf_counter()
+    smart = campaign(session, smart_cases).run()
+    smart_wall = time.perf_counter() - start
+    smart_jobs2 = campaign(session, smart_cases, jobs=2).run()
+
+    svm_cases = plan(svm_session, "smart")
+    svm_serial = campaign(svm_session, svm_cases, arch="svm").run()
+    svm_pooled = campaign(
+        svm_session, svm_cases, jobs=2, arch="svm"
+    ).run()
+
+    with WorkerServer(heartbeat_interval=0.2) as server:
+        transport = SocketTransport(
+            [server.address], backoff_base=0.01,
+        )
+        remote = campaign(
+            session, smart_cases, transport=transport
+        ).run()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "smart.db")
+        with CampaignStore(db) as store:
+            try:
+                CampaignController(
+                    campaign(session, smart_cases), store,
+                    wave_size=1, crash_after_wave=0,
+                ).run()
+            except CampaignInterrupted:
+                pass
+        with CampaignStore(db) as store:
+            resumed = CampaignController(
+                campaign(session, smart_cases), store, wave_size=1,
+            ).run(resume=True)
+
+    def same(a, b) -> bool:
+        return (
+            a.results == b.results
+            and a.merged_corpus() == b.merged_corpus()
+            and a.merged_coverage().lines()
+            == b.merged_coverage().lines()
+        )
+
+    poc_loc = poc.merged_coverage().loc
+    smart_loc = smart.merged_coverage().loc
+    tallies = smart.crash_tallies()
+    checks: dict[str, object] = {
+        "cells": len(smart.results),
+        "poc_new_loc": poc_loc,
+        "smart_new_loc": smart_loc,
+        # The headline gate: strictly more coverage from the same
+        # number of executions.
+        "smart_strictly_beats_poc": smart_loc > poc_loc,
+        "equal_budget": (
+            poc.stats.total_mutations == smart.stats.total_mutations
+        ),
+        "vm_crashes": tallies["vm-crash"],
+        "hypervisor_crashes": tallies["hypervisor-crash"],
+        "corpus": len(smart.merged_corpus()),
+        # The smart determinism matrix, all byte-identical.
+        "jobs_invariant": same(smart, smart_jobs2),
+        "svm_jobs_invariant": same(svm_serial, svm_pooled),
+        "socket_identical": same(remote, smart),
+        "resume_identical": same(resumed, smart),
+        "waves_resumed": resumed.waves_resumed,
+    }
+    info = {
+        "mutations_per_second": smart.stats.total_mutations
+        / smart_wall,
+        "coverage_gain_loc": float(smart_loc - poc_loc),
+    }
+    # Hermetic per-shard hypervisor clocks are not observable here;
+    # zero is the (deterministic) outer-clock cost, as campaign_merge.
+    return IterationOutcome(
+        cycles=0, checks=checks, info=info, wall=smart_wall,
+    )
+
+
 # ---- data-plane microbenchmarks --------------------------------------
 #
 # Both scenarios race the current data-plane implementation against a
@@ -877,6 +1011,13 @@ SCENARIOS: dict[str, Scenario] = {
             {"exits": 160, "mutations": 12, "shards": 2},
             "campaign wave over the socket worker transport vs "
             "local (byte-identity + overhead)",
+        ),
+        Scenario(
+            "smart_mutation", smart_mutation,
+            {"exits": 160, "mutations": 24},
+            "structure-aware engine vs PoC stack at equal budget + "
+            "the smart determinism matrix (jobs/arch/transport/"
+            "resume)",
         ),
         Scenario(
             "coverage_union", coverage_union,

@@ -128,6 +128,7 @@ class CampaignController:
             fast_reset=self.engine.fast_reset,
             collect_metrics=self.engine.collect_metrics,
             differential=self.engine.differential,
+            engine=self.engine.engine,
             extra=self.config_extra,
         )
 

@@ -170,6 +170,10 @@ class CampaignConfig:
     fast_reset: bool = True
     collect_metrics: bool = False
     differential: bool = False
+    #: Mutation engine the campaign's cases run ("poc"/"smart").
+    #: First-class (not ``extra``) so resume restores it and mismatch
+    #: errors name it; defaults keep pre-engine stores loadable.
+    engine: str = "poc"
     extra: tuple[tuple[str, str], ...] = ()
 
     def to_json(self) -> str:

@@ -52,7 +52,10 @@ from repro.vmx.exit_reasons import ExitReason
 #: frame header; a mismatch is refused before the payload is touched.
 #: v2: differential mode — tasks carry the ``differential`` flag,
 #: results carry divergence records and comparison tallies.
-WIRE_VERSION = 2
+#: v3: mutation engines — tasks carry the ``engine`` name, so a
+#: remote worker runs the same staged pipeline (or the same PoC
+#: stack) the controller planned.
+WIRE_VERSION = 3
 
 #: First bytes of every frame; a link that does not start with them is
 #: not an iris worker link.
@@ -235,6 +238,7 @@ def encode_task(task: ShardTask) -> bytes:
         "area": task.area.value,
         "n_mutations": task.n_mutations,
         "mutation_rule": task.mutation_rule,
+        "engine": task.engine,
         "rng_seed": task.rng_seed,
         "attempt": task.attempt,
         "arch": task.arch,
@@ -255,6 +259,7 @@ def decode_task(payload: bytes) -> ShardTask:
             area=MutationArea(data["area"]),
             n_mutations=data["n_mutations"],
             mutation_rule=data["mutation_rule"],
+            engine=data["engine"],
             rng_seed=data["rng_seed"],
             attempt=data["attempt"],
             arch=data["arch"],

@@ -16,6 +16,7 @@ from repro.analysis import render_table
 from repro.arch.backend import BACKEND_NAMES
 from repro.core.manager import IrisManager
 from repro.fuzz.fuzzer import IrisFuzzer
+from repro.fuzz.mutation_engine import ENGINE_NAMES
 from repro.fuzz.mutations import MUTATION_RULES, MutationArea
 from repro.fuzz.testcase import plan_test_cases
 from repro.guest.workloads import WorkloadName
@@ -63,7 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed area to mutate",
     )
     parser.add_argument(
-        "--rule", choices=sorted(MUTATION_RULES), default="bit-flip",
+        "--rule", choices=sorted(MUTATION_RULES), default=None,
+        help="PoC mutator (default: bit-flip).  Only meaningful with "
+             "--engine poc: the smart engine runs its own staged "
+             "pipeline, so combining --rule with --engine smart is a "
+             "usage error rather than a silently ignored flag.",
+    )
+    parser.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="poc",
+        help="mutation engine: 'poc' (default) is the paper's flat "
+             "single-rule stack; 'smart' is the structure-aware "
+             "staged pipeline (dictionary/structural/havoc/splice "
+             "with a cost-aware power schedule).  Both honor the "
+             "same determinism contract: results are byte-identical "
+             "for any --jobs value, transport, or --resume.",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
@@ -191,6 +205,7 @@ def _restore_stored_args(args: argparse.Namespace) -> bool | None:
     args.shards_per_cell = stored.shards_per_cell
     args.wave_size = stored.wave_size
     args.differential = stored.differential
+    args.engine = stored.engine
     return stored.collect_metrics
 
 
@@ -220,6 +235,16 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_USAGE
     if args.resume and args.store is None:
         print("--resume requires --store", file=sys.stderr)
+        return EXIT_USAGE
+    if args.engine == "smart" and args.rule is not None:
+        # Reject rather than silently ignore: the smart engine runs
+        # its staged pipeline, not a single PoC rule.
+        print(
+            "--rule selects the poc engine's single mutator and has "
+            "no effect on the smart engine's staged pipeline; drop "
+            "--rule or use --engine poc",
+            file=sys.stderr,
+        )
         return EXIT_USAGE
     worker_addresses: list[str] = []
     if args.workers:
@@ -261,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.rule is None:
+        args.rule = "bit-flip"
     rng = random.Random(args.seed)
 
     reasons = []
@@ -292,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         cases = plan_test_cases(
             session.trace, reasons, areas=areas,
             n_mutations=args.mutations, rng=rng,
+            engine=args.engine,
         )
         if not cases:
             print(
@@ -453,7 +481,10 @@ def main(argv: list[str] | None = None) -> int:
          "corpus"],
         rows,
         title=f"Fuzzing campaign: {args.workload} "
-              f"({args.mutations} mutations/case, rule={args.rule})",
+              f"({args.mutations} mutations/case, "
+              f"engine={args.engine}"
+              + (f", rule={args.rule})" if args.engine == "poc"
+                 else ")"),
     ))
     print(f"total failures observed: {total_crashes}")
     if campaign_stats is not None:

@@ -6,12 +6,15 @@ An evolutionary loop in the AFL mould, built entirely on IRIS
 primitives:
 
 * the queue holds seeds that discovered new hypervisor coverage;
-* each round picks a queue entry (newest-first power schedule), applies
-  a small stack of mutations (bit-flip / byte-flip / arithmetic), and
-  submits the mutant through the replay mechanism;
-* mutants that cover new (noise-filtered) lines join the queue;
-  crashing mutants are retained for triage and the VM state is
-  restored from the target-state snapshot.
+* each round the staged pipeline
+  (:class:`repro.fuzz.mutation_engine.SmartEngine`) picks a queue
+  entry through its cost-aware power schedule, applies one stage —
+  dictionary substitution, structural crafting, havoc, or splice —
+  and submits the mutant through the replay mechanism;
+* mutants that cover new (noise-filtered) lines join the queue and
+  feed the harvested value dictionary; crashing mutants are retained
+  for triage and the VM state is restored from the target-state
+  snapshot.
 """
 
 from __future__ import annotations
@@ -21,7 +24,6 @@ from dataclasses import dataclass, field
 
 from repro.core.manager import IrisManager
 from repro.core.replay import ReplayOutcome
-from repro.core.seed import VMSeed
 from repro.core.snapshot import VmSnapshot, restore_snapshot, take_snapshot
 from repro.fuzz.differential import (
     MAX_DIVERGENCES_KEPT,
@@ -30,24 +32,8 @@ from repro.fuzz.differential import (
 )
 from repro.fuzz.failures import FailureKind, FailureRecord, classify_result
 from repro.fuzz.fuzzer import IrisFuzzer
-from repro.fuzz.mutations import (
-    MutationArea,
-    arithmetic_mutation,
-    bit_flip,
-    byte_flip,
-)
+from repro.fuzz.mutation_engine import PowerSchedule, SmartEngine
 from repro.fuzz.testcase import FuzzTestCase
-
-_MUTATORS = (bit_flip, byte_flip, arithmetic_mutation)
-
-
-@dataclass
-class QueueEntry:
-    """One interesting seed in the fuzzing queue."""
-
-    seed: VMSeed
-    new_loc: int
-    depth: int  # mutation generations from the original seed
 
 
 @dataclass
@@ -78,27 +64,14 @@ class CoverageGuidedFuzzer:
         max_mutation_stack: int = 3,
         max_failures_kept: int = 64,
         oracle: DifferentialOracle | None = None,
+        schedule: PowerSchedule | None = None,
     ) -> None:
         self.manager = manager
         self.rng = rng or random.Random(0xC0F)
         self.max_mutation_stack = max_mutation_stack
         self.max_failures_kept = max_failures_kept
         self.oracle = oracle
-
-    def _mutate(self, seed: VMSeed, area: MutationArea) -> VMSeed:
-        """Apply a random stack of 1..N mutations."""
-        mutant = seed
-        for _ in range(self.rng.randint(1, self.max_mutation_stack)):
-            mutator = self.rng.choice(_MUTATORS)
-            mutant = mutator(mutant, area, self.rng)
-        return mutant
-
-    def _pick(self, queue: list[QueueEntry]) -> QueueEntry:
-        """Newest-first power schedule: recent finds get more energy."""
-        weights = [
-            1.0 + index for index in range(len(queue))
-        ]  # later entries weigh more
-        return self.rng.choices(queue, weights=weights, k=1)[0]
+        self.schedule = schedule
 
     def run_campaign(
         self,
@@ -125,7 +98,10 @@ class CoverageGuidedFuzzer:
         state_r = take_snapshot(hv, dummy)
         known = IrisFuzzer._denoise(baseline.coverage_lines)
 
-        queue = [QueueEntry(seed=case.target_seed, new_loc=0, depth=0)]
+        engine = SmartEngine(
+            case, arch=manager.arch, schedule=self.schedule,
+            max_havoc_stack=self.max_mutation_stack,
+        )
         report = GuidedCampaignReport()
         divergences: list[DivergenceRecord] = []
         if self.oracle is not None:
@@ -136,8 +112,8 @@ class CoverageGuidedFuzzer:
                 divergences.append(baseline_divergence)
 
         for index in range(iterations):
-            entry = self._pick(queue)
-            mutant = self._mutate(entry.seed, case.area)
+            cycles_before = hv.clock.now
+            mutant = engine.next_mutant(self.rng)
             outcome = replayer.submit(mutant)
             report.executions += 1
 
@@ -160,6 +136,11 @@ class CoverageGuidedFuzzer:
                 if len(report.failures) < self.max_failures_kept:
                     report.failures.append(failure)
                 restore_snapshot(hv, dummy, state_r)
+                engine.feedback(
+                    mutant, new_loc=0,
+                    cost_cycles=hv.clock.now - cycles_before,
+                    crashed=True,
+                )
                 report.coverage_curve.append(report.total_new_loc)
                 continue
 
@@ -168,15 +149,14 @@ class CoverageGuidedFuzzer:
             if fresh:
                 known |= fresh
                 report.total_new_loc += len(fresh)
-                queue.append(QueueEntry(
-                    seed=mutant, new_loc=len(fresh),
-                    depth=entry.depth + 1,
-                ))
-                report.max_depth = max(report.max_depth,
-                                       entry.depth + 1)
+            engine.feedback(
+                mutant, new_loc=len(fresh),
+                cost_cycles=hv.clock.now - cycles_before,
+            )
+            report.max_depth = engine.max_depth
             report.coverage_curve.append(report.total_new_loc)
 
-        report.queue_size = len(queue)
+        report.queue_size = engine.queue_size
         if self.oracle is not None:
             report.divergences = tuple(divergences)
             report.seeds_compared = self.oracle.seeds_compared

@@ -30,7 +30,8 @@ from repro.fuzz.failures import (
     classify_result,
     failure_identity,
 )
-from repro.fuzz.mutations import MUTATION_RULES, MutationArea
+from repro.fuzz.mutation_engine import build_engine
+from repro.fuzz.mutations import MutationArea
 from repro.fuzz.testcase import FuzzTestCase
 from repro.obs import OBS
 from repro.vmx.exit_reasons import ExitReason
@@ -334,7 +335,12 @@ class IrisFuzzer:
             if baseline_divergence is not None:
                 divergences.append(baseline_divergence)
 
-        mutate = MUTATION_RULES[case.mutation_rule]
+        # The engine owns mutant generation.  ``poc`` reproduces the
+        # pre-engine loop's exact RNG stream; ``smart`` runs the
+        # staged pipeline (dictionary/structural/havoc/splice) with
+        # its cost-aware power schedule fed from the clock deltas
+        # measured below.
+        engine = build_engine(case, arch=manager.arch)
         result = FuzzResult(
             workload=case.trace.workload,
             exit_reason=case.exit_reason,
@@ -344,7 +350,8 @@ class IrisFuzzer:
         discovered: set[tuple[str, int]] = set()
 
         for index in range(case.n_mutations):
-            mutated = mutate(case.target_seed, case.area, self.rng)
+            cycles_before = hv.clock.now
+            mutated = engine.next_mutant(self.rng)
             outcome = replayer.submit(mutated)
             result.mutations_run += 1
 
@@ -382,9 +389,29 @@ class IrisFuzzer:
                 )
             elif fresh:
                 result.corpus.consider(mutated, lines, len(fresh))
+            engine.feedback(
+                mutated, new_loc=len(fresh),
+                cost_cycles=hv.clock.now - cycles_before,
+                crashed=failure is not None,
+            )
 
         result.new_loc = len(discovered)
         result.new_lines = frozenset(discovered)
+        if OBS.metrics.enabled and engine.name == "smart":
+            # Per-stage accounting for the staged pipeline only: the
+            # poc path emits exactly the counters it always did, so
+            # existing metrics goldens stay byte-identical.
+            stage_counts: dict[str, int] = getattr(
+                engine, "stage_counts", {}
+            )
+            for stage in sorted(stage_counts):
+                if stage_counts[stage]:
+                    OBS.metrics.inc(
+                        "fuzz_stage_mutants",
+                        value=stage_counts[stage], stage=stage,
+                        reason=case.exit_reason.name,
+                        area=case.area.value,
+                    )
         if self.oracle is not None:
             result.divergences = tuple(divergences)
             result.seeds_compared = self.oracle.seeds_compared

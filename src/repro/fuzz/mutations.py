@@ -24,7 +24,13 @@ class MutationArea(enum.Enum):
     GPR = "gpr"
 
 
-def _area_indices(seed: VMSeed, area: MutationArea) -> list[int]:
+def area_indices(seed: VMSeed, area: MutationArea) -> list[int]:
+    """Entry indices belonging to the requested seed area, in order.
+
+    Shared with the staged pipeline in
+    :mod:`repro.fuzz.mutation_engine`, whose stages confine themselves
+    to the case's area exactly like the flat rules here.
+    """
     wanted = SeedFlag.GPR if area is MutationArea.GPR else \
         SeedFlag.VMCS_READ
     return [
@@ -32,10 +38,16 @@ def _area_indices(seed: VMSeed, area: MutationArea) -> list[int]:
     ]
 
 
-def _value_width(entry: SeedEntry) -> int:
+def value_width(entry: SeedEntry) -> int:
+    """Mutable bit width of an entry (64 for GPRs, field width else)."""
     if entry.flag is SeedFlag.GPR:
         return 64
     return field_width(int(entry.vmcs_field)).bits
+
+
+# Pre-engine private names, kept as aliases.
+_area_indices = area_indices
+_value_width = value_width
 
 
 def bit_flip(

@@ -24,7 +24,7 @@ The determinism contract
 
 Together these make the merged campaign result a pure function of
 ``(trace, snapshot, cases, campaign_seed, shards_per_cell, arch,
-fast_reset, differential)``: the ``jobs`` worker count never changes
+fast_reset, differential, engine)``: the ``jobs`` worker count never changes
 results, only wall-clock time.  ``fast_reset`` appears in the tuple for
 honesty's sake only — the fast-reset differential tests pin that
 flipping it does not change the merged result either (in differential
@@ -132,6 +132,10 @@ class ShardTask:
     mutation_rule: str
     rng_seed: int
     attempt: int = 0
+    #: Mutation engine the shard's fuzzer runs (``"poc"``/``"smart"``).
+    #: Part of the task so the determinism contract covers it — the
+    #: merged result is a function of the engine choice too.
+    engine: str = "poc"
     #: Virtualization backend the shard's fresh hypervisor runs on.
     #: Part of the task (not ambient state) so the determinism contract
     #: covers it: the merged result is a function of the arch too.
@@ -375,6 +379,7 @@ def run_shard(
         area=task.area,
         n_mutations=task.n_mutations,
         mutation_rule=task.mutation_rule,
+        engine=task.engine,
     )
     return fuzzer.run_test_case(case, from_snapshot=snapshot)
 
@@ -486,6 +491,17 @@ class ParallelCampaign:
         self.trace = trace
         self.snapshot = snapshot
         self.cases = list(cases)
+        engines = {case.engine for case in self.cases}
+        if len(engines) > 1:
+            # One campaign, one engine: the config identity stores a
+            # single engine name, so mixed plans are refused up front.
+            raise ValueError(
+                "cases mix mutation engines: "
+                f"{', '.join(sorted(engines))}"
+            )
+        #: The campaign's mutation engine (part of its stored config
+        #: identity; every shard task carries it).
+        self.engine = engines.pop() if engines else "poc"
         self.campaign_seed = campaign_seed
         self.jobs = jobs
         self.shards_per_cell = shards_per_cell
@@ -520,6 +536,7 @@ class ParallelCampaign:
                     area=case.area,
                     n_mutations=n_mutations,
                     mutation_rule=case.mutation_rule,
+                    engine=case.engine,
                     rng_seed=derive_shard_seed(
                         self.campaign_seed, cell_index, shard_index
                     ),
@@ -635,6 +652,7 @@ class ParallelCampaign:
             area=task.area,
             n_mutations=task.n_mutations,
             mutation_rule=task.mutation_rule,
+            engine=task.engine,
             rng_seed=task.rng_seed,
             attempt=attempt,
             fault_kind=self._fault_for(task.cell_index, attempt),
@@ -660,6 +678,7 @@ class ParallelCampaign:
             ("arch", self.arch),
             ("fast_reset", str(self.fast_reset)),
             ("differential", str(self.differential)),
+            ("engine", self.engine),
         )
 
     def transport(self) -> WorkerTransport:

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 
 from repro.core.seed import Trace
+from repro.fuzz.mutation_engine import ENGINE_NAMES
 from repro.fuzz.mutations import MutationArea
 from repro.vmx.exit_reasons import ExitReason
 
@@ -26,6 +27,11 @@ class FuzzTestCase:
     area: MutationArea
     n_mutations: int = 10_000
     mutation_rule: str = "bit-flip"
+    #: Which mutation engine runs the case: ``"poc"`` is the paper's
+    #: flat single-rule stack, ``"smart"`` the structure-aware staged
+    #: pipeline (:mod:`repro.fuzz.mutation_engine`).  Part of the
+    #: campaign's deterministic identity.
+    engine: str = "poc"
 
     def __post_init__(self) -> None:
         if not 0 <= self.seed_index < len(self.trace):
@@ -35,6 +41,11 @@ class FuzzTestCase:
             )
         if self.n_mutations < 1:
             raise ValueError("need at least one mutation")
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown mutation engine {self.engine!r} "
+                f"(expected one of {', '.join(ENGINE_NAMES)})"
+            )
 
     @property
     def target_seed(self):
@@ -60,6 +71,7 @@ def plan_test_cases(
     ),
     n_mutations: int = 10_000,
     rng: random.Random | None = None,
+    engine: str = "poc",
 ) -> list[FuzzTestCase]:
     """Plan the Table-I grid: for each requested exit reason present in
     the trace, pick a random target seed of that reason and build one
@@ -77,6 +89,6 @@ def plan_test_cases(
         for area in areas:
             cases.append(FuzzTestCase(
                 trace=trace, seed_index=index, area=area,
-                n_mutations=n_mutations,
+                n_mutations=n_mutations, engine=engine,
             ))
     return cases

@@ -18,7 +18,10 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args([])
         assert args.workload == "cpu-bound"
-        assert args.rule == "bit-flip"
+        # None is the "not passed" sentinel (resolved to bit-flip for
+        # the poc engine; a usage error with --engine smart).
+        assert args.rule is None
+        assert args.engine == "poc"
         assert args.area == "both"
 
     def test_unknown_workload_rejected(self):
@@ -51,6 +54,87 @@ class TestParser:
         assert main(["--shards-per-cell", "-1"]) == 2
         assert "--shards-per-cell must be >= 1" in \
             capsys.readouterr().err
+
+
+class TestEngineSelection:
+    ARGS = [
+        "-w", "cpu-bound", "-n", "150", "--mutations", "10",
+        "--reasons", "RDTSC,CPUID",
+    ]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "telepathic"])
+
+    def test_smart_engine_runs_end_to_end(self, capsys):
+        code = main(self.ARGS + ["--engine", "smart"])
+        assert code in (EXIT_OK, EXIT_CRASHES_FOUND)
+        out = capsys.readouterr().out
+        assert "engine=smart" in out
+        # the smart pipeline ignores --rule, so the table omits it
+        assert "rule=" not in out
+
+    def test_poc_engine_table_still_names_the_rule(self, capsys):
+        code = main(self.ARGS)
+        assert code in (EXIT_OK, EXIT_CRASHES_FOUND)
+        assert "engine=poc, rule=bit-flip" in capsys.readouterr().out
+
+    def test_rule_with_smart_engine_is_usage_error(self, capsys):
+        """The --rule flag used to be silently ignored whenever the
+        engine didn't consume it; now it's an explicit usage error."""
+        code = main(
+            self.ARGS + ["--engine", "smart", "--rule", "byte-flip"]
+        )
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "--rule selects the poc engine's single mutator" in err
+        assert "--engine poc" in err
+
+    def test_smart_campaign_is_jobs_invariant_via_cli(
+        self, tmp_path, capsys
+    ):
+        # --store forces the campaign engine even at --jobs 1 (the
+        # bare jobs=1 path is the classic serial fuzzer, a different
+        # deliberate code path); within the engine, worker count must
+        # never change a result byte.
+        outputs = []
+        for jobs in ("1", "2"):
+            main(self.ARGS + [
+                "--engine", "smart", "--jobs", jobs,
+                "--store", str(tmp_path / f"jobs{jobs}.db"),
+            ])
+            outputs.append("\n".join(
+                line for line in
+                capsys.readouterr().out.splitlines()
+                if "mut/s" not in line and "recording" not in line
+                and "campaign stats" not in line
+            ))
+        assert outputs[0] == outputs[1]
+
+    def test_resume_restores_stored_engine(self, tmp_path, capsys):
+        db = str(tmp_path / "smart.db")
+        full = main(
+            self.ARGS + ["--engine", "smart",
+                         "--store", str(tmp_path / "ref.db")]
+        )
+        full_out = capsys.readouterr().out
+        assert main(
+            self.ARGS + ["--engine", "smart", "--store", db,
+                         "--crash-after-wave", "0"]
+        ) == EXIT_ABORTED
+        capsys.readouterr()
+        # no --engine on the resume side: the store is authoritative
+        resumed = main(["--store", db, "--resume"])
+        resumed_out = capsys.readouterr().out
+        assert resumed == full
+        assert "engine=smart" in resumed_out
+        table = lambda text: "\n".join(  # noqa: E731
+            line for line in text.splitlines()
+            if "mut/s" not in line and "recording" not in line
+            and "campaign stats" not in line
+            and not line.startswith("resumed:")
+        )
+        assert table(resumed_out) == table(full_out)
 
 
 class TestExitCodeContract:

@@ -218,6 +218,159 @@ class TestDifferentialDeterminism:
         assert first == second
 
 
+# ---- the smart-engine determinism matrix -----------------------------
+
+class TestSmartEngineInvariance:
+    """``--engine smart`` honors the same contract as poc: merged
+    results are a pure function of the plan.  The engine name rides in
+    every :class:`ShardTask` and each shard rebuilds its
+    :class:`SmartEngine` (dictionary, queue, power schedule) from the
+    task alone, so jobs counts, transports, and interruption must
+    never change a byte."""
+
+    @pytest.fixture(scope="class")
+    def smart_cases(self, recorded):
+        planned = plan_test_cases(
+            recorded.trace, [ExitReason.RDTSC, ExitReason.CPUID],
+            n_mutations=N_MUTATIONS, rng=random.Random(2),
+            engine="smart",
+        )
+        assert all(case.engine == "smart" for case in planned)
+        return planned
+
+    @pytest.fixture(scope="class")
+    def reference(self, recorded, smart_cases):
+        """The serial smart campaign every arm compares against."""
+        return run_campaign(recorded, smart_cases, 1)
+
+    def _assert_identical(self, lhs, rhs):
+        assert lhs.results == rhs.results
+        assert lhs.merged_corpus().entries == \
+            rhs.merged_corpus().entries
+        assert lhs.merged_coverage().lines() == \
+            rhs.merged_coverage().lines()
+
+    def test_engine_rides_in_the_shard_task(
+        self, recorded, smart_cases
+    ):
+        campaign = ParallelCampaign(
+            recorded.trace, recorded.snapshot, smart_cases,
+            campaign_seed=CAMPAIGN_SEED,
+        )
+        assert campaign.engine == "smart"
+        assert all(task.engine == "smart" for task in campaign.plan())
+        assert ("engine", "smart") in campaign.identity()
+
+    def test_smart_campaign_is_jobs_invariant(
+        self, recorded, smart_cases, reference
+    ):
+        pooled = run_campaign(recorded, smart_cases, 4)
+        assert pooled.stats.healthy
+        self._assert_identical(pooled, reference)
+
+    def test_smart_sub_cell_sharding_is_jobs_invariant(
+        self, recorded, smart_cases
+    ):
+        serial = run_campaign(
+            recorded, smart_cases, 1, shards_per_cell=3
+        )
+        pooled = run_campaign(
+            recorded, smart_cases, 3, shards_per_cell=3
+        )
+        self._assert_identical(serial, pooled)
+
+    def test_smart_svm_cell_is_jobs_invariant(self):
+        from repro.core.manager import IrisManager as _Manager
+
+        manager = _Manager(arch="svm")
+        session = manager.record_workload(
+            "cpu-bound", n_exits=200, precondition="boot"
+        )
+        planned = plan_test_cases(
+            session.trace, [ExitReason.RDTSC], n_mutations=20,
+            rng=random.Random(5), engine="smart",
+        )
+        serial = ParallelCampaign(
+            session.trace, session.snapshot, planned,
+            campaign_seed=CAMPAIGN_SEED, jobs=1, arch="svm",
+        ).run()
+        pooled = ParallelCampaign(
+            session.trace, session.snapshot, planned,
+            campaign_seed=CAMPAIGN_SEED, jobs=2, arch="svm",
+        ).run()
+        assert serial.stats.healthy and pooled.stats.healthy
+        self._assert_identical(serial, pooled)
+
+    def test_smart_socket_transport_is_invariant(
+        self, recorded, smart_cases, reference
+    ):
+        from repro.campaign import SocketTransport, WorkerServer
+
+        server = WorkerServer(heartbeat_interval=0.2).start()
+        try:
+            outcome = ParallelCampaign(
+                recorded.trace, recorded.snapshot, smart_cases,
+                campaign_seed=CAMPAIGN_SEED, jobs=2,
+                transport=SocketTransport(
+                    [server.address], backoff_base=0.01
+                ),
+            ).run()
+        finally:
+            server.stop()
+        self._assert_identical(outcome, reference)
+
+    def test_smart_resume_is_invariant(
+        self, tmp_path, recorded, smart_cases, reference
+    ):
+        from repro.campaign import (
+            CampaignController,
+            CampaignInterrupted,
+            CampaignStore,
+        )
+
+        db = str(tmp_path / "smart.db")
+
+        def engine():
+            return ParallelCampaign(
+                recorded.trace, recorded.snapshot, smart_cases,
+                campaign_seed=CAMPAIGN_SEED, jobs=1,
+            )
+
+        with CampaignStore(db) as store:
+            controller = CampaignController(
+                engine(), store, wave_size=1, crash_after_wave=0,
+            )
+            assert controller.config().engine == "smart"
+            with pytest.raises(CampaignInterrupted):
+                controller.run()
+        with CampaignStore(db) as store:
+            resumed = CampaignController(
+                engine(), store, wave_size=1
+            ).run(resume=True)
+        assert resumed.waves_resumed == 1
+        self._assert_identical(resumed, reference)
+
+    def test_mixed_engines_are_rejected(self, recorded, cases,
+                                        smart_cases):
+        with pytest.raises(ValueError, match="mix mutation engines"):
+            ParallelCampaign(
+                recorded.trace, recorded.snapshot,
+                [cases[0], smart_cases[1]],
+                campaign_seed=CAMPAIGN_SEED,
+            )
+
+    def test_smart_beats_poc_at_equal_budget(
+        self, recorded, cases, smart_cases, reference
+    ):
+        """The headline claim, in the test suite as well as the bench:
+        same trace, same budget, strictly more merged coverage."""
+        poc = run_campaign(recorded, cases, 1)
+        assert poc.stats.total_mutations == \
+            reference.stats.total_mutations
+        assert reference.merged_coverage().loc > \
+            poc.merged_coverage().loc
+
+
 # ---- the cross-arch differential oracle matrix -----------------------
 
 class TestDifferentialOracleMatrix:
