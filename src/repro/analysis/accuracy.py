@@ -6,7 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.replay import SeedReplayResult
-from repro.core.seed import Trace
+from repro.core.tracestore import TraceLike
 from repro.hypervisor.coverage import NOISE_FILES
 from repro.vmx.exit_reasons import reason_name
 from repro.arch.fields import GUEST_STATE_FIELDS, ArchField
@@ -35,7 +35,7 @@ class CoverageFitting:
 
 
 def coverage_fitting(
-    trace: Trace, results: list[SeedReplayResult]
+    trace: TraceLike, results: list[SeedReplayResult]
 ) -> CoverageFitting:
     """Compare recorded vs replayed cumulative coverage (Fig. 6)."""
     recorded: set[tuple[str, int]] = set()
@@ -84,7 +84,7 @@ class SeedCoverageDiff:
 
 
 def per_seed_coverage_diffs(
-    trace: Trace, results: list[SeedReplayResult]
+    trace: TraceLike, results: list[SeedReplayResult]
 ) -> list[SeedCoverageDiff]:
     """Symmetric per-seed coverage differences, skipping exact matches."""
     diffs: list[SeedCoverageDiff] = []
@@ -164,7 +164,7 @@ def _guest_state_writes(
 
 
 def vmwrite_fitting(
-    trace: Trace, results: list[SeedReplayResult]
+    trace: TraceLike, results: list[SeedReplayResult]
 ) -> VmwriteFitting:
     """Compare guest-state VMWRITE sequences, seed by seed."""
     seeds_matching = 0
@@ -191,17 +191,19 @@ def vmwrite_fitting(
 
 
 def cr0_mode_trajectory(
-    source: Trace | list[SeedReplayResult],
+    source: TraceLike | list[SeedReplayResult],
 ) -> list[OperatingMode]:
     """The Fig. 8 ladder: operating modes implied by CR0 VMWRITEs."""
     cr0_values: list[int] = []
-    if isinstance(source, Trace):
-        for record in source.records:
-            cr0_values.extend(record.metrics.cr0_writes())
-    else:
+    # Replay results arrive as a plain list; anything trace-shaped
+    # (in-RAM Trace or lazy TraceReader) goes through .records.
+    if isinstance(source, list):
         for result in source:
             cr0_values.extend(
                 v for f, v in result.vmwrites
                 if f is ArchField.GUEST_CR0
             )
+    else:
+        for record in source.records:
+            cr0_values.extend(record.metrics.cr0_writes())
     return mode_transitions(cr0_values)

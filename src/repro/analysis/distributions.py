@@ -2,16 +2,16 @@
 
 from __future__ import annotations
 
-from repro.core.seed import Trace
+from repro.core.tracestore import TraceLike
 from repro.vmx.exit_reasons import reason_name
 
 
-def reason_distribution(trace: Trace) -> dict[str, int]:
+def reason_distribution(trace: TraceLike) -> dict[str, int]:
     """Exit counts by (abbreviated) reason name — one Fig. 5 bar."""
     return trace.reason_histogram()
 
 
-def reason_percentages(trace: Trace) -> dict[str, float]:
+def reason_percentages(trace: TraceLike) -> dict[str, float]:
     """Exit percentages by reason name."""
     histogram = trace.reason_histogram()
     total = sum(histogram.values()) or 1
@@ -24,7 +24,7 @@ def reason_percentages(trace: Trace) -> dict[str, float]:
 
 
 def timeline_distribution(
-    trace: Trace, buckets: int = 20
+    trace: TraceLike, buckets: int = 20
 ) -> list[dict[str, int]]:
     """Per-time-bucket reason counts — Fig. 4's stacked timeline.
 

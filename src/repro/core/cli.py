@@ -22,7 +22,7 @@ from repro.analysis import (
 )
 from repro.arch.backend import BACKEND_NAMES
 from repro.core.manager import IrisManager
-from repro.core.seed import Trace
+from repro.core.tracestore import open_trace
 from repro.guest.workloads import WorkloadName
 from repro.obs.cliobs import add_obs_options, cli_observability
 
@@ -76,17 +76,21 @@ def _cmd_record(args) -> int:
             args.workload, n_exits=args.exits,
             precondition=_resolve_precondition(args),
             workload_seed=args.seed,
+            spool_to=args.output if args.spool else None,
         )
-    session.trace.save(args.output)
+    if not args.spool:
+        session.trace.save(args.output)
     print(f"recorded {len(session.trace)} exits "
           f"({session.wall_seconds:.3f} simulated s) -> {args.output}")
+    # With --spool this histogram is answered from the trace file's
+    # footer index alone — no record payload is decoded.
     print(render_histogram(session.trace.reason_histogram(),
                            title="Exit reasons"))
     return 0
 
 
 def _cmd_inspect(args) -> int:
-    trace = Trace.load(args.trace)
+    trace = open_trace(args.trace)
     sizes = [s.size_bytes() for s in trace.seeds()]
     print(f"workload: {trace.workload}")
     print(f"records:  {len(trace)}")
@@ -100,7 +104,7 @@ def _cmd_inspect(args) -> int:
 def _cmd_stats(args) -> int:
     from repro.core.tracetools import trace_stats
 
-    trace = Trace.load(args.trace)
+    trace = open_trace(args.trace)
     stats = trace_stats(trace)
     print(render_table(["metric", "value"], stats.rows(),
                        title=f"Trace statistics: {args.trace}"))
@@ -111,8 +115,8 @@ def _cmd_stats(args) -> int:
 def _cmd_diff(args) -> int:
     from repro.core.tracetools import diff_traces
 
-    a = Trace.load(args.trace_a)
-    b = Trace.load(args.trace_b)
+    a = open_trace(args.trace_a)
+    b = open_trace(args.trace_b)
     diff = diff_traces(a, b)
     rows = [
         ("coverage Jaccard", f"{diff.coverage_jaccard:.3f}"),
@@ -142,7 +146,7 @@ def _cmd_diff(args) -> int:
 def _cmd_svm_export(args) -> int:
     from repro.svm import translate_trace
 
-    trace = Trace.load(args.trace)
+    trace = open_trace(args.trace)
     report = translate_trace(trace)
     rows = [
         ("seeds translated",
@@ -165,7 +169,7 @@ def _cmd_svm_export(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    trace = Trace.load(args.trace)
+    trace = open_trace(args.trace)
     with cli_observability(args):
         manager = IrisManager(arch=args.arch)
         session = manager.replay_trace(trace)
@@ -261,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_record_options(record)
     record.add_argument("-o", "--output", required=True,
                         help="trace file to write")
+    record.add_argument(
+        "--spool", action="store_true",
+        help="stream records to OUTPUT as they arrive (IRISTRC2 "
+             "format, bounded recording memory) instead of "
+             "materializing the trace in RAM first",
+    )
     add_obs_options(record)
 
     inspect = sub.add_parser("inspect", help="summarize a trace file")

@@ -11,11 +11,13 @@ against the recorded ones.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 
 from repro.core.record import Recorder
 from repro.core.replay import Replayer, SeedReplayResult
 from repro.core.seed import Trace, VMSeed
+from repro.core.tracestore import TraceLike, TraceReader
 from repro.core.snapshot import (
     VmSnapshot,
     restore_snapshot,
@@ -50,9 +52,14 @@ class IrisMode(enum.Flag):
 
 @dataclass
 class RecordingSession:
-    """Result of one recording run."""
+    """Result of one recording run.
 
-    trace: Trace
+    ``trace`` is the in-RAM :class:`Trace` normally, or a lazy
+    :class:`TraceReader` over the sealed spool file when the session
+    recorded with ``spool_to`` — both satisfy :class:`TraceLike`.
+    """
+
+    trace: TraceLike
     snapshot: VmSnapshot
     wall_cycles: int
     wall_seconds: float
@@ -224,6 +231,7 @@ class IrisManager:
         store_seeds: bool = True,
         store_metrics: bool = True,
         workload_seed: int = 0,
+        spool_to: str | os.PathLike[str] | None = None,
     ) -> RecordingSession:
         """Run a workload on the test VM and record its VM behavior.
 
@@ -232,6 +240,11 @@ class IrisManager:
         starts after the last BIOS exit); ``"boot"`` additionally runs
         the whole kernel boot (CPU-/MEM-/I/O-bound and IDLE execute on
         a booted OS).
+
+        ``spool_to`` streams records to an ``IRISTRC2`` file as they
+        arrive (bounded recording memory); the returned session's
+        ``trace`` is then a lazy :class:`TraceReader` over the sealed
+        file instead of an in-RAM :class:`Trace`.
         """
         if isinstance(workload, str):
             workload = build_workload(workload, seed=workload_seed)
@@ -242,6 +255,7 @@ class IrisManager:
             session = self._record_workload(
                 workload, n_exits=n_exits, precondition=precondition,
                 store_seeds=store_seeds, store_metrics=store_metrics,
+                spool_to=spool_to,
             )
         if OBS.metrics.enabled:
             OBS.metrics.inc("sessions", kind="record", arch=self.arch)
@@ -254,6 +268,7 @@ class IrisManager:
         precondition: str | None,
         store_seeds: bool,
         store_metrics: bool,
+        spool_to: str | os.PathLike[str] | None = None,
     ) -> RecordingSession:
         machine = self.test_machine or self.create_test_vm()
         machine.launch()
@@ -269,7 +284,7 @@ class IrisManager:
         recorder = Recorder(
             self.hv, machine.vcpu, workload=workload.name,
             store_seeds=store_seeds, store_metrics=store_metrics,
-            max_records=n_exits,
+            max_records=n_exits, spool_to=spool_to,
         )
         self._recorder = recorder
         self.mode |= IrisMode.RECORD
@@ -280,10 +295,15 @@ class IrisManager:
         finally:
             recorder.stop()
             recorder.detach()
+            recorder.close_spool()
             self.mode &= ~IrisMode.RECORD
         wall = self.hv.clock.now - start
+        trace: TraceLike = (
+            TraceReader(spool_to) if spool_to is not None
+            else recorder.trace
+        )
         return RecordingSession(
-            trace=recorder.trace,
+            trace=trace,
             snapshot=snapshot,
             wall_cycles=wall,
             wall_seconds=self.hv.clock.seconds(wall),
@@ -315,7 +335,7 @@ class IrisManager:
 
     def replay_trace(
         self,
-        trace: Trace,
+        trace: TraceLike,
         from_snapshot: VmSnapshot | None = None,
         record_metrics: bool = True,
         fresh_dummy: bool = True,
@@ -343,7 +363,7 @@ class IrisManager:
 
     def _replay_trace(
         self,
-        trace: Trace,
+        trace: TraceLike,
         from_snapshot: VmSnapshot | None,
         record_metrics: bool,
         fresh_dummy: bool,

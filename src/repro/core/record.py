@@ -15,6 +15,7 @@ Fig. 10 measures.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.seed import (
@@ -27,6 +28,7 @@ from repro.core.seed import (
     VMSeed,
     WORST_CASE_SEED_BYTES,
 )
+from repro.core.tracestore import DEFAULT_FLUSH_EVERY, TraceWriter
 from repro.hypervisor.dispatch import NullHooks
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.vcpu import Vcpu
@@ -58,7 +60,16 @@ class Recorder(NullHooks):
         store_seeds: bool = True,
         store_metrics: bool = True,
         max_records: int | None = None,
+        spool_to: str | os.PathLike[str] | None = None,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
     ) -> None:
+        """``spool_to`` switches on bounded-memory recording: records
+        stream straight into an ``IRISTRC2`` :class:`TraceWriter` at
+        that path (flushed every ``flush_every`` exits) instead of
+        accumulating in :attr:`trace`, so recording memory is O(flush
+        batch) regardless of trace length (paper §VI-D).  Call
+        :meth:`close_spool` (or rely on the manager) to seal the file.
+        """
         self.hv = hv
         self.target = target
         self.trace = Trace(workload=workload)
@@ -66,12 +77,19 @@ class Recorder(NullHooks):
         self.store_metrics = store_metrics
         self.max_records = max_records
         self.stats = RecorderStats()
+        self.writer: TraceWriter | None = (
+            TraceWriter(
+                spool_to, workload=workload, flush_every=flush_every
+            )
+            if spool_to is not None else None
+        )
         self.enabled = False
         self._attached = False
         # per-exit scratch state
         self._recording_exit = False
         self._entries: list[SeedEntry] = []
         self._vmwrites: list[tuple[ArchField, int]] = []
+        self._vmcs_ops = 0
         self._exit_reason: int = 0
         self._exit_start_tsc = 0
 
@@ -95,11 +113,21 @@ class Recorder(NullHooks):
         self.enabled = False
         self._recording_exit = False
 
+    def close_spool(self) -> None:
+        """Seal the spool file (flush tail + footer).  No-op without
+        spool mode or when already closed."""
+        if self.writer is not None and not self.writer.closed:
+            self.writer.close()
+
+    @property
+    def spooling(self) -> bool:
+        return self.writer is not None
+
     @property
     def done(self) -> bool:
         return (
             self.max_records is not None
-            and len(self.trace) >= self.max_records
+            and self.stats.exits_recorded >= self.max_records
         )
 
     # ---- hook implementation ---------------------------------------
@@ -113,6 +141,7 @@ class Recorder(NullHooks):
         self._recording_exit = True
         self._entries = []
         self._vmwrites = []
+        self._vmcs_ops = 0
         self._exit_start_tsc = self.hv.clock.now
         # The pre-allocated per-exit seed area (paper §VI-D).
         self.stats.preallocated_bytes += WORST_CASE_SEED_BYTES
@@ -127,21 +156,22 @@ class Recorder(NullHooks):
             self.stats.entries_buffered += len(GPR)
 
     def _vmcs_ops_buffered(self) -> int:
-        return (
-            sum(1 for e in self._entries
-                if e.flag is not SeedFlag.GPR)
-            + len(self._vmwrites)
-        )
+        """VMCS ops buffered so far this exit (non-GPR seed entries
+        plus pending vmwrites).  Maintained incrementally — the old
+        implementation rescanned the whole entry list on every
+        vmread/vmwrite, turning a 32-op exit into an O(ops²) walk."""
+        return self._vmcs_ops
 
     def on_vmread(self, vcpu: Vcpu, fld: ArchField, value: int) -> int:
         if self._recording_exit and self._is_target(vcpu):
             if fld is ArchField.VM_EXIT_REASON and not self._exit_reason:
                 self._exit_reason = value
             if self.store_seeds:
-                if self._vmcs_ops_buffered() < MAX_VMCS_OPS_PER_EXIT:
+                if self._vmcs_ops < MAX_VMCS_OPS_PER_EXIT:
                     self._entries.append(SeedEntry.for_vmcs(
                         SeedFlag.VMCS_READ, fld, value
                     ))
+                    self._vmcs_ops += 1
                     self.hv.clock.charge("record_entry")
                     self.stats.entries_buffered += 1
                 else:
@@ -153,8 +183,9 @@ class Recorder(NullHooks):
     def on_vmwrite(self, vcpu: Vcpu, fld: ArchField, value: int) -> None:
         if self._recording_exit and self._is_target(vcpu):
             if self.store_metrics:
-                if self._vmcs_ops_buffered() < MAX_VMCS_OPS_PER_EXIT:
+                if self._vmcs_ops < MAX_VMCS_OPS_PER_EXIT:
                     self._vmwrites.append((fld, value))
+                    self._vmcs_ops += 1
                     self.hv.clock.charge("record_entry")
                     self.stats.entries_buffered += 1
                 else:
@@ -166,9 +197,8 @@ class Recorder(NullHooks):
         if not self._recording_exit or not self._is_target(vcpu):
             return
         self._recording_exit = False
-        ops = self._vmcs_ops_buffered()
         self.stats.max_vmcs_ops_seen = max(
-            self.stats.max_vmcs_ops_seen, ops
+            self.stats.max_vmcs_ops_seen, self._vmcs_ops
         )
         seed = VMSeed(
             exit_reason=self._exit_reason or int(reason),
@@ -184,9 +214,11 @@ class Recorder(NullHooks):
             handler_cycles=self.hv.clock.now - self._exit_start_tsc,
             guest_cycles=event.guest_cycles if event else 0,
         )
-        self.trace.records.append(
-            VMExitRecord(seed=seed, metrics=metrics)
-        )
+        record = VMExitRecord(seed=seed, metrics=metrics)
+        if self.writer is not None:
+            self.writer.append(record)
+        else:
+            self.trace.records.append(record)
         self.stats.exits_recorded += 1
         if OBS.metrics.enabled:
             OBS.metrics.inc("exits_recorded", reason=reason.name)

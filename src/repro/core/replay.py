@@ -25,7 +25,8 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.arch.fields import ArchField, is_read_only
-from repro.core.seed import Trace, VMSeed
+from repro.core.seed import VMSeed
+from repro.core.tracestore import TraceLike
 from repro.errors import GuestCrash, HypervisorCrash, VirtError
 from repro.hypervisor.dispatch import ExitEvent, NullHooks
 from repro.hypervisor.hypervisor import Hypervisor
@@ -277,7 +278,7 @@ class Replayer(NullHooks):
         )
 
     def replay_trace(
-        self, trace: Trace, stop_on_crash: bool = True
+        self, trace: TraceLike, stop_on_crash: bool = True
     ) -> list[SeedReplayResult]:
         """Replay a full recorded VM behavior, seed by seed."""
         results = []

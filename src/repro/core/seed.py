@@ -457,14 +457,33 @@ class Trace:
 
     @classmethod
     def load(cls, path) -> "Trace":
+        """Load a trace file, fully materialized.
+
+        Auto-detects the streaming ``IRISTRC2`` format (see
+        :mod:`repro.core.tracestore`) and decodes it eagerly, so
+        existing ``Trace.load`` callers accept both layouts; use
+        :func:`repro.core.tracestore.open_trace` to get the lazy
+        reader instead.
+        """
         with open(path, "rb") as fh:
             blob = fh.read()
         view = memoryview(blob)
         if bytes(view[:8]) != cls.MAGIC:
+            from repro.core.tracestore import MAGIC as V2_MAGIC
+            from repro.core.tracestore import TraceReader
+            if bytes(view[:8]) == V2_MAGIC:
+                with TraceReader(path) as reader:
+                    return reader.materialize()
             raise SeedFormatError("not an IRIS trace file")
+        if len(view) < 10:
+            raise SeedFormatError("truncated trace header")
         (name_len,) = struct.unpack_from("<H", view, 8)
+        if len(view) < 10 + name_len:
+            raise SeedFormatError("truncated trace header")
         workload = bytes(view[10:10 + name_len]).decode()
         offset = 10 + name_len
+        if len(view) - offset < 4:
+            raise SeedFormatError("truncated trace header")
         (count,) = struct.unpack_from("<I", view, offset)
         offset += 4
         records = []

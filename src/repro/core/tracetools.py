@@ -12,10 +12,11 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.core.seed import Trace, VMExitRecord
+from repro.core.tracestore import TraceLike
 from repro.vmx.exit_reasons import ExitReason
 
 
-def slice_trace(trace: Trace, start: int = 0,
+def slice_trace(trace: TraceLike, start: int = 0,
                 stop: int | None = None) -> Trace:
     """A new trace holding records ``[start:stop]``."""
     return Trace(
@@ -25,7 +26,7 @@ def slice_trace(trace: Trace, start: int = 0,
 
 
 def filter_by_reason(
-    trace: Trace, reasons: set[ExitReason] | list[ExitReason]
+    trace: TraceLike, reasons: set[ExitReason] | list[ExitReason]
 ) -> Trace:
     """Keep only the seeds with one of the given exit reasons."""
     wanted = {ExitReason(r) for r in reasons}
@@ -38,7 +39,8 @@ def filter_by_reason(
     )
 
 
-def merge_traces(traces: list[Trace], workload: str = "") -> Trace:
+def merge_traces(traces: list[TraceLike],
+                 workload: str = "") -> Trace:
     """Concatenate several recordings into one behavior."""
     if not traces:
         raise ValueError("nothing to merge")
@@ -83,7 +85,7 @@ class TraceStats:
         ]
 
 
-def trace_stats(trace: Trace) -> TraceStats:
+def trace_stats(trace: TraceLike) -> TraceStats:
     """Compute summary statistics for a trace."""
     if not trace.records:
         return TraceStats(
@@ -140,7 +142,7 @@ class TraceDiff:
         return self.loc_shared / union
 
 
-def diff_traces(a: Trace, b: Trace) -> TraceDiff:
+def diff_traces(a: TraceLike, b: TraceLike) -> TraceDiff:
     """Compare exit-reason mixes and coverage of two behaviors."""
     hist_a = a.reason_histogram()
     hist_b = b.reason_histogram()

@@ -81,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
+        # Explicit dest: the obs layer's --trace flag already claims
+        # the derived name "trace_out" (add_obs_options).
+        "--trace-out", dest="campaign_trace_out", metavar="FILE",
+        default=None,
+        help="also stream the recorded campaign-input trace to FILE "
+             "in the seekable IRISTRC2 format (inspect later with "
+             "`iris inspect`/`iris stats`, or re-fuzz without "
+             "re-recording)",
+    )
+    parser.add_argument(
         "--arch", choices=list(BACKEND_NAMES), default="vmx",
         help="virtualization backend to fuzz on (paper §IX)",
     )
@@ -316,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
             args.workload, n_exits=args.exits,
             precondition=precondition,
         )
+        if args.campaign_trace_out is not None:
+            from repro.core.tracestore import write_trace
+
+            write_trace(session.trace, args.campaign_trace_out)
+            print(
+                f"campaign input trace -> {args.campaign_trace_out}"
+            )
         cases = plan_test_cases(
             session.trace, reasons, areas=areas,
             n_mutations=args.mutations, rng=rng,

@@ -16,6 +16,7 @@ from repro.core.manager import IrisManager
 from repro.core.replay import ReplayOutcome
 from repro.core.seed import SeedEntry, VMSeed
 from repro.core.snapshot import VmSnapshot, restore_snapshot
+from repro.core.tracestore import TraceLike
 from repro.fuzz.failures import classify_result
 from repro.fuzz.triage import crash_signature
 
@@ -79,6 +80,21 @@ def _apply(original: VMSeed, deltas: list[EntryDelta]) -> VMSeed:
     for delta in deltas:
         seed.entries[delta.index] = delta.mutated
     return seed
+
+
+def original_seed(trace: TraceLike, seed_index: int) -> VMSeed:
+    """The un-mutated seed a crashing mutant was derived from.
+
+    On a lazy :class:`~repro.core.tracestore.TraceReader` this decodes
+    exactly one record — triage over a multi-million-exit spool file
+    no longer materializes the whole trace to recover one original.
+    """
+    if not 0 <= seed_index < len(trace):
+        raise ValueError(
+            f"seed index {seed_index} outside trace of "
+            f"{len(trace)} records"
+        )
+    return trace.records[seed_index].seed
 
 
 def minimize_crash(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.seed import Trace
+from repro.core.tracestore import TraceLike
 from repro.fuzz.mutation_engine import ENGINE_NAMES
 from repro.fuzz.mutations import MutationArea
 from repro.vmx.exit_reasons import ExitReason
@@ -22,7 +22,7 @@ from repro.vmx.exit_reasons import ExitReason
 class FuzzTestCase:
     """One planned fuzzing test case."""
 
-    trace: Trace
+    trace: TraceLike
     seed_index: int
     area: MutationArea
     n_mutations: int = 10_000
@@ -64,7 +64,7 @@ class FuzzTestCase:
 
 
 def plan_test_cases(
-    trace: Trace,
+    trace: TraceLike,
     reasons: list[ExitReason],
     areas: tuple[MutationArea, ...] = (
         MutationArea.VMCS, MutationArea.GPR,
@@ -78,10 +78,15 @@ def plan_test_cases(
     test case per mutation area."""
     rng = rng or random.Random(0)
     cases: list[FuzzTestCase] = []
+    # reasons() is answered from the footer index alone on a lazy
+    # TraceReader, so planning decodes no record payloads; the
+    # candidate list (and thus the RNG stream) is identical to the
+    # old enumerate-the-records scan.
+    trace_reasons = trace.reasons()
     for reason in reasons:
         candidates = [
-            i for i, record in enumerate(trace.records)
-            if record.seed.reason is reason
+            i for i, r in enumerate(trace_reasons)
+            if r is reason
         ]
         if not candidates:
             continue  # Table I leaves these cells empty ("-")
